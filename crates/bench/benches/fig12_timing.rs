@@ -1,0 +1,81 @@
+//! Fig. 12 — the paper's timing experiment as Criterion benchmarks.
+//!
+//! * `fig12a_time_vs_len/|T|≈N` — mean end-to-end summarization time for
+//!   trajectories whose symbolic size falls in the bucket around `N`
+//!   (paper Fig. 12(a): tens of milliseconds, mild growth with |T|).
+//! * `fig12b_time_vs_k/k=N` — mean time for `summarize_k` at each requested
+//!   partition count (paper Fig. 12(b): near-flat in k).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stmaker::{standard_features, FeatureWeights, Summarizer, SummarizerConfig};
+use stmaker_eval::{ExperimentScale, Harness};
+use stmaker_trajectory::RawTrajectory;
+
+struct Setup {
+    harness: Harness,
+}
+
+impl Setup {
+    fn new() -> Self {
+        let mut scale = ExperimentScale::quick();
+        scale.n_train = 150;
+        scale.n_test = 250;
+        Self { harness: Harness::new(scale) }
+    }
+
+    fn summarizer(&self) -> Summarizer<'_> {
+        let features = standard_features();
+        let weights = FeatureWeights::uniform(&features);
+        self.harness.train_summarizer(features, weights, SummarizerConfig::default())
+    }
+}
+
+fn fig12a(c: &mut Criterion) {
+    let setup = Setup::new();
+    let summarizer = setup.summarizer();
+    // Bucket test trips by symbolic size.
+    let mut buckets: std::collections::BTreeMap<usize, Vec<RawTrajectory>> = Default::default();
+    for trip in &setup.harness.test {
+        if let Ok(p) = summarizer.prepare(&trip.raw) {
+            let centre = ((p.symbolic.size() + 2) / 5) * 5; // nearest 5
+            buckets.entry(centre).or_default().push(trip.raw.clone());
+        }
+    }
+    let mut group = c.benchmark_group("fig12a_time_vs_len");
+    group.sample_size(20);
+    for (centre, trips) in buckets.iter().filter(|(_, v)| v.len() >= 5) {
+        group.bench_with_input(BenchmarkId::new("summarize", format!("T{centre}")), trips, |b, trips| {
+            let mut i = 0;
+            b.iter(|| {
+                let raw = &trips[i % trips.len()];
+                i += 1;
+                black_box(summarizer.summarize(black_box(raw)).ok())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig12b(c: &mut Criterion) {
+    let setup = Setup::new();
+    let summarizer = setup.summarizer();
+    let trips: Vec<RawTrajectory> =
+        setup.harness.test.iter().take(60).map(|t| t.raw.clone()).collect();
+    let mut group = c.benchmark_group("fig12b_time_vs_k");
+    group.sample_size(20);
+    for k in 1..=7usize {
+        group.bench_with_input(BenchmarkId::new("summarize_k", k), &k, |b, &k| {
+            let mut i = 0;
+            b.iter(|| {
+                let raw = &trips[i % trips.len()];
+                i += 1;
+                black_box(summarizer.summarize_k(black_box(raw), k).ok())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12a, fig12b);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Stage-level ablation benchmarks of the summarization pipeline (Fig. 3):
+//! where do the milliseconds of Fig. 12 actually go?
+//!
+//! * `stage/calibrate` — raw → symbolic rewriting (Sec. II-A);
+//! * `stage/prepare` — calibration + map matching + feature extraction;
+//! * `stage/partition` — similarity + DP on a prepared trajectory (Sec. IV);
+//! * `stage/select_render` — irregular rates + templates given a partition;
+//! * `stage/full` — the whole `summarize` call, for reference.
+//!
+//! Also benches training-side costs: `train/summarizer` builds the popular
+//! routes + feature map from a 100-trip corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stmaker::{standard_features, FeatureWeights, Summarizer, SummarizerConfig};
+use stmaker_calibration::{calibrate, CalibrationParams};
+use stmaker_eval::{ExperimentScale, Harness};
+use stmaker_trajectory::RawTrajectory;
+
+fn setup() -> Harness {
+    let mut scale = ExperimentScale::quick();
+    scale.n_train = 120;
+    scale.n_test = 60;
+    Harness::new(scale)
+}
+
+fn stages(c: &mut Criterion) {
+    let h = setup();
+    let summarizer = h.train_default();
+    let trips: Vec<RawTrajectory> = h.test.iter().map(|t| t.raw.clone()).collect();
+    let prepared: Vec<_> = trips.iter().filter_map(|t| summarizer.prepare(t).ok()).collect();
+
+    let mut group = c.benchmark_group("stage");
+    group.sample_size(30);
+
+    group.bench_function("calibrate", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let raw = &trips[i % trips.len()];
+            i += 1;
+            black_box(calibrate(black_box(raw), &h.world.registry, CalibrationParams::default()).ok())
+        });
+    });
+
+    group.bench_function("prepare", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let raw = &trips[i % trips.len()];
+            i += 1;
+            black_box(summarizer.prepare(black_box(raw)).ok())
+        });
+    });
+
+    group.bench_function("partition_select_render", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let p = &prepared[i % prepared.len()];
+            i += 1;
+            black_box(summarizer.summarize_prepared(black_box(p), None).ok())
+        });
+    });
+
+    group.bench_function("full", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let raw = &trips[i % trips.len()];
+            i += 1;
+            black_box(summarizer.summarize(black_box(raw)).ok())
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    let training: Vec<RawTrajectory> = h.train.iter().take(100).map(|t| t.raw.clone()).collect();
+    group.bench_function("summarizer_100_trips", |b| {
+        b.iter(|| {
+            let features = standard_features();
+            let weights = FeatureWeights::uniform(&features);
+            let s = Summarizer::train(
+                &h.world.net,
+                &h.world.registry,
+                black_box(&training),
+                features,
+                weights,
+                SummarizerConfig::default(),
+            );
+            black_box(s.model().n_trained)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, stages);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Substrate micro-benchmarks: the building blocks every experiment leans
+//! on. Useful for regression tracking and for sizing the full-scale runs.
+//!
+//! * `substrate/dbscan_2k` — clustering 2000 POIs into landmarks (Sec. VII-A);
+//! * `substrate/hits` — significance power iteration over a 10k-visit graph;
+//! * `substrate/dijkstra` — fastest-path search across the default city;
+//! * `substrate/popular_route` — PR(lᵢ, lⱼ) queries against a mined corpus;
+//! * `substrate/edit_distance` — the Sec. V-A sequence measure;
+//! * `substrate/stay_uturn` — moving-feature detection over a long trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use stmaker::irregular::feature_edit_distance;
+use stmaker::FeatureScale;
+use stmaker_eval::{ExperimentScale, Harness};
+use stmaker_generator::{TripConfig, TripGenerator, World, WorldConfig};
+use stmaker_poi::{dbscan, DbscanParams};
+use stmaker_road::{build_city, PathCost, SynthCityConfig};
+use stmaker_routes::{PopularRouteConfig, PopularRoutes};
+use stmaker_significance::{compute_significance, HitsConfig, Visit};
+use stmaker_trajectory::{detect_stay_points, detect_u_turns, StayPointParams, UTurnParams};
+
+fn substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(20);
+
+    // DBSCAN over 2000 synthetic POI locations.
+    let mut rng = StdRng::seed_from_u64(1);
+    let base = stmaker_geo::GeoPoint::new(39.9, 116.4);
+    let pois: Vec<_> = (0..2000)
+        .map(|_| {
+            base.destination(rng.random_range(0.0..360.0), rng.random_range(0.0..6_000.0))
+        })
+        .collect();
+    group.bench_function("dbscan_2k", |b| {
+        b.iter(|| black_box(dbscan(black_box(&pois), DbscanParams::default())))
+    });
+
+    // HITS over 10k visits, 500 users, 300 landmarks.
+    let visits: Vec<Visit> = (0..10_000)
+        .map(|i| Visit::new((i * 7) % 500, (i * i) % 300))
+        .collect();
+    group.bench_function("hits_10k_visits", |b| {
+        b.iter(|| black_box(compute_significance(300, black_box(&visits), HitsConfig::default())))
+    });
+
+    // Dijkstra across the default 16×16 city.
+    let net = build_city(&SynthCityConfig::default());
+    let n = net.node_count() as u32;
+    group.bench_function("dijkstra_city", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(37);
+            let src = stmaker_road::NodeId(i % n);
+            let dst = stmaker_road::NodeId((i * 13 + 101) % n);
+            black_box(stmaker_road::pathfind::shortest_path(&net, src, dst, PathCost::TravelTime))
+        });
+    });
+
+    // Popular-route queries against a mined 150-trip corpus.
+    let world = World::generate(WorldConfig::small(3));
+    let gen = TripGenerator::new(&world, TripConfig::default());
+    let corpus = gen.generate_corpus(150, 5);
+    let symbolics: Vec<_> = corpus
+        .iter()
+        .filter_map(|t| {
+            stmaker_calibration::calibrate_opt(
+                &t.raw,
+                &world.registry,
+                stmaker_calibration::CalibrationParams::default(),
+            )
+        })
+        .collect();
+    let pr = PopularRoutes::build(&symbolics, PopularRouteConfig::default());
+    let endpoints: Vec<_> = symbolics
+        .iter()
+        .map(|s| (s.points()[0].landmark, s.points().last().unwrap().landmark))
+        .collect();
+    group.bench_function("popular_route_query", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (from, to) = endpoints[i % endpoints.len()];
+            i += 1;
+            black_box(pr.popular_route(black_box(from), black_box(to)))
+        });
+    });
+
+    // Edit distance over 32-element sequences.
+    let a: Vec<f64> = (0..32).map(|i| (i % 7) as f64).collect();
+    let bseq: Vec<f64> = (0..32).map(|i| ((i * 3) % 7) as f64).collect();
+    group.bench_function("edit_distance_32", |b| {
+        b.iter(|| {
+            black_box(feature_edit_distance(
+                black_box(&a),
+                black_box(&bseq),
+                FeatureScale::Categorical,
+            ))
+        })
+    });
+
+    // Stay-point + U-turn detection over one long rush-hour trip.
+    let h = Harness::new({
+        let mut s = ExperimentScale::quick();
+        s.n_train = 1;
+        s.n_test = 1;
+        s
+    });
+    let mut rng2 = StdRng::seed_from_u64(9);
+    let g2 = h.generator();
+    let trip = (0..50)
+        .find_map(|_| g2.generate_at(0, 8.0, &mut rng2))
+        .expect("rush trip");
+    group.bench_function("stay_uturn_detection", |b| {
+        b.iter(|| {
+            let s = detect_stay_points(black_box(&trip.raw), StayPointParams::default());
+            let u = detect_u_turns(black_box(&trip.raw), UTurnParams::default());
+            black_box((s, u))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, substrates);
+criterion_main!(benches);

@@ -1,0 +1,369 @@
+//! `stmaker-cli` — drive the whole stack from a shell.
+//!
+//! Because the reproduction has no real map, trajectories only make sense
+//! relative to a *world*; `gen` therefore writes a `world.json` config next
+//! to the exported trips, and every other subcommand deterministically
+//! regenerates that exact world (same seed → byte-identical landmarks and
+//! history) before summarizing.
+//!
+//! ```text
+//! stmaker-cli gen --dir /tmp/demo --trips 20 --seed 7
+//! stmaker-cli summarize --dir /tmp/demo --trip trip_003.csv --k 3
+//! stmaker-cli group --dir /tmp/demo
+//! stmaker-cli search --dir /tmp/demo --query "u-turn station"
+//! stmaker-cli demo
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stmaker::{standard_features, FeatureWeights, Summarizer, SummarizerConfig};
+use stmaker_generator::{TripConfig, TripGenerator, World, WorldConfig};
+use stmaker_io::{read_trajectory_csv, summary_to_geojson, write_trajectory_csv};
+use stmaker_textmine::InvertedIndex;
+use stmaker_trajectory::RawTrajectory;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(|s| s.as_str()) {
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("summarize") => cmd_summarize(&args[1..]),
+        Some("group") => cmd_group(&args[1..]),
+        Some("search") => cmd_search(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}; try `stmaker-cli help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "stmaker-cli — trajectory summarization (ICDE'15 reproduction)\n\n\
+         USAGE:\n  stmaker-cli <subcommand> [options]\n\n\
+         SUBCOMMANDS:\n  \
+         demo       [--seed N] [--hour H] [--k K]   one-shot world+trip demo\n  \
+         gen        --dir DIR [--trips N] [--seed N] export trips as CSV + world.json\n  \
+         train      --dir DIR [--out FILE] [--n-train N] save a trained model\n  \
+         summarize  --dir DIR --trip FILE [--k K] [--model FILE] [--geojson FILE]\n  \
+         group      --dir DIR [--min-share F]       group summary of every trip in DIR\n  \
+         search     --dir DIR --query \"...\" [--top K] keyword search over summaries\n  \
+         help                                        this message"
+    );
+}
+
+/// Tiny `--key value` parser; flags may appear in any order.
+struct Opts<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Opts<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Self { args }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for {key}: {v:?}")),
+        }
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option {key}"))
+    }
+}
+
+/// World + trained summarizer assembly shared by the subcommands.
+struct Stack {
+    world: World,
+}
+
+impl Stack {
+    fn from_config(cfg: WorldConfig) -> Self {
+        eprintln!("building world (seed {})…", cfg.seed);
+        Self { world: World::generate(cfg) }
+    }
+
+    fn train(&self, n_train: usize) -> Summarizer<'_> {
+        eprintln!("training on {n_train} historical trips…");
+        let gen = TripGenerator::new(&self.world, TripConfig::default());
+        let training: Vec<RawTrajectory> =
+            gen.generate_corpus(n_train, 0x7EA1).into_iter().map(|t| t.raw).collect();
+        let features = standard_features();
+        let weights = FeatureWeights::uniform(&features);
+        Summarizer::train(
+            &self.world.net,
+            &self.world.registry,
+            &training,
+            features,
+            weights,
+            SummarizerConfig::default(),
+        )
+    }
+
+    /// Loads a saved model if `--model` was given; otherwise trains fresh.
+    fn summarizer(&self, opts: &Opts<'_>) -> Result<Summarizer<'_>, String> {
+        match opts.get("--model") {
+            Some(path) => {
+                eprintln!("loading model {path}…");
+                let model = stmaker::TrainedModel::load(path)
+                    .map_err(|e| format!("cannot load model {path}: {e}"))?;
+                if model.registry_len != 0 && model.registry_len != self.world.registry.len() {
+                    return Err(format!(
+                        "model {path} was trained against a different world \
+                         ({} landmarks vs this world's {}); retrain with `train` \
+                         or point --dir at the world the model came from",
+                        model.registry_len,
+                        self.world.registry.len()
+                    ));
+                }
+                let features = standard_features();
+                let weights = FeatureWeights::uniform(&features);
+                Ok(Summarizer::from_model(
+                    &self.world.net,
+                    &self.world.registry,
+                    model,
+                    features,
+                    weights,
+                    SummarizerConfig::default(),
+                ))
+            }
+            None => Ok(self.train(300)),
+        }
+    }
+}
+
+fn load_world_config(dir: &Path) -> Result<WorldConfig, String> {
+    let path = dir.join("world.json");
+    let body = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e} (run `gen` first)", path.display()))?;
+    serde_json::from_str(&body).map_err(|e| format!("bad world.json: {e}"))
+}
+
+fn trip_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot list {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().map(|x| x == "csv").unwrap_or(false)
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .map(|n| n.starts_with("trip_"))
+                    .unwrap_or(false)
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let opts = Opts::new(args);
+    let seed: u64 = opts.parse("--seed", 2024)?;
+    let hour: f64 = opts.parse("--hour", 8.5)?;
+    let k: usize = opts.parse("--k", 0)?;
+
+    let stack = Stack::from_config(WorldConfig::small(seed));
+    let summarizer = stack.train(150);
+    let gen = TripGenerator::new(&stack.world, TripConfig::default());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDE60);
+    let trip = (0..100)
+        .find_map(|_| gen.generate_at(0, hour, &mut rng))
+        .ok_or("could not generate a trip")?;
+    println!(
+        "trip: {} samples, {:.1} km, departing {:02}:{:02}",
+        trip.raw.len(),
+        trip.raw.length_m() / 1000.0,
+        hour as u32,
+        ((hour % 1.0) * 60.0) as u32,
+    );
+    let summary = if k == 0 {
+        summarizer.summarize(&trip.raw)
+    } else {
+        summarizer.summarize_k(&trip.raw, k)
+    }
+    .map_err(|e| e.to_string())?;
+    println!("\n{}", summary.text);
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let opts = Opts::new(args);
+    let dir = PathBuf::from(opts.require("--dir")?);
+    let trips: usize = opts.parse("--trips", 20)?;
+    let seed: u64 = opts.parse("--seed", 2024)?;
+
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let cfg = WorldConfig::small(seed);
+    std::fs::write(
+        dir.join("world.json"),
+        serde_json::to_string_pretty(&cfg).expect("config serializes"),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let stack = Stack::from_config(cfg);
+    let gen = TripGenerator::new(&stack.world, TripConfig::default());
+    let corpus = gen.generate_corpus(trips, seed ^ 0x6E6);
+    for (i, trip) in corpus.iter().enumerate() {
+        let path = dir.join(format!("trip_{i:03}.csv"));
+        std::fs::write(&path, write_trajectory_csv(&trip.raw)).map_err(|e| e.to_string())?;
+    }
+    println!("wrote {} trips and world.json to {}", corpus.len(), dir.display());
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let opts = Opts::new(args);
+    let dir = PathBuf::from(opts.require("--dir")?);
+    let n_train: usize = opts.parse("--n-train", 300)?;
+    let out = opts.get("--out").map(PathBuf::from).unwrap_or_else(|| dir.join("model.json"));
+
+    let stack = Stack::from_config(load_world_config(&dir)?);
+    let summarizer = stack.train(n_train);
+    summarizer
+        .model()
+        .save(&out)
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "trained on {} trips; model saved to {}",
+        summarizer.model().n_trained,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_summarize(args: &[String]) -> Result<(), String> {
+    let opts = Opts::new(args);
+    let dir = PathBuf::from(opts.require("--dir")?);
+    let trip_file = opts.require("--trip")?;
+    let k: usize = opts.parse("--k", 0)?;
+
+    let trip_path = dir.join(trip_file);
+    let body = std::fs::read_to_string(&trip_path)
+        .map_err(|e| format!("cannot read {}: {e}", trip_path.display()))?;
+    let raw =
+        read_trajectory_csv(&body).map_err(|e| format!("{}: {e}", trip_path.display()))?;
+
+    let stack = Stack::from_config(load_world_config(&dir)?);
+    let summarizer = stack.summarizer(&opts)?;
+    let summary = if k == 0 {
+        summarizer.summarize(&raw)
+    } else {
+        summarizer.summarize_k(&raw, k)
+    }
+    .map_err(|e| e.to_string())?;
+
+    println!("{}", summary.text);
+    if let Some(out) = opts.get("--geojson") {
+        let gj = summary_to_geojson(&summary, &stack.world.registry);
+        std::fs::write(out, serde_json::to_string_pretty(&gj).expect("geojson serializes"))
+            .map_err(|e| e.to_string())?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_group(args: &[String]) -> Result<(), String> {
+    let opts = Opts::new(args);
+    let dir = PathBuf::from(opts.require("--dir")?);
+    let min_share: f64 = opts.parse("--min-share", 0.15)?;
+
+    let files = trip_files(&dir)?;
+    if files.is_empty() {
+        return Err(format!("no trip_*.csv files in {}", dir.display()));
+    }
+    // Unparsable files are skipped with a warning — one corrupt upload must
+    // not take the whole corridor report down.
+    let mut trips: Vec<RawTrajectory> = Vec::new();
+    for p in &files {
+        match std::fs::read_to_string(p)
+            .map_err(|e| e.to_string())
+            .and_then(|body| read_trajectory_csv(&body).map_err(|e| e.to_string()))
+        {
+            Ok(t) => trips.push(t),
+            Err(e) => eprintln!("warning: skipping {}: {e}", p.display()),
+        }
+    }
+    if trips.is_empty() {
+        return Err("no readable trips in the directory".to_owned());
+    }
+
+    let stack = Stack::from_config(load_world_config(&dir)?);
+    let summarizer = stack.summarizer(&opts)?;
+    let group =
+        summarizer.summarize_group(&trips, min_share).map_err(|e| e.to_string())?;
+    println!("{}", group.text);
+    println!(
+        "\n({} of {} trips summarized; drill-down below)",
+        group.n_summarized, group.n_trajectories
+    );
+    for (i, m) in group.members.iter().enumerate() {
+        println!("  [{i:02}] {}", m.text);
+    }
+    Ok(())
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let opts = Opts::new(args);
+    let dir = PathBuf::from(opts.require("--dir")?);
+    let query = opts.require("--query")?;
+    let top: usize = opts.parse("--top", 5)?;
+
+    let files = trip_files(&dir)?;
+    if files.is_empty() {
+        return Err(format!("no trip_*.csv files in {}", dir.display()));
+    }
+    let stack = Stack::from_config(load_world_config(&dir)?);
+    let summarizer = stack.summarizer(&opts)?;
+
+    let mut names = Vec::new();
+    let mut texts = Vec::new();
+    for p in &files {
+        let parsed = std::fs::read_to_string(p)
+            .map_err(|e| e.to_string())
+            .and_then(|body| read_trajectory_csv(&body).map_err(|e| e.to_string()));
+        let raw = match parsed {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("warning: skipping {}: {e}", p.display());
+                continue;
+            }
+        };
+        if let Ok(s) = summarizer.summarize(&raw) {
+            names.push(p.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_owned());
+            texts.push(s.text);
+        }
+    }
+    let index = InvertedIndex::build(&texts);
+    let hits = index.search(query, top);
+    if hits.is_empty() {
+        println!("no summaries match {query:?}");
+        return Ok(());
+    }
+    println!("top matches for {query:?}:");
+    for (doc, score) in hits {
+        println!("  {:.3}  {}  {}", score, names[doc], texts[doc]);
+    }
+    Ok(())
+}

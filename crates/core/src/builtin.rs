@@ -1,0 +1,395 @@
+//! The six built-in features of Tables III/IV, plus the `SpeC` custom
+//! feature demonstrating the extension path of Sec. VI-B.
+
+use crate::context::SegmentContext;
+use crate::feature::{Feature, FeatureKind, FeatureScale, FeatureSet, PhraseInfo};
+use std::sync::Arc;
+use stmaker_road::RoadGrade;
+use stmaker_trajectory::{average_speed_kmh, sharp_speed_changes, SpeedChangeParams};
+
+/// Feature key constants (also the historical-feature-map keys).
+pub mod keys {
+    pub const GRADE: &str = "grade_of_road";
+    pub const WIDTH: &str = "road_width";
+    pub const DIRECTION: &str = "traffic_direction";
+    pub const SPEED: &str = "speed";
+    pub const STAY_POINTS: &str = "stay_points";
+    pub const U_TURNS: &str = "u_turns";
+    pub const SPEED_CHANGE: &str = "speed_change";
+}
+
+/// Routing, categorical: the paper's seven-level road grade (Table III).
+/// Extracted as the grade code of the segment's dominant matched edge;
+/// segments that failed to match report the median grade (4, provincial) so
+/// they read as unremarkable rather than extreme.
+pub struct GradeOfRoad;
+
+impl Feature for GradeOfRoad {
+    fn key(&self) -> &str {
+        keys::GRADE
+    }
+    fn label(&self) -> &str {
+        "grade of road"
+    }
+    fn kind(&self) -> FeatureKind {
+        FeatureKind::Routing
+    }
+    fn scale(&self) -> FeatureScale {
+        FeatureScale::Categorical
+    }
+    fn extract(&self, ctx: &SegmentContext<'_>) -> f64 {
+        ctx.edge.map(|e| e.grade.code() as f64).unwrap_or(RoadGrade::Provincial.code() as f64)
+    }
+}
+
+/// Routing, numeric: paved road width in metres (Table III).
+pub struct RoadWidth;
+
+impl Feature for RoadWidth {
+    fn key(&self) -> &str {
+        keys::WIDTH
+    }
+    fn label(&self) -> &str {
+        "road width"
+    }
+    fn kind(&self) -> FeatureKind {
+        FeatureKind::Routing
+    }
+    fn scale(&self) -> FeatureScale {
+        FeatureScale::Numeric
+    }
+    fn extract(&self, ctx: &SegmentContext<'_>) -> f64 {
+        ctx.edge
+            .map(|e| e.width_m)
+            .unwrap_or_else(|| RoadGrade::Provincial.typical_width_m())
+    }
+}
+
+/// Routing, categorical: two-way (1) vs one-way (2) (Table III).
+pub struct TrafficDirection;
+
+impl Feature for TrafficDirection {
+    fn key(&self) -> &str {
+        keys::DIRECTION
+    }
+    fn label(&self) -> &str {
+        "traffic direction"
+    }
+    fn kind(&self) -> FeatureKind {
+        FeatureKind::Routing
+    }
+    fn scale(&self) -> FeatureScale {
+        FeatureScale::Categorical
+    }
+    fn extract(&self, ctx: &SegmentContext<'_>) -> f64 {
+        ctx.edge.map(|e| e.direction.code() as f64).unwrap_or(1.0)
+    }
+}
+
+/// Moving, numeric: average *moving* speed of the segment in km/h
+/// (Table IV). Dwell time inside detected stay points is excluded — stays
+/// are a separate feature, and folding a five-minute stop into the average
+/// would make every segment with a red light read as "slow" regardless of
+/// how the vehicle actually drove.
+pub struct Speed;
+
+impl Feature for Speed {
+    fn key(&self) -> &str {
+        keys::SPEED
+    }
+    fn kind(&self) -> FeatureKind {
+        FeatureKind::Moving
+    }
+    fn scale(&self) -> FeatureScale {
+        FeatureScale::Numeric
+    }
+    fn extract(&self, ctx: &SegmentContext<'_>) -> f64 {
+        if ctx.raw_points.len() >= 2 {
+            // Moving distance and time: hops inside a detected stay window
+            // contribute neither. Excluding only the time would divide real
+            // distance *plus* the GPS jitter accumulated while parked by a
+            // tiny moving time, inflating speeds wildly after long stays.
+            let in_stay = |i: usize| {
+                ctx.stays.iter().any(|s| i >= s.first_index && i < s.last_index)
+            };
+            let mut dist = 0.0;
+            let mut moving = 0i64;
+            for (i, w) in ctx.raw_points.windows(2).enumerate() {
+                if in_stay(i) {
+                    continue;
+                }
+                dist += w[0].point.haversine_m(&w[1].point);
+                moving += w[0].t.delta_secs(&w[1].t);
+            }
+            if moving > 0 && dist > 0.0 {
+                return dist / moving as f64 * 3.6;
+            }
+            let v = average_speed_kmh(ctx.raw_points);
+            if v > 0.0 {
+                return v;
+            }
+        }
+        // Sparse window: fall back to landmark-to-landmark speed.
+        let secs = ctx.duration_secs();
+        if secs > 0 {
+            ctx.straight_dist_m / secs as f64 * 3.6
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Moving, numeric: number of stay points in the segment (Table IV).
+pub struct StayPoints;
+
+impl Feature for StayPoints {
+    fn key(&self) -> &str {
+        keys::STAY_POINTS
+    }
+    fn label(&self) -> &str {
+        "stay points"
+    }
+    fn kind(&self) -> FeatureKind {
+        FeatureKind::Moving
+    }
+    fn scale(&self) -> FeatureScale {
+        FeatureScale::Numeric
+    }
+    fn count_like(&self) -> bool {
+        true
+    }
+    fn extract(&self, ctx: &SegmentContext<'_>) -> f64 {
+        ctx.stays.len() as f64
+    }
+}
+
+/// Moving, numeric: number of U-turns in the segment (Table IV).
+pub struct UTurns;
+
+impl Feature for UTurns {
+    fn key(&self) -> &str {
+        keys::U_TURNS
+    }
+    fn label(&self) -> &str {
+        "U-turns"
+    }
+    fn kind(&self) -> FeatureKind {
+        FeatureKind::Moving
+    }
+    fn scale(&self) -> FeatureScale {
+        FeatureScale::Numeric
+    }
+    fn count_like(&self) -> bool {
+        true
+    }
+    fn extract(&self, ctx: &SegmentContext<'_>) -> f64 {
+        ctx.u_turns.len() as f64
+    }
+}
+
+/// The `SpeC` (sharp speed change) feature of Fig. 10(b) — implemented as a
+/// *user-added* feature following the three steps of Sec. VI-B: (1) moving +
+/// numeric, (2) regular values collected in the historical feature map under
+/// its key, (3) a custom phrase template.
+pub struct SpeedChange {
+    params: SpeedChangeParams,
+}
+
+impl SpeedChange {
+    /// With the given sharp-change threshold.
+    pub fn new(params: SpeedChangeParams) -> Self {
+        Self { params }
+    }
+}
+
+impl Default for SpeedChange {
+    fn default() -> Self {
+        Self::new(SpeedChangeParams::default())
+    }
+}
+
+impl Feature for SpeedChange {
+    fn key(&self) -> &str {
+        keys::SPEED_CHANGE
+    }
+    fn label(&self) -> &str {
+        "sharp speed changes"
+    }
+    fn kind(&self) -> FeatureKind {
+        FeatureKind::Moving
+    }
+    fn scale(&self) -> FeatureScale {
+        FeatureScale::Numeric
+    }
+    fn count_like(&self) -> bool {
+        true
+    }
+    fn extract(&self, ctx: &SegmentContext<'_>) -> f64 {
+        sharp_speed_changes(ctx.raw_points, self.params) as f64
+    }
+    fn phrase(&self, info: &PhraseInfo) -> Option<String> {
+        let n = info.value.round() as i64;
+        Some(match info.regular {
+            Some(r) => format!(
+                "with {n} sharp speed change(s) while {:.1} is usual on this route",
+                r
+            ),
+            None => format!("with {n} sharp speed change(s)"),
+        })
+    }
+}
+
+/// The paper's six standard features, in Table III/IV order:
+/// grade of road, road width, traffic direction, speed, # stay points,
+/// # U-turns.
+pub fn standard_features() -> FeatureSet {
+    FeatureSet::new()
+        .with(Arc::new(GradeOfRoad))
+        .with(Arc::new(RoadWidth))
+        .with(Arc::new(TrafficDirection))
+        .with(Arc::new(Speed))
+        .with(Arc::new(StayPoints))
+        .with(Arc::new(UTurns))
+}
+
+/// The standard set plus the `SpeC` extension (the Fig. 10(b) configuration).
+pub fn extended_features() -> FeatureSet {
+    standard_features().with(Arc::new(SpeedChange::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stmaker_geo::GeoPoint;
+    use stmaker_poi::LandmarkId;
+    use stmaker_trajectory::{RawPoint, Timestamp};
+
+    fn base() -> GeoPoint {
+        GeoPoint::new(39.9, 116.4)
+    }
+
+    fn ctx_with<'a>(raw: &'a [RawPoint]) -> SegmentContext<'a> {
+        SegmentContext {
+            from_landmark: LandmarkId(0),
+            to_landmark: LandmarkId(1),
+            from_t: raw.first().map(|p| p.t).unwrap_or(Timestamp(0)),
+            to_t: raw.last().map(|p| p.t).unwrap_or(Timestamp(100)),
+            raw_points: raw,
+            edge: None,
+            stays: &[],
+            u_turns: &[],
+            straight_dist_m: 1_000.0,
+        }
+    }
+
+    #[test]
+    fn standard_set_matches_paper_tables() {
+        let set = standard_features();
+        assert_eq!(set.len(), 6);
+        let kinds: Vec<FeatureKind> = set.features().iter().map(|f| f.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FeatureKind::Routing,
+                FeatureKind::Routing,
+                FeatureKind::Routing,
+                FeatureKind::Moving,
+                FeatureKind::Moving,
+                FeatureKind::Moving
+            ]
+        );
+        // Numeric column of Tables III/IV.
+        assert_eq!(set.get(0).scale(), FeatureScale::Categorical);
+        assert_eq!(set.get(1).scale(), FeatureScale::Numeric);
+        assert_eq!(set.get(2).scale(), FeatureScale::Categorical);
+        assert!(set.features()[3..].iter().all(|f| f.scale() == FeatureScale::Numeric));
+    }
+
+    #[test]
+    fn extended_set_adds_spec() {
+        let set = extended_features();
+        assert_eq!(set.len(), 7);
+        assert_eq!(set.get(6).key(), keys::SPEED_CHANGE);
+    }
+
+    #[test]
+    fn speed_uses_raw_window() {
+        let raw: Vec<RawPoint> = (0..5)
+            .map(|i| RawPoint {
+                point: base().destination(90.0, 100.0 * i as f64),
+                t: Timestamp(10 * i as i64),
+            })
+            .collect();
+        let v = Speed.extract(&ctx_with(&raw));
+        assert!((v - 36.0).abs() < 0.5, "{v}");
+    }
+
+    #[test]
+    fn speed_falls_back_to_straight_line() {
+        // One sample only: raw-window speed is undefined; the landmark
+        // fallback (1000 m / 100 s = 36 km/h) kicks in.
+        let raw = [RawPoint { point: base(), t: Timestamp(0) }];
+        let mut ctx = ctx_with(&raw);
+        ctx.to_t = Timestamp(100);
+        let v = Speed.extract(&ctx);
+        assert!((v - 36.0).abs() < 0.5, "{v}");
+    }
+
+    #[test]
+    fn speed_excludes_stay_jitter_distance_and_time() {
+        use stmaker_trajectory::{detect_stay_points_in, StayPointParams};
+        // Drive 500 m in 50 s (36 km/h), park 300 s with 10 m GPS jitter,
+        // drive 500 m in 50 s. Naive dist/moving-time would fold ~40 hops of
+        // jitter distance into the numerator and report an absurd speed.
+        let mut pts = Vec::new();
+        let mut t = 0i64;
+        for i in 0..=10 {
+            pts.push(RawPoint { point: base().destination(90.0, 50.0 * i as f64), t: Timestamp(t) });
+            t += 5;
+        }
+        let stop = base().destination(90.0, 520.0);
+        for k in 0..40 {
+            pts.push(RawPoint {
+                point: stop.destination((k * 77) as f64 % 360.0, 10.0),
+                t: Timestamp(t + 50 + k * 7),
+            });
+        }
+        t += 50 + 40 * 7;
+        for i in 1..=10 {
+            pts.push(RawPoint {
+                point: stop.destination(90.0, 50.0 * i as f64),
+                t: Timestamp(t + 5 * i),
+            });
+        }
+        let stays = detect_stay_points_in(&pts, StayPointParams::default());
+        assert_eq!(stays.len(), 1, "the park must register as a stay");
+        let mut ctx = ctx_with(&pts);
+        ctx.stays = &stays;
+        let v = Speed.extract(&ctx);
+        assert!(
+            (20.0..60.0).contains(&v),
+            "moving speed should be ~36 km/h, got {v:.1}"
+        );
+    }
+
+    #[test]
+    fn unmatched_segments_report_neutral_routing_values() {
+        let raw: Vec<RawPoint> = (0..2)
+            .map(|i| RawPoint { point: base(), t: Timestamp(i) })
+            .collect();
+        let ctx = ctx_with(&raw);
+        assert_eq!(GradeOfRoad.extract(&ctx), 4.0);
+        assert_eq!(TrafficDirection.extract(&ctx), 1.0);
+        assert!((RoadWidth.extract(&ctx) - RoadGrade::Provincial.typical_width_m()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spec_custom_phrase_renders() {
+        let f = SpeedChange::default();
+        let p = f.phrase(&PhraseInfo { value: 3.0, regular: Some(0.4) }).unwrap();
+        assert!(p.contains("3 sharp speed change"));
+        assert!(p.contains("0.4 is usual"));
+        let p2 = f.phrase(&PhraseInfo { value: 1.0, regular: None }).unwrap();
+        assert!(p2.contains("1 sharp speed change"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Per-segment extraction context and the extraction pipeline.
+//!
+//! Feature extractors need three ingredients per trajectory segment
+//! (Definition 4): the raw GPS samples falling in the segment's time window
+//! (Sec. III-B: "the algorithms extracting moving features need to be
+//! applied on the sample-based trajectory instead of the symbolic
+//! trajectory"), the dominant road edge it was matched to (for routing
+//! features), and precomputed stay/U-turn detections (shared between the
+//! counting features and the summary by-products).
+
+use stmaker_geo::GeoPoint;
+use stmaker_mapmatch::{dominant_edge, MapMatcher};
+use stmaker_poi::{LandmarkId, LandmarkRegistry};
+use stmaker_road::{EdgeId, RoadEdge, RoadNetwork};
+use stmaker_trajectory::{
+    detect_stay_points_in, detect_u_turns_in, RawPoint, RawTrajectory, StayPoint, StayPointParams,
+    SymbolicTrajectory, Timestamp, UTurn, UTurnParams,
+};
+
+/// Everything an extractor may consult about one segment.
+pub struct SegmentContext<'a> {
+    /// Landmark the segment departs from.
+    pub from_landmark: LandmarkId,
+    /// Landmark the segment arrives at.
+    pub to_landmark: LandmarkId,
+    /// Departure time.
+    pub from_t: Timestamp,
+    /// Arrival time.
+    pub to_t: Timestamp,
+    /// Raw GPS samples within `[from_t, to_t]`.
+    pub raw_points: &'a [RawPoint],
+    /// Dominant matched road edge, if map matching found one.
+    pub edge: Option<&'a RoadEdge>,
+    /// Stay points detected within the segment window.
+    pub stays: &'a [StayPoint],
+    /// U-turns detected within the segment window.
+    pub u_turns: &'a [UTurn],
+    /// Straight-line distance between the segment's landmarks, metres
+    /// (fallback for speed when the raw window is too sparse).
+    pub straight_dist_m: f64,
+}
+
+impl SegmentContext<'_> {
+    /// Elapsed seconds on this segment.
+    pub fn duration_secs(&self) -> i64 {
+        self.from_t.delta_secs(&self.to_t)
+    }
+}
+
+/// Owned per-segment extraction artefacts (contexts borrow from this).
+#[derive(Debug, Clone)]
+pub struct SegmentData {
+    /// Range into the raw trajectory's sample array.
+    pub raw_range: (usize, usize),
+    /// Dominant matched edge.
+    pub edge: Option<EdgeId>,
+    /// Detected stays within the segment.
+    pub stays: Vec<StayPoint>,
+    /// Detected U-turns within the segment.
+    pub u_turns: Vec<UTurn>,
+    /// Straight-line landmark-to-landmark distance, metres.
+    pub straight_dist_m: f64,
+}
+
+/// Detection parameters shared by the pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtractionParams {
+    pub stay: StayPointParams,
+    pub uturn: UTurnParams,
+    /// Use the Viterbi HMM matcher (default) or plain nearest-edge matching
+    /// for routing features. Exposed for the matching ablation experiment.
+    pub hmm_matching: bool,
+}
+
+impl Default for ExtractionParams {
+    fn default() -> Self {
+        Self {
+            stay: StayPointParams::default(),
+            uturn: UTurnParams::default(),
+            hmm_matching: true,
+        }
+    }
+}
+
+/// Computes [`SegmentData`] for every segment of `symbolic`, attributing raw
+/// samples by time window and map matching each window to its dominant edge.
+///
+/// Adjacent segment windows share their boundary sample (both ends are
+/// inclusive so speed/distance sums see the full hop). A stay point cannot
+/// be double-counted across the shared sample (a stay needs ≥ 120 s of
+/// dwell, far more than one sample), but a U-turn whose pivot lands exactly
+/// on a boundary sample may in principle register in both neighbouring
+/// segments; at default thresholds this needs the reversal to complete
+/// within one sampling interval of a landmark and has not been observed in
+/// the generated corpora.
+pub fn extract_segment_data(
+    raw: &RawTrajectory,
+    symbolic: &SymbolicTrajectory,
+    registry: &LandmarkRegistry,
+    matcher: &MapMatcher<'_>,
+    params: ExtractionParams,
+) -> Vec<SegmentData> {
+    // Match the whole trajectory once; segment windows slice the result.
+    let matched = if params.hmm_matching {
+        matcher.match_hmm(raw.points())
+    } else {
+        matcher.match_nearest(raw.points())
+    };
+
+    symbolic
+        .segments()
+        .iter()
+        .map(|seg| {
+            let (lo, hi) = raw.time_range_indices(seg.from.t, seg.to.t);
+            let slice = &raw.points()[lo..hi];
+
+            let edge = dominant_edge(&matched[lo..hi]);
+            let stays = detect_stay_points_in(slice, params.stay);
+            let u_turns = detect_u_turns_in(slice, params.uturn);
+            let a = registry.get(seg.from.landmark).point;
+            let b = registry.get(seg.to.landmark).point;
+            SegmentData {
+                raw_range: (lo, hi),
+                edge,
+                stays,
+                u_turns,
+                straight_dist_m: a.haversine_m(&b),
+            }
+        })
+        .collect()
+}
+
+/// Builds a borrowed [`SegmentContext`] for segment `i`.
+pub fn segment_context<'a>(
+    raw: &'a RawTrajectory,
+    symbolic: &SymbolicTrajectory,
+    data: &'a [SegmentData],
+    net: &'a RoadNetwork,
+    i: usize,
+) -> SegmentContext<'a> {
+    let seg = symbolic.segment(i);
+    let d = &data[i];
+    SegmentContext {
+        from_landmark: seg.from.landmark,
+        to_landmark: seg.to.landmark,
+        from_t: seg.from.t,
+        to_t: seg.to.t,
+        raw_points: &raw.points()[d.raw_range.0..d.raw_range.1],
+        edge: d.edge.map(|e| net.edge(e)),
+        stays: &d.stays,
+        u_turns: &d.u_turns,
+        straight_dist_m: d.straight_dist_m,
+    }
+}
+
+/// Nearest landmark name to a point — used to phrase U-turn locations
+/// ("conducting one U-turn at Zhichun Road").
+pub fn nearest_landmark_name(registry: &LandmarkRegistry, p: &GeoPoint) -> String {
+    registry
+        .nearest(p)
+        .map(|(id, _)| registry.get(id).name.clone())
+        .unwrap_or_else(|| "an unnamed place".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stmaker_mapmatch::MatchParams;
+    use stmaker_poi::{Landmark, LandmarkKind};
+    use stmaker_road::{Direction, RoadGrade};
+
+    fn base() -> GeoPoint {
+        GeoPoint::new(39.9, 116.4)
+    }
+
+    /// One straight road east with landmarks at 0 m, 1 km, 2 km.
+    fn fixture() -> (RoadNetwork, LandmarkRegistry, RawTrajectory, SymbolicTrajectory) {
+        let mut net = RoadNetwork::new();
+        let a = net.add_node(base());
+        let b = net.add_node(base().destination(90.0, 2_000.0));
+        net.add_edge(a, b, RoadGrade::National, 16.0, Direction::TwoWay, "East Rd");
+
+        let lms: Vec<Landmark> = (0..3)
+            .map(|i| Landmark {
+                id: LandmarkId(i),
+                point: base().destination(90.0, 1_000.0 * i as f64),
+                name: format!("L{i}"),
+                kind: LandmarkKind::TurningPoint,
+                significance: 0.5,
+            })
+            .collect();
+        let registry = LandmarkRegistry::from_landmarks(lms);
+
+        // 100 m per 10 s.
+        let raw = RawTrajectory::new(
+            (0..=20)
+                .map(|i| RawPoint {
+                    point: base().destination(90.0, 100.0 * i as f64),
+                    t: Timestamp(10 * i as i64),
+                })
+                .collect(),
+        );
+        let symbolic = SymbolicTrajectory::new(vec![
+            stmaker_trajectory::SymbolicPoint { landmark: LandmarkId(0), t: Timestamp(0) },
+            stmaker_trajectory::SymbolicPoint { landmark: LandmarkId(1), t: Timestamp(100) },
+            stmaker_trajectory::SymbolicPoint { landmark: LandmarkId(2), t: Timestamp(200) },
+        ]);
+        (net, registry, raw, symbolic)
+    }
+
+    #[test]
+    fn segment_data_attributes_samples_and_edges() {
+        let (net, registry, raw, symbolic) = fixture();
+        let matcher = MapMatcher::new(&net, MatchParams::default());
+        let data = extract_segment_data(&raw, &symbolic, &registry, &matcher, ExtractionParams::default());
+        assert_eq!(data.len(), 2);
+        // First segment: samples t ∈ [0, 100] → 11 samples.
+        assert_eq!(data[0].raw_range, (0, 11));
+        // Second: t ∈ [100, 200] → samples 10..=20.
+        assert_eq!(data[1].raw_range, (10, 21));
+        assert!(data[0].edge.is_some());
+        assert!((data[0].straight_dist_m - 1_000.0).abs() < 2.0);
+        assert!(data.iter().all(|d| d.stays.is_empty() && d.u_turns.is_empty()));
+    }
+
+    #[test]
+    fn context_borrows_line_up() {
+        let (net, registry, raw, symbolic) = fixture();
+        let matcher = MapMatcher::new(&net, MatchParams::default());
+        let data = extract_segment_data(&raw, &symbolic, &registry, &matcher, ExtractionParams::default());
+        let ctx = segment_context(&raw, &symbolic, &data, &net, 1);
+        assert_eq!(ctx.from_landmark, LandmarkId(1));
+        assert_eq!(ctx.to_landmark, LandmarkId(2));
+        assert_eq!(ctx.duration_secs(), 100);
+        assert_eq!(ctx.raw_points.len(), 11);
+        assert_eq!(ctx.edge.unwrap().name, "East Rd");
+    }
+
+    #[test]
+    fn nearest_landmark_name_resolves() {
+        let (_, registry, _, _) = fixture();
+        let name = nearest_landmark_name(&registry, &base().destination(90.0, 950.0));
+        assert_eq!(name, "L1");
+    }
+}

@@ -1,0 +1,264 @@
+//! The extensible feature framework.
+//!
+//! Sec. III defines two feature families — *routing* features (where the
+//! object travels) and *moving* features (how it travels) — and Sec. VI-B
+//! promises that "users could easily add new features into STMaker by
+//! desire". The [`Feature`] trait is that extension point: a feature declares
+//! its kind (routing/moving), its scale (numeric/categorical) and how to
+//! extract a value from a [`SegmentContext`]; everything downstream
+//! (similarity, partitioning, irregular rates, templates) is generic over
+//! the feature set.
+
+use crate::context::SegmentContext;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Routing vs moving (Sec. III): routing features compare against the
+/// popular route, moving features against the historical feature map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureKind {
+    Routing,
+    Moving,
+}
+
+/// Numeric vs categorical (Table III/IV's "Numeric" column): numeric values
+/// compare by distance, categorical by equality, and the paper "assign\[s\]
+/// different integers for the categorical features".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureScale {
+    Numeric,
+    Categorical,
+}
+
+/// Everything a custom feature needs to render a phrase (Sec. VI-A): the
+/// partition-aggregated observed value and the historical regular value.
+#[derive(Debug, Clone, Copy)]
+pub struct PhraseInfo {
+    /// Partition-level aggregate of the observed values (mean for numeric
+    /// features, mode for categorical ones).
+    pub value: f64,
+    /// Historical regular value on the partition's route, if known.
+    pub regular: Option<f64>,
+}
+
+/// A trajectory feature (Definition: `f` in the paper's notation; `f(TS)` is
+/// the segment's value of the feature).
+pub trait Feature: Send + Sync {
+    /// Stable identifier, e.g. `"speed"`. Also the key under which the
+    /// historical feature map stores regular values.
+    fn key(&self) -> &str;
+
+    /// Human-readable label used by generic phrase templates.
+    fn label(&self) -> &str {
+        self.key()
+    }
+
+    /// Routing or moving.
+    fn kind(&self) -> FeatureKind;
+
+    /// Numeric or categorical.
+    fn scale(&self) -> FeatureScale;
+
+    /// Extracts `f(TS)` for one segment. Categorical features return their
+    /// integer code as `f64`.
+    fn extract(&self, ctx: &SegmentContext<'_>) -> f64;
+
+    /// Whether this feature is an event *count* (stay points, U-turns, sharp
+    /// speed changes). Count features are only worth a sentence when events
+    /// actually occurred: a trip with zero stays on a route that usually has
+    /// some is ordinary smooth driving, and the paper's templates (Table V)
+    /// only ever phrase positive counts. Selection skips count features
+    /// whose observed partition total is zero.
+    fn count_like(&self) -> bool {
+        false
+    }
+
+    /// Optional custom phrase for the summary (Sec. VI-A step 3 of adding a
+    /// feature: "create feature template"). `None` falls back to the
+    /// built-in templates (for the six standard features) or a generic
+    /// comparative phrase.
+    fn phrase(&self, _info: &PhraseInfo) -> Option<String> {
+        None
+    }
+}
+
+/// An ordered, keyed collection of features. Order defines the dimensions of
+/// every feature vector in the system.
+#[derive(Clone)]
+pub struct FeatureSet {
+    features: Vec<Arc<dyn Feature>>,
+    by_key: HashMap<String, usize>,
+}
+
+impl FeatureSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self { features: Vec::new(), by_key: HashMap::new() }
+    }
+
+    /// Adds a feature; keys must be unique.
+    ///
+    /// # Panics
+    /// Panics on duplicate keys.
+    pub fn push(&mut self, f: Arc<dyn Feature>) {
+        let key = f.key().to_owned();
+        assert!(
+            !self.by_key.contains_key(&key),
+            "duplicate feature key {key:?}"
+        );
+        self.by_key.insert(key, self.features.len());
+        self.features.push(f);
+    }
+
+    /// Builder-style [`FeatureSet::push`].
+    pub fn with(mut self, f: Arc<dyn Feature>) -> Self {
+        self.push(f);
+        self
+    }
+
+    /// The features, in dimension order.
+    pub fn features(&self) -> &[Arc<dyn Feature>] {
+        &self.features
+    }
+
+    /// Number of features (`|F|`).
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Dimension index of `key`, if present.
+    pub fn index_of(&self, key: &str) -> Option<usize> {
+        self.by_key.get(key).copied()
+    }
+
+    /// Feature accessor by dimension index.
+    pub fn get(&self, idx: usize) -> &Arc<dyn Feature> {
+        &self.features[idx]
+    }
+
+    /// Extracts the full `|F|`-dimensional value vector for one segment.
+    pub fn extract_all(&self, ctx: &SegmentContext<'_>) -> Vec<f64> {
+        self.features.iter().map(|f| f.extract(ctx)).collect()
+    }
+}
+
+impl Default for FeatureSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-feature weights `w` (Sec. IV-B: "STMaker allows the user to specify
+/// the weight of each feature"), parallel to a [`FeatureSet`]'s dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureWeights {
+    weights: Vec<f64>,
+}
+
+impl FeatureWeights {
+    /// All-ones weights for `set` (the paper's experimental default).
+    pub fn uniform(set: &FeatureSet) -> Self {
+        Self { weights: vec![1.0; set.len()] }
+    }
+
+    /// Sets the weight of the feature `key`.
+    ///
+    /// # Panics
+    /// Panics if the key is unknown or the weight is not positive/finite.
+    pub fn set(&mut self, set: &FeatureSet, key: &str, w: f64) {
+        assert!(w.is_finite() && w > 0.0, "weights must be positive, got {w}");
+        let idx = set
+            .index_of(key)
+            .unwrap_or_else(|| panic!("unknown feature key {key:?}"));
+        self.weights[idx] = w;
+    }
+
+    /// Builder-style [`FeatureWeights::set`].
+    pub fn with(mut self, set: &FeatureSet, key: &str, w: f64) -> Self {
+        self.set(set, key, w);
+        self
+    }
+
+    /// The weight vector, in dimension order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Weight of dimension `idx`.
+    pub fn get(&self, idx: usize) -> f64 {
+        self.weights[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy(&'static str, FeatureKind);
+    impl Feature for Dummy {
+        fn key(&self) -> &str {
+            self.0
+        }
+        fn kind(&self) -> FeatureKind {
+            self.1
+        }
+        fn scale(&self) -> FeatureScale {
+            FeatureScale::Numeric
+        }
+        fn extract(&self, _: &SegmentContext<'_>) -> f64 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn set_preserves_order_and_keys() {
+        let set = FeatureSet::new()
+            .with(Arc::new(Dummy("a", FeatureKind::Routing)))
+            .with(Arc::new(Dummy("b", FeatureKind::Moving)));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.index_of("a"), Some(0));
+        assert_eq!(set.index_of("b"), Some(1));
+        assert_eq!(set.index_of("c"), None);
+        assert_eq!(set.get(1).key(), "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate feature key")]
+    fn duplicate_keys_rejected() {
+        let _ = FeatureSet::new()
+            .with(Arc::new(Dummy("a", FeatureKind::Routing)))
+            .with(Arc::new(Dummy("a", FeatureKind::Moving)));
+    }
+
+    #[test]
+    fn weights_default_uniform_and_settable() {
+        let set = FeatureSet::new()
+            .with(Arc::new(Dummy("a", FeatureKind::Routing)))
+            .with(Arc::new(Dummy("b", FeatureKind::Moving)));
+        let mut w = FeatureWeights::uniform(&set);
+        assert_eq!(w.as_slice(), &[1.0, 1.0]);
+        w.set(&set, "b", 3.0);
+        assert_eq!(w.get(1), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown feature key")]
+    fn weights_reject_unknown_key() {
+        let set = FeatureSet::new().with(Arc::new(Dummy("a", FeatureKind::Routing)));
+        let mut w = FeatureWeights::uniform(&set);
+        w.set(&set, "nope", 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weights_reject_non_positive() {
+        let set = FeatureSet::new().with(Arc::new(Dummy("a", FeatureKind::Routing)));
+        let mut w = FeatureWeights::uniform(&set);
+        w.set(&set, "a", 0.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Irregular rates Γ_f — the interestingness measure behind feature
+//! selection (Sec. V).
+//!
+//! A feature is worth a sentence only when it deviates from the *common
+//! behaviour* on the same route:
+//!
+//! * routing features compare the partition's per-segment value sequence
+//!   against the popular route's per-hop sequence with an edit-distance-like
+//!   measure ([`routing_irregular_rate`], Sec. V-A);
+//! * moving features compare per-segment values against the historical
+//!   feature map's per-hop regular values ([`moving_irregular_rate`],
+//!   Sec. V-B).
+//!
+//! **Normalization note.** For moving features, both the observed and the
+//! regular sequence normalize by one common constant — the paper's "biggest
+//! feature value among all segments of the partition", i.e. the *observed*
+//! maximum. See [`moving_irregular_rate`]'s docs and DESIGN.md §5 for why
+//! this asymmetric choice reproduces the paper's Fig. 8 and Fig. 10(b)
+//! behaviour. Routing features normalize each numeric sequence by its own
+//! maximum before the edit distance, as Sec. V-A specifies.
+
+use crate::feature::FeatureScale;
+
+/// Substitution cost between two (already normalized, for numeric) values —
+/// Eq. (6)/(7) of the paper.
+fn subst_cost(a: f64, b: f64, scale: FeatureScale) -> f64 {
+    match scale {
+        FeatureScale::Numeric => (a - b).abs(),
+        FeatureScale::Categorical => {
+            if a == b {
+                0.0
+            } else {
+                1.0
+            }
+        }
+    }
+}
+
+/// Normalizes a sequence by its own maximum absolute value (identically-zero
+/// sequences pass through unchanged).
+fn norm_seq(values: &[f64]) -> Vec<f64> {
+    let max = values.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    if max > 0.0 {
+        values.iter().map(|v| v / max).collect()
+    } else {
+        values.to_vec()
+    }
+}
+
+/// The edit distance of Sec. V-A between two feature-value sequences:
+/// insert/delete cost 1, substitution per `subst_cost`.
+pub fn feature_edit_distance(a: &[f64], b: &[f64], scale: FeatureScale) -> f64 {
+    let (m, n) = (a.len(), b.len());
+    if m == 0 {
+        return n as f64;
+    }
+    if n == 0 {
+        return m as f64;
+    }
+    // Rolling one-row DP.
+    let mut prev: Vec<f64> = (0..=n).map(|j| j as f64).collect();
+    let mut cur = vec![0.0; n + 1];
+    for i in 1..=m {
+        cur[0] = i as f64;
+        for j in 1..=n {
+            let sub = prev[j - 1] + subst_cost(a[i - 1], b[j - 1], scale);
+            let del = prev[j] + 1.0;
+            let ins = cur[j - 1] + 1.0;
+            cur[j] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// Sec. V-A: Γ_f(TP) for a routing feature.
+///
+/// `tp_values` are the partition's per-segment raw feature values; `pr_values`
+/// the popular route's per-hop values. Numeric sequences are normalized by
+/// their own maxima before the edit distance; categorical sequences compare
+/// raw codes.
+pub fn routing_irregular_rate(
+    tp_values: &[f64],
+    pr_values: &[f64],
+    scale: FeatureScale,
+    weight: f64,
+) -> f64 {
+    assert!(weight > 0.0, "weights must be positive");
+    let denom = tp_values.len().max(pr_values.len());
+    if denom == 0 {
+        return 0.0;
+    }
+    let d = match scale {
+        FeatureScale::Numeric => {
+            feature_edit_distance(&norm_seq(tp_values), &norm_seq(pr_values), scale)
+        }
+        FeatureScale::Categorical => feature_edit_distance(tp_values, pr_values, scale),
+    };
+    weight * d / denom as f64
+}
+
+/// Sec. V-B: Γ_f(TP) for a moving feature.
+///
+/// `regular_values[t]` is the historical feature map's `r_{l_t → l_{t+1}}`
+/// for the partition's `t`-th segment (`None` where no history exists; such
+/// segments are skipped and the mean is over the compared segments).
+///
+/// Both sequences normalize by one *common* constant — per the paper, "the
+/// biggest feature value among all segments of the partition", i.e. the
+/// *observed* maximum (falling back to the historical maximum only when the
+/// observed sequence is identically zero). Two consequences, both matching
+/// the paper's reported behaviour:
+///
+/// * a localized anomaly (one stay point, one jammed segment) weighs *more*
+///   inside a short partition than inside a long one — the k-trend of
+///   Fig. 10(b);
+/// * the measure is asymmetric: driving slower than history inflates Γ
+///   (history exceeds the observed maximum), while a uniformly fast night
+///   trip deflates it — which keeps night speed FF low in Fig. 8, exactly
+///   as the paper reports.
+pub fn moving_irregular_rate(tp_values: &[f64], regular_values: &[Option<f64>], weight: f64) -> f64 {
+    assert!(weight > 0.0, "weights must be positive");
+    assert_eq!(
+        tp_values.len(),
+        regular_values.len(),
+        "one regular value per partition segment"
+    );
+    let known: Vec<f64> = regular_values.iter().flatten().copied().collect();
+    if known.is_empty() {
+        return 0.0;
+    }
+    let tp_max = tp_values.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    let reg_max = known.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    let constant = if tp_max > 0.0 { tp_max } else { reg_max };
+    if constant == 0.0 {
+        return 0.0; // feature identically zero both observed and historically
+    }
+    let mut sum = 0.0;
+    let mut compared = 0usize;
+    for (t, r) in regular_values.iter().enumerate() {
+        let Some(r) = r else { continue };
+        sum += (tp_values[t] - r).abs() / constant;
+        compared += 1;
+    }
+    weight * sum / compared as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NUM: FeatureScale = FeatureScale::Numeric;
+    const CAT: FeatureScale = FeatureScale::Categorical;
+
+    #[test]
+    fn edit_distance_identical_is_zero() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(feature_edit_distance(&a, &a, NUM), 0.0);
+        assert_eq!(feature_edit_distance(&a, &a, CAT), 0.0);
+    }
+
+    #[test]
+    fn edit_distance_empty_cases() {
+        assert_eq!(feature_edit_distance(&[], &[1.0, 2.0], NUM), 2.0);
+        assert_eq!(feature_edit_distance(&[1.0], &[], NUM), 1.0);
+        assert_eq!(feature_edit_distance(&[], &[], NUM), 0.0);
+    }
+
+    #[test]
+    fn edit_distance_categorical_counts_mismatches() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 5.0, 3.0];
+        assert_eq!(feature_edit_distance(&a, &b, CAT), 1.0);
+        let c = [4.0, 5.0, 6.0];
+        assert_eq!(feature_edit_distance(&a, &c, CAT), 3.0);
+    }
+
+    #[test]
+    fn edit_distance_prefers_indel_over_expensive_subst() {
+        // Aligning [0,1] vs [1]: deleting the 0 (cost 1) vs substituting —
+        // both end at 1; with [0, 1] vs [0.5]: subst(0,0.5)+del(1) = 1.5 vs
+        // del(0)+subst(1,0.5) = 1.5 vs ... minimum 1.5.
+        let d = feature_edit_distance(&[0.0, 1.0], &[0.5], NUM);
+        assert!((d - 1.5).abs() < 1e-12, "{d}");
+    }
+
+    #[test]
+    fn edit_distance_length_difference_lower_bound() {
+        let a = [1.0; 7];
+        let b = [1.0; 3];
+        assert_eq!(feature_edit_distance(&a, &b, NUM), 4.0);
+    }
+
+    #[test]
+    fn routing_rate_same_route_is_zero() {
+        let tp = [3.0, 3.0, 5.0];
+        assert_eq!(routing_irregular_rate(&tp, &tp, CAT, 1.0), 0.0);
+        assert_eq!(routing_irregular_rate(&tp, &tp, NUM, 1.0), 0.0);
+    }
+
+    #[test]
+    fn routing_rate_disjoint_categorical_is_weight() {
+        // Completely different grades on every hop, same length.
+        let tp = [1.0, 1.0, 1.0];
+        let pr = [5.0, 5.0, 5.0];
+        assert_eq!(routing_irregular_rate(&tp, &pr, CAT, 1.0), 1.0);
+        assert_eq!(routing_irregular_rate(&tp, &pr, CAT, 2.0), 2.0);
+    }
+
+    #[test]
+    fn routing_rate_numeric_scale_invariant() {
+        // TP uses roads twice as wide, in the same pattern: after per-sequence
+        // normalization the profiles coincide → regular.
+        let tp = [20.0, 30.0, 20.0];
+        let pr = [10.0, 15.0, 10.0];
+        assert!(routing_irregular_rate(&tp, &pr, NUM, 1.0) < 1e-12);
+        // A genuinely different *shape* is irregular.
+        let pr2 = [10.0, 10.0, 10.0];
+        assert!(routing_irregular_rate(&tp, &pr2, NUM, 1.0) > 0.1);
+    }
+
+    #[test]
+    fn routing_rate_normalized_by_longer_sequence() {
+        let tp = [1.0, 2.0];
+        let pr = [1.0, 2.0, 3.0, 4.0];
+        let g = routing_irregular_rate(&tp, &pr, CAT, 1.0);
+        assert!(g <= 1.0);
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn routing_rate_empty_is_zero() {
+        assert_eq!(routing_irregular_rate(&[], &[], NUM, 1.0), 0.0);
+    }
+
+    #[test]
+    fn moving_rate_matching_history_is_zero() {
+        let tp = [40.0, 60.0, 50.0];
+        let reg = [Some(40.0), Some(60.0), Some(50.0)];
+        assert!(moving_irregular_rate(&tp, &reg, 1.0) < 1e-12);
+    }
+
+    #[test]
+    fn moving_rate_mild_uniform_speedup_stays_under_default_eta() {
+        // Night trip on mixed-grade roads, ~15% faster everywhere: the
+        // normalized deviation averages below the paper's η = 0.2 because
+        // slower-grade segments contribute small absolute differences.
+        let tp = [69.0, 46.0, 29.0];
+        let reg = [Some(60.0), Some(40.0), Some(25.0)];
+        let g = moving_irregular_rate(&tp, &reg, 1.0);
+        assert!(g < 0.2, "{g}");
+    }
+
+    #[test]
+    fn moving_rate_localized_anomaly_weighs_more_in_short_partitions() {
+        // One stay point: alone in a 2-segment partition vs diluted in 8.
+        let short_tp = [1.0, 0.0];
+        let short_reg = [Some(0.1), Some(0.1)];
+        let long_tp = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let long_reg = [Some(0.1); 8];
+        let g_short = moving_irregular_rate(&short_tp, &short_reg, 1.0);
+        let g_long = moving_irregular_rate(&long_tp, &long_reg, 1.0);
+        assert!(g_short > g_long, "{g_short} vs {g_long}");
+        assert!(g_short > 0.2, "short partition must clear the default η: {g_short}");
+    }
+
+    #[test]
+    fn moving_rate_localized_slowdown_is_irregular() {
+        // Jam on the middle segment only.
+        let tp = [60.0, 15.0, 60.0];
+        let reg = [Some(60.0), Some(60.0), Some(60.0)];
+        let g = moving_irregular_rate(&tp, &reg, 1.0);
+        assert!(g > 0.2, "{g}");
+    }
+
+    #[test]
+    fn moving_rate_skips_unknown_history() {
+        let tp = [60.0, 15.0, 60.0];
+        let reg = [Some(60.0), None, Some(60.0)];
+        // Only the regular segments compare → no deviation visible.
+        let g = moving_irregular_rate(&tp, &reg, 1.0);
+        assert!(g < 1e-12, "{g}");
+        // All-unknown history → 0 by definition.
+        assert_eq!(moving_irregular_rate(&tp, &[None, None, None], 1.0), 0.0);
+    }
+
+    #[test]
+    fn moving_rate_scales_with_weight() {
+        let tp = [60.0, 0.0];
+        let reg = [Some(60.0), Some(60.0)];
+        let g1 = moving_irregular_rate(&tp, &reg, 1.0);
+        let g3 = moving_irregular_rate(&tp, &reg, 3.0);
+        assert!((g3 - 3.0 * g1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_rate_count_features_zero_vs_history() {
+        // Stay-point counts: trip has none, history averages 2 per hop —
+        // that is *regular driving*, and indeed Γ is the deviation of a zero
+        // profile vs flat history = 1.0 per hop… which would be wrong. The
+        // zero sequence normalizes to itself (all zeros) and history to 1s,
+        // giving Γ = 1. Selection guards this case upstream by only flagging
+        // count features when the *observed* count is above history (see
+        // select.rs); here we just pin the raw formula's value.
+        let tp = [0.0, 0.0];
+        let reg = [Some(2.0), Some(2.0)];
+        assert!((moving_irregular_rate(&tp, &reg, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one regular value per partition segment")]
+    fn moving_rate_rejects_mismatched_lengths() {
+        moving_irregular_rate(&[1.0], &[Some(1.0), Some(2.0)], 1.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Trajectory partitioning: the CRF potential of Eq. (2) minimized by
+//! dynamic programming — Eq. (4) for the unconstrained optimum and
+//! Algorithm 1 for the k-partition.
+//!
+//! The chain CRF of Sec. IV assigns each segment a tag; consecutive
+//! segments either share a tag (contributing `−S(TSᵢ, TSᵢ₊₁)` to the
+//! potential) or the boundary landmark starts a new partition (contributing
+//! `−Ca · lᵢ.s`). Minimizing the summed potential maximizes Pr(X | T) of
+//! Eq. (1).
+//!
+//! With `n` segments there are `n − 1` boundaries; boundary `b` sits between
+//! segments `b` and `b + 1` and its landmark is symbolic point `b + 1`.
+//!
+//! As printed, the paper's Algorithm 1 has two off-by-one defects (the inner
+//! loop bound `j = 1 → i − 1` makes state `(i, i)` unreachable through the
+//! recurrence, and the `E[i][0]` initialization means column `j` holds
+//! `j + 1` partitions while the return indexes `E[n−1][k−1]`). We implement
+//! the evidently intended DP — column `j` ⇔ `j + 1` partitions, unreachable
+//! states are `+∞`, full backtracking — and verify optimality against brute
+//! force in the tests (see DESIGN.md §5).
+
+/// A partition: an inclusive range of segment indices (Definition 5's
+/// `TP = [TSᵢ, …, TSᵢ₊ⱼ]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionSpan {
+    /// First segment index of the partition.
+    pub seg_start: usize,
+    /// Last segment index (inclusive).
+    pub seg_end: usize,
+}
+
+impl PartitionSpan {
+    /// Number of segments in this partition (`|TP|`).
+    pub fn len(&self) -> usize {
+        self.seg_end - self.seg_start + 1
+    }
+
+    /// Never true: a span holds at least one segment.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A complete partitioning of a trajectory's segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionResult {
+    /// Non-overlapping, exhaustive spans in trajectory order — exactly
+    /// Definition 5's requirements.
+    pub spans: Vec<PartitionSpan>,
+    /// The minimized total potential Σ Φ.
+    pub potential: f64,
+}
+
+impl PartitionResult {
+    /// Number of partitions.
+    pub fn k(&self) -> usize {
+        self.spans.len()
+    }
+}
+
+/// The potential of an explicit cut assignment (`cuts[b]` = boundary `b` is
+/// a partition break). Exposed for tests and ablations.
+pub fn partition_potential(sims: &[f64], sigs: &[f64], ca: f64, cuts: &[bool]) -> f64 {
+    assert_eq!(sims.len(), sigs.len());
+    assert_eq!(sims.len(), cuts.len());
+    cuts.iter()
+        .enumerate()
+        .map(|(b, cut)| if *cut { -ca * sigs[b] } else { -sims[b] })
+        .sum()
+}
+
+fn spans_from_cuts(n_segs: usize, cuts: &[bool]) -> Vec<PartitionSpan> {
+    let mut spans = Vec::new();
+    let mut start = 0;
+    for (b, cut) in cuts.iter().enumerate() {
+        if *cut {
+            spans.push(PartitionSpan { seg_start: start, seg_end: b });
+            start = b + 1;
+        }
+    }
+    spans.push(PartitionSpan { seg_start: start, seg_end: n_segs - 1 });
+    spans
+}
+
+/// Eq. (4): the globally optimal (unconstrained) partition.
+///
+/// `sims[b]` is `S(TS_b, TS_{b+1})`; `sigs[b]` is the significance of the
+/// landmark shared by those segments; both have length `n_segs − 1`.
+/// In this chain potential the boundary decisions decouple, so the optimum
+/// cuts exactly where `Ca · l.s > S` — the DP of Eq. (4) computes precisely
+/// this, which the tests confirm against brute force.
+pub fn optimal_partition(sims: &[f64], sigs: &[f64], ca: f64) -> PartitionResult {
+    assert_eq!(sims.len(), sigs.len(), "boundary array length mismatch");
+    let n_segs = sims.len() + 1;
+    let cuts: Vec<bool> = (0..sims.len()).map(|b| ca * sigs[b] > sims[b]).collect();
+    let potential = partition_potential(sims, sigs, ca, &cuts);
+    PartitionResult { spans: spans_from_cuts(n_segs, &cuts), potential }
+}
+
+/// Algorithm 1: the optimal partition with exactly `k` partitions.
+///
+/// Returns `None` when `k` is 0 or exceeds the number of segments.
+pub fn optimal_k_partition(sims: &[f64], sigs: &[f64], ca: f64, k: usize) -> Option<PartitionResult> {
+    assert_eq!(sims.len(), sigs.len(), "boundary array length mismatch");
+    let n = sims.len() + 1; // number of segments
+    if k == 0 || k > n {
+        return None;
+    }
+    if n == 1 {
+        return Some(PartitionResult {
+            spans: vec![PartitionSpan { seg_start: 0, seg_end: 0 }],
+            potential: 0.0,
+        });
+    }
+
+    // E[i][j]: best potential over segments 0..=i using j+1 partitions.
+    // cut_choice[i][j]: whether boundary i-1 (before segment i) was a cut.
+    let mut e = vec![vec![f64::INFINITY; k]; n];
+    let mut cut_choice = vec![vec![false; k]; n];
+    e[0][0] = 0.0;
+    for i in 1..n {
+        for j in 0..k {
+            // Merge segment i into the current partition.
+            let merge = e[i - 1][j] - sims[i - 1];
+            // Cut: boundary i−1's landmark (symbolic point i) starts
+            // partition j+1.
+            let cut = if j > 0 { e[i - 1][j - 1] - ca * sigs[i - 1] } else { f64::INFINITY };
+            if cut < merge {
+                e[i][j] = cut;
+                cut_choice[i][j] = true;
+            } else {
+                e[i][j] = merge;
+            }
+        }
+    }
+
+    let potential = e[n - 1][k - 1];
+    if potential.is_infinite() {
+        return None; // cannot split n segments into k non-empty partitions
+    }
+
+    // Backtrack the cut flags.
+    let mut cuts = vec![false; n - 1];
+    let mut j = k - 1;
+    for i in (1..n).rev() {
+        if cut_choice[i][j] {
+            cuts[i - 1] = true;
+            j -= 1;
+        }
+    }
+    debug_assert_eq!(j, 0, "backtrack must consume all cuts");
+
+    Some(PartitionResult { spans: spans_from_cuts(n, &cuts), potential })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute force: best over all cut assignments with exactly `k−1` cuts
+    /// (or any number when `k` is `None`).
+    fn brute_force(sims: &[f64], sigs: &[f64], ca: f64, k: Option<usize>) -> f64 {
+        let b = sims.len();
+        let mut best = f64::INFINITY;
+        for mask in 0u32..(1 << b) {
+            let cuts: Vec<bool> = (0..b).map(|i| mask & (1 << i) != 0).collect();
+            if let Some(k) = k {
+                if cuts.iter().filter(|c| **c).count() != k - 1 {
+                    continue;
+                }
+            }
+            best = best.min(partition_potential(sims, sigs, ca, &cuts));
+        }
+        best
+    }
+
+    fn check_valid(r: &PartitionResult, n_segs: usize) {
+        // Definition 5: spans cover every segment exactly once, in order.
+        assert_eq!(r.spans[0].seg_start, 0);
+        assert_eq!(r.spans.last().unwrap().seg_end, n_segs - 1);
+        for w in r.spans.windows(2) {
+            assert_eq!(w[0].seg_end + 1, w[1].seg_start);
+        }
+    }
+
+    #[test]
+    fn unconstrained_matches_brute_force() {
+        let sims = vec![0.9, 0.2, 0.75, 0.4, 0.95];
+        let sigs = vec![0.1, 0.9, 0.5, 0.99, 0.2];
+        let ca = 0.5;
+        let r = optimal_partition(&sims, &sigs, ca);
+        check_valid(&r, 6);
+        let bf = brute_force(&sims, &sigs, ca, None);
+        assert!((r.potential - bf).abs() < 1e-12, "{} vs {bf}", r.potential);
+    }
+
+    #[test]
+    fn k_partition_matches_brute_force_for_all_k() {
+        let sims = vec![0.9, 0.2, 0.75, 0.4, 0.95, 0.6];
+        let sigs = vec![0.1, 0.9, 0.5, 0.99, 0.2, 0.7];
+        let ca = 0.5;
+        for k in 1..=7 {
+            let r = optimal_k_partition(&sims, &sigs, ca, k).unwrap();
+            assert_eq!(r.k(), k, "wrong number of partitions for k={k}");
+            check_valid(&r, 7);
+            let bf = brute_force(&sims, &sigs, ca, Some(k));
+            assert!((r.potential - bf).abs() < 1e-12, "k={k}: {} vs {bf}", r.potential);
+            // The reported potential matches the reconstructed cuts.
+            let mut cuts = vec![false; sims.len()];
+            for s in &r.spans[..r.spans.len() - 1] {
+                cuts[s.seg_end] = true;
+            }
+            assert!((partition_potential(&sims, &sigs, ca, &cuts) - r.potential).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unconstrained_is_lower_bound_over_all_k() {
+        let sims = vec![0.9, 0.2, 0.75, 0.4, 0.95];
+        let sigs = vec![0.1, 0.9, 0.5, 0.99, 0.2];
+        let ca = 0.5;
+        let free = optimal_partition(&sims, &sigs, ca).potential;
+        for k in 1..=6 {
+            let r = optimal_k_partition(&sims, &sigs, ca, k).unwrap();
+            assert!(r.potential >= free - 1e-12, "k={k} beat the unconstrained optimum");
+        }
+    }
+
+    #[test]
+    fn k_one_and_k_n_extremes() {
+        let sims = vec![0.5, 0.6, 0.7];
+        let sigs = vec![0.3, 0.4, 0.5];
+        let one = optimal_k_partition(&sims, &sigs, 0.5, 1).unwrap();
+        assert_eq!(one.spans, vec![PartitionSpan { seg_start: 0, seg_end: 3 }]);
+        assert!((one.potential - (-1.8)).abs() < 1e-12);
+        let all = optimal_k_partition(&sims, &sigs, 0.5, 4).unwrap();
+        assert_eq!(all.k(), 4);
+        assert!((all.potential - (-0.5 * (0.3 + 0.4 + 0.5))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_k_is_none() {
+        let sims = vec![0.5];
+        let sigs = vec![0.3];
+        assert!(optimal_k_partition(&sims, &sigs, 0.5, 0).is_none());
+        assert!(optimal_k_partition(&sims, &sigs, 0.5, 3).is_none());
+    }
+
+    #[test]
+    fn single_segment_trajectory() {
+        let r = optimal_partition(&[], &[], 0.5);
+        assert_eq!(r.spans, vec![PartitionSpan { seg_start: 0, seg_end: 0 }]);
+        assert_eq!(r.potential, 0.0);
+        let rk = optimal_k_partition(&[], &[], 0.5, 1).unwrap();
+        assert_eq!(rk.spans, r.spans);
+    }
+
+    #[test]
+    fn cuts_prefer_significant_landmarks() {
+        // All boundaries equally similar; only boundary 1 has a famous
+        // landmark. k = 2 must cut there.
+        let sims = vec![0.6, 0.6, 0.6];
+        let sigs = vec![0.1, 0.95, 0.1];
+        let r = optimal_k_partition(&sims, &sigs, 0.5, 2).unwrap();
+        assert_eq!(
+            r.spans,
+            vec![
+                PartitionSpan { seg_start: 0, seg_end: 1 },
+                PartitionSpan { seg_start: 2, seg_end: 3 }
+            ]
+        );
+    }
+
+    #[test]
+    fn cuts_prefer_dissimilar_boundaries() {
+        // Equal significance everywhere; boundary 2 joins very dissimilar
+        // segments (low S): cutting there loses the least.
+        let sims = vec![0.9, 0.9, 0.1];
+        let sigs = vec![0.5, 0.5, 0.5];
+        let r = optimal_k_partition(&sims, &sigs, 0.5, 2).unwrap();
+        assert_eq!(r.spans[0], PartitionSpan { seg_start: 0, seg_end: 2 });
+    }
+
+    #[test]
+    fn higher_ca_produces_more_cuts() {
+        let sims = vec![0.5, 0.5, 0.5, 0.5];
+        let sigs = vec![0.8, 0.8, 0.8, 0.8];
+        let low = optimal_partition(&sims, &sigs, 0.1);
+        let high = optimal_partition(&sims, &sigs, 1.0);
+        assert!(high.k() > low.k());
+    }
+}

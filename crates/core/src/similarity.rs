@@ -1,0 +1,191 @@
+//! Feature normalization and the weighted cosine similarity of Eq. (3).
+//!
+//! Sec. IV-B: "we normalize each feature f of TSᵢ to a value ranging from 0
+//! to 1. The normalizing constant of f is the biggest feature value among all
+//! the trajectory segments of T. … We employ the most widely used vector
+//! similarity measure — Cosine Similarity — as our similarity measure", with
+//! per-feature user weights folded into every inner product, and the whole
+//! expression mapped into `[0, 1]` via `½(cos + 1)`.
+
+use crate::feature::FeatureWeights;
+
+/// Per-dimension normalizing constants: the maximum |value| of each feature
+/// across all segments of one trajectory.
+pub fn normalizing_constants(segment_values: &[Vec<f64>]) -> Vec<f64> {
+    if segment_values.is_empty() {
+        return Vec::new();
+    }
+    let dims = segment_values[0].len();
+    let mut max = vec![0.0f64; dims];
+    for v in segment_values {
+        assert_eq!(v.len(), dims, "ragged feature matrix");
+        for (m, x) in max.iter_mut().zip(v) {
+            *m = m.max(x.abs());
+        }
+    }
+    max
+}
+
+/// Normalizes one segment's value vector by the trajectory-level constants.
+/// Dimensions whose constant is 0 (feature identically zero on this
+/// trajectory) normalize to 0.
+pub fn normalize(values: &[f64], constants: &[f64]) -> Vec<f64> {
+    values
+        .iter()
+        .zip(constants)
+        .map(|(v, c)| if *c > 0.0 { v / c } else { 0.0 })
+        .collect()
+}
+
+/// Eq. (3): weighted cosine similarity of two normalized feature vectors,
+/// mapped into `[0, 1]`.
+///
+/// Edge cases (zero vectors have no direction): two zero vectors are fully
+/// similar (1.0, identical behaviour); a zero vs a non-zero vector scores
+/// 0.5 (the image of cos = 0, i.e. "orthogonal / no evidence either way").
+pub fn cosine_similarity(u: &[f64], v: &[f64], w: &FeatureWeights) -> f64 {
+    assert_eq!(u.len(), v.len(), "dimension mismatch");
+    assert_eq!(u.len(), w.as_slice().len(), "weight dimension mismatch");
+    let mut dot = 0.0;
+    let mut nu = 0.0;
+    let mut nv = 0.0;
+    for i in 0..u.len() {
+        let wi = w.get(i);
+        dot += wi * u[i] * v[i];
+        nu += wi * u[i] * u[i];
+        nv += wi * v[i] * v[i];
+    }
+    let cos = if nu == 0.0 && nv == 0.0 {
+        1.0
+    } else if nu == 0.0 || nv == 0.0 {
+        0.0
+    } else {
+        dot / (nu.sqrt() * nv.sqrt())
+    };
+    0.5 * (cos + 1.0)
+}
+
+/// Pairwise similarities between consecutive segments:
+/// `out[i] = S(TSᵢ, TSᵢ₊₁)`, computed on trajectory-normalized vectors.
+pub fn consecutive_similarities(segment_values: &[Vec<f64>], w: &FeatureWeights) -> Vec<f64> {
+    let constants = normalizing_constants(segment_values);
+    let normalized: Vec<Vec<f64>> =
+        segment_values.iter().map(|v| normalize(v, &constants)).collect();
+    normalized
+        .windows(2)
+        .map(|pair| cosine_similarity(&pair[0], &pair[1], w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{Feature, FeatureKind, FeatureScale, FeatureSet};
+    use std::sync::Arc;
+
+    struct Dummy(&'static str);
+    impl Feature for Dummy {
+        fn key(&self) -> &str {
+            self.0
+        }
+        fn kind(&self) -> FeatureKind {
+            FeatureKind::Moving
+        }
+        fn scale(&self) -> FeatureScale {
+            FeatureScale::Numeric
+        }
+        fn extract(&self, _: &crate::context::SegmentContext<'_>) -> f64 {
+            0.0
+        }
+    }
+
+    fn weights(n: usize) -> (FeatureSet, FeatureWeights) {
+        let mut set = FeatureSet::new();
+        for i in 0..n {
+            let key: &'static str = Box::leak(format!("f{i}").into_boxed_str());
+            set.push(Arc::new(Dummy(key)));
+        }
+        let w = FeatureWeights::uniform(&set);
+        (set, w)
+    }
+
+    #[test]
+    fn identical_vectors_score_one() {
+        let (_, w) = weights(3);
+        let v = vec![0.3, 0.7, 1.0];
+        assert!((cosine_similarity(&v, &v, &w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_vectors_score_one() {
+        let (_, w) = weights(3);
+        let u = vec![0.2, 0.4, 0.6];
+        let v = vec![0.1, 0.2, 0.3];
+        assert!((cosine_similarity(&u, &v, &w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_vectors_score_half() {
+        let (_, w) = weights(2);
+        let s = cosine_similarity(&[1.0, 0.0], &[0.0, 1.0], &w);
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_edge_cases() {
+        let (_, w) = weights(2);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[0.0, 0.0], &w), 1.0);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 0.5], &w), 0.5);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let (_, w) = weights(4);
+        let u = vec![0.1, 0.9, 0.3, 0.0];
+        let v = vec![0.8, 0.2, 0.0, 1.0];
+        let a = cosine_similarity(&u, &v, &w);
+        let b = cosine_similarity(&v, &u, &w);
+        assert!((a - b).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn weights_shift_similarity() {
+        // u and v agree on dim 0 and disagree on dim 1; upweighting dim 0
+        // must increase similarity.
+        let (set, w_uniform) = weights(2);
+        let u = vec![1.0, 0.0];
+        let v = vec![1.0, 1.0];
+        let base = cosine_similarity(&u, &v, &w_uniform);
+        let w_boosted = FeatureWeights::uniform(&set).with(&set, "f0", 5.0);
+        let boosted = cosine_similarity(&u, &v, &w_boosted);
+        assert!(boosted > base, "{boosted} vs {base}");
+    }
+
+    #[test]
+    fn normalizing_constants_take_abs_max() {
+        let vals = vec![vec![2.0, -8.0], vec![4.0, 1.0]];
+        assert_eq!(normalizing_constants(&vals), vec![4.0, 8.0]);
+        assert_eq!(normalize(&[2.0, -8.0], &[4.0, 8.0]), vec![0.5, -1.0]);
+    }
+
+    #[test]
+    fn zero_constant_normalizes_to_zero() {
+        assert_eq!(normalize(&[0.0, 5.0], &[0.0, 5.0]), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn consecutive_similarities_length() {
+        let (_, w) = weights(2);
+        let vals = vec![vec![1.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let sims = consecutive_similarities(&vals, &w);
+        assert_eq!(sims.len(), 2);
+        assert!(sims[0] > sims[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_rejected() {
+        normalizing_constants(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Online summarization of a live GPS stream.
+//!
+//! The paper's first application (Sec. I) embeds summarization "in GPS
+//! modules of cars" — which receive points one at a time, not as a finished
+//! trajectory. [`StreamingSummarizer`] wraps a trained [`Summarizer`] with a
+//! sample buffer and refresh policy: push points as they arrive, and a fresh
+//! summary of the trip-so-far is produced whenever enough new travel has
+//! accumulated.
+//!
+//! Each refresh re-runs the full pipeline over the buffered prefix. That is
+//! the honest cost model — calibration and partitioning are global
+//! optimizations, so a changed suffix can legitimately re-partition the
+//! whole trip — and at Fig. 12's per-summary cost (single-digit
+//! milliseconds) a refresh every few hundred metres is negligible for an
+//! embedded device.
+
+use crate::summarize::{Summarizer, SummarizeError, Summary};
+use stmaker_trajectory::{RawPoint, RawTrajectory};
+
+/// Refresh policy for the stream.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Re-summarize after at least this much new travel, metres.
+    pub refresh_distance_m: f64,
+    /// …or after this much elapsed time since the last refresh, seconds
+    /// (whichever comes first). Covers a car stuck in a jam: no distance
+    /// accumulates, but the stay-point count is growing.
+    pub refresh_interval_s: i64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self { refresh_distance_m: 500.0, refresh_interval_s: 120 }
+    }
+}
+
+/// Incremental summarization over an arriving point stream.
+pub struct StreamingSummarizer<'s, 'a> {
+    summarizer: &'s Summarizer<'a>,
+    cfg: StreamConfig,
+    buffer: Vec<RawPoint>,
+    current: Option<Summary>,
+    dist_since_refresh: f64,
+    last_refresh_t: Option<i64>,
+}
+
+impl<'s, 'a> StreamingSummarizer<'s, 'a> {
+    /// Wraps a trained summarizer.
+    pub fn new(summarizer: &'s Summarizer<'a>, cfg: StreamConfig) -> Self {
+        assert!(cfg.refresh_distance_m > 0.0 && cfg.refresh_interval_s > 0);
+        Self {
+            summarizer,
+            cfg,
+            buffer: Vec::new(),
+            current: None,
+            dist_since_refresh: 0.0,
+            last_refresh_t: None,
+        }
+    }
+
+    /// Number of buffered samples.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Whether no samples have arrived yet.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// The latest summary of the trip-so-far, if one has been produced.
+    pub fn current(&self) -> Option<&Summary> {
+        self.current.as_ref()
+    }
+
+    /// Feeds one sample. Returns `Some` with a *fresh* summary when the
+    /// refresh policy fired and the prefix was summarizable.
+    ///
+    /// # Panics
+    /// Panics if `point` is older than the previous sample (streams are
+    /// time-ordered by definition; reordering is the transport's job).
+    pub fn push(&mut self, point: RawPoint) -> Option<&Summary> {
+        if let Some(last) = self.buffer.last() {
+            assert!(last.t <= point.t, "stream samples must be time-ordered");
+            self.dist_since_refresh += last.point.haversine_m(&point.point);
+        }
+        self.buffer.push(point);
+        let t = point.t.0;
+        let due_dist = self.dist_since_refresh >= self.cfg.refresh_distance_m;
+        let due_time = self
+            .last_refresh_t
+            .map(|t0| t - t0 >= self.cfg.refresh_interval_s)
+            .unwrap_or(true);
+        if self.buffer.len() < 2 || (!due_dist && !due_time) {
+            return None;
+        }
+        let refreshed = self.refresh();
+        if refreshed {
+            self.dist_since_refresh = 0.0;
+            self.last_refresh_t = Some(t);
+            self.current.as_ref()
+        } else {
+            // The prefix did not calibrate: keep the refresh debt so the
+            // very next sample retries, and do not hand back the stale
+            // previous summary as if it were fresh.
+            None
+        }
+    }
+
+    /// Re-summarizes the buffered prefix; returns whether a fresh summary
+    /// was produced.
+    fn refresh(&mut self) -> bool {
+        let traj = RawTrajectory::new(self.buffer.clone());
+        match self.summarizer.summarize(&traj) {
+            Ok(summary) => {
+                self.current = Some(summary);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Finalizes the trip: summarizes everything buffered, regardless of the
+    /// refresh policy. Equivalent to batch-summarizing the same samples.
+    pub fn finish(mut self) -> Result<Summary, SummarizeError> {
+        if self.buffer.len() < 2 {
+            return Err(SummarizeError::Calibration(
+                stmaker_calibration::CalibrationError::TooFewLandmarks(0),
+            ));
+        }
+        let traj = RawTrajectory::new(std::mem::take(&mut self.buffer));
+        self.summarizer.summarize(&traj)
+    }
+}

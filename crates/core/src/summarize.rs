@@ -1,0 +1,494 @@
+//! The end-to-end summarizer: the 4-step pipeline of Fig. 3.
+//!
+//! 1. rewrite the raw trajectory into a symbolic trajectory (calibration);
+//! 2. partition the symbolic trajectory (Sec. IV);
+//! 3. select the most irregular features per partition (Sec. V);
+//! 4. plug the selections into phrase/sentence templates (Sec. VI-A).
+//!
+//! [`Summarizer::train`] builds the historical knowledge (popular routes +
+//! feature map) from a training corpus, mirroring Sec. VII-A's 50k-trajectory
+//! training split; [`Summarizer::summarize`] / [`Summarizer::summarize_k`]
+//! then summarize unseen trajectories.
+
+use crate::context::{
+    extract_segment_data, nearest_landmark_name, segment_context, ExtractionParams, SegmentData,
+};
+use crate::feature::{FeatureScale, FeatureSet, FeatureWeights};
+use crate::partition::{optimal_k_partition, optimal_partition, PartitionResult, PartitionSpan};
+use crate::select::{select_features, SelectedFeature, SelectionInput};
+use crate::similarity::consecutive_similarities;
+use crate::template::{render_partition_sentence, PartitionFacts};
+use stmaker_calibration::{calibrate, CalibrationError, CalibrationParams};
+use stmaker_mapmatch::{MapMatcher, MatchParams};
+use stmaker_poi::{LandmarkId, LandmarkRegistry};
+use stmaker_road::RoadNetwork;
+use stmaker_routes::{HistoricalFeatureMap, PopularRouteConfig, PopularRoutes};
+use stmaker_trajectory::{RawTrajectory, SymbolicTrajectory};
+
+/// All tunables of the pipeline. Defaults are the paper's experimental
+/// settings (Sec. VII-B): Ca = 0.5, η = 0.2, unit feature weights.
+#[derive(Debug, Clone, Copy)]
+pub struct SummarizerConfig {
+    /// Weight `Ca` of landmark significance in the partition potential.
+    pub ca: f64,
+    /// Irregular-rate selection threshold η.
+    pub eta: f64,
+    /// Calibration radius/spacing.
+    pub calibration: CalibrationParams,
+    /// Stay-point / U-turn detection thresholds.
+    pub extraction: ExtractionParams,
+    /// Map-matching parameters.
+    pub matching: MatchParams,
+    /// Popular-route mining parameters.
+    pub popular: PopularRouteConfig,
+}
+
+impl Default for SummarizerConfig {
+    fn default() -> Self {
+        Self {
+            ca: 0.5,
+            eta: 0.2,
+            calibration: CalibrationParams::default(),
+            extraction: ExtractionParams::default(),
+            matching: MatchParams::default(),
+            popular: PopularRouteConfig::default(),
+        }
+    }
+}
+
+/// Why a trajectory could not be summarized.
+#[derive(Debug)]
+pub enum SummarizeError {
+    /// Calibration failed (trajectory anchors fewer than two landmarks).
+    Calibration(CalibrationError),
+    /// The requested partition count is infeasible: `k` must be in
+    /// `1..=max` (the number of segments).
+    InvalidK {
+        /// Requested partition count.
+        k: usize,
+        /// Number of segments available.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for SummarizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SummarizeError::Calibration(e) => write!(f, "calibration failed: {e}"),
+            SummarizeError::InvalidK { k, max } => {
+                write!(f, "cannot split {max} segment(s) into {k} partition(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SummarizeError {}
+
+impl From<CalibrationError> for SummarizeError {
+    fn from(e: CalibrationError) -> Self {
+        SummarizeError::Calibration(e)
+    }
+}
+
+/// The historical knowledge mined from the training corpus.
+///
+/// Serializable: train once (minutes over a large corpus), [`TrainedModel::save`]
+/// the result, and [`TrainedModel::load`] it in every serving process —
+/// summarization itself is milliseconds. Files are canonical JSON (sorted
+/// map entries), so identical training runs produce byte-identical models.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct TrainedModel {
+    /// Popular-route miner over the training symbolic trajectories.
+    pub popular: PopularRoutes,
+    /// Per-hop historical feature statistics (moving *and* routing).
+    pub featmap: HistoricalFeatureMap,
+    /// Training trajectories successfully calibrated and ingested.
+    pub n_trained: usize,
+    /// Size of the landmark registry the model was trained against.
+    /// Landmark ids are positional, so loading a model against a registry of
+    /// a different size would silently rename every landmark;
+    /// [`Summarizer::from_model`] rejects the mismatch. 0 in models saved by
+    /// older versions (check skipped).
+    #[serde(default)]
+    pub registry_len: usize,
+}
+
+impl TrainedModel {
+    /// Serializes to canonical JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model types serialize")
+    }
+
+    /// Parses a model from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Writes the model to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a model from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let body = std::fs::read_to_string(path)?;
+        Self::from_json(&body)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// The summary of one trajectory partition.
+#[derive(Debug, Clone)]
+pub struct PartitionSummary {
+    /// Segment range of the partition.
+    pub span: PartitionSpan,
+    /// Source landmark.
+    pub from: LandmarkId,
+    /// Destination landmark.
+    pub to: LandmarkId,
+    /// Source landmark display name.
+    pub from_name: String,
+    /// Destination landmark display name.
+    pub to_name: String,
+    /// Features selected for description, most irregular first.
+    pub selected: Vec<SelectedFeature>,
+    /// The rendered sentence.
+    pub sentence: String,
+}
+
+/// A complete trajectory summary.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// The full summary text (partition sentences joined).
+    pub text: String,
+    /// Per-partition details.
+    pub partitions: Vec<PartitionSummary>,
+    /// `|T̄|` of the underlying symbolic trajectory.
+    pub symbolic_len: usize,
+    /// The minimized partition potential.
+    pub potential: f64,
+}
+
+/// A prepared (calibrated + extracted) trajectory, reusable across
+/// summarizations with different `k` (used by the Fig. 12 benchmarks and the
+/// parameter-sweep experiments).
+pub struct Prepared {
+    /// The calibrated symbolic trajectory.
+    pub symbolic: SymbolicTrajectory,
+    /// Per-segment extraction artefacts.
+    pub data: Vec<SegmentData>,
+    /// Per-segment feature value vectors.
+    pub seg_values: Vec<Vec<f64>>,
+}
+
+/// The STMaker summarizer.
+pub struct Summarizer<'a> {
+    net: &'a RoadNetwork,
+    registry: &'a LandmarkRegistry,
+    matcher: MapMatcher<'a>,
+    features: FeatureSet,
+    weights: FeatureWeights,
+    cfg: SummarizerConfig,
+    model: TrainedModel,
+}
+
+impl<'a> Summarizer<'a> {
+    /// Trains a summarizer: calibrates every training trajectory, mines
+    /// popular routes, and builds the historical feature map (including
+    /// per-hop routing statistics used to describe the popular route).
+    /// Training trajectories that fail calibration are skipped.
+    pub fn train(
+        net: &'a RoadNetwork,
+        registry: &'a LandmarkRegistry,
+        training: &[RawTrajectory],
+        features: FeatureSet,
+        weights: FeatureWeights,
+        cfg: SummarizerConfig,
+    ) -> Self {
+        assert_eq!(weights.as_slice().len(), features.len(), "weights must match feature set");
+        let matcher = MapMatcher::new(net, cfg.matching);
+        let mut featmap = HistoricalFeatureMap::new();
+        let mut symbolics: Vec<SymbolicTrajectory> = Vec::new();
+
+        for raw in training {
+            let Ok(symbolic) = calibrate(raw, registry, cfg.calibration) else { continue };
+            let data = extract_segment_data(raw, &symbolic, registry, &matcher, cfg.extraction);
+            for i in 0..symbolic.segment_count() {
+                let ctx = segment_context(raw, &symbolic, &data, net, i);
+                let (from, to) = (ctx.from_landmark, ctx.to_landmark);
+                for f in features.features() {
+                    let v = f.extract(&ctx);
+                    match f.scale() {
+                        FeatureScale::Numeric => featmap.add_observation(from, to, f.key(), v),
+                        FeatureScale::Categorical => featmap.add_categorical_observation(
+                            from,
+                            to,
+                            f.key(),
+                            v.round().max(0.0) as u32,
+                        ),
+                    }
+                }
+            }
+            symbolics.push(symbolic);
+        }
+
+        let n_trained = symbolics.len();
+        let popular = PopularRoutes::build(&symbolics, cfg.popular);
+        // Reuse the matcher built for extraction instead of indexing the
+        // network's edge geometry a second time via from_model.
+        Self {
+            net,
+            registry,
+            matcher,
+            features,
+            weights,
+            cfg,
+            model: TrainedModel { popular, featmap, n_trained, registry_len: registry.len() },
+        }
+    }
+
+    /// Assembles a summarizer around an existing (e.g. loaded) model.
+    ///
+    /// # Panics
+    /// Panics if the model records a registry size different from
+    /// `registry`'s — landmark ids are positional, and a mismatched registry
+    /// would silently reinterpret every landmark in the model.
+    pub fn from_model(
+        net: &'a RoadNetwork,
+        registry: &'a LandmarkRegistry,
+        model: TrainedModel,
+        features: FeatureSet,
+        weights: FeatureWeights,
+        cfg: SummarizerConfig,
+    ) -> Self {
+        assert_eq!(weights.as_slice().len(), features.len(), "weights must match feature set");
+        assert!(
+            model.registry_len == 0 || model.registry_len == registry.len(),
+            "model was trained against a {}-landmark registry, got {} landmarks",
+            model.registry_len,
+            registry.len()
+        );
+        let matcher = MapMatcher::new(net, cfg.matching);
+        Self { net, registry, matcher, features, weights, cfg, model }
+    }
+
+    /// The trained historical model.
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// The feature set in use.
+    pub fn features(&self) -> &FeatureSet {
+        &self.features
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SummarizerConfig {
+        &self.cfg
+    }
+
+    /// Replaces the feature weights (Fig. 10(a)'s experiment knob).
+    pub fn set_weights(&mut self, weights: FeatureWeights) {
+        assert_eq!(weights.as_slice().len(), self.features.len());
+        self.weights = weights;
+    }
+
+    /// Replaces the selection threshold / partition constants.
+    pub fn set_config(&mut self, cfg: SummarizerConfig) {
+        self.cfg = cfg;
+    }
+
+    /// Step 1 + feature extraction: calibrate and extract, reusable across
+    /// different partition granularities.
+    pub fn prepare(&self, raw: &RawTrajectory) -> Result<Prepared, SummarizeError> {
+        let symbolic = calibrate(raw, self.registry, self.cfg.calibration)?;
+        let data =
+            extract_segment_data(raw, &symbolic, self.registry, &self.matcher, self.cfg.extraction);
+        let seg_values: Vec<Vec<f64>> = (0..symbolic.segment_count())
+            .map(|i| {
+                let ctx = segment_context(raw, &symbolic, &data, self.net, i);
+                self.features.extract_all(&ctx)
+            })
+            .collect();
+        Ok(Prepared { symbolic, data, seg_values })
+    }
+
+    /// Summarizes with the globally optimal partition (Eq. 4) — STMaker's
+    /// default granularity.
+    pub fn summarize(&self, raw: &RawTrajectory) -> Result<Summary, SummarizeError> {
+        let prepared = self.prepare(raw)?;
+        self.summarize_prepared(&prepared, None)
+    }
+
+    /// Summarizes with exactly `k` partitions (Algorithm 1).
+    pub fn summarize_k(&self, raw: &RawTrajectory, k: usize) -> Result<Summary, SummarizeError> {
+        let prepared = self.prepare(raw)?;
+        self.summarize_prepared(&prepared, Some(k))
+    }
+
+    /// Steps 2–4 on an already prepared trajectory.
+    pub fn summarize_prepared(
+        &self,
+        prepared: &Prepared,
+        k: Option<usize>,
+    ) -> Result<Summary, SummarizeError> {
+        let symbolic = &prepared.symbolic;
+        let n_segs = symbolic.segment_count();
+
+        // --- Step 2: partition.
+        let sims = consecutive_similarities(&prepared.seg_values, &self.weights);
+        let sigs: Vec<f64> = (1..n_segs)
+            .map(|b| self.registry.get(symbolic.points()[b].landmark).significance)
+            .collect();
+        let partition: PartitionResult = match k {
+            None => optimal_partition(&sims, &sigs, self.cfg.ca),
+            Some(k) => optimal_k_partition(&sims, &sigs, self.cfg.ca, k)
+                .ok_or(SummarizeError::InvalidK { k, max: n_segs })?,
+        };
+
+        // --- Steps 3 & 4 per partition.
+        let mut partitions = Vec::with_capacity(partition.k());
+        for (pi, span) in partition.spans.iter().enumerate() {
+            let from = symbolic.points()[span.seg_start].landmark;
+            let to = symbolic.points()[span.seg_end + 1].landmark;
+            let hops: Vec<(LandmarkId, LandmarkId)> = (span.seg_start..=span.seg_end)
+                .map(|i| {
+                    (symbolic.points()[i].landmark, symbolic.points()[i + 1].landmark)
+                })
+                .collect();
+            let pr = self.model.popular.popular_route(from, to);
+            let seg_values = &prepared.seg_values[span.seg_start..=span.seg_end];
+
+            let selected = select_features(&SelectionInput {
+                features: &self.features,
+                weights: &self.weights,
+                eta: self.cfg.eta,
+                seg_values,
+                hops: &hops,
+                popular_route: pr.as_deref(),
+                featmap: &self.model.featmap,
+            });
+
+            let facts = self.partition_facts(prepared, span, from, to);
+            let sentence =
+                render_partition_sentence(pi == 0, &facts, &selected, &self.features);
+            partitions.push(PartitionSummary {
+                span: *span,
+                from,
+                to,
+                from_name: facts.from_name.clone(),
+                to_name: facts.to_name.clone(),
+                selected,
+                sentence,
+            });
+        }
+
+        let text = partitions
+            .iter()
+            .map(|p| p.sentence.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        Ok(Summary {
+            text,
+            partitions,
+            symbolic_len: symbolic.size(),
+            potential: partition.potential,
+        })
+    }
+
+    /// Assembles the template facts for one partition: landmark names, the
+    /// dominant road name, and the stay/U-turn by-products.
+    fn partition_facts(
+        &self,
+        prepared: &Prepared,
+        span: &PartitionSpan,
+        from: LandmarkId,
+        to: LandmarkId,
+    ) -> PartitionFacts {
+        let mut stay_total_secs = 0i64;
+        let mut stay_count = 0usize;
+        let mut u_turn_places = Vec::new();
+        let mut road_names: std::collections::BTreeMap<&str, usize> = Default::default();
+        for i in span.seg_start..=span.seg_end {
+            let d = &prepared.data[i];
+            for s in &d.stays {
+                stay_total_secs += s.duration_secs();
+                stay_count += 1;
+            }
+            for u in &d.u_turns {
+                u_turn_places.push(nearest_landmark_name(self.registry, &u.point));
+            }
+            if let Some(e) = d.edge {
+                *road_names.entry(self.net.edge(e).name.as_str()).or_insert(0) += 1;
+            }
+        }
+        let road_name = road_names
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(a.0)))
+            .map(|(n, _)| n.to_owned());
+        PartitionFacts {
+            from_name: self.registry.get(from).name.clone(),
+            to_name: self.registry.get(to).name.clone(),
+            road_name,
+            stay_total_secs,
+            stay_count,
+            u_turn_places,
+        }
+    }
+}
+
+/// Convenience: does the summary mention feature `key` in any partition?
+pub fn summary_mentions(summary: &Summary, key: &str) -> bool {
+    summary.partitions.iter().any(|p| p.selected.iter().any(|s| s.key == key))
+}
+
+/// The set of feature keys mentioned anywhere in the summary — the unit the
+/// paper's feature-frequency (FF) metric counts.
+pub fn mentioned_keys(summary: &Summary) -> std::collections::BTreeSet<String> {
+    summary
+        .partitions
+        .iter()
+        .flat_map(|p| p.selected.iter().map(|s| s.key.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_papers_experimental_settings() {
+        // Sec. VII-B: "we set the weight of the landmark significance in the
+        // potential function as 0.5, the feature weight as 1 and the
+        // irregular rate threshold for a selected feature as 0.2."
+        let cfg = SummarizerConfig::default();
+        assert_eq!(cfg.ca, 0.5);
+        assert_eq!(cfg.eta, 0.2);
+        assert!(cfg.extraction.hmm_matching);
+    }
+
+    #[test]
+    fn error_messages_are_actionable() {
+        let e = SummarizeError::InvalidK { k: 9, max: 4 };
+        assert_eq!(e.to_string(), "cannot split 4 segment(s) into 9 partition(s)");
+        let e: SummarizeError =
+            stmaker_calibration::CalibrationError::TooFewLandmarks(1).into();
+        assert!(e.to_string().contains("calibration failed"));
+        assert!(e.to_string().contains("need at least 2"));
+    }
+
+    #[test]
+    fn empty_model_serializes_and_parses() {
+        let model = TrainedModel {
+            popular: PopularRoutes::build(&[], PopularRouteConfig::default()),
+            featmap: HistoricalFeatureMap::new(),
+            n_trained: 0,
+            registry_len: 0,
+        };
+        let json = model.to_json();
+        let back = TrainedModel::from_json(&json).expect("round-trips");
+        assert_eq!(back.n_trained, 0);
+        assert_eq!(back.to_json(), json, "canonical form is stable");
+        assert!(TrainedModel::from_json("{broken").is_err());
+    }
+}

@@ -1,0 +1,296 @@
+//! Summary construction (Sec. VI-A): phrase templates per feature (Table V)
+//! slotted into sentence templates (Table VI).
+
+use crate::builtin::keys;
+use crate::feature::{FeatureSet, PhraseInfo};
+use crate::select::SelectedFeature;
+use stmaker_road::{Direction, RoadGrade};
+
+/// Everything the templates need about one partition beyond the selected
+/// features themselves: names and the by-products of feature extraction
+/// (Sec. VI-A: "extracting the '# of stay points' feature will also provide
+/// where the stay points take place and how long the moving object stays").
+#[derive(Debug, Clone, Default)]
+pub struct PartitionFacts {
+    /// Display name of the partition's source landmark.
+    pub from_name: String,
+    /// Display name of the partition's destination landmark.
+    pub to_name: String,
+    /// Display name of the dominant road driven, if known ("Suzhou Street").
+    pub road_name: Option<String>,
+    /// Total dwell time across the partition's stay points, seconds.
+    pub stay_total_secs: i64,
+    /// Total stay-point count across the partition.
+    pub stay_count: usize,
+    /// Landmark names where U-turns happened.
+    pub u_turn_places: Vec<String>,
+}
+
+/// Renders the sentence for one partition (Table VI):
+/// "The car started/moved from *source* to *destination* …, with *feature
+/// template*." or "… smoothly." when nothing was irregular.
+pub fn render_partition_sentence(
+    first: bool,
+    facts: &PartitionFacts,
+    selected: &[SelectedFeature],
+    features: &FeatureSet,
+) -> String {
+    let opener = if first {
+        format!("The car started from the {} to the {}", facts.from_name, facts.to_name)
+    } else {
+        format!("Then it moved from the {} to the {}", facts.from_name, facts.to_name)
+    };
+    if selected.is_empty() {
+        return format!("{opener} smoothly.");
+    }
+    let phrases: Vec<String> =
+        selected.iter().map(|s| feature_phrase(s, facts, features)).collect();
+    format!("{opener} {}.", join_phrases(&phrases))
+}
+
+/// The phrase for one selected feature: a custom [`Feature::phrase`]
+/// implementation always wins (Sec. VI-B step 3 — the trait is the
+/// extension point, even for a feature that shadows a built-in key), then
+/// the built-in Table V templates, then a generic comparative phrase.
+///
+/// [`Feature::phrase`]: crate::feature::Feature::phrase
+pub fn feature_phrase(s: &SelectedFeature, facts: &PartitionFacts, features: &FeatureSet) -> String {
+    if let Some(idx) = features.index_of(&s.key) {
+        if let Some(custom) =
+            features.get(idx).phrase(&PhraseInfo { value: s.observed, regular: s.regular })
+        {
+            return custom;
+        }
+    }
+    match s.key.as_str() {
+        keys::GRADE => {
+            let given = grade_name(s.observed);
+            let named = match &facts.road_name {
+                Some(n) => format!("{given} ({n})"),
+                None => given.to_owned(),
+            };
+            match s.regular.map(grade_name) {
+                Some(reg) if reg != given => {
+                    format!("through {named} while most drivers choose {reg}")
+                }
+                _ => format!("through {named}"),
+            }
+        }
+        keys::WIDTH => {
+            let w = s.observed;
+            match s.regular {
+                Some(r) if (r - w).abs() >= 0.5 => {
+                    let pref = if r > w { "wider" } else { "narrower" };
+                    format!(
+                        "through {w:.0} metres wide road while most drivers prefer {pref} roads"
+                    )
+                }
+                _ => format!("through {w:.0} metres wide road"),
+            }
+        }
+        keys::DIRECTION => {
+            let given = direction_name(s.observed);
+            match s.regular.map(direction_name) {
+                Some(reg) if reg != given => {
+                    format!("through {given} while most drivers prefer {reg}")
+                }
+                _ => format!("through {given}"),
+            }
+        }
+        keys::SPEED => {
+            let v = s.observed;
+            match s.regular {
+                Some(r) if (r - v).abs() >= 1.0 => {
+                    let cmp = if v > r { "faster" } else { "slower" };
+                    format!(
+                        "with the speed of {v:.0} km/h which was {:.0} km/h {cmp} than usual",
+                        (v - r).abs()
+                    )
+                }
+                _ => format!("with the speed of {v:.0} km/h"),
+            }
+        }
+        keys::STAY_POINTS => {
+            // `observed` is the per-segment mean; the phrase wants the total,
+            // which extraction recorded as a by-product.
+            let n = facts.stay_count.max(1);
+            let noun = if n == 1 { "staying point" } else { "staying points" };
+            if facts.stay_total_secs > 0 {
+                format!(
+                    "with {n} {noun} (in total for {} seconds)",
+                    facts.stay_total_secs
+                )
+            } else {
+                format!("with {n} {noun}")
+            }
+        }
+        keys::U_TURNS => {
+            let n = facts.u_turn_places.len().max(1);
+            let noun = if n == 1 { "one U-turn" } else { "U-turns" };
+            let turn = if n == 1 { noun.to_owned() } else { format!("{n} {noun}") };
+            if facts.u_turn_places.is_empty() {
+                format!("with conducting {turn}")
+            } else {
+                format!("with conducting {turn} at {}", join_names(&facts.u_turn_places))
+            }
+        }
+        _ => match s.regular {
+            // Generic comparative phrase for custom features without their
+            // own template (the Feature::phrase hook above already ran).
+            Some(r) => format!("with {} of {:.1} while {:.1} is usual", s.label, s.observed, r),
+            None => format!("with {} of {:.1}", s.label, s.observed),
+        },
+    }
+}
+
+fn grade_name(code: f64) -> &'static str {
+    RoadGrade::from_code(code.round().clamp(1.0, 7.0) as u8)
+        .map(|g| g.name())
+        .unwrap_or("road")
+}
+
+fn direction_name(code: f64) -> &'static str {
+    Direction::from_code(code.round().clamp(1.0, 2.0) as u8)
+        .map(|d| d.name())
+        .unwrap_or("two-way road")
+}
+
+/// Joins phrases with commas and a final "and".
+fn join_phrases(phrases: &[String]) -> String {
+    match phrases.len() {
+        0 => String::new(),
+        1 => phrases[0].clone(),
+        _ => {
+            let head = &phrases[..phrases.len() - 1];
+            format!("{}, and {}", head.join(", "), phrases.last().expect("non-empty"))
+        }
+    }
+}
+
+/// Joins landmark names with commas and "and".
+fn join_names(names: &[String]) -> String {
+    join_phrases(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::{extended_features, standard_features};
+    use crate::feature::FeatureKind;
+
+    fn facts() -> PartitionFacts {
+        PartitionFacts {
+            from_name: "Daoxiang Community".into(),
+            to_name: "Haidian Hospital".into(),
+            road_name: Some("Suzhou Street".into()),
+            stay_total_secs: 167,
+            stay_count: 2,
+            u_turn_places: vec!["Zhichun Road".into()],
+        }
+    }
+
+    fn sel(key: &str, observed: f64, regular: Option<f64>) -> SelectedFeature {
+        SelectedFeature {
+            key: key.into(),
+            label: key.into(),
+            kind: FeatureKind::Moving,
+            irregular_rate: 0.5,
+            observed,
+            regular,
+        }
+    }
+
+    #[test]
+    fn smooth_partition_sentence() {
+        let s = render_partition_sentence(false, &facts(), &[], &standard_features());
+        assert_eq!(s, "Then it moved from the Daoxiang Community to the Haidian Hospital smoothly.");
+    }
+
+    #[test]
+    fn first_partition_uses_started() {
+        let sels = vec![sel(keys::STAY_POINTS, 1.0, Some(0.1))];
+        let s = render_partition_sentence(true, &facts(), &sels, &standard_features());
+        assert!(s.starts_with("The car started from the Daoxiang Community"));
+        assert!(s.contains("2 staying points (in total for 167 seconds)"), "{s}");
+    }
+
+    #[test]
+    fn speed_phrase_matches_fig1_style() {
+        let p = feature_phrase(&sel(keys::SPEED, 36.0, Some(50.0)), &facts(), &standard_features());
+        assert_eq!(p, "with the speed of 36 km/h which was 14 km/h slower than usual");
+        let p = feature_phrase(&sel(keys::SPEED, 64.0, Some(50.0)), &facts(), &standard_features());
+        assert!(p.contains("14 km/h faster than usual"));
+        let p = feature_phrase(&sel(keys::SPEED, 42.0, None), &facts(), &standard_features());
+        assert_eq!(p, "with the speed of 42 km/h");
+    }
+
+    #[test]
+    fn grade_phrase_names_road_and_regular() {
+        let p = feature_phrase(&sel(keys::GRADE, 5.0, Some(1.0)), &facts(), &standard_features());
+        assert_eq!(
+            p,
+            "through country road (Suzhou Street) while most drivers choose highway"
+        );
+        // Same grade as usual → no comparison clause.
+        let p = feature_phrase(&sel(keys::GRADE, 1.0, Some(1.0)), &facts(), &standard_features());
+        assert_eq!(p, "through highway (Suzhou Street)");
+    }
+
+    #[test]
+    fn width_phrase_compares_direction_of_preference() {
+        let p = feature_phrase(&sel(keys::WIDTH, 9.0, Some(22.0)), &facts(), &standard_features());
+        assert!(p.contains("9 metres wide road"));
+        assert!(p.contains("wider roads"), "{p}");
+        let p = feature_phrase(&sel(keys::WIDTH, 28.0, Some(16.0)), &facts(), &standard_features());
+        assert!(p.contains("narrower roads"), "{p}");
+    }
+
+    #[test]
+    fn direction_phrase() {
+        let p =
+            feature_phrase(&sel(keys::DIRECTION, 2.0, Some(1.0)), &facts(), &standard_features());
+        assert_eq!(p, "through one-way road while most drivers prefer two-way road");
+    }
+
+    #[test]
+    fn u_turn_phrase_with_places() {
+        let p = feature_phrase(&sel(keys::U_TURNS, 0.33, None), &facts(), &standard_features());
+        assert_eq!(p, "with conducting one U-turn at Zhichun Road");
+        let mut f = facts();
+        f.u_turn_places.push("Suzhou Road".into());
+        let p = feature_phrase(&sel(keys::U_TURNS, 0.66, None), &f, &standard_features());
+        assert_eq!(p, "with conducting 2 U-turns at Zhichun Road, and Suzhou Road");
+    }
+
+    #[test]
+    fn custom_feature_uses_its_own_template() {
+        let features = extended_features();
+        let p = feature_phrase(&sel(keys::SPEED_CHANGE, 3.0, Some(0.4)), &facts(), &features);
+        assert!(p.contains("3 sharp speed change(s)"), "{p}");
+    }
+
+    #[test]
+    fn unknown_custom_feature_gets_generic_phrase() {
+        let p = feature_phrase(
+            &SelectedFeature {
+                key: "fuel_burn".into(),
+                label: "fuel burn".into(),
+                kind: FeatureKind::Moving,
+                irregular_rate: 0.4,
+                observed: 9.5,
+                regular: Some(7.0),
+            },
+            &facts(),
+            &standard_features(),
+        );
+        assert_eq!(p, "with fuel burn of 9.5 while 7.0 is usual");
+    }
+
+    #[test]
+    fn multiple_phrases_joined_with_and() {
+        let sels = vec![sel(keys::SPEED, 36.0, Some(50.0)), sel(keys::STAY_POINTS, 1.0, None)];
+        let s = render_partition_sentence(true, &facts(), &sels, &standard_features());
+        assert!(s.contains(", and with 2 staying points"), "{s}");
+        assert!(s.ends_with('.'));
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the core algorithms: partition DP optimality,
+//! similarity bounds, edit-distance and irregular-rate invariants.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use stmaker::feature::{Feature, FeatureKind, FeatureScale, FeatureSet, FeatureWeights};
+use stmaker::irregular::{feature_edit_distance, moving_irregular_rate, routing_irregular_rate};
+use stmaker::partition::{optimal_k_partition, optimal_partition, partition_potential};
+use stmaker::similarity::{consecutive_similarities, cosine_similarity, normalize, normalizing_constants};
+
+struct Dummy(&'static str);
+impl Feature for Dummy {
+    fn key(&self) -> &str {
+        self.0
+    }
+    fn kind(&self) -> FeatureKind {
+        FeatureKind::Moving
+    }
+    fn scale(&self) -> FeatureScale {
+        FeatureScale::Numeric
+    }
+    fn extract(&self, _: &stmaker::SegmentContext<'_>) -> f64 {
+        0.0
+    }
+}
+
+fn feature_set(n: usize) -> FeatureSet {
+    let mut set = FeatureSet::new();
+    for i in 0..n {
+        let key: &'static str = Box::leak(format!("f{i}").into_boxed_str());
+        set.push(Arc::new(Dummy(key)));
+    }
+    set
+}
+
+/// Brute-force partition optimum over all cut assignments.
+fn brute_force(sims: &[f64], sigs: &[f64], ca: f64, k: Option<usize>) -> Option<f64> {
+    let b = sims.len();
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1u32 << b) {
+        let cuts: Vec<bool> = (0..b).map(|i| mask & (1 << i) != 0).collect();
+        if let Some(k) = k {
+            if cuts.iter().filter(|c| **c).count() != k - 1 {
+                continue;
+            }
+        }
+        let p = partition_potential(sims, sigs, ca, &cuts);
+        best = Some(best.map_or(p, |b: f64| b.min(p)));
+    }
+    best
+}
+
+proptest! {
+    #[test]
+    fn unconstrained_partition_is_globally_optimal(
+        pairs in prop::collection::vec((0.5f64..1.0, 0.0f64..1.0), 1..10),
+        ca in 0.1f64..2.0,
+    ) {
+        let sims: Vec<f64> = pairs.iter().map(|(s, _)| *s).collect();
+        let sigs: Vec<f64> = pairs.iter().map(|(_, g)| *g).collect();
+        let dp = optimal_partition(&sims, &sigs, ca);
+        let bf = brute_force(&sims, &sigs, ca, None).unwrap();
+        prop_assert!((dp.potential - bf).abs() < 1e-9, "dp {} vs bf {bf}", dp.potential);
+    }
+
+    #[test]
+    fn k_partition_is_optimal_and_exact(
+        pairs in prop::collection::vec((0.5f64..1.0, 0.0f64..1.0), 1..9),
+        ca in 0.1f64..2.0,
+        k_raw in 1usize..10,
+    ) {
+        let sims: Vec<f64> = pairs.iter().map(|(s, _)| *s).collect();
+        let sigs: Vec<f64> = pairs.iter().map(|(_, g)| *g).collect();
+        let n_segs = sims.len() + 1;
+        let k = (k_raw % n_segs) + 1; // 1..=n_segs
+        let dp = optimal_k_partition(&sims, &sigs, ca, k).expect("feasible k");
+        prop_assert_eq!(dp.spans.len(), k);
+        // Exhaustive coverage in order (Definition 5).
+        prop_assert_eq!(dp.spans[0].seg_start, 0);
+        prop_assert_eq!(dp.spans.last().unwrap().seg_end, n_segs - 1);
+        for w in dp.spans.windows(2) {
+            prop_assert_eq!(w[0].seg_end + 1, w[1].seg_start);
+        }
+        let bf = brute_force(&sims, &sigs, ca, Some(k)).unwrap();
+        prop_assert!((dp.potential - bf).abs() < 1e-9, "k={k}: dp {} vs bf {bf}", dp.potential);
+    }
+
+    #[test]
+    fn unconstrained_lower_bounds_every_k(
+        pairs in prop::collection::vec((0.5f64..1.0, 0.0f64..1.0), 1..8),
+        ca in 0.1f64..2.0,
+    ) {
+        let sims: Vec<f64> = pairs.iter().map(|(s, _)| *s).collect();
+        let sigs: Vec<f64> = pairs.iter().map(|(_, g)| *g).collect();
+        let free = optimal_partition(&sims, &sigs, ca).potential;
+        for k in 1..=sims.len() + 1 {
+            let dp = optimal_k_partition(&sims, &sigs, ca, k).unwrap();
+            prop_assert!(dp.potential >= free - 1e-9);
+        }
+    }
+
+    #[test]
+    fn cosine_similarity_bounds_symmetry_scale(
+        u in prop::collection::vec(0.0f64..1.0, 2..6),
+        v_seed in prop::collection::vec(0.0f64..1.0, 2..6),
+        scale in 0.1f64..10.0,
+    ) {
+        let n = u.len().min(v_seed.len());
+        let u = &u[..n];
+        let v = &v_seed[..n];
+        let w = FeatureWeights::uniform(&feature_set(n));
+        let s = cosine_similarity(u, v, &w);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+        prop_assert!((cosine_similarity(v, u, &w) - s).abs() < 1e-12);
+        // Positive scaling of one vector leaves cosine unchanged.
+        let scaled: Vec<f64> = v.iter().map(|x| x * scale).collect();
+        prop_assert!((cosine_similarity(u, &scaled, &w) - s).abs() < 1e-9);
+        // Self-similarity is 1.
+        prop_assert!((cosine_similarity(u, u, &w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_maps_into_unit_interval(
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..100.0, 3), 1..8),
+    ) {
+        let constants = normalizing_constants(&rows);
+        for row in &rows {
+            let n = normalize(row, &constants);
+            prop_assert!(n.iter().all(|x| (0.0..=1.0 + 1e-12).contains(x)), "{n:?}");
+        }
+        // Consecutive similarities stay in bounds too.
+        let w = FeatureWeights::uniform(&feature_set(3));
+        for s in consecutive_similarities(&rows, &w) {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+        }
+    }
+
+    #[test]
+    fn edit_distance_identity_symmetry_bounds(
+        a in prop::collection::vec(0.0f64..5.0, 0..8),
+        b in prop::collection::vec(0.0f64..5.0, 0..8),
+    ) {
+        for scale in [FeatureScale::Numeric, FeatureScale::Categorical] {
+            let d = feature_edit_distance(&a, &b, scale);
+            prop_assert!((feature_edit_distance(&b, &a, scale) - d).abs() < 1e-9);
+            prop_assert!(feature_edit_distance(&a, &a, scale) < 1e-12);
+            prop_assert!(d >= (a.len() as f64 - b.len() as f64).abs() - 1e-12);
+            prop_assert!(d <= a.len().max(b.len()) as f64 * 5.0 + 1e-12);
+            prop_assert!(d >= 0.0);
+        }
+    }
+
+    #[test]
+    fn routing_rate_bounds(
+        tp in prop::collection::vec(1.0f64..7.0, 0..8),
+        pr in prop::collection::vec(1.0f64..7.0, 0..8),
+        w in 0.1f64..4.0,
+    ) {
+        for scale in [FeatureScale::Numeric, FeatureScale::Categorical] {
+            let g = routing_irregular_rate(&tp, &pr, scale, w);
+            prop_assert!(g >= 0.0);
+            // Normalized numeric values and 0/1 categorical costs keep the
+            // per-slot cost ≤ 1, so Γ ≤ w.
+            prop_assert!(g <= w + 1e-9, "Γ = {g} > w = {w}");
+        }
+    }
+
+    #[test]
+    fn moving_rate_non_negative_and_weight_linear(
+        tp in prop::collection::vec(0.0f64..100.0, 1..8),
+        regs in prop::collection::vec(prop::option::of(0.0f64..100.0), 1..8),
+        w in 0.1f64..4.0,
+    ) {
+        let n = tp.len().min(regs.len());
+        let tp = &tp[..n];
+        let regs = &regs[..n];
+        let g1 = moving_irregular_rate(tp, regs, 1.0);
+        let gw = moving_irregular_rate(tp, regs, w);
+        prop_assert!(g1 >= 0.0 && g1.is_finite());
+        prop_assert!((gw - w * g1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moving_rate_zero_when_matching_history(
+        tp in prop::collection::vec(0.0f64..100.0, 1..8),
+    ) {
+        let regs: Vec<Option<f64>> = tp.iter().map(|v| Some(*v)).collect();
+        prop_assert!(moving_irregular_rate(&tp, &regs, 1.0) < 1e-12);
+    }
+}

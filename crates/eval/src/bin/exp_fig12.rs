@@ -1,0 +1,67 @@
+//! Fig. 12 — average summarization time cost vs |T| (a) and k (b).
+//!
+//! The paper reports "most trajectories can be summarized within tens of
+//! milliseconds. With the increasing of |T| and k, the time cost increase
+//! slightly." We time the full pipeline (calibration + extraction +
+//! partition + selection + rendering) on generated trips bucketed by their
+//! symbolic size and across k ∈ 1..=7.
+
+use serde::Serialize;
+use stmaker_eval::report::{ms, print_table, write_json};
+use stmaker_eval::timing::{time_by_k, time_by_symbolic_len};
+use stmaker_eval::{ExperimentScale, Harness};
+
+#[derive(Serialize)]
+struct Fig12Out {
+    by_len: Vec<(usize, f64, usize)>,
+    by_k: Vec<(usize, f64, usize)>,
+}
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("# Fig. 12 — summarization time cost (scale: {})", scale.label);
+    let h = Harness::new(scale);
+    let summarizer = h.train_default();
+    let trips: Vec<_> = h.test.iter().map(|t| t.raw.clone()).collect();
+
+    // (a) time vs |T|. Bucket centres scale with the city (quick-scale trips
+    // are shorter than the paper's 20–120 landmark range; the growth trend
+    // is what matters).
+    let buckets: Vec<usize> =
+        if h.scale.label == "full" { vec![10, 20, 30, 40, 50, 60] } else { vec![5, 10, 15, 20, 25, 30] };
+    let by_len = time_by_symbolic_len(&summarizer, &trips, &buckets, 2);
+    let rows: Vec<Vec<String>> = by_len
+        .iter()
+        .map(|(b, c)| vec![format!("|T| ≈ {b}"), ms(c.mean_ms), c.n.to_string()])
+        .collect();
+    print_table("Fig. 12(a): time vs trajectory size", &["|T|", "mean time", "n"], &rows);
+
+    // (b) time vs k over a fixed trip set.
+    let ks: Vec<usize> = (1..=7).collect();
+    let by_k = time_by_k(&summarizer, &trips[..trips.len().min(150)], &ks);
+    let rows: Vec<Vec<String>> = by_k
+        .iter()
+        .map(|(k, c)| vec![format!("k = {k}"), ms(c.mean_ms), c.n.to_string()])
+        .collect();
+    print_table("Fig. 12(b): time vs partition size k", &["k", "mean time", "n"], &rows);
+
+    let max_ms = by_len
+        .iter()
+        .map(|(_, c)| c.mean_ms)
+        .chain(by_k.iter().map(|(_, c)| c.mean_ms))
+        .filter(|m| m.is_finite())
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nmax mean time: {} — paper reports tens of milliseconds {}",
+        ms(max_ms),
+        if max_ms < 100.0 { "✓" } else { "(slower environment)" }
+    );
+
+    let out = Fig12Out {
+        by_len: by_len.iter().map(|(b, c)| (*b, c.mean_ms, c.n)).collect(),
+        by_k: by_k.iter().map(|(k, c)| (*k, c.mean_ms, c.n)).collect(),
+    };
+    if let Ok(p) = write_json("fig12_time_cost", &out) {
+        println!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,151 @@
+//! The feature-frequency (FF) metric of Sec. VII-C.2.
+//!
+//! "The feature frequency FF_f of a feature f is defined as: FF_f =
+//! (# summaries containing f) / (# total summaries). The higher FF_f is, the
+//! more number of trajectories have irregular value on f."
+
+use std::collections::BTreeMap;
+
+use stmaker::{summary_mentions, Summary};
+
+/// FF per feature key over a summary set. Keys absent from every summary
+/// report 0.
+pub fn feature_frequency(summaries: &[Summary], keys: &[&str]) -> BTreeMap<String, f64> {
+    let n = summaries.len().max(1) as f64;
+    keys.iter()
+        .map(|k| {
+            let c = summaries.iter().filter(|s| summary_mentions(s, k)).count();
+            (k.to_string(), c as f64 / n)
+        })
+        .collect()
+}
+
+/// FF broken down by the paper's twelve two-hour buckets (Fig. 8).
+#[derive(Debug, Clone)]
+pub struct FfByBucket {
+    /// `ff[bucket][key]`, bucket 0 = 00:00–02:00 … bucket 11 = 22:00–24:00.
+    pub ff: Vec<BTreeMap<String, f64>>,
+    /// Summaries per bucket.
+    pub counts: Vec<usize>,
+}
+
+impl FfByBucket {
+    /// Groups `(hour, summary)` pairs into two-hour buckets and computes FF
+    /// in each.
+    pub fn compute(items: &[(f64, Summary)], keys: &[&str]) -> Self {
+        let mut grouped: Vec<Vec<&Summary>> = (0..12).map(|_| Vec::new()).collect();
+        for (hour, s) in items {
+            let b = ((hour.rem_euclid(24.0)) / 2.0) as usize % 12;
+            grouped[b].push(s);
+        }
+        let ff = grouped
+            .iter()
+            .map(|g| {
+                let n = g.len().max(1) as f64;
+                keys.iter()
+                    .map(|k| {
+                        let c = g.iter().filter(|s| summary_mentions(s, k)).count();
+                        (k.to_string(), c as f64 / n)
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { ff, counts: grouped.iter().map(|g| g.len()).collect() }
+    }
+
+    /// Mean FF of `key` over a set of buckets (used to compare day vs night).
+    pub fn mean_over(&self, key: &str, buckets: &[usize]) -> f64 {
+        let vals: Vec<f64> =
+            buckets.iter().filter_map(|b| self.ff.get(*b)?.get(key).copied()).collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+}
+
+/// Daytime buckets (06:00–18:00) as the paper's Fig. 8 discussion groups them.
+pub const DAY_BUCKETS: [usize; 6] = [3, 4, 5, 6, 7, 8];
+/// Night buckets (18:00–06:00).
+pub const NIGHT_BUCKETS: [usize; 6] = [9, 10, 11, 0, 1, 2];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stmaker::{FeatureKind, PartitionSpan, PartitionSummary, SelectedFeature, Summary};
+
+    fn summary_with(keys: &[&str]) -> Summary {
+        let selected: Vec<SelectedFeature> = keys
+            .iter()
+            .map(|k| SelectedFeature {
+                key: k.to_string(),
+                label: k.to_string(),
+                kind: FeatureKind::Moving,
+                irregular_rate: 0.5,
+                observed: 1.0,
+                regular: None,
+            })
+            .collect();
+        Summary {
+            text: String::new(),
+            partitions: vec![PartitionSummary {
+                span: PartitionSpan { seg_start: 0, seg_end: 0 },
+                from: stmaker_poi::LandmarkId(0),
+                to: stmaker_poi::LandmarkId(1),
+                from_name: "A".into(),
+                to_name: "B".into(),
+                selected,
+                sentence: String::new(),
+            }],
+            symbolic_len: 2,
+            potential: 0.0,
+        }
+    }
+
+    #[test]
+    fn ff_counts_summaries_not_partitions() {
+        let summaries =
+            vec![summary_with(&["speed"]), summary_with(&["speed", "stay"]), summary_with(&[])];
+        let ff = feature_frequency(&summaries, &["speed", "stay", "u_turns"]);
+        assert!((ff["speed"] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((ff["stay"] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ff["u_turns"], 0.0);
+    }
+
+    #[test]
+    fn ff_empty_input_is_zero() {
+        let ff = feature_frequency(&[], &["speed"]);
+        assert_eq!(ff["speed"], 0.0);
+    }
+
+    #[test]
+    fn buckets_partition_the_day() {
+        let items = vec![
+            (1.0, summary_with(&["speed"])),   // bucket 0
+            (9.5, summary_with(&["speed"])),   // bucket 4
+            (9.9, summary_with(&[])),          // bucket 4
+            (23.0, summary_with(&["speed"])),  // bucket 11
+            (24.5, summary_with(&["speed"])),  // wraps to bucket 0
+        ];
+        let by = FfByBucket::compute(&items, &["speed"]);
+        assert_eq!(by.counts[0], 2);
+        assert_eq!(by.counts[4], 2);
+        assert_eq!(by.counts[11], 1);
+        assert_eq!(by.ff[0]["speed"], 1.0);
+        assert_eq!(by.ff[4]["speed"], 0.5);
+        assert_eq!(by.ff[1]["speed"], 0.0); // empty bucket
+    }
+
+    #[test]
+    fn day_night_bucket_constants_cover_all_hours() {
+        let mut all: Vec<usize> = DAY_BUCKETS.iter().chain(NIGHT_BUCKETS.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mean_over_buckets() {
+        let items = vec![(7.0, summary_with(&["speed"])), (13.0, summary_with(&[]))];
+        let by = FfByBucket::compute(&items, &["speed"]);
+        // Bucket 3 (06–08) FF = 1.0; bucket 6 (12–14) FF = 0; others empty.
+        let day = by.mean_over("speed", &DAY_BUCKETS);
+        assert!((day - (1.0 + 0.0 + 0.0 + 0.0 + 0.0 + 0.0) / 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Deterministic experiment setup: world + corpora + trained summarizer.
+
+use stmaker::{FeatureSet, FeatureWeights, Summarizer, SummarizerConfig};
+use stmaker_generator::{GeneratedTrip, TripConfig, TripGenerator, World, WorldConfig};
+use stmaker_road::SynthCityConfig;
+use stmaker_trajectory::RawTrajectory;
+
+/// Experiment sizing. `quick` keeps every binary under a few seconds for CI;
+/// `full` approaches the paper's scale ratios and is what EXPERIMENTS.md
+/// reports. Select via the `STMAKER_SCALE` environment variable
+/// (`quick`/`full`, default `quick`).
+#[derive(Debug, Clone)]
+pub struct ExperimentScale {
+    /// World assembly parameters.
+    pub world: WorldConfig,
+    /// Trip-generation parameters.
+    pub trips: TripConfig,
+    /// Training corpus size (the paper trains on 50k of 100k trajectories).
+    pub n_train: usize,
+    /// Test corpus size.
+    pub n_test: usize,
+    /// Scale label for report headers.
+    pub label: &'static str,
+}
+
+impl ExperimentScale {
+    /// Small world, small corpora: seconds per experiment.
+    pub fn quick() -> Self {
+        Self {
+            world: WorldConfig {
+                city: SynthCityConfig { cols: 10, rows: 10, ..SynthCityConfig::default() },
+                n_pois: 800,
+                n_users: 150,
+                checkins_per_user: 15,
+                n_visit_routes: 120,
+                seed: 0x51C4,
+            },
+            trips: TripConfig::default(),
+            n_train: 300,
+            n_test: 400,
+            label: "quick",
+        }
+    }
+
+    /// The full evaluation scale used for EXPERIMENTS.md.
+    pub fn full() -> Self {
+        Self {
+            world: WorldConfig::default(),
+            trips: TripConfig::default(),
+            n_train: 1_500,
+            n_test: 2_000,
+            label: "full",
+        }
+    }
+
+    /// Reads `STMAKER_SCALE` (default `quick`).
+    pub fn from_env() -> Self {
+        match std::env::var("STMAKER_SCALE").as_deref() {
+            Ok("full") => Self::full(),
+            _ => Self::quick(),
+        }
+    }
+}
+
+/// A fully assembled experiment: world, corpora, and the pieces needed to
+/// train summarizers (experiments train their own because Fig. 10 varies
+/// weights and feature sets).
+pub struct Harness {
+    /// The synthetic world.
+    pub world: World,
+    /// The scale that built this harness.
+    pub scale: ExperimentScale,
+    /// Training trips (with ground truth; experiments usually use `.raw`).
+    pub train: Vec<GeneratedTrip>,
+    /// Test trips.
+    pub test: Vec<GeneratedTrip>,
+}
+
+impl Harness {
+    /// Builds the world and both corpora deterministically.
+    pub fn new(scale: ExperimentScale) -> Self {
+        let world = World::generate(scale.world.clone());
+        let gen = TripGenerator::new(&world, scale.trips);
+        let train = gen.generate_corpus(scale.n_train, 0xA11CE);
+        let test = gen.generate_corpus(scale.n_test, 0xB0B);
+        Self { world, scale, train, test }
+    }
+
+    /// The raw training trajectories.
+    pub fn train_raw(&self) -> Vec<RawTrajectory> {
+        self.train.iter().map(|t| t.raw.clone()).collect()
+    }
+
+    /// Trains a summarizer over the harness's training corpus.
+    pub fn train_summarizer(
+        &self,
+        features: FeatureSet,
+        weights: FeatureWeights,
+        cfg: SummarizerConfig,
+    ) -> Summarizer<'_> {
+        let raws = self.train_raw();
+        Summarizer::train(&self.world.net, &self.world.registry, &raws, features, weights, cfg)
+    }
+
+    /// Trains with the paper's defaults: the six standard features, unit
+    /// weights, Ca = 0.5, η = 0.2.
+    pub fn train_default(&self) -> Summarizer<'_> {
+        let features = stmaker::standard_features();
+        let weights = FeatureWeights::uniform(&features);
+        self.train_summarizer(features, weights, SummarizerConfig::default())
+    }
+
+    /// A trip generator over this harness's world (for experiments that
+    /// need trips at controlled hours, like Fig. 8).
+    pub fn generator(&self) -> TripGenerator<'_> {
+        TripGenerator::new(&self.world, self.scale.trips)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_harness_assembles() {
+        let mut scale = ExperimentScale::quick();
+        scale.n_train = 30;
+        scale.n_test = 10;
+        let h = Harness::new(scale);
+        assert_eq!(h.train.len(), 30);
+        assert_eq!(h.test.len(), 10);
+        let s = h.train_default();
+        assert!(s.model().n_trained > 20);
+    }
+
+    #[test]
+    fn scale_from_env_defaults_quick() {
+        // Do not set the env var here (tests run in parallel); just check
+        // the default path.
+        let s = ExperimentScale::from_env();
+        assert!(s.label == "quick" || s.label == "full");
+    }
+}

@@ -1,0 +1,107 @@
+//! Landmark-usage analysis (Fig. 9): are the landmarks that summaries name
+//! actually significant?
+//!
+//! "We sort all the landmarks … in descending order by the landmark
+//! significance, and group them into 10 groups … For each group of
+//! landmarks, we analyze their usage frequency in the summary dataset."
+
+use stmaker::Summary;
+use stmaker_poi::{LandmarkId, LandmarkRegistry};
+
+/// Usage frequency per significance decile (index 0 = top 0–10% most
+/// significant landmarks). Fractions sum to 1 over used landmarks.
+pub fn usage_by_significance_decile(
+    registry: &LandmarkRegistry,
+    summaries: &[Summary],
+) -> [f64; 10] {
+    // Rank landmarks by significance (descending) → decile of each.
+    let mut order: Vec<(LandmarkId, f64)> =
+        registry.landmarks().iter().map(|l| (l.id, l.significance)).collect();
+    order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let n = order.len().max(1);
+    let mut decile_of = vec![0usize; n];
+    for (rank, (id, _)) in order.iter().enumerate() {
+        decile_of[id.0 as usize] = (rank * 10 / n).min(9);
+    }
+
+    // Count partition-endpoint usages.
+    let mut counts = [0usize; 10];
+    let mut total = 0usize;
+    for s in summaries {
+        for p in &s.partitions {
+            for lm in [p.from, p.to] {
+                counts[decile_of[lm.0 as usize]] += 1;
+                total += 1;
+            }
+        }
+    }
+
+    let total = total.max(1) as f64;
+    let mut out = [0.0; 10];
+    for (o, c) in out.iter_mut().zip(counts) {
+        *o = c as f64 / total;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stmaker::{PartitionSpan, PartitionSummary};
+    use stmaker_geo::GeoPoint;
+    use stmaker_poi::{Landmark, LandmarkKind};
+
+    fn registry(n: usize) -> LandmarkRegistry {
+        // Landmark i has significance 1 − i/n (id order = significance order).
+        let lms: Vec<Landmark> = (0..n)
+            .map(|i| Landmark {
+                id: LandmarkId(i as u32),
+                point: GeoPoint::new(39.9, 116.0 + 0.001 * i as f64),
+                name: format!("L{i}"),
+                kind: LandmarkKind::TurningPoint,
+                significance: 1.0 - i as f64 / n as f64,
+            })
+            .collect();
+        LandmarkRegistry::from_landmarks(lms)
+    }
+
+    fn summary_between(a: u32, b: u32) -> Summary {
+        Summary {
+            text: String::new(),
+            partitions: vec![PartitionSummary {
+                span: PartitionSpan { seg_start: 0, seg_end: 0 },
+                from: LandmarkId(a),
+                to: LandmarkId(b),
+                from_name: String::new(),
+                to_name: String::new(),
+                selected: vec![],
+                sentence: String::new(),
+            }],
+            symbolic_len: 2,
+            potential: 0.0,
+        }
+    }
+
+    #[test]
+    fn top_decile_usage_counted() {
+        let reg = registry(100);
+        // Landmarks 0–9 are the top decile. Four usages there, two in the
+        // bottom decile.
+        let summaries = vec![
+            summary_between(0, 5),
+            summary_between(3, 9),
+            summary_between(95, 99),
+        ];
+        let usage = usage_by_significance_decile(&reg, &summaries);
+        assert!((usage[0] - 4.0 / 6.0).abs() < 1e-12);
+        assert!((usage[9] - 2.0 / 6.0).abs() < 1e-12);
+        assert!((usage.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summaries_give_zeros() {
+        let reg = registry(10);
+        let usage = usage_by_significance_decile(&reg, &[]);
+        assert_eq!(usage, [0.0; 10]);
+    }
+}

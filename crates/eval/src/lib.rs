@@ -1,0 +1,26 @@
+//! Experiment harness reproducing Sec. VII of the paper.
+//!
+//! Each figure of the evaluation has a dedicated binary (`exp_fig6` …
+//! `exp_fig12`, plus `exp_all`); this library holds the shared machinery:
+//!
+//! * [`harness`] — deterministic world/corpus assembly at standard scales;
+//! * [`ff`] — the feature-frequency (FF) metric of Sec. VII-C.2 and its
+//!   time-of-day bucketing (Fig. 8) and parameter sweeps (Fig. 10);
+//! * [`landmark_usage`] — landmark-significance usage analysis (Fig. 9);
+//! * [`reader`] — the simulated reader study standing in for the paper's
+//!   30-volunteer evaluation (Fig. 11; see DESIGN.md §3);
+//! * [`timing`] — summarization time cost (Fig. 12);
+//! * [`render`] — standalone HTML/SVG trip reports (the Fig. 7 UI stand-in);
+//! * [`report`] — aligned text tables and JSON dumps for EXPERIMENTS.md.
+
+pub mod ff;
+pub mod harness;
+pub mod landmark_usage;
+pub mod reader;
+pub mod render;
+pub mod report;
+pub mod timing;
+
+pub use ff::{feature_frequency, FfByBucket};
+pub use harness::{ExperimentScale, Harness};
+pub use reader::{simulate_reader_study, ReaderStudyResult};

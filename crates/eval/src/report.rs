@@ -1,0 +1,86 @@
+//! Report output: aligned text tables on stdout and JSON dumps for
+//! EXPERIMENTS.md bookkeeping.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// Prints a titled, column-aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (w, c) in widths.iter().zip(cells) {
+            s.push_str(&format!("{c:>w$}  ", w = w));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Serializes `value` as pretty JSON under `experiments/out/<name>.json`
+/// (directory created on demand). Returns the written path.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+    write_json_to(Path::new("experiments/out"), name, value)
+}
+
+/// [`write_json`] with an explicit output directory.
+pub fn write_json_to<T: Serialize>(
+    dir: &Path,
+    name: &str,
+    value: &T,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    let body = serde_json::to_string_pretty(value).expect("serializable experiment result");
+    f.write_all(body.as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(path)
+}
+
+/// Formats a fraction as a fixed-width FF value ("0.413").
+pub fn ff(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats milliseconds ("12.4 ms").
+pub fn ms(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_owned()
+    } else {
+        format!("{v:.1} ms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ff(0.41279), "0.413");
+        assert_eq!(ms(12.44), "12.4 ms");
+        assert_eq!(ms(f64::NAN), "-");
+    }
+
+    #[test]
+    fn write_json_round_trips() {
+        let dir = std::env::temp_dir().join(format!("stmaker-eval-{}", std::process::id()));
+        let path = write_json_to(&dir, "test_report", &vec![1, 2, 3]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let v: Vec<i32> = serde_json::from_str(&body).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,131 @@
+//! The time-of-day traffic model.
+//!
+//! Encodes the background facts the paper's Fig. 8 discussion appeals to:
+//! "during these hours the traffic is always heavy since people need to go to
+//! work or go back home. Therefore the driving speed is slower than usual."
+//! Morning rush 6:00–10:00 and evening rush 16:00–20:00 are congested;
+//! ordinary daytime is moderately busy; night is free-flowing.
+
+use serde::{Deserialize, Serialize};
+
+/// Congestion regime at some hour of day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficRegime {
+    /// 6:00–10:00 and 16:00–20:00.
+    Rush,
+    /// 10:00–16:00 and 20:00–22:00.
+    Day,
+    /// 22:00–6:00.
+    Night,
+}
+
+/// Deterministic time-of-day traffic intensity model.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TrafficModel;
+
+impl TrafficModel {
+    /// The regime at `hour` (fractional hours, `[0, 24)`).
+    pub fn regime(&self, hour: f64) -> TrafficRegime {
+        let h = hour.rem_euclid(24.0);
+        if (6.0..10.0).contains(&h) || (16.0..20.0).contains(&h) {
+            TrafficRegime::Rush
+        } else if (10.0..16.0).contains(&h) || (20.0..22.0).contains(&h) {
+            TrafficRegime::Day
+        } else {
+            TrafficRegime::Night
+        }
+    }
+
+    /// Multiplier on free-flow speed, `(0, 1]`.
+    pub fn speed_factor(&self, hour: f64) -> f64 {
+        match self.regime(hour) {
+            TrafficRegime::Rush => 0.68,
+            TrafficRegime::Day => 0.88,
+            // Even empty streets have lights and turns; true free-flow is
+            // unattainable, which also keeps a quiet night trip's uniform
+            // offset from the 24h average below the selection threshold.
+            TrafficRegime::Night => 0.90,
+        }
+    }
+
+    /// Expected congestion stops (lights, jams) per kilometre of travel.
+    pub fn stops_per_km(&self, hour: f64) -> f64 {
+        match self.regime(hour) {
+            TrafficRegime::Rush => 0.35,
+            TrafficRegime::Day => 0.12,
+            TrafficRegime::Night => 0.02,
+        }
+    }
+
+    /// Probability that a trip contains a U-turn (missed destination,
+    /// rerouting around a jam).
+    pub fn u_turn_prob(&self, hour: f64) -> f64 {
+        match self.regime(hour) {
+            TrafficRegime::Rush => 0.22,
+            TrafficRegime::Day => 0.10,
+            TrafficRegime::Night => 0.03,
+        }
+    }
+
+    /// Probability that the driver deviates from the fastest (popular) route.
+    pub fn detour_prob(&self, hour: f64) -> f64 {
+        match self.regime(hour) {
+            TrafficRegime::Rush => 0.30,
+            TrafficRegime::Day => 0.12,
+            TrafficRegime::Night => 0.05,
+        }
+    }
+
+    /// Probability of an abnormal slowdown event (accident, blockage) on a
+    /// trip, *beyond* the regime's baseline congestion.
+    pub fn slowdown_prob(&self, hour: f64) -> f64 {
+        match self.regime(hour) {
+            TrafficRegime::Rush => 0.35,
+            TrafficRegime::Day => 0.15,
+            TrafficRegime::Night => 0.04,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regimes_partition_the_day() {
+        let m = TrafficModel;
+        assert_eq!(m.regime(7.0), TrafficRegime::Rush);
+        assert_eq!(m.regime(17.5), TrafficRegime::Rush);
+        assert_eq!(m.regime(12.0), TrafficRegime::Day);
+        assert_eq!(m.regime(21.0), TrafficRegime::Day);
+        assert_eq!(m.regime(3.0), TrafficRegime::Night);
+        assert_eq!(m.regime(23.0), TrafficRegime::Night);
+        assert_eq!(m.regime(25.0), m.regime(1.0)); // wraps
+    }
+
+    #[test]
+    fn rush_is_slowest_and_busiest() {
+        let m = TrafficModel;
+        assert!(m.speed_factor(8.0) < m.speed_factor(12.0));
+        assert!(m.speed_factor(12.0) < m.speed_factor(2.0));
+        assert_eq!(m.speed_factor(2.0), 0.90);
+        assert!(m.stops_per_km(8.0) > m.stops_per_km(12.0));
+        assert!(m.stops_per_km(12.0) > m.stops_per_km(2.0));
+        assert!(m.u_turn_prob(8.0) > m.u_turn_prob(2.0));
+        assert!(m.detour_prob(17.0) > m.detour_prob(23.0));
+        assert!(m.slowdown_prob(9.0) > m.slowdown_prob(3.0));
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let m = TrafficModel;
+        for h in 0..24 {
+            let h = h as f64 + 0.5;
+            assert!((0.0..=1.0).contains(&m.u_turn_prob(h)));
+            assert!((0.0..=1.0).contains(&m.detour_prob(h)));
+            assert!((0.0..=1.0).contains(&m.slowdown_prob(h)));
+            assert!(m.speed_factor(h) > 0.0 && m.speed_factor(h) <= 1.0);
+            assert!(m.stops_per_km(h) >= 0.0);
+        }
+    }
+}

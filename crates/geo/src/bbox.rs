@@ -1,0 +1,146 @@
+//! Axis-aligned latitude/longitude bounding boxes.
+
+use crate::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box over latitude/longitude.
+///
+/// Cities do not straddle the antimeridian in this code base, so the box is a
+/// plain min/max rectangle in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    pub min_lat: f64,
+    pub min_lon: f64,
+    pub max_lat: f64,
+    pub max_lon: f64,
+}
+
+impl BoundingBox {
+    /// Creates a box from two opposite corners (in any order).
+    pub fn new(a: GeoPoint, b: GeoPoint) -> Self {
+        Self {
+            min_lat: a.lat.min(b.lat),
+            min_lon: a.lon.min(b.lon),
+            max_lat: a.lat.max(b.lat),
+            max_lon: a.lon.max(b.lon),
+        }
+    }
+
+    /// The tightest box enclosing every point of `points`.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn enclosing(points: &[GeoPoint]) -> Option<Self> {
+        let first = points.first()?;
+        let mut bb = BoundingBox::new(*first, *first);
+        for p in &points[1..] {
+            bb.expand(p);
+        }
+        Some(bb)
+    }
+
+    /// Grows the box to include `p`.
+    pub fn expand(&mut self, p: &GeoPoint) {
+        self.min_lat = self.min_lat.min(p.lat);
+        self.min_lon = self.min_lon.min(p.lon);
+        self.max_lat = self.max_lat.max(p.lat);
+        self.max_lon = self.max_lon.max(p.lon);
+    }
+
+    /// Grows the box outward by `margin_deg` degrees on every side.
+    pub fn inflate(&self, margin_deg: f64) -> Self {
+        Self {
+            min_lat: self.min_lat - margin_deg,
+            min_lon: self.min_lon - margin_deg,
+            max_lat: self.max_lat + margin_deg,
+            max_lon: self.max_lon + margin_deg,
+        }
+    }
+
+    /// Whether the point lies inside (inclusive of the boundary).
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon && p.lon <= self.max_lon
+    }
+
+    /// The centre of the box.
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint {
+            lat: (self.min_lat + self.max_lat) / 2.0,
+            lon: (self.min_lon + self.max_lon) / 2.0,
+        }
+    }
+
+    /// Whether two boxes overlap (inclusive of touching edges).
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        self.min_lat <= other.max_lat
+            && self.max_lat >= other.min_lat
+            && self.min_lon <= other.max_lon
+            && self.max_lon >= other.min_lon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon)
+    }
+
+    #[test]
+    fn new_orders_corners() {
+        let bb = BoundingBox::new(p(40.0, 117.0), p(39.0, 116.0));
+        assert_eq!(bb.min_lat, 39.0);
+        assert_eq!(bb.max_lon, 117.0);
+    }
+
+    #[test]
+    fn enclosing_covers_all_points() {
+        let pts = vec![p(39.9, 116.3), p(39.95, 116.5), p(39.8, 116.41)];
+        let bb = BoundingBox::enclosing(&pts).unwrap();
+        for q in &pts {
+            assert!(bb.contains(q));
+        }
+        assert_eq!(bb.min_lat, 39.8);
+        assert_eq!(bb.max_lon, 116.5);
+    }
+
+    #[test]
+    fn enclosing_empty_is_none() {
+        assert!(BoundingBox::enclosing(&[]).is_none());
+    }
+
+    #[test]
+    fn contains_boundary_inclusive() {
+        let bb = BoundingBox::new(p(39.0, 116.0), p(40.0, 117.0));
+        assert!(bb.contains(&p(39.0, 116.0)));
+        assert!(bb.contains(&p(40.0, 117.0)));
+        assert!(!bb.contains(&p(40.0001, 116.5)));
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        let bb = BoundingBox::new(p(39.0, 116.0), p(41.0, 118.0));
+        let c = bb.center();
+        assert_eq!(c.lat, 40.0);
+        assert_eq!(c.lon, 117.0);
+    }
+
+    #[test]
+    fn inflate_grows_box() {
+        let bb = BoundingBox::new(p(39.0, 116.0), p(40.0, 117.0)).inflate(0.5);
+        assert!(bb.contains(&p(38.6, 115.6)));
+        assert!(!bb.contains(&p(38.4, 116.5)));
+    }
+
+    #[test]
+    fn intersects_detects_overlap_and_touching() {
+        let a = BoundingBox::new(p(39.0, 116.0), p(40.0, 117.0));
+        let b = BoundingBox::new(p(39.5, 116.5), p(40.5, 117.5));
+        let c = BoundingBox::new(p(40.0, 117.0), p(41.0, 118.0)); // touches corner
+        let d = BoundingBox::new(p(42.0, 119.0), p(43.0, 120.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(a.intersects(&c));
+        assert!(!a.intersects(&d));
+    }
+}

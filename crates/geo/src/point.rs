@@ -1,0 +1,289 @@
+//! WGS-84 points, haversine geometry and a local flat-earth frame.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean earth radius in metres (IUGG value), used by all haversine math.
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A geographic point: WGS-84 latitude and longitude in decimal degrees.
+///
+/// This is the fundamental coordinate type of the whole stack; trajectories,
+/// POIs, landmarks and road vertices are all sequences or sets of `GeoPoint`s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in decimal degrees, positive north.
+    pub lat: f64,
+    /// Longitude in decimal degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from latitude/longitude in decimal degrees.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are not finite or outside the valid WGS-84
+    /// ranges; upstream data loaders are expected to have cleaned their input.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!(lat.is_finite() && (-90.0..=90.0).contains(&lat), "invalid latitude {lat}");
+        assert!(lon.is_finite() && (-180.0..=180.0).contains(&lon), "invalid longitude {lon}");
+        Self { lat, lon }
+    }
+
+    /// Great-circle (haversine) distance to `other`, in metres.
+    pub fn haversine_m(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        // Floating error can push `a` a hair outside [0, 1] for coincident
+        // or near-antipodal points; unclamped that is sqrt/asin of an
+        // out-of-domain value → NaN.
+        2.0 * EARTH_RADIUS_M * a.clamp(0.0, 1.0).sqrt().asin()
+    }
+
+    /// Initial bearing from `self` towards `other`, in degrees clockwise from
+    /// north, in `[0, 360)`. Returns 0 for coincident points.
+    pub fn bearing_deg(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlon = lon2 - lon1;
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        if y == 0.0 && x == 0.0 {
+            return 0.0;
+        }
+        crate::normalize_deg(y.atan2(x).to_degrees())
+    }
+
+    /// The point reached by travelling `distance_m` metres from `self` on the
+    /// initial bearing `bearing_deg` (degrees clockwise from north).
+    pub fn destination(&self, bearing_deg: f64, distance_m: f64) -> GeoPoint {
+        let br = bearing_deg.to_radians();
+        let d = distance_m / EARTH_RADIUS_M;
+        let lat1 = self.lat.to_radians();
+        let lon1 = self.lon.to_radians();
+        let lat2 = (lat1.sin() * d.cos() + lat1.cos() * d.sin() * br.cos()).asin();
+        let lon2 = lon1
+            + (br.sin() * d.sin() * lat1.cos()).atan2(d.cos() - lat1.sin() * lat2.sin());
+        GeoPoint {
+            lat: lat2.to_degrees(),
+            lon: ((lon2.to_degrees() + 540.0) % 360.0) - 180.0,
+        }
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1) in the
+    /// lat/lon plane. Adequate at city scale where segments are short.
+    pub fn lerp(&self, other: &GeoPoint, t: f64) -> GeoPoint {
+        GeoPoint {
+            lat: self.lat + (other.lat - self.lat) * t,
+            lon: self.lon + (other.lon - self.lon) * t,
+        }
+    }
+}
+
+/// A local equirectangular tangent frame anchored at a reference point.
+///
+/// Converts lat/lon to flat x/y metres (x east, y north) so that segment
+/// projection, polyline arc length and nearest-edge queries can use ordinary
+/// planar geometry. At city scale (≲ 50 km) the error versus true geodesics
+/// is negligible relative to GPS noise.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalFrame {
+    origin: GeoPoint,
+    /// Metres per degree of longitude at the origin's latitude.
+    m_per_deg_lon: f64,
+    /// Metres per degree of latitude (constant on the sphere).
+    m_per_deg_lat: f64,
+}
+
+impl LocalFrame {
+    /// Creates a frame anchored at `origin`.
+    pub fn new(origin: GeoPoint) -> Self {
+        let m_per_deg_lat = EARTH_RADIUS_M * std::f64::consts::PI / 180.0;
+        let m_per_deg_lon = m_per_deg_lat * origin.lat.to_radians().cos();
+        Self { origin, m_per_deg_lon, m_per_deg_lat }
+    }
+
+    /// The anchoring reference point.
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+
+    /// Projects a geographic point into local (x east, y north) metres.
+    #[inline]
+    pub fn to_xy(&self, p: &GeoPoint) -> (f64, f64) {
+        (
+            (p.lon - self.origin.lon) * self.m_per_deg_lon,
+            (p.lat - self.origin.lat) * self.m_per_deg_lat,
+        )
+    }
+
+    /// Inverse of [`LocalFrame::to_xy`].
+    #[inline]
+    pub fn to_geo(&self, x: f64, y: f64) -> GeoPoint {
+        GeoPoint {
+            lat: self.origin.lat + y / self.m_per_deg_lat,
+            lon: self.origin.lon + x / self.m_per_deg_lon,
+        }
+    }
+
+    /// Planar distance between two points in this frame, in metres.
+    #[inline]
+    pub fn dist_m(&self, a: &GeoPoint, b: &GeoPoint) -> f64 {
+        let (ax, ay) = self.to_xy(a);
+        let (bx, by) = self.to_xy(b);
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Projects point `p` onto the segment `a`–`b`.
+    ///
+    /// Returns `(t, distance_m)` where `t ∈ [0, 1]` is the clamped position of
+    /// the foot of the perpendicular along the segment and `distance_m` is the
+    /// planar distance from `p` to that foot.
+    pub fn project_onto_segment(&self, p: &GeoPoint, a: &GeoPoint, b: &GeoPoint) -> (f64, f64) {
+        let (px, py) = self.to_xy(p);
+        let (ax, ay) = self.to_xy(a);
+        let (bx, by) = self.to_xy(b);
+        let (dx, dy) = (bx - ax, by - ay);
+        let len2 = dx * dx + dy * dy;
+        let t = if len2 == 0.0 {
+            0.0
+        } else {
+            (((px - ax) * dx + (py - ay) * dy) / len2).clamp(0.0, 1.0)
+        };
+        let (fx, fy) = (ax + t * dx, ay + t * dy);
+        let dist = ((px - fx).powi(2) + (py - fy).powi(2)).sqrt();
+        (t, dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beijing() -> GeoPoint {
+        GeoPoint::new(39.9042, 116.4074)
+    }
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        let p = beijing();
+        assert_eq!(p.haversine_m(&p), 0.0);
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Beijing -> Shanghai is roughly 1067 km.
+        let bj = beijing();
+        let sh = GeoPoint::new(31.2304, 121.4737);
+        let d = bj.haversine_m(&sh);
+        assert!((d - 1_067_000.0).abs() < 10_000.0, "got {d}");
+    }
+
+    #[test]
+    fn haversine_is_symmetric() {
+        let a = beijing();
+        let b = GeoPoint::new(39.95, 116.30);
+        assert!((a.haversine_m(&b) - b.haversine_m(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn destination_round_trips_distance() {
+        let p = beijing();
+        for bearing in [0.0, 45.0, 90.0, 135.0, 223.0, 359.0] {
+            let q = p.destination(bearing, 5_000.0);
+            let d = p.haversine_m(&q);
+            assert!((d - 5_000.0).abs() < 1.0, "bearing {bearing}: {d}");
+        }
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let p = beijing();
+        let north = p.destination(0.0, 1000.0);
+        let east = p.destination(90.0, 1000.0);
+        assert!(p.bearing_deg(&north).min(360.0 - p.bearing_deg(&north)) < 0.5);
+        assert!((p.bearing_deg(&east) - 90.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn bearing_of_coincident_points_is_zero() {
+        let p = beijing();
+        assert_eq!(p.bearing_deg(&p), 0.0);
+    }
+
+    #[test]
+    fn local_frame_round_trip() {
+        let frame = LocalFrame::new(beijing());
+        let p = GeoPoint::new(39.95, 116.35);
+        let (x, y) = frame.to_xy(&p);
+        let back = frame.to_geo(x, y);
+        assert!((back.lat - p.lat).abs() < 1e-12);
+        assert!((back.lon - p.lon).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_frame_distance_close_to_haversine_at_city_scale() {
+        let frame = LocalFrame::new(beijing());
+        let a = GeoPoint::new(39.92, 116.39);
+        let b = GeoPoint::new(39.99, 116.50);
+        let planar = frame.dist_m(&a, &b);
+        let sphere = a.haversine_m(&b);
+        // Within 0.2% at ~12 km scale.
+        assert!((planar - sphere).abs() / sphere < 2e-3, "{planar} vs {sphere}");
+    }
+
+    #[test]
+    fn projection_onto_segment_midpoint() {
+        let frame = LocalFrame::new(beijing());
+        let a = beijing();
+        let b = a.destination(90.0, 1000.0);
+        let mid = a.destination(90.0, 500.0).destination(0.0, 30.0); // 30 m north of midpoint
+        let (t, d) = frame.project_onto_segment(&mid, &a, &b);
+        assert!((t - 0.5).abs() < 0.01, "t = {t}");
+        assert!((d - 30.0).abs() < 1.0, "d = {d}");
+    }
+
+    #[test]
+    fn projection_clamps_to_endpoints() {
+        let frame = LocalFrame::new(beijing());
+        let a = beijing();
+        let b = a.destination(90.0, 1000.0);
+        let before = a.destination(270.0, 200.0);
+        let (t, d) = frame.project_onto_segment(&before, &a, &b);
+        assert_eq!(t, 0.0);
+        assert!((d - 200.0).abs() < 1.0);
+        let after = b.destination(90.0, 300.0);
+        let (t, d) = frame.project_onto_segment(&after, &a, &b);
+        assert_eq!(t, 1.0);
+        assert!((d - 300.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn projection_degenerate_segment() {
+        let frame = LocalFrame::new(beijing());
+        let a = beijing();
+        let p = a.destination(10.0, 77.0);
+        let (t, d) = frame.project_onto_segment(&p, &a, &a);
+        assert_eq!(t, 0.0);
+        assert!((d - 77.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = GeoPoint::new(39.9, 116.3);
+        let b = GeoPoint::new(40.0, 116.5);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let m = a.lerp(&b, 0.5);
+        assert!((m.lat - 39.95).abs() < 1e-12);
+        assert!((m.lon - 116.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid latitude")]
+    fn new_rejects_bad_latitude() {
+        GeoPoint::new(123.0, 0.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Polylines: ordered point sequences with arc-length and projection queries.
+
+use crate::{GeoPoint, LocalFrame};
+use serde::{Deserialize, Serialize};
+
+/// The result of projecting a point onto a [`Polyline`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolyProjection {
+    /// Index of the segment (`points[i]`–`points[i+1]`) holding the foot.
+    pub segment: usize,
+    /// Position of the foot within that segment, `[0, 1]`.
+    pub t: f64,
+    /// Distance from the query point to the foot, metres.
+    pub distance_m: f64,
+    /// Arc length from the start of the polyline to the foot, metres.
+    pub arc_m: f64,
+}
+
+/// An ordered sequence of geographic points.
+///
+/// Calibration projects candidate landmarks onto the raw trajectory's
+/// polyline and orders them by arc length; the road builder and the workload
+/// generator use resampling to synthesize GPS points along routes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polyline {
+    points: Vec<GeoPoint>,
+}
+
+impl Polyline {
+    /// Creates a polyline. At least one point is required.
+    ///
+    /// # Panics
+    /// Panics on an empty point list.
+    pub fn new(points: Vec<GeoPoint>) -> Self {
+        assert!(!points.is_empty(), "polyline must have at least one point");
+        Self { points }
+    }
+
+    /// The underlying points.
+    pub fn points(&self) -> &[GeoPoint] {
+        &self.points
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the polyline has exactly one vertex (zero length).
+    pub fn is_empty(&self) -> bool {
+        false // by construction never empty; kept for API symmetry
+    }
+
+    /// Total arc length in metres (haversine over consecutive vertices).
+    pub fn length_m(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].haversine_m(&w[1]))
+            .sum()
+    }
+
+    /// Cumulative arc length at every vertex; `out[0] == 0`.
+    pub fn cumulative_m(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.points.len());
+        let mut acc = 0.0;
+        out.push(0.0);
+        for w in self.points.windows(2) {
+            acc += w[0].haversine_m(&w[1]);
+            out.push(acc);
+        }
+        out
+    }
+
+    /// Projects `p` onto the polyline, returning the nearest foot across all
+    /// segments. A single-vertex polyline projects everything onto that vertex.
+    pub fn project(&self, frame: &LocalFrame, p: &GeoPoint) -> PolyProjection {
+        if self.points.len() == 1 {
+            return PolyProjection {
+                segment: 0,
+                t: 0.0,
+                distance_m: frame.dist_m(p, &self.points[0]),
+                arc_m: 0.0,
+            };
+        }
+        // Single pass: accumulate arc length as we scan so no cumulative
+        // vector is allocated per call (projection is the hot loop of
+        // calibration and map matching).
+        let mut best = PolyProjection {
+            segment: 0,
+            t: 0.0,
+            distance_m: f64::INFINITY,
+            arc_m: 0.0,
+        };
+        let mut arc_before = 0.0;
+        for (i, w) in self.points.windows(2).enumerate() {
+            let seg_len = w[0].haversine_m(&w[1]);
+            let (t, d) = frame.project_onto_segment(p, &w[0], &w[1]);
+            if d < best.distance_m {
+                best = PolyProjection {
+                    segment: i,
+                    t,
+                    distance_m: d,
+                    arc_m: arc_before + t * seg_len,
+                };
+            }
+            arc_before += seg_len;
+        }
+        best
+    }
+
+    /// The point at arc length `arc_m` from the start (clamped to the ends).
+    pub fn point_at(&self, arc_m: f64) -> GeoPoint {
+        if self.points.len() == 1 || arc_m <= 0.0 {
+            return self.points[0];
+        }
+        let cum = self.cumulative_m();
+        let total = *cum.last().unwrap();
+        if arc_m >= total {
+            return *self.points.last().unwrap();
+        }
+        // Binary search for the segment containing arc_m.
+        let mut i = match cum.binary_search_by(|c| c.partial_cmp(&arc_m).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        i = i.min(self.points.len() - 2);
+        let seg_len = cum[i + 1] - cum[i];
+        let t = if seg_len == 0.0 { 0.0 } else { (arc_m - cum[i]) / seg_len };
+        self.points[i].lerp(&self.points[i + 1], t)
+    }
+
+    /// Resamples the polyline at a fixed arc-length `step_m`, always including
+    /// the first and last vertices.
+    pub fn resample(&self, step_m: f64) -> Polyline {
+        assert!(step_m > 0.0, "step must be positive");
+        let total = self.length_m();
+        if total == 0.0 {
+            return Polyline::new(vec![self.points[0]]);
+        }
+        let n = (total / step_m).floor() as usize;
+        let mut pts = Vec::with_capacity(n + 2);
+        for i in 0..=n {
+            pts.push(self.point_at(i as f64 * step_m));
+        }
+        let last = *self.points.last().unwrap();
+        if pts
+            .last()
+            .map(|p| p.haversine_m(&last) > 1e-6)
+            .unwrap_or(true)
+        {
+            pts.push(last);
+        }
+        Polyline::new(pts)
+    }
+
+    /// Concatenates `self` with `other`, dropping a duplicated join vertex.
+    pub fn join(&self, other: &Polyline) -> Polyline {
+        let mut pts = self.points.clone();
+        let mut rest = other.points.as_slice();
+        if let (Some(a), Some(b)) = (pts.last(), rest.first()) {
+            if a.haversine_m(b) < 1e-6 {
+                rest = &rest[1..];
+            }
+        }
+        pts.extend_from_slice(rest);
+        Polyline::new(pts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn origin() -> GeoPoint {
+        GeoPoint::new(39.9, 116.4)
+    }
+
+    /// An L-shaped line: 1 km east, then 1 km north.
+    fn l_shape() -> Polyline {
+        let a = origin();
+        let b = a.destination(90.0, 1000.0);
+        let c = b.destination(0.0, 1000.0);
+        Polyline::new(vec![a, b, c])
+    }
+
+    #[test]
+    fn length_of_l_shape() {
+        let l = l_shape().length_m();
+        assert!((l - 2000.0).abs() < 1.0, "{l}");
+    }
+
+    #[test]
+    fn cumulative_is_monotone() {
+        let cum = l_shape().cumulative_m();
+        assert_eq!(cum[0], 0.0);
+        assert!(cum.windows(2).all(|w| w[1] >= w[0]));
+        assert!((cum[2] - 2000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn point_at_handles_clamps_and_interior() {
+        let pl = l_shape();
+        let start = pl.point_at(-5.0);
+        assert_eq!(start, pl.points()[0]);
+        let end = pl.point_at(1e9);
+        assert_eq!(end, *pl.points().last().unwrap());
+        let mid = pl.point_at(500.0);
+        assert!(pl.points()[0].haversine_m(&mid) - 500.0 < 1.0);
+    }
+
+    #[test]
+    fn project_interior_point() {
+        let pl = l_shape();
+        let frame = LocalFrame::new(origin());
+        // 300 m east, 40 m north of the first leg.
+        let q = origin().destination(90.0, 300.0).destination(0.0, 40.0);
+        let proj = pl.project(&frame, &q);
+        assert_eq!(proj.segment, 0);
+        assert!((proj.arc_m - 300.0).abs() < 2.0, "arc {}", proj.arc_m);
+        assert!((proj.distance_m - 40.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn project_prefers_second_segment_when_closer() {
+        let pl = l_shape();
+        let frame = LocalFrame::new(origin());
+        let corner = origin().destination(90.0, 1000.0);
+        let q = corner.destination(0.0, 600.0).destination(90.0, 25.0);
+        let proj = pl.project(&frame, &q);
+        assert_eq!(proj.segment, 1);
+        assert!((proj.arc_m - 1600.0).abs() < 3.0, "arc {}", proj.arc_m);
+        assert!((proj.distance_m - 25.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn project_single_vertex_line() {
+        let pl = Polyline::new(vec![origin()]);
+        let frame = LocalFrame::new(origin());
+        let q = origin().destination(45.0, 120.0);
+        let proj = pl.project(&frame, &q);
+        assert_eq!(proj.segment, 0);
+        assert!((proj.distance_m - 120.0).abs() < 1.0);
+        assert_eq!(proj.arc_m, 0.0);
+    }
+
+    #[test]
+    fn resample_spacing_and_endpoints() {
+        let pl = l_shape();
+        let rs = pl.resample(100.0);
+        assert_eq!(rs.points()[0], pl.points()[0]);
+        assert!(rs.points().last().unwrap().haversine_m(pl.points().last().unwrap()) < 0.01);
+        // Each consecutive pair is at most ~100 m apart.
+        for w in rs.points().windows(2) {
+            assert!(w[0].haversine_m(&w[1]) <= 101.0);
+        }
+        // Length is preserved: resampling an L keeps both legs.
+        assert!((rs.length_m() - pl.length_m()).abs() < 2.0);
+    }
+
+    #[test]
+    fn resample_zero_length_line() {
+        let pl = Polyline::new(vec![origin(), origin()]);
+        let rs = pl.resample(10.0);
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn join_drops_duplicate_vertex() {
+        let a = origin();
+        let b = a.destination(90.0, 500.0);
+        let c = b.destination(90.0, 500.0);
+        let p1 = Polyline::new(vec![a, b]);
+        let p2 = Polyline::new(vec![b, c]);
+        let joined = p1.join(&p2);
+        assert_eq!(joined.len(), 3);
+        assert!((joined.length_m() - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_polyline_rejected() {
+        Polyline::new(vec![]);
+    }
+}

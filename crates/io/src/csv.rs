@@ -1,0 +1,205 @@
+//! CSV trajectories: the paper's Table I layout.
+//!
+//! Accepted row forms (comma- or whitespace-separated, optional header):
+//!
+//! ```text
+//! latitude,longitude,timestamp
+//! 39.9383,116.339,1383383876           # Unix seconds
+//! 39.9383 116.339 20131102 09:17:56    # the paper's Table I datetime
+//! ```
+
+use crate::FormatError;
+use stmaker_geo::GeoPoint;
+use stmaker_trajectory::{RawPoint, RawTrajectory, Timestamp};
+
+/// Parses a trajectory from CSV text.
+pub fn read_trajectory_csv(text: &str) -> Result<RawTrajectory, FormatError> {
+    let mut points = Vec::new();
+    let mut seen_data = false;
+    for (i, raw_line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|f| !f.is_empty())
+            .collect();
+        // Header detection: the first non-comment line is a header iff its
+        // first field is not a number. (Parsing, not "contains a letter",
+        // so scientific-notation data rows are never mistaken for headers,
+        // and a header after comments/blank lines is still recognized.)
+        if !seen_data
+            && fields.first().map(|f| f.parse::<f64>().is_err()).unwrap_or(false)
+        {
+            continue; // header row
+        }
+        seen_data = true;
+        if fields.len() < 3 {
+            return Err(FormatError::new(line_no, format!("expected ≥ 3 fields, got {}", fields.len())));
+        }
+        let lat: f64 = fields[0]
+            .parse()
+            .map_err(|_| FormatError::new(line_no, format!("bad latitude {:?}", fields[0])))?;
+        let lon: f64 = fields[1]
+            .parse()
+            .map_err(|_| FormatError::new(line_no, format!("bad longitude {:?}", fields[1])))?;
+        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+            return Err(FormatError::new(line_no, format!("coordinates out of range: {lat}, {lon}")));
+        }
+        let t = parse_timestamp(&fields[2..], line_no)?;
+        points.push(RawPoint { point: GeoPoint::new(lat, lon), t });
+    }
+    if points.len() < 2 {
+        return Err(FormatError::new(
+            text.lines().count(),
+            format!("a trajectory needs at least 2 samples, got {}", points.len()),
+        ));
+    }
+    if !points.windows(2).all(|w| w[0].t <= w[1].t) {
+        return Err(FormatError::new(0, "timestamps must be non-decreasing".to_owned()));
+    }
+    Ok(RawTrajectory::new(points))
+}
+
+/// Serializes a trajectory to the canonical CSV layout (Unix seconds).
+pub fn write_trajectory_csv(traj: &RawTrajectory) -> String {
+    let mut out = String::from("latitude,longitude,timestamp\n");
+    for p in traj.points() {
+        out.push_str(&format!("{:.6},{:.6},{}\n", p.point.lat, p.point.lon, p.t.0));
+    }
+    out
+}
+
+/// Parses either Unix seconds (one field) or `YYYYMMDD HH:MM:SS` (two
+/// fields, the paper's Table I format).
+fn parse_timestamp(fields: &[&str], line: usize) -> Result<Timestamp, FormatError> {
+    match fields {
+        [secs] => secs
+            .parse::<i64>()
+            .map(Timestamp)
+            .map_err(|_| FormatError::new(line, format!("bad timestamp {secs:?}"))),
+        [date, time, ..] => parse_datetime(date, time)
+            .ok_or_else(|| FormatError::new(line, format!("bad datetime {date:?} {time:?}"))),
+        [] => Err(FormatError::new(line, "missing timestamp".to_owned())),
+    }
+}
+
+/// `YYYYMMDD` + `HH:MM:SS` → seconds since the Unix epoch (UTC, proleptic
+/// Gregorian; the civil-from-days algorithm of Howard Hinnant).
+fn parse_datetime(date: &str, time: &str) -> Option<Timestamp> {
+    if date.len() != 8 {
+        return None;
+    }
+    let year: i64 = date[0..4].parse().ok()?;
+    let month: u32 = date[4..6].parse().ok()?;
+    let day: u32 = date[6..8].parse().ok()?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    let hms: Vec<&str> = time.split(':').collect();
+    if hms.len() != 3 {
+        return None;
+    }
+    let h: i64 = hms[0].parse().ok()?;
+    let m: i64 = hms[1].parse().ok()?;
+    let s: i64 = hms[2].parse().ok()?;
+    if !(0..24).contains(&h) || !(0..60).contains(&m) || !(0..60).contains(&s) {
+        return None;
+    }
+    Some(Timestamp(days_from_civil(year, month, day) * 86_400 + h * 3600 + m * 60 + s))
+}
+
+/// Days since 1970-01-01 for a proleptic-Gregorian civil date.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // Mar = 0 … Feb = 11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_unix_seconds() {
+        let csv = "latitude,longitude,timestamp\n39.9383,116.339,100\n39.9382,116.337,106\n";
+        let traj = read_trajectory_csv(csv).unwrap();
+        assert_eq!(traj.len(), 2);
+        assert_eq!(traj.start().t, Timestamp(100));
+        let back = write_trajectory_csv(&traj);
+        let again = read_trajectory_csv(&back).unwrap();
+        assert_eq!(traj, again);
+    }
+
+    #[test]
+    fn parses_table_one_datetime_format() {
+        // The paper's Table I rows, verbatim style.
+        let csv = "39.9383 116.339 20131102 09:17:56\n39.9382 116.337 20131102 09:18:02\n";
+        let traj = read_trajectory_csv(csv).unwrap();
+        assert_eq!(traj.duration_secs(), 6);
+        // 2013-11-02 is 16011 days after the epoch.
+        assert_eq!(traj.start().t.0, 16_011 * 86_400 + 9 * 3600 + 17 * 60 + 56);
+    }
+
+    #[test]
+    fn days_from_civil_known_dates() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(1970, 1, 2), 1);
+        assert_eq!(days_from_civil(2000, 3, 1), 11_017);
+        assert_eq!(days_from_civil(2013, 11, 2), 16_011);
+        assert_eq!(days_from_civil(1969, 12, 31), -1);
+    }
+
+    #[test]
+    fn skips_header_comments_and_blanks() {
+        let csv = "lat,lon,ts\n# a comment\n\n39.9,116.3,0\n39.91,116.31,10\n";
+        let traj = read_trajectory_csv(csv).unwrap();
+        assert_eq!(traj.len(), 2);
+    }
+
+    #[test]
+    fn header_after_comment_and_scientific_notation_rows() {
+        // Header preceded by a comment is still recognized as a header…
+        let csv = "# export v2\nlat,lon,ts\n39.9,116.3,0\n39.91,116.31,10\n";
+        assert_eq!(read_trajectory_csv(csv).unwrap().len(), 2);
+        // …and a first data row in scientific notation is data, not a header.
+        let csv = "3.99e1,116.3,0\n39.91,116.31,10\n";
+        let traj = read_trajectory_csv(csv).unwrap();
+        assert_eq!(traj.len(), 2);
+        assert!((traj.start().point.lat - 39.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = read_trajectory_csv("39.9,116.3,0\nnot,numbers,here\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bad latitude"), "{e}");
+        let e = read_trajectory_csv("39.9,116.3\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_decreasing() {
+        assert!(read_trajectory_csv("99.0,116.3,0\n39.9,116.3,5\n").is_err());
+        let e = read_trajectory_csv("39.9,116.3,10\n39.9,116.4,5\n").unwrap_err();
+        assert!(e.message.contains("non-decreasing"));
+    }
+
+    #[test]
+    fn rejects_too_few_samples() {
+        let e = read_trajectory_csv("39.9,116.3,0\n").unwrap_err();
+        assert!(e.message.contains("at least 2"));
+    }
+
+    #[test]
+    fn rejects_bad_datetimes() {
+        assert!(read_trajectory_csv("39.9 116.3 20131302 09:00:00\n39.9 116.3 20131102 09:00:01\n").is_err());
+        assert!(read_trajectory_csv("39.9 116.3 20131102 25:00:00\n39.9 116.3 20131102 09:00:01\n").is_err());
+    }
+}

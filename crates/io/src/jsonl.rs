@@ -1,0 +1,96 @@
+//! JSON-lines trajectories: one sample object per line.
+//!
+//! ```text
+//! {"lat": 39.9383, "lon": 116.339, "t": 1383383876}
+//! {"lat": 39.9382, "lon": 116.337, "t": 1383383882}
+//! ```
+
+use crate::FormatError;
+use serde::{Deserialize, Serialize};
+use stmaker_geo::GeoPoint;
+use stmaker_trajectory::{RawPoint, RawTrajectory, Timestamp};
+
+#[derive(Serialize, Deserialize)]
+struct Sample {
+    lat: f64,
+    lon: f64,
+    t: i64,
+}
+
+/// Parses a trajectory from JSON-lines text.
+pub fn read_trajectory_jsonl(text: &str) -> Result<RawTrajectory, FormatError> {
+    let mut points = Vec::new();
+    for (i, raw_line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw_line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let s: Sample = serde_json::from_str(line)
+            .map_err(|e| FormatError::new(line_no, format!("bad JSON sample: {e}")))?;
+        if !(-90.0..=90.0).contains(&s.lat) || !(-180.0..=180.0).contains(&s.lon) {
+            return Err(FormatError::new(
+                line_no,
+                format!("coordinates out of range: {}, {}", s.lat, s.lon),
+            ));
+        }
+        points.push(RawPoint { point: GeoPoint::new(s.lat, s.lon), t: Timestamp(s.t) });
+    }
+    if points.len() < 2 {
+        return Err(FormatError::new(
+            text.lines().count(),
+            format!("a trajectory needs at least 2 samples, got {}", points.len()),
+        ));
+    }
+    if !points.windows(2).all(|w| w[0].t <= w[1].t) {
+        return Err(FormatError::new(0, "timestamps must be non-decreasing".to_owned()));
+    }
+    Ok(RawTrajectory::new(points))
+}
+
+/// Serializes a trajectory to JSON-lines.
+pub fn write_trajectory_jsonl(traj: &RawTrajectory) -> String {
+    let mut out = String::new();
+    for p in traj.points() {
+        let s = Sample { lat: p.point.lat, lon: p.point.lon, t: p.t.0 };
+        out.push_str(&serde_json::to_string(&s).expect("plain struct serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let text = "{\"lat\":39.9,\"lon\":116.3,\"t\":0}\n{\"lat\":39.91,\"lon\":116.31,\"t\":10}\n";
+        let traj = read_trajectory_jsonl(text).unwrap();
+        assert_eq!(traj.len(), 2);
+        let back = write_trajectory_jsonl(&traj);
+        assert_eq!(read_trajectory_jsonl(&back).unwrap(), traj);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let text = "{\"lat\":39.9,\"lon\":116.3,\"t\":0}\n\n{\"lat\":39.91,\"lon\":116.31,\"t\":10}\n";
+        assert_eq!(read_trajectory_jsonl(text).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn errors_with_line_numbers() {
+        let text = "{\"lat\":39.9,\"lon\":116.3,\"t\":0}\nnot json\n";
+        let e = read_trajectory_jsonl(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bad JSON"));
+    }
+
+    #[test]
+    fn rejects_decreasing_time_and_bad_coords() {
+        let t = "{\"lat\":39.9,\"lon\":116.3,\"t\":10}\n{\"lat\":39.9,\"lon\":116.3,\"t\":0}\n";
+        assert!(read_trajectory_jsonl(t).is_err());
+        let t = "{\"lat\":239.9,\"lon\":116.3,\"t\":0}\n{\"lat\":39.9,\"lon\":116.3,\"t\":1}\n";
+        assert!(read_trajectory_jsonl(t).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! Interchange formats for trajectories and summaries.
+//!
+//! The paper's third benefit of summarization (Sec. I): "trajectories
+//! collected from different sources may have different formats and schema,
+//! but they can all be translated to texts with similar style." This crate
+//! supplies the format layer a deployment needs to get trajectories *in*
+//! and summaries *out*:
+//!
+//! * [`csv`] — the paper's Table I representation: `latitude, longitude,
+//!   timestamp` rows, accepting both Unix seconds and the paper's
+//!   `YYYYMMDD HH:MM:SS` datetime stamps;
+//! * [`jsonl`] — one JSON sample per line, the common streaming layout;
+//! * [`geojson`] — export trajectories as `LineString` features and
+//!   summaries as per-partition features with their sentences as
+//!   properties, ready for any web map.
+
+pub mod csv;
+pub mod geojson;
+pub mod jsonl;
+
+pub use csv::{read_trajectory_csv, write_trajectory_csv};
+pub use geojson::{summary_to_geojson, trajectory_to_geojson};
+pub use jsonl::{read_trajectory_jsonl, write_trajectory_jsonl};
+
+/// A parse failure, with 1-based line number for operator-friendly messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl FormatError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        Self { line, message: message.into() }
+    }
+}

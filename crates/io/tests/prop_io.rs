@@ -1,0 +1,50 @@
+//! Property-based tests: format round-trips over arbitrary trajectories.
+
+use proptest::prelude::*;
+use stmaker_geo::GeoPoint;
+use stmaker_io::{
+    read_trajectory_csv, read_trajectory_jsonl, write_trajectory_csv, write_trajectory_jsonl,
+};
+use stmaker_trajectory::{RawPoint, RawTrajectory, Timestamp};
+
+fn trajectory_strategy() -> impl Strategy<Value = RawTrajectory> {
+    prop::collection::vec((30.0f64..50.0, 100.0f64..130.0, 0i64..600), 2..40).prop_map(|raw| {
+        let mut t = 0i64;
+        let pts = raw
+            .into_iter()
+            .map(|(lat, lon, dt)| {
+                t += dt;
+                RawPoint { point: GeoPoint::new(lat, lon), t: Timestamp(t) }
+            })
+            .collect();
+        RawTrajectory::new(pts)
+    })
+}
+
+proptest! {
+    #[test]
+    fn csv_round_trip_preserves_time_and_approximate_position(traj in trajectory_strategy()) {
+        let text = write_trajectory_csv(&traj);
+        let back = read_trajectory_csv(&text).expect("own output parses");
+        prop_assert_eq!(back.len(), traj.len());
+        for (a, b) in traj.points().iter().zip(back.points()) {
+            prop_assert_eq!(a.t, b.t);
+            // CSV prints 6 decimals ≈ 0.11 m at these latitudes.
+            prop_assert!(a.point.haversine_m(&b.point) < 0.2);
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_exact(traj in trajectory_strategy()) {
+        let text = write_trajectory_jsonl(&traj);
+        let back = read_trajectory_jsonl(&text).expect("own output parses");
+        prop_assert_eq!(back, traj);
+    }
+
+    #[test]
+    fn csv_parser_never_panics_on_arbitrary_text(text in ".{0,400}") {
+        // Errors are fine; panics are not.
+        let _ = read_trajectory_csv(&text);
+        let _ = read_trajectory_jsonl(&text);
+    }
+}

@@ -1,0 +1,25 @@
+//! POIs, DBSCAN clustering and the landmark registry.
+//!
+//! The paper's landmark dataset (Sec. VII-A) is built from two sources: "the
+//! turning point dataset extracted from the commercial map, and the POI
+//! dataset of Beijing … We cluster the raw POI dataset into approximately
+//! 17,000 clusters using DBSCAN, and use the geometric centers of the
+//! clusters as the landmarks."
+//!
+//! This crate supplies the same machinery:
+//!
+//! * [`Poi`] / [`PoiCategory`] — the raw POI model;
+//! * [`dbscan`] — a faithful DBSCAN [Ester et al., KDD'96] over geographic
+//!   points with haversine ε;
+//! * [`Landmark`] / [`LandmarkRegistry`] — the merged landmark dataset
+//!   (POI-cluster centroids + road-network turning points) with spatial
+//!   queries, which every downstream stage (calibration, partitioning,
+//!   popular routes, templates) consumes.
+
+pub mod cluster;
+pub mod landmark;
+pub mod poi;
+
+pub use cluster::{dbscan, DbscanParams};
+pub use landmark::{Landmark, LandmarkId, LandmarkKind, LandmarkRegistry};
+pub use poi::{Poi, PoiCategory, PoiId};

@@ -1,0 +1,106 @@
+//! The raw Point-Of-Interest model.
+
+use serde::{Deserialize, Serialize};
+use stmaker_geo::GeoPoint;
+
+/// Index of a [`Poi`] within its dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PoiId(pub u32);
+
+/// Coarse POI categories, mirroring the kinds of semantic places the paper's
+/// summaries name (hotels, parks, hospitals, stations, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoiCategory {
+    Restaurant,
+    Hotel,
+    Hospital,
+    School,
+    Park,
+    Mall,
+    Office,
+    Residence,
+    Station,
+    Scenic,
+}
+
+impl PoiCategory {
+    /// All categories.
+    pub const ALL: [PoiCategory; 10] = [
+        PoiCategory::Restaurant,
+        PoiCategory::Hotel,
+        PoiCategory::Hospital,
+        PoiCategory::School,
+        PoiCategory::Park,
+        PoiCategory::Mall,
+        PoiCategory::Office,
+        PoiCategory::Residence,
+        PoiCategory::Station,
+        PoiCategory::Scenic,
+    ];
+
+    /// Display noun used when synthesizing POI names.
+    pub fn noun(self) -> &'static str {
+        match self {
+            PoiCategory::Restaurant => "Restaurant",
+            PoiCategory::Hotel => "Hotel",
+            PoiCategory::Hospital => "Hospital",
+            PoiCategory::School => "School",
+            PoiCategory::Park => "Park",
+            PoiCategory::Mall => "Mall",
+            PoiCategory::Office => "Tower",
+            PoiCategory::Residence => "Community",
+            PoiCategory::Station => "Station",
+            PoiCategory::Scenic => "Scenic Area",
+        }
+    }
+
+    /// Baseline visit attractiveness of the category (relative scale). Public
+    /// hubs draw far more check-ins than residences, which gives the HITS
+    /// significance its long tail.
+    pub fn base_attractiveness(self) -> f64 {
+        match self {
+            PoiCategory::Station => 5.0,
+            PoiCategory::Mall => 4.0,
+            PoiCategory::Scenic => 3.5,
+            PoiCategory::Park => 3.0,
+            PoiCategory::Hospital => 2.5,
+            PoiCategory::Hotel => 2.0,
+            PoiCategory::Restaurant => 1.8,
+            PoiCategory::School => 1.5,
+            PoiCategory::Office => 1.2,
+            PoiCategory::Residence => 1.0,
+        }
+    }
+}
+
+/// A Point Of Interest: a named place with a location and a popularity prior.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Poi {
+    pub id: PoiId,
+    pub point: GeoPoint,
+    pub name: String,
+    pub category: PoiCategory,
+    /// Relative popularity prior (≥ 0); feeds check-in generation.
+    pub popularity: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_categories_have_nonempty_nouns() {
+        for c in PoiCategory::ALL {
+            assert!(!c.noun().is_empty());
+            assert!(c.base_attractiveness() > 0.0);
+        }
+    }
+
+    #[test]
+    fn stations_outdraw_residences() {
+        assert!(
+            PoiCategory::Station.base_attractiveness()
+                > PoiCategory::Residence.base_attractiveness()
+        );
+    }
+}

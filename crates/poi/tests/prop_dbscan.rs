@@ -1,0 +1,78 @@
+//! Property-based tests for DBSCAN's defining invariants.
+
+use proptest::prelude::*;
+use stmaker_geo::GeoPoint;
+use stmaker_poi::{dbscan, DbscanParams};
+
+fn base() -> GeoPoint {
+    GeoPoint::new(39.9, 116.4)
+}
+
+fn points_strategy() -> impl Strategy<Value = Vec<GeoPoint>> {
+    prop::collection::vec((0.0f64..360.0, 0.0f64..4_000.0), 0..60)
+        .prop_map(|offs| offs.into_iter().map(|(b, d)| base().destination(b, d)).collect())
+}
+
+/// Haversine neighbour count (including self), the definition DBSCAN uses.
+fn neighbours(points: &[GeoPoint], i: usize, eps: f64) -> usize {
+    points.iter().filter(|p| points[i].haversine_m(p) <= eps).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn core_points_are_never_noise(pts in points_strategy()) {
+        let params = DbscanParams { eps_m: 200.0, min_pts: 3 };
+        let (assign, k) = dbscan(&pts, params);
+        prop_assert_eq!(assign.len(), pts.len());
+        for (i, a) in assign.iter().enumerate() {
+            // Use a slightly shrunk eps for the check: the grid index
+            // measures planar distance, which can differ from haversine by a
+            // hair at the boundary.
+            if neighbours(&pts, i, params.eps_m * 0.99) >= params.min_pts {
+                prop_assert!(a.is_some(), "core point {i} labelled noise");
+            }
+        }
+        // Cluster ids are compact: 0..k.
+        for a in assign.iter().flatten() {
+            prop_assert!(*a < k);
+        }
+    }
+
+    #[test]
+    fn noise_points_are_far_from_every_cluster_core(pts in points_strategy()) {
+        let params = DbscanParams { eps_m: 200.0, min_pts: 3 };
+        let (assign, _) = dbscan(&pts, params);
+        for i in 0..pts.len() {
+            if assign[i].is_none() {
+                // A noise point must not be within eps of any core point
+                // (otherwise it would have been absorbed as a border point).
+                for j in 0..pts.len() {
+                    if assign[j].is_some()
+                        && neighbours(&pts, j, params.eps_m) >= params.min_pts
+                    {
+                        let d = pts[i].haversine_m(&pts[j]);
+                        prop_assert!(d > params.eps_m * 0.99,
+                            "noise point {i} is {d:.1} m from core {j}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic(pts in points_strategy()) {
+        let params = DbscanParams::default();
+        let (a, ka) = dbscan(&pts, params);
+        let (b, kb) = dbscan(&pts, params);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn min_pts_one_clusters_everything(pts in points_strategy()) {
+        let (assign, _) = dbscan(&pts, DbscanParams { eps_m: 100.0, min_pts: 1 });
+        prop_assert!(assign.iter().all(|a| a.is_some()));
+    }
+}

@@ -1,0 +1,157 @@
+//! Road attribute vocabulary: the paper's routing-feature value domains.
+
+use serde::{Deserialize, Serialize};
+
+/// The seven-level road hierarchy of Sec. III-A.
+///
+/// "There are seven grades of road: 1 (highway), 2 (express road), 3
+/// (national road), 4 (provincial road), 5 (country road), 6 (village road)
+/// and 7 (feeder road). The roads with higher grade (smaller numerical value)
+/// usually have higher transportation capacity."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum RoadGrade {
+    Highway = 1,
+    Express = 2,
+    National = 3,
+    Provincial = 4,
+    County = 5,
+    Village = 6,
+    Feeder = 7,
+}
+
+impl RoadGrade {
+    /// All grades, best capacity first.
+    pub const ALL: [RoadGrade; 7] = [
+        RoadGrade::Highway,
+        RoadGrade::Express,
+        RoadGrade::National,
+        RoadGrade::Provincial,
+        RoadGrade::County,
+        RoadGrade::Village,
+        RoadGrade::Feeder,
+    ];
+
+    /// The categorical integer the paper assigns (1 = highway … 7 = feeder).
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses the paper's integer code.
+    pub fn from_code(code: u8) -> Option<RoadGrade> {
+        RoadGrade::ALL.get(code.checked_sub(1)? as usize).copied()
+    }
+
+    /// Human-readable name used in summary templates ("through *highway*…").
+    pub fn name(self) -> &'static str {
+        match self {
+            RoadGrade::Highway => "highway",
+            RoadGrade::Express => "express road",
+            RoadGrade::National => "national road",
+            RoadGrade::Provincial => "provincial road",
+            RoadGrade::County => "country road",
+            RoadGrade::Village => "village road",
+            RoadGrade::Feeder => "feeder road",
+        }
+    }
+
+    /// Typical free-flow speed for the grade, km/h. Drives both the synthetic
+    /// traffic model and the fastest-path cost.
+    pub fn free_flow_kmh(self) -> f64 {
+        match self {
+            RoadGrade::Highway => 100.0,
+            RoadGrade::Express => 80.0,
+            RoadGrade::National => 60.0,
+            RoadGrade::Provincial => 50.0,
+            RoadGrade::County => 40.0,
+            RoadGrade::Village => 30.0,
+            RoadGrade::Feeder => 20.0,
+        }
+    }
+
+    /// Typical paved width for the grade, metres (midpoint of realistic
+    /// ranges; the synthetic city jitters around these).
+    pub fn typical_width_m(self) -> f64 {
+        match self {
+            RoadGrade::Highway => 28.0,
+            RoadGrade::Express => 22.0,
+            RoadGrade::National => 16.0,
+            RoadGrade::Provincial => 13.0,
+            RoadGrade::County => 9.0,
+            RoadGrade::Village => 6.5,
+            RoadGrade::Feeder => 4.5,
+        }
+    }
+}
+
+/// Traffic direction of a road (Sec. III-A).
+///
+/// "There are two values of direction, i.e., 1 (two-way road) and 2 (one-way
+/// road)."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Direction {
+    TwoWay = 1,
+    OneWay = 2,
+}
+
+impl Direction {
+    /// The categorical integer the paper assigns.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses the paper's integer code.
+    pub fn from_code(code: u8) -> Option<Direction> {
+        match code {
+            1 => Some(Direction::TwoWay),
+            2 => Some(Direction::OneWay),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name used in summary templates.
+    pub fn name(self) -> &'static str {
+        match self {
+            Direction::TwoWay => "two-way road",
+            Direction::OneWay => "one-way road",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grade_codes_round_trip() {
+        for g in RoadGrade::ALL {
+            assert_eq!(RoadGrade::from_code(g.code()), Some(g));
+        }
+        assert_eq!(RoadGrade::from_code(0), None);
+        assert_eq!(RoadGrade::from_code(8), None);
+    }
+
+    #[test]
+    fn higher_grade_means_faster_and_wider() {
+        for w in RoadGrade::ALL.windows(2) {
+            assert!(w[0].free_flow_kmh() > w[1].free_flow_kmh());
+            assert!(w[0].typical_width_m() > w[1].typical_width_m());
+        }
+    }
+
+    #[test]
+    fn grade_names_match_paper() {
+        assert_eq!(RoadGrade::Highway.name(), "highway");
+        assert_eq!(RoadGrade::Express.name(), "express road");
+        assert_eq!(RoadGrade::Feeder.name(), "feeder road");
+    }
+
+    #[test]
+    fn direction_codes_round_trip() {
+        assert_eq!(Direction::from_code(1), Some(Direction::TwoWay));
+        assert_eq!(Direction::from_code(2), Some(Direction::OneWay));
+        assert_eq!(Direction::from_code(3), None);
+        assert_eq!(Direction::TwoWay.code(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! The historical feature map of Sec. V-B.
+//!
+//! "For each moving feature f, a historical feature map, represented as a
+//! directed graph G(V, E), is built to summarize feature f between two
+//! landmarks … Annotate each edge e(lᵢ, lⱼ) with the average value of feature
+//! f of T(lᵢ → lⱼ)."
+//!
+//! One [`HistoricalFeatureMap`] holds *all* moving features at once (keyed by
+//! feature name), since they share the same edge set.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+use stmaker_poi::LandmarkId;
+
+/// Running mean for one feature on one landmark-graph edge.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct Stat {
+    sum: f64,
+    count: u64,
+}
+
+/// Directed landmark graph annotated with per-edge average moving-feature
+/// values (the `r_{lᵢ→lⱼ}` of the paper's moving-feature irregular rate).
+///
+/// Numeric features aggregate as running means; categorical features (grade
+/// of road, traffic direction) aggregate as per-code counts and are read
+/// back as the mode, since averaging category codes is meaningless.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HistoricalFeatureMap {
+    /// `(from, to) → feature key → running mean`.
+    #[serde(with = "crate::serde_vecmap")]
+    edges: HashMap<(LandmarkId, LandmarkId), BTreeMap<String, Stat>>,
+    /// `(from, to) → feature key → category code → count`.
+    #[serde(with = "crate::serde_vecmap")]
+    categorical: HashMap<(LandmarkId, LandmarkId), BTreeMap<String, BTreeMap<u32, u64>>>,
+}
+
+impl HistoricalFeatureMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `feature` on the direct hop `from → to`.
+    pub fn add_observation(&mut self, from: LandmarkId, to: LandmarkId, feature: &str, value: f64) {
+        assert!(value.is_finite(), "feature observations must be finite");
+        let stat = self
+            .edges
+            .entry((from, to))
+            .or_default()
+            .entry(feature.to_owned())
+            .or_default();
+        stat.sum += value;
+        stat.count += 1;
+    }
+
+    /// The regular (historical average) value of `feature` on `from → to`,
+    /// or `None` if no historical trajectory travelled that hop.
+    pub fn regular_value(&self, from: LandmarkId, to: LandmarkId, feature: &str) -> Option<f64> {
+        let stat = self.edges.get(&(from, to))?.get(feature)?;
+        Some(stat.sum / stat.count as f64)
+    }
+
+    /// How many observations back the `from → to` average of `feature`.
+    pub fn observation_count(&self, from: LandmarkId, to: LandmarkId, feature: &str) -> u64 {
+        self.edges
+            .get(&(from, to))
+            .and_then(|m| m.get(feature))
+            .map(|s| s.count)
+            .unwrap_or(0)
+    }
+
+    /// Records one observation of a categorical `feature` (e.g. road-grade
+    /// code) on the direct hop `from → to`.
+    pub fn add_categorical_observation(
+        &mut self,
+        from: LandmarkId,
+        to: LandmarkId,
+        feature: &str,
+        code: u32,
+    ) {
+        *self
+            .categorical
+            .entry((from, to))
+            .or_default()
+            .entry(feature.to_owned())
+            .or_default()
+            .entry(code)
+            .or_insert(0) += 1;
+    }
+
+    /// The regular (modal) category of `feature` on `from → to`. Ties break
+    /// towards the smaller code for determinism.
+    pub fn regular_category(&self, from: LandmarkId, to: LandmarkId, feature: &str) -> Option<u32> {
+        let counts = self.categorical.get(&(from, to))?.get(feature)?;
+        counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(code, _)| *code)
+    }
+
+    /// Number of annotated edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Merges another map into this one (used to combine shards built in
+    /// parallel or across corpus batches).
+    pub fn merge(&mut self, other: &HistoricalFeatureMap) {
+        for (edge, feats) in &other.edges {
+            let dst = self.edges.entry(*edge).or_default();
+            for (k, s) in feats {
+                let d = dst.entry(k.clone()).or_default();
+                d.sum += s.sum;
+                d.count += s.count;
+            }
+        }
+        for (edge, feats) in &other.categorical {
+            let dst = self.categorical.entry(*edge).or_default();
+            for (k, counts) in feats {
+                let d = dst.entry(k.clone()).or_default();
+                for (code, c) in counts {
+                    *d.entry(*code).or_insert(0) += c;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LandmarkId {
+        LandmarkId(i)
+    }
+
+    #[test]
+    fn averages_accumulate() {
+        let mut m = HistoricalFeatureMap::new();
+        m.add_observation(l(0), l(1), "speed", 40.0);
+        m.add_observation(l(0), l(1), "speed", 60.0);
+        m.add_observation(l(0), l(1), "speed", 50.0);
+        assert_eq!(m.regular_value(l(0), l(1), "speed"), Some(50.0));
+        assert_eq!(m.observation_count(l(0), l(1), "speed"), 3);
+    }
+
+    #[test]
+    fn direction_matters() {
+        let mut m = HistoricalFeatureMap::new();
+        m.add_observation(l(0), l(1), "speed", 80.0);
+        assert_eq!(m.regular_value(l(1), l(0), "speed"), None);
+    }
+
+    #[test]
+    fn unknown_edges_and_features_are_none() {
+        let mut m = HistoricalFeatureMap::new();
+        m.add_observation(l(0), l(1), "speed", 80.0);
+        assert_eq!(m.regular_value(l(0), l(2), "speed"), None);
+        assert_eq!(m.regular_value(l(0), l(1), "stay_points"), None);
+        assert_eq!(m.observation_count(l(0), l(2), "speed"), 0);
+    }
+
+    #[test]
+    fn multiple_features_share_an_edge() {
+        let mut m = HistoricalFeatureMap::new();
+        m.add_observation(l(3), l(4), "speed", 30.0);
+        m.add_observation(l(3), l(4), "stay_points", 2.0);
+        assert_eq!(m.edge_count(), 1);
+        assert_eq!(m.regular_value(l(3), l(4), "speed"), Some(30.0));
+        assert_eq!(m.regular_value(l(3), l(4), "stay_points"), Some(2.0));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = HistoricalFeatureMap::new();
+        a.add_observation(l(0), l(1), "speed", 40.0);
+        let mut b = HistoricalFeatureMap::new();
+        b.add_observation(l(0), l(1), "speed", 60.0);
+        b.add_observation(l(1), l(2), "speed", 10.0);
+        a.merge(&b);
+        assert_eq!(a.regular_value(l(0), l(1), "speed"), Some(50.0));
+        assert_eq!(a.regular_value(l(1), l(2), "speed"), Some(10.0));
+        assert_eq!(a.edge_count(), 2);
+    }
+
+    #[test]
+    fn categorical_mode_and_ties() {
+        let mut m = HistoricalFeatureMap::new();
+        m.add_categorical_observation(l(0), l(1), "grade", 3);
+        m.add_categorical_observation(l(0), l(1), "grade", 3);
+        m.add_categorical_observation(l(0), l(1), "grade", 5);
+        assert_eq!(m.regular_category(l(0), l(1), "grade"), Some(3));
+        // Tie: smaller code wins deterministically.
+        m.add_categorical_observation(l(0), l(1), "grade", 5);
+        assert_eq!(m.regular_category(l(0), l(1), "grade"), Some(3));
+        assert_eq!(m.regular_category(l(0), l(2), "grade"), None);
+        assert_eq!(m.regular_category(l(0), l(1), "direction"), None);
+    }
+
+    #[test]
+    fn merge_combines_categorical_counts() {
+        let mut a = HistoricalFeatureMap::new();
+        a.add_categorical_observation(l(0), l(1), "grade", 2);
+        let mut b = HistoricalFeatureMap::new();
+        b.add_categorical_observation(l(0), l(1), "grade", 4);
+        b.add_categorical_observation(l(0), l(1), "grade", 4);
+        a.merge(&b);
+        assert_eq!(a.regular_category(l(0), l(1), "grade"), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_non_finite_observations() {
+        let mut m = HistoricalFeatureMap::new();
+        m.add_observation(l(0), l(1), "speed", f64::NAN);
+    }
+}

@@ -1,0 +1,314 @@
+//! Mining the most popular route `PR` between two landmarks.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use stmaker_poi::LandmarkId;
+use stmaker_trajectory::SymbolicTrajectory;
+
+/// Tunables for popular-route mining.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PopularRouteConfig {
+    /// Minimum number of historical traversals for the exact most-frequent
+    /// sub-route to be trusted; below this the transfer-graph fallback runs.
+    pub min_support: usize,
+    /// Cap on sub-route length (in landmarks) indexed per trajectory; guards
+    /// the O(n²) pair index on pathological inputs.
+    pub max_indexed_span: usize,
+}
+
+impl Default for PopularRouteConfig {
+    fn default() -> Self {
+        // min_support = 1: prefer an actually-observed route whenever any
+        // historical trajectory covered the pair, falling back to the
+        // transfer-graph walk only for never-co-traversed pairs. Empirically
+        // this is what keeps short partitions' routing features quiet when
+        // the driven route IS the popular route (EXPERIMENTS.md, Fig. 10(b)).
+        Self { min_support: 1, max_indexed_span: 64 }
+    }
+}
+
+/// One indexed occurrence of a `(from, to)` landmark pair.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Occurrence {
+    traj: u32,
+    start: u32,
+    end: u32,
+}
+
+/// The popular-route miner: indexes a historical symbolic-trajectory corpus
+/// and answers `PR(lᵢ, lⱼ)` queries.
+#[derive(Serialize, Deserialize)]
+pub struct PopularRoutes {
+    corpus: Vec<Vec<LandmarkId>>,
+    /// All occurrences of each ordered landmark pair in the corpus.
+    #[serde(with = "crate::serde_vecmap")]
+    pairs: HashMap<(LandmarkId, LandmarkId), Vec<Occurrence>>,
+    /// Transfer counts of *direct* hops, for the probability fallback.
+    #[serde(with = "crate::serde_vecmap")]
+    transfers: HashMap<LandmarkId, Vec<(LandmarkId, f64)>>,
+    cfg: PopularRouteConfig,
+}
+
+impl PopularRoutes {
+    /// Builds the miner from a historical corpus.
+    pub fn build<'a>(
+        corpus: impl IntoIterator<Item = &'a SymbolicTrajectory>,
+        cfg: PopularRouteConfig,
+    ) -> Self {
+        let seqs: Vec<Vec<LandmarkId>> =
+            corpus.into_iter().map(|t| t.landmark_seq()).collect();
+
+        let mut pairs: HashMap<(LandmarkId, LandmarkId), Vec<Occurrence>> = HashMap::new();
+        let mut hop_counts: HashMap<(LandmarkId, LandmarkId), f64> = HashMap::new();
+
+        for (ti, seq) in seqs.iter().enumerate() {
+            let n = seq.len();
+            for i in 0..n {
+                let max_j = (i + cfg.max_indexed_span).min(n - 1);
+                for j in (i + 1)..=max_j {
+                    pairs.entry((seq[i], seq[j])).or_default().push(Occurrence {
+                        traj: ti as u32,
+                        start: i as u32,
+                        end: j as u32,
+                    });
+                }
+            }
+            for w in seq.windows(2) {
+                *hop_counts.entry((w[0], w[1])).or_insert(0.0) += 1.0;
+            }
+        }
+
+        // Normalize hop counts into per-source transition lists.
+        let mut transfers: HashMap<LandmarkId, Vec<(LandmarkId, f64)>> = HashMap::new();
+        for (&(a, b), &c) in &hop_counts {
+            transfers.entry(a).or_default().push((b, c));
+        }
+        for list in transfers.values_mut() {
+            list.sort_by_key(|(l, _)| *l); // deterministic order
+        }
+
+        Self { corpus: seqs, pairs, transfers, cfg }
+    }
+
+    /// Number of indexed historical trajectories.
+    pub fn corpus_len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// How many *distinct* historical trajectories traverse `from … to` (in
+    /// order). A looping trajectory that covers the pair several times
+    /// counts once.
+    pub fn support(&self, from: LandmarkId, to: LandmarkId) -> usize {
+        self.pairs
+            .get(&(from, to))
+            .map(|v| {
+                let mut ids: Vec<u32> = v.iter().map(|o| o.traj).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids.len()
+            })
+            .unwrap_or(0)
+    }
+
+    /// The most popular historical route from `from` to `to`, inclusive of
+    /// both endpoints. Returns `None` when the corpus gives no basis at all
+    /// (no exact support *and* no transfer-graph path).
+    pub fn popular_route(&self, from: LandmarkId, to: LandmarkId) -> Option<Vec<LandmarkId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        if self.support(from, to) >= self.cfg.min_support {
+            if let Some(occ) = self.pairs.get(&(from, to)) {
+                return Some(self.most_frequent_exact(occ));
+            }
+        }
+        self.max_probability_route(from, to).or_else(|| {
+            // Last resort: any exact occurrence, even below min_support.
+            self.pairs.get(&(from, to)).map(|occ| self.most_frequent_exact(occ))
+        })
+    }
+
+    /// Among the occurrences, the most frequent concrete landmark sequence.
+    fn most_frequent_exact(&self, occ: &[Occurrence]) -> Vec<LandmarkId> {
+        let mut counts: HashMap<&[LandmarkId], usize> = HashMap::new();
+        for o in occ {
+            let seq = &self.corpus[o.traj as usize][o.start as usize..=o.end as usize];
+            *counts.entry(seq).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.len().cmp(&a.0.len())).then_with(|| b.0.cmp(a.0)))
+            .map(|(seq, _)| seq.to_vec())
+            .expect("occurrence list is non-empty")
+    }
+
+    /// Maximum-probability walk on the transfer graph: Dijkstra on
+    /// `−ln p(next | cur)` edge costs.
+    fn max_probability_route(&self, from: LandmarkId, to: LandmarkId) -> Option<Vec<LandmarkId>> {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Entry {
+            cost: f64,
+            node: LandmarkId,
+        }
+        impl Eq for Entry {}
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other
+                    .cost
+                    .partial_cmp(&self.cost)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| other.node.cmp(&self.node))
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut dist: HashMap<LandmarkId, f64> = HashMap::new();
+        let mut prev: HashMap<LandmarkId, LandmarkId> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        dist.insert(from, 0.0);
+        heap.push(Entry { cost: 0.0, node: from });
+
+        while let Some(Entry { cost, node }) = heap.pop() {
+            if cost > *dist.get(&node).unwrap_or(&f64::INFINITY) {
+                continue;
+            }
+            if node == to {
+                break;
+            }
+            let Some(outs) = self.transfers.get(&node) else { continue };
+            let total: f64 = outs.iter().map(|(_, c)| c).sum();
+            for (next, c) in outs {
+                let p = c / total;
+                let nd = cost - p.ln();
+                if nd < *dist.get(next).unwrap_or(&f64::INFINITY) {
+                    dist.insert(*next, nd);
+                    prev.insert(*next, node);
+                    heap.push(Entry { cost: nd, node: *next });
+                }
+            }
+        }
+
+        if !dist.contains_key(&to) {
+            return None;
+        }
+        let mut route = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = prev[&cur];
+            route.push(cur);
+        }
+        route.reverse();
+        Some(route)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stmaker_trajectory::{SymbolicPoint, Timestamp};
+
+    fn traj(ids: &[u32]) -> SymbolicTrajectory {
+        SymbolicTrajectory::new(
+            ids.iter()
+                .enumerate()
+                .map(|(i, l)| SymbolicPoint { landmark: LandmarkId(*l), t: Timestamp(60 * i as i64) })
+                .collect(),
+        )
+    }
+
+    fn l(i: u32) -> LandmarkId {
+        LandmarkId(i)
+    }
+
+    #[test]
+    fn exact_majority_route_wins() {
+        // 0→1→2 three times, 0→3→2 once.
+        let corpus =
+            vec![traj(&[0, 1, 2]), traj(&[0, 1, 2]), traj(&[0, 1, 2]), traj(&[0, 3, 2])];
+        let pr = PopularRoutes::build(&corpus, PopularRouteConfig::default());
+        assert_eq!(pr.support(l(0), l(2)), 4);
+        assert_eq!(pr.popular_route(l(0), l(2)).unwrap(), vec![l(0), l(1), l(2)]);
+    }
+
+    #[test]
+    fn sub_routes_are_indexed() {
+        let corpus = vec![traj(&[5, 6, 7, 8, 9]); 3];
+        let pr = PopularRoutes::build(&corpus, PopularRouteConfig::default());
+        assert_eq!(pr.popular_route(l(6), l(8)).unwrap(), vec![l(6), l(7), l(8)]);
+        assert_eq!(pr.support(l(5), l(9)), 3);
+    }
+
+    #[test]
+    fn fallback_stitches_transfer_graph() {
+        // No single trajectory goes 0→4, but hops 0→1→2 and 2→3→4 exist.
+        let corpus = vec![traj(&[0, 1, 2]), traj(&[0, 1, 2]), traj(&[2, 3, 4]), traj(&[2, 3, 4])];
+        let pr = PopularRoutes::build(&corpus, PopularRouteConfig::default());
+        assert_eq!(pr.support(l(0), l(4)), 0);
+        assert_eq!(pr.popular_route(l(0), l(4)).unwrap(), vec![l(0), l(1), l(2), l(3), l(4)]);
+    }
+
+    #[test]
+    fn fallback_prefers_frequent_transitions() {
+        // From 0: to 1 nine times, to 2 once; both reach 3.
+        let mut corpus = vec![traj(&[0, 2, 3])];
+        for _ in 0..9 {
+            corpus.push(traj(&[0, 1]));
+        }
+        corpus.push(traj(&[1, 3]));
+        corpus.push(traj(&[1, 3]));
+        // Support for (0,3) is 1 (< min_support 3) → probability fallback.
+        let cfg = PopularRouteConfig { min_support: 3, ..PopularRouteConfig::default() };
+        let pr = PopularRoutes::build(&corpus, cfg);
+        let route = pr.popular_route(l(0), l(3)).unwrap();
+        // p(1|0) = 0.9, p(3|1) = 1.0 → 0.9; p(2|0) = 0.1, p(3|2) = 1.0 → 0.1.
+        assert_eq!(route, vec![l(0), l(1), l(3)]);
+    }
+
+    #[test]
+    fn below_min_support_single_occurrence_still_returned_when_no_path() {
+        // One lone trajectory 7→8 with landmark 8 having no other appearances:
+        // transfer fallback *also* finds 7→8 (it is a direct hop), so check a
+        // disconnected pair instead.
+        let corpus = vec![traj(&[7, 8]), traj(&[1, 2])];
+        let pr = PopularRoutes::build(&corpus, PopularRouteConfig::default());
+        assert_eq!(pr.popular_route(l(7), l(8)).unwrap(), vec![l(7), l(8)]);
+        assert!(pr.popular_route(l(8), l(7)).is_none());
+        assert!(pr.popular_route(l(7), l(2)).is_none());
+    }
+
+    #[test]
+    fn same_endpoint_is_trivial() {
+        let corpus = vec![traj(&[0, 1])];
+        let pr = PopularRoutes::build(&corpus, PopularRouteConfig::default());
+        assert_eq!(pr.popular_route(l(0), l(0)).unwrap(), vec![l(0)]);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // Two routes with equal frequency; result must be stable across builds.
+        let corpus = vec![traj(&[0, 1, 2]), traj(&[0, 3, 2]), traj(&[0, 1, 2]), traj(&[0, 3, 2])];
+        let a = PopularRoutes::build(&corpus, PopularRouteConfig::default());
+        let b = PopularRoutes::build(&corpus, PopularRouteConfig::default());
+        assert_eq!(a.popular_route(l(0), l(2)), b.popular_route(l(0), l(2)));
+    }
+
+    #[test]
+    fn max_indexed_span_caps_pair_index() {
+        let cfg = PopularRouteConfig { min_support: 1, max_indexed_span: 2 };
+        let corpus = vec![traj(&[0, 1, 2, 3, 4])];
+        let pr = PopularRoutes::build(&corpus, cfg);
+        // Span-2 pair is indexed…
+        assert_eq!(pr.support(l(0), l(2)), 1);
+        // …span-4 pair is not, but the transfer fallback still answers.
+        assert_eq!(pr.support(l(0), l(4)), 0);
+        assert_eq!(pr.popular_route(l(0), l(4)).unwrap(), vec![l(0), l(1), l(2), l(3), l(4)]);
+    }
+}

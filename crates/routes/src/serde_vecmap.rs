@@ -1,0 +1,77 @@
+//! Serde adapter: (de)serializes a `HashMap<K, V>` as a sorted `Vec<(K, V)>`.
+//!
+//! JSON object keys must be strings, so maps keyed by tuples or newtype ids
+//! cannot serialize natively. Entry-vector form works with every serde
+//! format, and sorting keys makes the output canonical (byte-identical
+//! files for identical models — the same determinism contract the rest of
+//! the stack keeps).
+
+use serde::de::{Deserialize, Deserializer};
+use serde::ser::{Serialize, Serializer};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Serializes the map as a key-sorted entry vector.
+pub fn serialize<K, V, S>(map: &HashMap<K, V>, serializer: S) -> Result<S::Ok, S::Error>
+where
+    K: Serialize + Ord + Clone,
+    V: Serialize,
+    S: Serializer,
+{
+    let mut entries: Vec<(&K, &V)> = map.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    serializer.collect_seq(entries)
+}
+
+/// Deserializes an entry vector back into a map.
+pub fn deserialize<'de, K, V, D>(deserializer: D) -> Result<HashMap<K, V>, D::Error>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    D: Deserializer<'de>,
+{
+    let entries: Vec<(K, V)> = Vec::deserialize(deserializer)?;
+    Ok(entries.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+    use std::collections::HashMap;
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Holder {
+        #[serde(with = "super")]
+        map: HashMap<(u32, u32), Vec<f64>>,
+    }
+
+    #[test]
+    fn round_trips_tuple_keys_through_json() {
+        let mut map = HashMap::new();
+        map.insert((1, 2), vec![1.0, 2.0]);
+        map.insert((0, 9), vec![3.0]);
+        let h = Holder { map };
+        let json = serde_json::to_string(&h).expect("serializes");
+        let back: Holder = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn output_is_canonical() {
+        // Same entries inserted in different orders produce identical JSON.
+        let mut a = HashMap::new();
+        a.insert((1u32, 1u32), 1.0f64);
+        a.insert((0, 0), 2.0);
+        let mut b = HashMap::new();
+        b.insert((0u32, 0u32), 2.0f64);
+        b.insert((1, 1), 1.0);
+        #[derive(Serialize)]
+        struct H {
+            #[serde(with = "super")]
+            m: HashMap<(u32, u32), f64>,
+        }
+        let ja = serde_json::to_string(&H { m: a }).unwrap();
+        let jb = serde_json::to_string(&H { m: b }).unwrap();
+        assert_eq!(ja, jb);
+    }
+}

@@ -1,0 +1,231 @@
+//! Weighted HITS power iteration on the visit graph.
+
+use crate::visits::Visit;
+use std::collections::{BTreeMap, HashMap};
+
+/// Convergence controls for the power iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct HitsConfig {
+    /// Hard iteration cap.
+    pub max_iters: usize,
+    /// Stop when the L2 change of the hub vector drops below this.
+    pub tolerance: f64,
+}
+
+impl Default for HitsConfig {
+    fn default() -> Self {
+        Self { max_iters: 100, tolerance: 1e-9 }
+    }
+}
+
+/// Output of [`compute_significance`].
+#[derive(Debug, Clone)]
+pub struct HitsResult {
+    /// Per-landmark significance, min–max normalized into `[0, 1]`.
+    /// Landmarks with no visits score 0 — as does the least-visited
+    /// landmark, which min–max maps to the same floor; callers that must
+    /// distinguish the two should consult `hub_scores`.
+    pub significance: Vec<f64>,
+    /// Raw (L2-normalized) hub scores before min–max normalization.
+    pub hub_scores: Vec<f64>,
+    /// Iterations actually run.
+    pub iterations: usize,
+}
+
+/// Runs the HITS-like significance computation of Sec. IV-B.
+///
+/// Travellers are authorities, landmarks are hubs, visits are hyperlinks.
+/// Repeated visits by the same traveller to the same landmark strengthen the
+/// link (edge weights are visit counts). The returned significance vector is
+/// indexed by `LandmarkId` and normalized to `[0, 1]`.
+pub fn compute_significance(n_landmarks: usize, visits: &[Visit], cfg: HitsConfig) -> HitsResult {
+    // Aggregate multi-edges into weights and compact user ids.
+    // `weights` is a BTreeMap so adjacency construction (and therefore
+    // floating-point summation order) is deterministic across runs.
+    let mut user_index: HashMap<u32, usize> = HashMap::new();
+    let mut weights: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    for v in visits {
+        let lm = v.landmark.0 as usize;
+        assert!(lm < n_landmarks, "visit references landmark {} out of range", lm);
+        let next = user_index.len();
+        let u = *user_index.entry(v.user.0).or_insert(next);
+        *weights.entry((u, lm)).or_insert(0.0) += 1.0;
+    }
+    let n_users = user_index.len();
+
+    if n_users == 0 || n_landmarks == 0 {
+        return HitsResult {
+            significance: vec![0.0; n_landmarks],
+            hub_scores: vec![0.0; n_landmarks],
+            iterations: 0,
+        };
+    }
+
+    // Adjacency in both directions for fast sweeps.
+    let mut by_user: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_users];
+    let mut by_landmark: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_landmarks];
+    for (&(u, l), &w) in &weights {
+        by_user[u].push((l, w));
+        by_landmark[l].push((u, w));
+    }
+
+    let mut auth = vec![1.0f64; n_users];
+    let mut hub = vec![1.0f64; n_landmarks];
+    let mut iterations = 0;
+
+    for it in 0..cfg.max_iters {
+        iterations = it + 1;
+        // a(u) = Σ_l h(l) · w(u,l)
+        for (u, links) in by_user.iter().enumerate() {
+            auth[u] = links.iter().map(|(l, w)| hub[*l] * w).sum();
+        }
+        l2_normalize(&mut auth);
+        // h(l) = Σ_u a(u) · w(u,l)
+        let mut new_hub = vec![0.0f64; n_landmarks];
+        for (l, links) in by_landmark.iter().enumerate() {
+            new_hub[l] = links.iter().map(|(u, w)| auth[*u] * w).sum();
+        }
+        l2_normalize(&mut new_hub);
+        let delta: f64 = new_hub
+            .iter()
+            .zip(&hub)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        hub = new_hub;
+        if delta < cfg.tolerance {
+            break;
+        }
+    }
+
+    // Min–max normalize over visited landmarks; unvisited stay at exactly 0.
+    let visited_scores: Vec<f64> = (0..n_landmarks)
+        .filter(|l| !by_landmark[*l].is_empty())
+        .map(|l| hub[l])
+        .collect();
+    let (lo, hi) = visited_scores
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &s| (lo.min(s), hi.max(s)));
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    let significance = (0..n_landmarks)
+        .map(|l| {
+            if by_landmark[l].is_empty() {
+                0.0
+            } else if hi == lo {
+                1.0 // every visited landmark equally significant
+            } else {
+                (hub[l] - lo) / span
+            }
+        })
+        .collect();
+
+    HitsResult { significance, hub_scores: hub, iterations }
+}
+
+fn l2_normalize(v: &mut [f64]) {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visits::Visit;
+
+    #[test]
+    fn hub_landmark_dominates() {
+        // Landmark 0 is visited by 10 users; landmarks 1..=3 by one user each.
+        let mut visits = Vec::new();
+        for u in 0..10 {
+            visits.push(Visit::new(u, 0));
+        }
+        visits.push(Visit::new(0, 1));
+        visits.push(Visit::new(1, 2));
+        visits.push(Visit::new(2, 3));
+        let r = compute_significance(4, &visits, HitsConfig::default());
+        assert_eq!(r.significance[0], 1.0);
+        for l in 1..4 {
+            assert!(r.significance[l] < 0.5, "l{l} = {}", r.significance[l]);
+        }
+    }
+
+    #[test]
+    fn unvisited_landmarks_score_zero() {
+        let visits = vec![Visit::new(0, 0), Visit::new(1, 0)];
+        let r = compute_significance(3, &visits, HitsConfig::default());
+        assert_eq!(r.significance[1], 0.0);
+        assert_eq!(r.significance[2], 0.0);
+        assert_eq!(r.significance[0], 1.0);
+    }
+
+    #[test]
+    fn repeat_visits_strengthen_links() {
+        // Same user count, but landmark 1 gets 5 visits from each user.
+        let mut visits = Vec::new();
+        for u in 0..4 {
+            visits.push(Visit::new(u, 0));
+            for _ in 0..5 {
+                visits.push(Visit::new(u, 1));
+            }
+        }
+        let r = compute_significance(2, &visits, HitsConfig::default());
+        assert!(r.significance[1] > r.significance[0]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = compute_significance(5, &[], HitsConfig::default());
+        assert_eq!(r.significance, vec![0.0; 5]);
+        let r = compute_significance(0, &[], HitsConfig::default());
+        assert!(r.significance.is_empty());
+    }
+
+    #[test]
+    fn uniform_graph_gives_uniform_scores() {
+        // Every user visits every landmark once: all equally significant.
+        let mut visits = Vec::new();
+        for u in 0..3 {
+            for l in 0..4 {
+                visits.push(Visit::new(u, l));
+            }
+        }
+        let r = compute_significance(4, &visits, HitsConfig::default());
+        assert!(r.significance.iter().all(|s| (*s - 1.0).abs() < 1e-12), "{:?}", r.significance);
+    }
+
+    #[test]
+    fn converges_quickly_on_small_graphs() {
+        let visits = vec![Visit::new(0, 0), Visit::new(0, 1), Visit::new(1, 1)];
+        let r = compute_significance(2, &visits, HitsConfig::default());
+        assert!(r.iterations < 100, "took {} iterations", r.iterations);
+    }
+
+    #[test]
+    fn deterministic() {
+        let visits: Vec<Visit> =
+            (0..50).map(|i| Visit::new(i % 7, (i * i) % 11)).collect();
+        let a = compute_significance(11, &visits, HitsConfig::default());
+        let b = compute_significance(11, &visits, HitsConfig::default());
+        assert_eq!(a.significance, b.significance);
+    }
+
+    #[test]
+    fn scores_bounded_in_unit_interval() {
+        let visits: Vec<Visit> =
+            (0..200).map(|i| Visit::new(i % 13, (i * 3) % 17)).collect();
+        let r = compute_significance(17, &visits, HitsConfig::default());
+        assert!(r.significance.iter().all(|s| (0.0..=1.0).contains(s)));
+        // Extremes attained.
+        assert!(r.significance.contains(&1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn visit_out_of_range_panics() {
+        compute_significance(2, &[Visit::new(0, 5)], HitsConfig::default());
+    }
+}

@@ -1,0 +1,19 @@
+//! Landmark significance via a HITS-like algorithm.
+//!
+//! Sec. IV-B of the paper: "To measure the familiarity of landmarks … we
+//! utilize the online check-in records from a popular location-based social
+//! network (LBSN) and trajectories of cars in the target city … We leverage a
+//! HITS-like algorithm \[41\] to infer the significance of landmarks, by
+//! modeling the travellers as authorities, landmarks as hubs, and
+//! check-ins/visits as hyperlinks."
+//!
+//! [`compute_significance`] runs weighted HITS power iteration over the
+//! traveller–landmark bipartite visit graph and returns per-landmark
+//! significance scores min–max normalized into `[0, 1]`, ready for
+//! [`stmaker_poi::LandmarkRegistry::set_significances`].
+
+pub mod hits;
+pub mod visits;
+
+pub use hits::{compute_significance, HitsConfig, HitsResult};
+pub use visits::{UserId, Visit};

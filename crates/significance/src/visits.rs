@@ -1,0 +1,35 @@
+//! The traveller–landmark visit model (check-ins and trajectory visits).
+
+use serde::{Deserialize, Serialize};
+use stmaker_poi::LandmarkId;
+
+/// A traveller: an LBSN user or a tracked vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+/// One hyperlink of the HITS graph: traveller `user` visited (checked in at,
+/// or drove past) landmark `landmark`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Visit {
+    pub user: UserId,
+    pub landmark: LandmarkId,
+}
+
+impl Visit {
+    /// Convenience constructor.
+    pub fn new(user: u32, landmark: u32) -> Self {
+        Self { user: UserId(user), landmark: LandmarkId(landmark) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_wraps_ids() {
+        let v = Visit::new(3, 9);
+        assert_eq!(v.user, UserId(3));
+        assert_eq!(v.landmark, LandmarkId(9));
+    }
+}

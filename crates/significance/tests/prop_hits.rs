@@ -1,0 +1,48 @@
+//! Property-based tests for the HITS significance computation.
+
+use proptest::prelude::*;
+use stmaker_significance::{compute_significance, HitsConfig, Visit};
+
+fn visits_strategy(n_landmarks: u32) -> impl Strategy<Value = Vec<Visit>> {
+    prop::collection::vec((0u32..20, 0u32..n_landmarks), 0..200)
+        .prop_map(|pairs| pairs.into_iter().map(|(u, l)| Visit::new(u, l)).collect())
+}
+
+proptest! {
+    #[test]
+    fn significance_bounded_and_deterministic(visits in visits_strategy(15)) {
+        let a = compute_significance(15, &visits, HitsConfig::default());
+        let b = compute_significance(15, &visits, HitsConfig::default());
+        prop_assert_eq!(&a.significance, &b.significance);
+        prop_assert!(a.significance.iter().all(|s| (0.0..=1.0).contains(s)));
+        prop_assert_eq!(a.significance.len(), 15);
+    }
+
+    #[test]
+    fn unvisited_landmarks_score_exactly_zero(visits in visits_strategy(10)) {
+        // Landmarks 10..15 never appear in the strategy's range.
+        let r = compute_significance(15, &visits, HitsConfig::default());
+        for l in 10..15 {
+            prop_assert_eq!(r.significance[l], 0.0);
+        }
+    }
+
+    #[test]
+    fn some_visited_landmark_attains_the_maximum(visits in visits_strategy(12)) {
+        prop_assume!(!visits.is_empty());
+        let r = compute_significance(12, &visits, HitsConfig::default());
+        let max = r.significance.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!((max - 1.0).abs() < 1e-9, "min-max normalization must attain 1, got {max}");
+    }
+
+    #[test]
+    fn visit_order_is_irrelevant(visits in visits_strategy(10)) {
+        let mut shuffled = visits.clone();
+        shuffled.reverse();
+        let a = compute_significance(10, &visits, HitsConfig::default());
+        let b = compute_significance(10, &shuffled, HitsConfig::default());
+        for (x, y) in a.significance.iter().zip(&b.significance) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Seeded spherical k-means over tf-idf vectors.
+//!
+//! The paper's Sec. VI-C use case: cluster the summaries of a region/time
+//! window to get "a quick overview about the traffic condition". Spherical
+//! (cosine) k-means is the standard choice for tf-idf document vectors.
+
+use crate::vectorize::SparseVector;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster id per document (`k` = number of clusters actually used).
+    pub assignments: Vec<usize>,
+    /// Dense unit-length centroids, `centroids[c][term_id]`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Iterations run until convergence (or the cap).
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The `n` highest-weight term ids of cluster `c` — the cluster's topic.
+    pub fn top_terms(&self, c: usize, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.centroids[c].len()).collect();
+        idx.sort_by(|a, b| {
+            self.centroids[c][*b]
+                .partial_cmp(&self.centroids[c][*a])
+                .unwrap()
+                .then(a.cmp(b))
+        });
+        idx.truncate(n);
+        idx.retain(|i| self.centroids[c][*i] > 0.0);
+        idx
+    }
+
+    /// Documents in cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Spherical k-means with k-means++-style seeding from a deterministic RNG.
+///
+/// `dim` is the vocabulary size. Zero vectors are assigned to cluster 0 and
+/// ignored during centroid updates. `k` is clamped to the number of non-zero
+/// documents.
+pub fn kmeans_cosine(
+    vectors: &[SparseVector],
+    dim: usize,
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+) -> KMeansResult {
+    let nonzero: Vec<usize> =
+        (0..vectors.len()).filter(|i| !vectors[*i].is_zero()).collect();
+    let k = k.clamp(1, nonzero.len().max(1));
+    if nonzero.is_empty() || dim == 0 {
+        return KMeansResult {
+            assignments: vec![0; vectors.len()],
+            centroids: vec![vec![0.0; dim]; 1],
+            iterations: 0,
+        };
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding: first centre uniform, later centres ∝ (1 − sim)².
+    let mut centres: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = nonzero[rng.random_range(0..nonzero.len())];
+    centres.push(densify(&vectors[first], dim));
+    while centres.len() < k {
+        let weights: Vec<f64> = nonzero
+            .iter()
+            .map(|i| {
+                let best = centres
+                    .iter()
+                    .map(|c| dot_sparse_dense(&vectors[*i], c))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                (1.0 - best).max(0.0).powi(2) + 1e-9
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut x = rng.random_range(0.0..total);
+        let mut chosen = nonzero[nonzero.len() - 1];
+        for (i, w) in nonzero.iter().zip(&weights) {
+            if x < *w {
+                chosen = *i;
+                break;
+            }
+            x -= w;
+        }
+        centres.push(densify(&vectors[chosen], dim));
+    }
+
+    let mut assignments = vec![0usize; vectors.len()];
+    let mut iterations = 0;
+    for it in 0..max_iters {
+        iterations = it + 1;
+        // Assign.
+        let mut changed = false;
+        for &i in &nonzero {
+            let (mut best_c, mut best_s) = (0usize, f64::NEG_INFINITY);
+            for (c, centre) in centres.iter().enumerate() {
+                let s = dot_sparse_dense(&vectors[i], centre);
+                if s > best_s {
+                    best_s = s;
+                    best_c = c;
+                }
+            }
+            if assignments[i] != best_c {
+                assignments[i] = best_c;
+                changed = true;
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+        // Update.
+        let mut sums: Vec<Vec<f64>> = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for &i in &nonzero {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (t, w) in vectors[i].entries() {
+                sums[c][*t] += w;
+            }
+        }
+        for (c, sum) in sums.iter_mut().enumerate() {
+            if counts[c] == 0 {
+                // Empty cluster: reseed at the document farthest from its
+                // centre (deterministic, keeps k clusters alive).
+                let far = nonzero
+                    .iter()
+                    .min_by(|a, b| {
+                        let sa = dot_sparse_dense(&vectors[**a], &centres[assignments[**a]]);
+                        let sb = dot_sparse_dense(&vectors[**b], &centres[assignments[**b]]);
+                        sa.partial_cmp(&sb).unwrap().then(a.cmp(b))
+                    })
+                    .copied()
+                    .unwrap_or(nonzero[0]);
+                *sum = densify(&vectors[far], dim);
+                continue;
+            }
+            let norm = sum.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for x in sum.iter_mut() {
+                    *x /= norm;
+                }
+            }
+        }
+        centres = sums;
+    }
+
+    KMeansResult { assignments, centroids: centres, iterations }
+}
+
+fn densify(v: &SparseVector, dim: usize) -> Vec<f64> {
+    let mut out = vec![0.0; dim];
+    for (t, w) in v.entries() {
+        out[*t] = *w;
+    }
+    out
+}
+
+fn dot_sparse_dense(v: &SparseVector, dense: &[f64]) -> f64 {
+    v.entries().iter().map(|(t, w)| w * dense[*t]).sum()
+}
+
+/// Convenience: cluster raw texts directly; returns the k-means result and
+/// human-readable top terms per cluster.
+pub fn cluster_texts<S: AsRef<str>>(
+    docs: &[S],
+    k: usize,
+    seed: u64,
+) -> (KMeansResult, Vec<Vec<String>>) {
+    let model = crate::vectorize::TfIdfModel::fit(docs);
+    let vectors: Vec<SparseVector> = docs.iter().map(|d| model.transform(d.as_ref())).collect();
+    let result = kmeans_cosine(&vectors, model.vocab_len(), k, 50, seed);
+    let terms = (0..result.k())
+        .map(|c| {
+            result
+                .top_terms(c, 5)
+                .into_iter()
+                .map(|t| model.term(t).to_owned())
+                .collect()
+        })
+        .collect();
+    (result, terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vectorize::TfIdfModel;
+
+    fn two_topic_corpus() -> Vec<String> {
+        let mut docs = Vec::new();
+        for i in 0..10 {
+            docs.push(format!("staying points congestion jam slow traffic {i}"));
+        }
+        for i in 0..10 {
+            docs.push(format!("u-turn detour wrong direction reversal {i}"));
+        }
+        docs
+    }
+
+    fn fit(docs: &[String]) -> (TfIdfModel, Vec<SparseVector>) {
+        let model = TfIdfModel::fit(docs);
+        let vecs = docs.iter().map(|d| model.transform(d)).collect();
+        (model, vecs)
+    }
+
+    #[test]
+    fn separates_two_clear_topics() {
+        let docs = two_topic_corpus();
+        let (model, vecs) = fit(&docs);
+        let r = kmeans_cosine(&vecs, model.vocab_len(), 2, 50, 7);
+        assert_eq!(r.k(), 2);
+        // All congestion docs together, all U-turn docs together.
+        let first = r.assignments[0];
+        assert!(r.assignments[..10].iter().all(|a| *a == first));
+        let second = r.assignments[10];
+        assert_ne!(first, second);
+        assert!(r.assignments[10..].iter().all(|a| *a == second));
+    }
+
+    #[test]
+    fn top_terms_describe_the_cluster() {
+        let docs = two_topic_corpus();
+        let (r, terms) = cluster_texts(&docs, 2, 7);
+        let uturn_cluster = r.assignments[10];
+        assert!(
+            terms[uturn_cluster].iter().any(|t| t == "u-turn" || t == "detour"),
+            "topic terms: {terms:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let docs = two_topic_corpus();
+        let (model, vecs) = fit(&docs);
+        let a = kmeans_cosine(&vecs, model.vocab_len(), 3, 50, 11);
+        let b = kmeans_cosine(&vecs, model.vocab_len(), 3, 50, 11);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn k_clamped_to_document_count() {
+        let docs = vec!["staying points".to_string(), "u-turn detour".to_string()];
+        let (model, vecs) = fit(&docs);
+        let r = kmeans_cosine(&vecs, model.vocab_len(), 10, 50, 1);
+        assert!(r.k() <= 2);
+        assert_eq!(r.assignments.len(), 2);
+    }
+
+    #[test]
+    fn zero_vectors_and_empty_input() {
+        let r = kmeans_cosine(&[], 5, 3, 10, 1);
+        assert!(r.assignments.is_empty());
+        let (model, _) = fit(&["staying".to_string()]);
+        let zeros = vec![SparseVector::new(vec![]), SparseVector::new(vec![])];
+        let r = kmeans_cosine(&zeros, model.vocab_len(), 2, 10, 1);
+        assert_eq!(r.assignments, vec![0, 0]);
+    }
+
+    #[test]
+    fn members_partition_documents() {
+        let docs = two_topic_corpus();
+        let (model, vecs) = fit(&docs);
+        let r = kmeans_cosine(&vecs, model.vocab_len(), 2, 50, 5);
+        let total: usize = (0..r.k()).map(|c| r.members(c).len()).sum();
+        assert_eq!(total, docs.len());
+    }
+}

@@ -1,0 +1,230 @@
+//! Raw trajectories: Definition 1 of the paper.
+
+use serde::{Deserialize, Serialize};
+use stmaker_geo::{GeoPoint, Polyline};
+
+/// A point in time, in whole seconds since an arbitrary epoch.
+///
+/// The experiments only ever need durations and time-of-day buckets, so a
+/// plain second counter (with day-wrapping helpers) is sufficient and keeps
+/// the stack free of external datetime dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// Seconds elapsed from `self` to `later` (may be negative).
+    pub fn delta_secs(&self, later: &Timestamp) -> i64 {
+        later.0 - self.0
+    }
+
+    /// Hour of day in `[0, 24)` (the epoch is taken to be midnight).
+    pub fn hour_of_day(&self) -> f64 {
+        (self.0.rem_euclid(86_400)) as f64 / 3600.0
+    }
+
+    /// The paper's Fig. 8 buckets: 12 two-hour bins, `0` = 00:00–02:00 …
+    /// `11` = 22:00–24:00.
+    pub fn two_hour_bucket(&self) -> usize {
+        (self.hour_of_day() / 2.0) as usize % 12
+    }
+
+    /// A timestamp at `day` days plus `hour` hours after the epoch.
+    pub fn at(day: i64, hour: f64) -> Timestamp {
+        Timestamp(day * 86_400 + (hour * 3600.0) as i64)
+    }
+}
+
+/// One GPS sample: location plus timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RawPoint {
+    pub point: GeoPoint,
+    pub t: Timestamp,
+}
+
+/// Definition 1: "A trajectory T is a finite sequence of locations sampled
+/// from the original route of a moving object and their associated
+/// time-stamps."
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawTrajectory {
+    points: Vec<RawPoint>,
+}
+
+impl RawTrajectory {
+    /// Creates a trajectory, validating temporal ordering.
+    ///
+    /// # Panics
+    /// Panics if fewer than two samples are supplied or timestamps decrease.
+    pub fn new(points: Vec<RawPoint>) -> Self {
+        assert!(points.len() >= 2, "a trajectory needs at least two samples");
+        assert!(
+            points.windows(2).all(|w| w[0].t <= w[1].t),
+            "timestamps must be non-decreasing"
+        );
+        Self { points }
+    }
+
+    /// The GPS samples.
+    pub fn points(&self) -> &[RawPoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Never true (construction requires ≥ 2 samples); kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First sample.
+    pub fn start(&self) -> &RawPoint {
+        &self.points[0]
+    }
+
+    /// Last sample.
+    pub fn end(&self) -> &RawPoint {
+        self.points.last().expect("non-empty by construction")
+    }
+
+    /// Total elapsed time in seconds.
+    pub fn duration_secs(&self) -> i64 {
+        self.start().t.delta_secs(&self.end().t)
+    }
+
+    /// Total geometric length in metres.
+    pub fn length_m(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].point.haversine_m(&w[1].point))
+            .sum()
+    }
+
+    /// Spatial shape of the trajectory.
+    pub fn polyline(&self) -> Polyline {
+        Polyline::new(self.points.iter().map(|p| p.point).collect())
+    }
+
+    /// The samples with timestamps in `[t0, t1]` (inclusive).
+    ///
+    /// Used to attribute raw samples to a symbolic segment when extracting
+    /// its moving features. Returns an empty slice if no samples fall inside.
+    pub fn slice_time(&self, t0: Timestamp, t1: Timestamp) -> &[RawPoint] {
+        let (lo, hi) = self.time_range_indices(t0, t1);
+        &self.points[lo..hi]
+    }
+
+    /// The half-open index range of samples with timestamps in `[t0, t1]`.
+    pub fn time_range_indices(&self, t0: Timestamp, t1: Timestamp) -> (usize, usize) {
+        let lo = self.points.partition_point(|p| p.t < t0);
+        let hi = self.points.partition_point(|p| p.t <= t1);
+        (lo, hi)
+    }
+
+    /// Interpolated position at time `t` (clamped to the trajectory's span).
+    pub fn position_at(&self, t: Timestamp) -> GeoPoint {
+        if t <= self.start().t {
+            return self.start().point;
+        }
+        if t >= self.end().t {
+            return self.end().point;
+        }
+        let i = self.points.partition_point(|p| p.t <= t) - 1;
+        let (a, b) = (&self.points[i], &self.points[i + 1]);
+        let span = a.t.delta_secs(&b.t);
+        if span == 0 {
+            return a.point;
+        }
+        let frac = a.t.delta_secs(&t) as f64 / span as f64;
+        a.point.lerp(&b.point, frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> GeoPoint {
+        GeoPoint::new(39.9, 116.4)
+    }
+
+    /// Straight-east trajectory: one point every 10 s, 100 m apart (36 km/h).
+    fn east_line(n: usize) -> RawTrajectory {
+        RawTrajectory::new(
+            (0..n)
+                .map(|i| RawPoint {
+                    point: base().destination(90.0, 100.0 * i as f64),
+                    t: Timestamp(10 * i as i64),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = east_line(11);
+        assert_eq!(t.len(), 11);
+        assert_eq!(t.duration_secs(), 100);
+        assert!((t.length_m() - 1000.0).abs() < 1.0);
+        assert_eq!(t.start().t, Timestamp(0));
+        assert_eq!(t.end().t, Timestamp(100));
+    }
+
+    #[test]
+    fn slice_time_selects_inclusive_window() {
+        let t = east_line(11);
+        let s = t.slice_time(Timestamp(20), Timestamp(50));
+        assert_eq!(s.len(), 4); // t = 20, 30, 40, 50
+        assert_eq!(s[0].t, Timestamp(20));
+        assert_eq!(s[3].t, Timestamp(50));
+        assert!(t.slice_time(Timestamp(101), Timestamp(200)).is_empty());
+    }
+
+    #[test]
+    fn position_at_interpolates() {
+        let t = east_line(11);
+        let p = t.position_at(Timestamp(15));
+        let expect = base().destination(90.0, 150.0);
+        assert!(p.haversine_m(&expect) < 1.0);
+        // Clamped outside the span.
+        assert_eq!(t.position_at(Timestamp(-5)), t.start().point);
+        assert_eq!(t.position_at(Timestamp(1_000)), t.end().point);
+    }
+
+    #[test]
+    fn position_at_handles_repeated_timestamps() {
+        let t = RawTrajectory::new(vec![
+            RawPoint { point: base(), t: Timestamp(0) },
+            RawPoint { point: base().destination(90.0, 50.0), t: Timestamp(10) },
+            RawPoint { point: base().destination(90.0, 50.0), t: Timestamp(10) },
+            RawPoint { point: base().destination(90.0, 100.0), t: Timestamp(20) },
+        ]);
+        let p = t.position_at(Timestamp(10));
+        assert!(p.haversine_m(&base().destination(90.0, 50.0)) < 1.0);
+    }
+
+    #[test]
+    fn hour_and_bucket_helpers() {
+        assert_eq!(Timestamp::at(0, 9.5).hour_of_day(), 9.5);
+        assert_eq!(Timestamp::at(3, 9.5).hour_of_day(), 9.5);
+        assert_eq!(Timestamp::at(0, 0.0).two_hour_bucket(), 0);
+        assert_eq!(Timestamp::at(0, 17.0).two_hour_bucket(), 8); // 16:00–18:00
+        assert_eq!(Timestamp::at(0, 23.9).two_hour_bucket(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_time_travel() {
+        RawTrajectory::new(vec![
+            RawPoint { point: base(), t: Timestamp(10) },
+            RawPoint { point: base(), t: Timestamp(5) },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_sample() {
+        RawTrajectory::new(vec![RawPoint { point: base(), t: Timestamp(0) }]);
+    }
+}

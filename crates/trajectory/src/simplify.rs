@@ -1,0 +1,184 @@
+//! Trajectory simplification (Douglas–Peucker).
+//!
+//! The paper's second motivation (Sec. I) is *data volume*: raw and semantic
+//! trajectories are "excessive for storage, processing and communication".
+//! Summaries are the headline answer; geometric simplification is the
+//! standard complementary tool for the raw points themselves, and any
+//! trajectory library a deployment would adopt ships one. The implementation
+//! is the classic Douglas–Peucker algorithm over the local-frame geometry,
+//! keeping the timestamped samples (a sample survives or is dropped whole —
+//! no resampling).
+
+use crate::raw::{RawPoint, RawTrajectory};
+use stmaker_geo::LocalFrame;
+
+/// Simplifies a trajectory with the Douglas–Peucker algorithm: the result
+/// keeps every sample whose removal would displace the polyline by more than
+/// `epsilon_m` metres. First and last samples always survive.
+pub fn simplify(traj: &RawTrajectory, epsilon_m: f64) -> RawTrajectory {
+    assert!(epsilon_m >= 0.0, "epsilon must be non-negative");
+    let pts = traj.points();
+    if pts.len() <= 2 {
+        return traj.clone();
+    }
+    let frame = LocalFrame::new(pts[0].point);
+    let mut keep = vec![false; pts.len()];
+    keep[0] = true;
+    keep[pts.len() - 1] = true;
+
+    // Iterative Douglas–Peucker (explicit stack; recursion depth on GPS
+    // traces can reach the sample count).
+    let mut stack = vec![(0usize, pts.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (mut worst, mut worst_d) = (lo + 1, -1.0f64);
+        for i in lo + 1..hi {
+            let (_, d) =
+                frame.project_onto_segment(&pts[i].point, &pts[lo].point, &pts[hi].point);
+            if d > worst_d {
+                worst_d = d;
+                worst = i;
+            }
+        }
+        if worst_d > epsilon_m {
+            keep[worst] = true;
+            stack.push((lo, worst));
+            stack.push((worst, hi));
+        }
+    }
+
+    let kept: Vec<RawPoint> =
+        pts.iter().zip(&keep).filter(|(_, k)| **k).map(|(p, _)| *p).collect();
+    RawTrajectory::new(kept)
+}
+
+/// The maximum displacement (metres) of `simplified` from `original`:
+/// the largest distance from any original sample to the simplified
+/// polyline. Useful for asserting simplification quality.
+pub fn max_deviation_m(original: &RawTrajectory, simplified: &RawTrajectory) -> f64 {
+    let frame = LocalFrame::new(original.start().point);
+    let poly = simplified.polyline();
+    original
+        .points()
+        .iter()
+        .map(|p| poly.project(&frame, &p.point).distance_m)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::Timestamp;
+    use stmaker_geo::GeoPoint;
+
+    fn base() -> GeoPoint {
+        GeoPoint::new(39.9, 116.4)
+    }
+
+    fn pt(p: GeoPoint, t: i64) -> RawPoint {
+        RawPoint { point: p, t: Timestamp(t) }
+    }
+
+    /// A straight east line with sub-metre jitter: collapses to 2 points.
+    fn jittery_line(n: usize) -> RawTrajectory {
+        RawTrajectory::new(
+            (0..n)
+                .map(|i| {
+                    let on = base().destination(90.0, 50.0 * i as f64);
+                    let off = if i % 2 == 0 { 0.4 } else { 0.0 };
+                    pt(on.destination(0.0, off + 0.001), 10 * i as i64)
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn straight_line_collapses_to_endpoints() {
+        let traj = jittery_line(50);
+        let s = simplify(&traj, 5.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.start(), traj.start());
+        assert_eq!(s.end(), traj.end());
+    }
+
+    #[test]
+    fn corners_are_preserved() {
+        // An L: east 1 km then north 1 km.
+        let mut pts = Vec::new();
+        for i in 0..=20 {
+            pts.push(pt(base().destination(90.0, 50.0 * i as f64), i));
+        }
+        let corner = base().destination(90.0, 1000.0);
+        for i in 1..=20 {
+            pts.push(pt(corner.destination(0.0, 50.0 * i as f64), 20 + i));
+        }
+        let traj = RawTrajectory::new(pts);
+        let s = simplify(&traj, 10.0);
+        assert_eq!(s.len(), 3, "endpoints + the corner");
+        assert!(s.points()[1].point.haversine_m(&corner) < 1.0);
+    }
+
+    #[test]
+    fn epsilon_zero_keeps_meaningful_points() {
+        let traj = jittery_line(10);
+        let s = simplify(&traj, 0.0);
+        // Every jittered point deviates > 0, so all survive.
+        assert_eq!(s.len(), traj.len());
+    }
+
+    #[test]
+    fn deviation_bound_holds() {
+        // A wiggly path: simplification must never deviate beyond epsilon.
+        let mut pts = Vec::new();
+        for i in 0..60 {
+            let on = base().destination(90.0, 40.0 * i as f64);
+            let off = 25.0 * ((i as f64) * 0.7).sin();
+            let p = if off >= 0.0 {
+                on.destination(0.0, off)
+            } else {
+                on.destination(180.0, -off)
+            };
+            pts.push(pt(p, i));
+        }
+        let traj = RawTrajectory::new(pts);
+        for eps in [5.0, 15.0, 40.0] {
+            let s = simplify(&traj, eps);
+            let dev = max_deviation_m(&traj, &s);
+            assert!(dev <= eps + 0.5, "eps {eps}: deviation {dev}");
+            assert!(s.len() <= traj.len());
+        }
+    }
+
+    #[test]
+    fn larger_epsilon_keeps_fewer_points() {
+        let mut pts = Vec::new();
+        for i in 0..60 {
+            let on = base().destination(90.0, 40.0 * i as f64);
+            let off = 30.0 * ((i as f64) * 0.9).sin().abs();
+            pts.push(pt(on.destination(0.0, off), i));
+        }
+        let traj = RawTrajectory::new(pts);
+        let fine = simplify(&traj, 2.0);
+        let coarse = simplify(&traj, 50.0);
+        assert!(coarse.len() < fine.len());
+    }
+
+    #[test]
+    fn two_point_trajectory_is_unchanged() {
+        let traj = RawTrajectory::new(vec![pt(base(), 0), pt(base().destination(90.0, 100.0), 10)]);
+        assert_eq!(simplify(&traj, 10.0), traj);
+    }
+
+    #[test]
+    fn timestamps_survive_simplification() {
+        let traj = jittery_line(30);
+        let s = simplify(&traj, 5.0);
+        // Kept samples are a subsequence of the original.
+        let mut iter = traj.points().iter();
+        for kept in s.points() {
+            assert!(iter.any(|p| p == kept), "simplified point not in original");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Speed profiles and sharp-speed-change counting.
+//!
+//! Sec. III-B calls speed "one of the most important moving features"; the
+//! intro additionally motivates *sharp speed change* as a behaviour worth
+//! summarizing, and Fig. 10(b) reports a `SpeC` feature. The extractors here
+//! serve both the built-in speed feature and the SpeC custom-feature
+//! demonstration of Sec. VI-B.
+
+use crate::raw::RawPoint;
+
+/// Per-hop speeds in km/h: `out[i]` is the mean speed between samples `i`
+/// and `i + 1`. Hops with zero elapsed time are skipped (their index is
+/// simply absent from motion statistics — callers receive one entry per
+/// *positive-duration* hop).
+pub fn speed_profile_kmh(points: &[RawPoint]) -> Vec<f64> {
+    points
+        .windows(2)
+        .filter_map(|w| {
+            let dt = w[0].t.delta_secs(&w[1].t);
+            if dt <= 0 {
+                return None;
+            }
+            let d = w[0].point.haversine_m(&w[1].point);
+            Some(d / dt as f64 * 3.6)
+        })
+        .collect()
+}
+
+/// Distance-weighted average speed over the samples, km/h.
+///
+/// Returns 0 for windows with no elapsed time (e.g. a single sample).
+pub fn average_speed_kmh(points: &[RawPoint]) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let dist: f64 = points.windows(2).map(|w| w[0].point.haversine_m(&w[1].point)).sum();
+    let secs = points[0].t.delta_secs(&points[points.len() - 1].t);
+    if secs <= 0 {
+        return 0.0;
+    }
+    dist / secs as f64 * 3.6
+}
+
+/// Thresholds for sharp-speed-change detection.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedChangeParams {
+    /// Minimum |Δv| between consecutive hops to count, km/h.
+    pub min_delta_kmh: f64,
+}
+
+impl Default for SpeedChangeParams {
+    fn default() -> Self {
+        Self { min_delta_kmh: 30.0 }
+    }
+}
+
+/// Counts sharp speed changes: hop-to-hop speed jumps of at least
+/// `min_delta_kmh`. This is the `SpeC` feature of Fig. 10(b).
+pub fn sharp_speed_changes(points: &[RawPoint], params: SpeedChangeParams) -> usize {
+    let profile = speed_profile_kmh(points);
+    profile
+        .windows(2)
+        .filter(|w| (w[1] - w[0]).abs() >= params.min_delta_kmh)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::Timestamp;
+    use stmaker_geo::GeoPoint;
+
+    fn base() -> GeoPoint {
+        GeoPoint::new(39.9, 116.4)
+    }
+
+    fn pt(dist_m: f64, t: i64) -> RawPoint {
+        RawPoint { point: base().destination(90.0, dist_m), t: Timestamp(t) }
+    }
+
+    #[test]
+    fn constant_speed_profile() {
+        // 100 m per 10 s = 36 km/h.
+        let pts: Vec<RawPoint> = (0..5).map(|i| pt(100.0 * i as f64, 10 * i as i64)).collect();
+        let prof = speed_profile_kmh(&pts);
+        assert_eq!(prof.len(), 4);
+        for v in &prof {
+            assert!((v - 36.0).abs() < 0.2, "{v}");
+        }
+        assert!((average_speed_kmh(&pts) - 36.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn zero_duration_hops_are_skipped() {
+        let pts = vec![pt(0.0, 0), pt(50.0, 0), pt(150.0, 10)];
+        let prof = speed_profile_kmh(&pts);
+        assert_eq!(prof.len(), 1);
+        assert!((prof[0] - 36.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn average_speed_degenerate_cases() {
+        assert_eq!(average_speed_kmh(&[]), 0.0);
+        assert_eq!(average_speed_kmh(&[pt(0.0, 0)]), 0.0);
+        assert_eq!(average_speed_kmh(&[pt(0.0, 5), pt(100.0, 5)]), 0.0);
+    }
+
+    #[test]
+    fn sharp_changes_counted() {
+        // 36 km/h, 36, 108 (jump +72), 108, 36 (jump −72).
+        let pts = vec![pt(0.0, 0), pt(100.0, 10), pt(200.0, 20), pt(500.0, 30), pt(800.0, 40), pt(900.0, 50)];
+        let n = sharp_speed_changes(&pts, SpeedChangeParams::default());
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn gentle_acceleration_not_counted() {
+        // +7 km/h per hop, below the default 30 km/h threshold.
+        let mut pts = Vec::new();
+        let mut d = 0.0;
+        for i in 0..10 {
+            pts.push(pt(d, 10 * i as i64));
+            d += 100.0 + 20.0 * i as f64;
+        }
+        assert_eq!(sharp_speed_changes(&pts, SpeedChangeParams::default()), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Stay-point detection.
+//!
+//! Sec. III-B: "Stay points are places where the moving object stays for a
+//! long time. The occurrence of stay point is usually caused by traffic
+//! lights or some contingency events, such as traffic jam, temporal parking
+//! for buying a newspaper."
+//!
+//! We use the classic sliding-window definition (after Zheng et al. \[41\]): a
+//! maximal run of samples whose pairwise anchor distance stays below a
+//! diameter threshold and whose elapsed time meets a duration threshold.
+
+use crate::raw::{RawPoint, RawTrajectory, Timestamp};
+use serde::{Deserialize, Serialize};
+use stmaker_geo::GeoPoint;
+
+/// Thresholds for stay-point detection.
+#[derive(Debug, Clone, Copy)]
+pub struct StayPointParams {
+    /// Maximum distance from the window anchor for membership, metres.
+    pub max_radius_m: f64,
+    /// Minimum dwell time for a window to count as a stay, seconds.
+    pub min_duration_s: i64,
+}
+
+impl Default for StayPointParams {
+    fn default() -> Self {
+        Self { max_radius_m: 100.0, min_duration_s: 120 }
+    }
+}
+
+/// A detected stay: the object lingered around `centroid` for
+/// `duration_secs`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StayPoint {
+    /// Mean location of the member samples.
+    pub centroid: GeoPoint,
+    /// Timestamp of the first member sample.
+    pub start: Timestamp,
+    /// Timestamp of the last member sample.
+    pub end: Timestamp,
+    /// Index of the first member sample, relative to the slice the detector
+    /// ran over (the whole trajectory for [`detect_stay_points`], a segment
+    /// window for [`detect_stay_points_in`]).
+    pub first_index: usize,
+    /// Index of the last member sample, relative to the same slice.
+    pub last_index: usize,
+}
+
+impl StayPoint {
+    /// Dwell time in seconds.
+    pub fn duration_secs(&self) -> i64 {
+        self.start.delta_secs(&self.end)
+    }
+}
+
+/// Detects stay points in a raw trajectory.
+///
+/// Windows are anchored at their first sample: a window `[i, j]` is valid
+/// while every sample `i..=j` is within `max_radius_m` of sample `i`. The
+/// scan resumes after each emitted stay, so stays never overlap.
+pub fn detect_stay_points(traj: &RawTrajectory, params: StayPointParams) -> Vec<StayPoint> {
+    detect_stay_points_in(traj.points(), params)
+}
+
+/// Stay-point detection over an arbitrary sample slice (used to count stays
+/// inside a single symbolic segment's time window).
+pub fn detect_stay_points_in(points: &[RawPoint], params: StayPointParams) -> Vec<StayPoint> {
+    assert!(params.max_radius_m > 0.0 && params.min_duration_s > 0);
+    let n = points.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let anchor = points[i].point;
+        let mut j = i;
+        while j + 1 < n && anchor.haversine_m(&points[j + 1].point) <= params.max_radius_m {
+            j += 1;
+        }
+        let dwell = points[i].t.delta_secs(&points[j].t);
+        if j > i && dwell >= params.min_duration_s {
+            let (mut lat, mut lon) = (0.0, 0.0);
+            for p in &points[i..=j] {
+                lat += p.point.lat;
+                lon += p.point.lon;
+            }
+            let m = (j - i + 1) as f64;
+            out.push(StayPoint {
+                centroid: GeoPoint { lat: lat / m, lon: lon / m },
+                start: points[i].t,
+                end: points[j].t,
+                first_index: i,
+                last_index: j,
+            });
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> GeoPoint {
+        GeoPoint::new(39.9, 116.4)
+    }
+
+    /// Drive 500 m, dwell `dwell_s` seconds jittering within 20 m, drive on.
+    fn trip_with_stop(dwell_s: i64) -> RawTrajectory {
+        let mut pts = Vec::new();
+        let mut t = 0i64;
+        for i in 0..6 {
+            pts.push(RawPoint { point: base().destination(90.0, 100.0 * i as f64), t: Timestamp(t) });
+            t += 10;
+        }
+        let stop = base().destination(90.0, 520.0);
+        let steps = (dwell_s / 15).max(1);
+        for k in 0..=steps {
+            pts.push(RawPoint {
+                point: stop.destination((k * 60) as f64 % 360.0, 12.0),
+                t: Timestamp(t + k * 15),
+            });
+        }
+        t += dwell_s + 15;
+        for i in 0..6 {
+            pts.push(RawPoint {
+                point: stop.destination(90.0, 100.0 * (i + 1) as f64),
+                t: Timestamp(t + 10 * i),
+            });
+        }
+        RawTrajectory::new(pts)
+    }
+
+    #[test]
+    fn long_dwell_is_detected() {
+        let traj = trip_with_stop(300);
+        let stays = detect_stay_points(&traj, StayPointParams::default());
+        assert_eq!(stays.len(), 1);
+        let s = &stays[0];
+        assert!(s.duration_secs() >= 300, "dwell {}", s.duration_secs());
+        let stop = base().destination(90.0, 520.0);
+        assert!(s.centroid.haversine_m(&stop) < 25.0);
+    }
+
+    #[test]
+    fn short_dwell_is_ignored() {
+        let traj = trip_with_stop(60);
+        let stays = detect_stay_points(&traj, StayPointParams::default());
+        assert!(stays.is_empty());
+    }
+
+    #[test]
+    fn continuous_motion_has_no_stays() {
+        let pts: Vec<RawPoint> = (0..50)
+            .map(|i| RawPoint {
+                point: base().destination(90.0, 150.0 * i as f64),
+                t: Timestamp(10 * i as i64),
+            })
+            .collect();
+        let stays = detect_stay_points(&RawTrajectory::new(pts), StayPointParams::default());
+        assert!(stays.is_empty());
+    }
+
+    #[test]
+    fn two_separate_stops_detected_without_overlap() {
+        let mut pts = Vec::new();
+        let mut t = 0i64;
+        let push_dwell = |pts: &mut Vec<RawPoint>, at: GeoPoint, t0: i64| -> i64 {
+            for k in 0..10 {
+                pts.push(RawPoint { point: at.destination((k * 40) as f64, 8.0), t: Timestamp(t0 + k * 20) });
+            }
+            t0 + 200
+        };
+        pts.push(RawPoint { point: base(), t: Timestamp(t) });
+        t += 10;
+        t = push_dwell(&mut pts, base().destination(90.0, 200.0), t);
+        // drive 1 km
+        for i in 0..10 {
+            pts.push(RawPoint {
+                point: base().destination(90.0, 300.0 + 100.0 * i as f64),
+                t: Timestamp(t + 10 * i),
+            });
+        }
+        t += 110;
+        t = push_dwell(&mut pts, base().destination(90.0, 1400.0), t);
+        pts.push(RawPoint { point: base().destination(90.0, 1600.0), t: Timestamp(t + 20) });
+        let traj = RawTrajectory::new(pts);
+        let stays = detect_stay_points(&traj, StayPointParams::default());
+        assert_eq!(stays.len(), 2);
+        assert!(stays[0].last_index < stays[1].first_index, "stays must not overlap");
+    }
+
+    #[test]
+    fn slow_crawl_within_radius_counts_as_stay() {
+        // A traffic jam: creeping 5 m per 30 s for 5 minutes stays inside
+        // the 100 m anchor radius and must be flagged.
+        let pts: Vec<RawPoint> = (0..11)
+            .map(|i| RawPoint {
+                point: base().destination(90.0, 5.0 * i as f64),
+                t: Timestamp(30 * i as i64),
+            })
+            .collect();
+        let stays = detect_stay_points(&RawTrajectory::new(pts), StayPointParams::default());
+        assert_eq!(stays.len(), 1);
+        assert_eq!(stays[0].duration_secs(), 300);
+    }
+}

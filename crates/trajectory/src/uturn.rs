@@ -1,0 +1,239 @@
+//! U-turn detection.
+//!
+//! Sec. III-B: "A U-turn is a sharp directional change of the moving object
+//! … people often make a U-turn when they realize they are moving in wrong
+//! direction or have missed the destination."
+//!
+//! Headings are computed over *distance-smoothed* point pairs (points at
+//! least `min_leg_m` apart) so that GPS jitter at low speed does not fake
+//! reversals; a U-turn is a heading change of at least `min_angle_deg`
+//! completed within `max_turn_span_m` of travel.
+
+use crate::raw::{RawPoint, RawTrajectory, Timestamp};
+use serde::{Deserialize, Serialize};
+use stmaker_geo::{heading_diff_deg, GeoPoint};
+
+/// Thresholds for U-turn detection.
+#[derive(Debug, Clone, Copy)]
+pub struct UTurnParams {
+    /// Minimum heading reversal to call a U-turn, degrees.
+    pub min_angle_deg: f64,
+    /// Legs shorter than this are merged before heading is measured, metres.
+    pub min_leg_m: f64,
+    /// The reversal must complete within this much travel, metres.
+    pub max_turn_span_m: f64,
+}
+
+impl Default for UTurnParams {
+    fn default() -> Self {
+        Self { min_angle_deg: 150.0, min_leg_m: 30.0, max_turn_span_m: 250.0 }
+    }
+}
+
+/// A detected U-turn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UTurn {
+    /// Where the reversal happened (the pivot sample).
+    pub point: GeoPoint,
+    /// When it happened.
+    pub t: Timestamp,
+    /// Index of the pivot sample in the source trajectory.
+    pub index: usize,
+}
+
+/// Detects U-turns in a raw trajectory.
+pub fn detect_u_turns(traj: &RawTrajectory, params: UTurnParams) -> Vec<UTurn> {
+    detect_u_turns_in(traj.points(), params)
+}
+
+/// U-turn detection over an arbitrary sample slice (used per segment).
+pub fn detect_u_turns_in(points: &[RawPoint], params: UTurnParams) -> Vec<UTurn> {
+    assert!(params.min_angle_deg > 90.0, "a U-turn needs a reversal, not a turn");
+    // Distance-smoothed waypoint chain: indexes into `points` where each
+    // consecutive pair is at least `min_leg_m` apart.
+    let mut way: Vec<usize> = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        match way.last() {
+            None => way.push(i),
+            Some(&last) => {
+                if points[last].point.haversine_m(&p.point) >= params.min_leg_m {
+                    way.push(i);
+                }
+            }
+        }
+    }
+    if way.len() < 3 {
+        return Vec::new();
+    }
+
+    let mut out: Vec<UTurn> = Vec::new();
+    let mut last_pivot_pos: Option<usize> = None; // position within `way`
+    for (wi, w) in way.windows(3).enumerate() {
+        let (a, b, c) = (w[0], w[1], w[2]);
+        let h1 = points[a].point.bearing_deg(&points[b].point);
+        let h2 = points[b].point.bearing_deg(&points[c].point);
+        let span =
+            points[a].point.haversine_m(&points[b].point) + points[b].point.haversine_m(&points[c].point);
+        if heading_diff_deg(h1, h2) >= params.min_angle_deg && span <= params.max_turn_span_m {
+            let pivot_pos = wi + 1;
+            // Merge only reversals detected on *adjacent* smoothed pivots —
+            // one physical turn can trip the detector on two or three
+            // consecutive windows. A later reversal at the same place (the
+            // driver came back and turned again) is a separate U-turn, so
+            // spatial proximity alone must not suppress it.
+            let dup = last_pivot_pos
+                .map(|prev| {
+                    pivot_pos - prev <= 2
+                        && out
+                            .last()
+                            .map(|u| points[b].point.haversine_m(&u.point) < params.max_turn_span_m)
+                            .unwrap_or(false)
+                })
+                .unwrap_or(false);
+            if !dup {
+                out.push(UTurn { point: points[b].point, t: points[b].t, index: b });
+            }
+            last_pivot_pos = Some(pivot_pos);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> GeoPoint {
+        GeoPoint::new(39.9, 116.4)
+    }
+
+    fn pt(p: GeoPoint, t: i64) -> RawPoint {
+        RawPoint { point: p, t: Timestamp(t) }
+    }
+
+    /// Drive east `out_m`, turn around, drive back west `back_m`.
+    fn out_and_back(out_m: f64, back_m: f64) -> RawTrajectory {
+        let mut pts = Vec::new();
+        let step = 50.0;
+        let mut t = 0i64;
+        let n_out = (out_m / step) as usize;
+        for i in 0..=n_out {
+            pts.push(pt(base().destination(90.0, step * i as f64), t));
+            t += 5;
+        }
+        let turn_at = base().destination(90.0, out_m);
+        let n_back = (back_m / step) as usize;
+        for i in 1..=n_back {
+            pts.push(pt(turn_at.destination(270.0, step * i as f64), t));
+            t += 5;
+        }
+        RawTrajectory::new(pts)
+    }
+
+    #[test]
+    fn single_reversal_detected_once() {
+        let traj = out_and_back(1000.0, 800.0);
+        let turns = detect_u_turns(&traj, UTurnParams::default());
+        assert_eq!(turns.len(), 1);
+        let turn_at = base().destination(90.0, 1000.0);
+        assert!(turns[0].point.haversine_m(&turn_at) < 120.0);
+    }
+
+    #[test]
+    fn straight_drive_has_no_u_turn() {
+        let pts: Vec<RawPoint> =
+            (0..40).map(|i| pt(base().destination(90.0, 60.0 * i as f64), 5 * i as i64)).collect();
+        assert!(detect_u_turns(&RawTrajectory::new(pts), UTurnParams::default()).is_empty());
+    }
+
+    #[test]
+    fn right_angle_turn_is_not_a_u_turn() {
+        let mut pts = Vec::new();
+        let mut t = 0i64;
+        for i in 0..10 {
+            pts.push(pt(base().destination(90.0, 60.0 * i as f64), t));
+            t += 5;
+        }
+        let corner = base().destination(90.0, 540.0);
+        for i in 1..10 {
+            pts.push(pt(corner.destination(0.0, 60.0 * i as f64), t));
+            t += 5;
+        }
+        assert!(detect_u_turns(&RawTrajectory::new(pts), UTurnParams::default()).is_empty());
+    }
+
+    #[test]
+    fn gps_jitter_at_stop_is_not_a_u_turn() {
+        // Parked with 10 m jitter: headings flap wildly but legs are shorter
+        // than min_leg_m, so smoothing suppresses them.
+        let mut pts = vec![pt(base(), 0), pt(base().destination(90.0, 200.0), 20)];
+        let stop = base().destination(90.0, 230.0);
+        for k in 0..20 {
+            pts.push(pt(stop.destination((k * 73) as f64 % 360.0, 10.0), 25 + k * 10));
+        }
+        pts.push(pt(stop.destination(90.0, 200.0), 300));
+        assert!(detect_u_turns(&RawTrajectory::new(pts), UTurnParams::default()).is_empty());
+    }
+
+    #[test]
+    fn two_distant_reversals_both_detected() {
+        // East 1 km, back 1 km, east again 1 km: two U-turns ~1 km apart.
+        let step = 50.0;
+        let mut pts = Vec::new();
+        let mut t = 0i64;
+        for i in 0..=20 {
+            pts.push(pt(base().destination(90.0, step * i as f64), t));
+            t += 5;
+        }
+        for i in (0..20).rev() {
+            pts.push(pt(base().destination(90.0, step * i as f64), t));
+            t += 5;
+        }
+        for i in 1..=20 {
+            pts.push(pt(base().destination(90.0, step * i as f64), t));
+            t += 5;
+        }
+        let turns = detect_u_turns(&RawTrajectory::new(pts), UTurnParams::default());
+        assert_eq!(turns.len(), 2);
+    }
+
+    #[test]
+    fn repeated_reversals_at_the_same_spot_are_all_counted() {
+        // Out 1 km, back 300 m, out again 300 m, back 1 km: three genuine
+        // reversals, the later two at nearly the same place as each other.
+        let step = 50.0;
+        let mut pts = Vec::new();
+        let mut t = 0i64;
+        let mut push_run = |pts: &mut Vec<RawPoint>, from: f64, to: f64| {
+            let n = ((to - from).abs() / step) as i64;
+            let dir = if to > from { step } else { -step };
+            for k in 1..=n {
+                pts.push(pt(base().destination(90.0, from + dir * k as f64), t));
+                t += 5;
+            }
+        };
+        pts.push(pt(base(), 0));
+        push_run(&mut pts, 0.0, 1000.0);
+        push_run(&mut pts, 1000.0, 700.0);
+        push_run(&mut pts, 700.0, 1000.0);
+        push_run(&mut pts, 1000.0, 0.0);
+        let turns = detect_u_turns(&RawTrajectory::new(pts), UTurnParams::default());
+        assert_eq!(turns.len(), 3, "{turns:?}");
+    }
+
+    #[test]
+    fn wide_turnaround_beyond_span_is_ignored() {
+        // A gentle 180° loop spread over ~1.6 km of travel (an interchange
+        // ramp, not an abrupt U-turn): each smoothed heading step is small.
+        let mut pts = Vec::new();
+        let mut t = 0i64;
+        let center = base().destination(0.0, 800.0);
+        for k in 0..=36 {
+            let ang = -90.0 + 5.0 * k as f64; // sweep half circle, r = 800 m
+            pts.push(pt(center.destination(ang, 800.0), t));
+            t += 5;
+        }
+        let turns = detect_u_turns(&RawTrajectory::new(pts), UTurnParams::default());
+        assert!(turns.is_empty(), "gentle loop misdetected: {turns:?}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Summary mining — Sec. VI-C end to end with the `stmaker-textmine` crate.
+//!
+//! "Applying the text clustering method on summaries of all the trajectories
+//! in a certain region at a specific time period, we can have a quick
+//! overview about the traffic condition." This example summarizes a fleet,
+//! clusters the summary texts with spherical k-means, labels each cluster by
+//! its top tf-idf terms, and then answers a dispatcher's keyword query with
+//! the inverted index.
+//!
+//! Run with: `cargo run --example summary_mining`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stmaker_suite::generator::{TripConfig, TripGenerator, World, WorldConfig};
+use stmaker_suite::textmine::{cluster_texts, InvertedIndex};
+use stmaker_suite::{standard_features, FeatureWeights, Summarizer, SummarizerConfig};
+
+fn main() {
+    let world = World::generate(WorldConfig::small(1313));
+    let gen = TripGenerator::new(&world, TripConfig::default());
+    let training: Vec<_> = gen.generate_corpus(150, 3).into_iter().map(|t| t.raw).collect();
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let summarizer = Summarizer::train(
+        &world.net,
+        &world.registry,
+        &training,
+        features,
+        weights,
+        SummarizerConfig::default(),
+    );
+
+    // Summarize a morning's fleet activity (mixed hours, so both smooth and
+    // eventful trips appear).
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut texts: Vec<String> = Vec::new();
+    for hour in [7.0, 8.0, 9.0, 11.0, 13.0] {
+        for _ in 0..12 {
+            if let Some(trip) = gen.generate_at(1, hour, &mut rng) {
+                if let Ok(s) = summarizer.summarize(&trip.raw) {
+                    texts.push(s.text);
+                }
+            }
+        }
+    }
+    println!("{} summaries collected\n", texts.len());
+
+    // 1. Cluster for the traffic overview.
+    let (result, topics) = cluster_texts(&texts, 4, 99);
+    println!("## Traffic overview ({} clusters)", result.k());
+    for (c, topic) in topics.iter().enumerate() {
+        let members = result.members(c);
+        println!(
+            "cluster {c}: {:>3} trips — topic: {}",
+            members.len(),
+            topic.join(", ")
+        );
+        if let Some(first) = members.first() {
+            println!("    e.g. {}", texts[*first]);
+        }
+    }
+
+    // 2. Semantic-ish keyword queries over the same corpus.
+    let index = InvertedIndex::build(&texts);
+    println!("\n## Dispatcher queries");
+    for query in ["u-turn", "staying points", "slower than usual highway"] {
+        let hits = index.search(query, 2);
+        println!("query {query:?}: {} match(es)", hits.len());
+        for (doc, score) in hits {
+            println!("    {score:.3}  {}", texts[doc]);
+        }
+    }
+}

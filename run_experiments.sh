@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every figure of the paper's evaluation (Sec. VII) plus the
+# ablation study. Set STMAKER_SCALE=full for the EXPERIMENTS.md scale
+# (minutes) or leave unset for a quick pass (seconds).
+set -euo pipefail
+cd "$(dirname "$0")"
+SCALE="${STMAKER_SCALE:-quick}"
+OUT="experiments/${SCALE}"
+mkdir -p "$OUT"
+for exp in exp_fig6 exp_fig7 exp_fig8 exp_fig9 exp_fig10a exp_fig10b exp_fig11 exp_fig12 exp_ablation exp_volume; do
+    echo "=== $exp (scale: $SCALE) ==="
+    STMAKER_SCALE="$SCALE" cargo run --release -q -p stmaker-eval --bin "$exp" | tee "$OUT/$exp.txt"
+done
+echo "all experiment outputs in $OUT/ (JSON dumps in experiments/out/)"

@@ -1,0 +1,372 @@
+//! Cross-crate integration tests: the full STMaker pipeline over a generated
+//! world — generate, train, summarize, and check structural invariants.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stmaker_generator::{TripConfig, TripGenerator, World, WorldConfig};
+use stmaker_suite::{
+    mentioned_keys, standard_features, summary_mentions, FeatureWeights, Summarizer,
+    SummarizerConfig,
+};
+use stmaker_trajectory::RawTrajectory;
+
+/// One shared small world + trained summarizer for all tests in this file.
+struct Harness {
+    world: World,
+}
+
+impl Harness {
+    fn new() -> Self {
+        Self { world: World::generate(WorldConfig::small(77)) }
+    }
+
+    fn corpora(&self, n_train: usize, n_test: usize) -> (Vec<RawTrajectory>, Vec<RawTrajectory>) {
+        let gen = TripGenerator::new(&self.world, TripConfig::default());
+        let train: Vec<RawTrajectory> =
+            gen.generate_corpus(n_train, 1001).into_iter().map(|t| t.raw).collect();
+        let test: Vec<RawTrajectory> =
+            gen.generate_corpus(n_test, 2002).into_iter().map(|t| t.raw).collect();
+        (train, test)
+    }
+}
+
+#[test]
+fn full_pipeline_produces_summaries() {
+    let h = Harness::new();
+    let (train, test) = h.corpora(60, 10);
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let summarizer = Summarizer::train(
+        &h.world.net,
+        &h.world.registry,
+        &train,
+        features,
+        weights,
+        SummarizerConfig::default(),
+    );
+    assert!(summarizer.model().n_trained >= 50, "most training trips should calibrate");
+
+    let mut summarized = 0;
+    for raw in &test {
+        let Ok(summary) = summarizer.summarize(raw) else { continue };
+        summarized += 1;
+        // Structural invariants.
+        assert!(!summary.partitions.is_empty());
+        assert!(!summary.text.is_empty());
+        assert!(summary.text.starts_with("The car started from the "), "{}", summary.text);
+        // Definition 5: every segment covered exactly once.
+        let n_segs = summary.symbolic_len - 1;
+        assert_eq!(summary.partitions[0].span.seg_start, 0);
+        assert_eq!(summary.partitions.last().unwrap().span.seg_end, n_segs - 1);
+        for w in summary.partitions.windows(2) {
+            assert_eq!(w[0].span.seg_end + 1, w[1].span.seg_start);
+            // Partition chaining: each partition starts where the last ended.
+            assert_eq!(w[0].to, w[1].from);
+        }
+        // Every sentence ends with a period and mentions its endpoints.
+        for p in &summary.partitions {
+            assert!(p.sentence.ends_with('.'));
+            assert!(p.sentence.contains(&p.from_name), "{}", p.sentence);
+        }
+    }
+    assert!(summarized >= 8, "only {summarized}/10 test trips summarized");
+}
+
+#[test]
+fn summaries_are_deterministic() {
+    let h = Harness::new();
+    let (train, test) = h.corpora(40, 5);
+    let make = || {
+        let features = standard_features();
+        let weights = FeatureWeights::uniform(&features);
+        Summarizer::train(
+            &h.world.net,
+            &h.world.registry,
+            &train,
+            features,
+            weights,
+            SummarizerConfig::default(),
+        )
+    };
+    let s1 = make();
+    let s2 = make();
+    for raw in &test {
+        let a = s1.summarize(raw).map(|s| s.text).unwrap_or_default();
+        let b = s2.summarize(raw).map(|s| s.text).unwrap_or_default();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn k_granularity_is_monotone_in_detail() {
+    let h = Harness::new();
+    let (train, test) = h.corpora(60, 20);
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let summarizer = Summarizer::train(
+        &h.world.net,
+        &h.world.registry,
+        &train,
+        features,
+        weights,
+        SummarizerConfig::default(),
+    );
+
+    let mut checked = 0;
+    for raw in &test {
+        let Ok(prepared) = summarizer.prepare(raw) else { continue };
+        if prepared.symbolic.segment_count() < 3 {
+            continue;
+        }
+        let s1 = summarizer.summarize_prepared(&prepared, Some(1)).unwrap();
+        let s2 = summarizer.summarize_prepared(&prepared, Some(2)).unwrap();
+        let s3 = summarizer.summarize_prepared(&prepared, Some(3)).unwrap();
+        assert_eq!(s1.partitions.len(), 1);
+        assert_eq!(s2.partitions.len(), 2);
+        assert_eq!(s3.partitions.len(), 3);
+        // The k-constrained potential can only improve as k approaches the
+        // unconstrained optimum's partition count — and the k = |segments|
+        // and k = 1 extremes must both be feasible.
+        let max_k = prepared.symbolic.segment_count();
+        assert!(summarizer.summarize_prepared(&prepared, Some(max_k)).is_ok());
+        assert!(summarizer.summarize_prepared(&prepared, Some(max_k + 1)).is_err());
+        checked += 1;
+    }
+    assert!(checked >= 5, "only {checked} trips long enough for k-sweep");
+}
+
+#[test]
+fn injected_events_surface_in_summaries() {
+    let h = Harness::new();
+    let gen = TripGenerator::new(&h.world, TripConfig::default());
+    let train: Vec<RawTrajectory> =
+        gen.generate_corpus(80, 3003).into_iter().map(|t| t.raw).collect();
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let summarizer = Summarizer::train(
+        &h.world.net,
+        &h.world.registry,
+        &train,
+        features,
+        weights,
+        SummarizerConfig::default(),
+    );
+
+    // Rush-hour test trips carry injected stays; the summaries must mention
+    // stay points for a solid majority of trips that actually had them.
+    let mut rng = StdRng::seed_from_u64(4004);
+    let mut with_stays = 0;
+    let mut mentioned = 0;
+    for _ in 0..40 {
+        let Some(trip) = gen.generate_at(1, 8.5, &mut rng) else { continue };
+        if trip.truth.stays.is_empty() {
+            continue;
+        }
+        let Ok(summary) = summarizer.summarize(&trip.raw) else { continue };
+        with_stays += 1;
+        if summary_mentions(&summary, stmaker_suite::keys::STAY_POINTS) {
+            mentioned += 1;
+        }
+    }
+    assert!(with_stays >= 10, "need enough stay-bearing trips, got {with_stays}");
+    // A single stay inside a long partition legitimately dilutes below η —
+    // the paper itself observes that "irregular moving features of the
+    // partial partition may not be significant enough for a long partition"
+    // (Fig. 10(b) discussion) — so we require a solid plurality, not all.
+    assert!(
+        mentioned as f64 >= 0.3 * with_stays as f64,
+        "stays mentioned in only {mentioned}/{with_stays} summaries"
+    );
+}
+
+#[test]
+fn night_trips_read_smoother_than_rush_trips() {
+    let h = Harness::new();
+    let gen = TripGenerator::new(&h.world, TripConfig::default());
+    let train: Vec<RawTrajectory> =
+        gen.generate_corpus(80, 5005).into_iter().map(|t| t.raw).collect();
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let summarizer = Summarizer::train(
+        &h.world.net,
+        &h.world.registry,
+        &train,
+        features,
+        weights,
+        SummarizerConfig::default(),
+    );
+
+    let mut rng = StdRng::seed_from_u64(6006);
+    let avg_mentions = |hour: f64, rng: &mut StdRng| {
+        let mut total = 0usize;
+        let mut n = 0usize;
+        for _ in 0..25 {
+            let Some(trip) = gen.generate_at(2, hour, rng) else { continue };
+            let Ok(summary) = summarizer.summarize(&trip.raw) else { continue };
+            total += mentioned_keys(&summary).len();
+            n += 1;
+        }
+        total as f64 / n.max(1) as f64
+    };
+    let rush = avg_mentions(8.0, &mut rng);
+    let night = avg_mentions(2.5, &mut rng);
+    assert!(
+        rush > night,
+        "rush summaries should carry more irregular features: rush {rush:.2} vs night {night:.2}"
+    );
+}
+
+#[test]
+fn group_summarization_aggregates_rush_hour_corridor() {
+    let h = Harness::new();
+    let gen = TripGenerator::new(&h.world, TripConfig::default());
+    let train: Vec<RawTrajectory> =
+        gen.generate_corpus(60, 7007).into_iter().map(|t| t.raw).collect();
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let summarizer = Summarizer::train(
+        &h.world.net,
+        &h.world.registry,
+        &train,
+        features,
+        weights,
+        SummarizerConfig::default(),
+    );
+
+    // A rush-hour group: anomalies must recur.
+    let mut rng = StdRng::seed_from_u64(8008);
+    let mut rush: Vec<RawTrajectory> = Vec::new();
+    while rush.len() < 25 {
+        if let Some(t) = gen.generate_at(4, 8.3, &mut rng) {
+            rush.push(t.raw);
+        }
+    }
+    let group = summarizer.summarize_group(&rush, 0.15).expect("summarizable group");
+    assert_eq!(group.n_trajectories, 25);
+    assert!(group.n_summarized >= 20);
+    assert!(!group.recurring.is_empty(), "rush-hour groups have recurring anomalies");
+    assert!(group.text.starts_with("Across "), "{}", group.text);
+    assert!(group.text.contains('%'), "{}", group.text);
+    for r in &group.recurring {
+        assert!((0.15..=1.0).contains(&r.fraction));
+    }
+    // Fractions sorted descending.
+    assert!(group.recurring.windows(2).all(|w| w[0].fraction >= w[1].fraction));
+
+    // A night group over the same world: fewer (often zero) recurrences.
+    let mut night: Vec<RawTrajectory> = Vec::new();
+    while night.len() < 25 {
+        if let Some(t) = gen.generate_at(4, 2.3, &mut rng) {
+            night.push(t.raw);
+        }
+    }
+    let night_group = summarizer.summarize_group(&night, 0.15).expect("summarizable group");
+    // Routing flags (route-vs-popular) are time-independent; the moving
+    // anomalies are what rush hours add, so compare those.
+    let moving_mass = |g: &stmaker_suite::GroupSummary| -> f64 {
+        g.recurring
+            .iter()
+            .filter(|r| {
+                [
+                    stmaker_suite::keys::SPEED,
+                    stmaker_suite::keys::STAY_POINTS,
+                    stmaker_suite::keys::U_TURNS,
+                ]
+                .contains(&r.key.as_str())
+            })
+            .map(|r| r.fraction)
+            .sum()
+    };
+    let rush_flags = moving_mass(&group);
+    let night_flags = moving_mass(&night_group);
+    assert!(
+        rush_flags > night_flags,
+        "rush corridor must look worse than night: {rush_flags:.2} vs {night_flags:.2}"
+    );
+}
+
+#[test]
+fn model_persistence_round_trips_summaries() {
+    let h = Harness::new();
+    let (train, test) = h.corpora(40, 6);
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let trained = Summarizer::train(
+        &h.world.net,
+        &h.world.registry,
+        &train,
+        features,
+        weights,
+        SummarizerConfig::default(),
+    );
+
+    // Save → load → summaries byte-identical, file canonical.
+    let dir = std::env::temp_dir().join(format!("stmaker-model-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    trained.model().save(&path).unwrap();
+    let json_a = std::fs::read_to_string(&path).unwrap();
+
+    let loaded = stmaker_suite::TrainedModel::load(&path).unwrap();
+    assert_eq!(loaded.n_trained, trained.model().n_trained);
+    let features2 = standard_features();
+    let weights2 = FeatureWeights::uniform(&features2);
+    let revived = Summarizer::from_model(
+        &h.world.net,
+        &h.world.registry,
+        loaded,
+        features2,
+        weights2,
+        SummarizerConfig::default(),
+    );
+    for raw in &test {
+        let a = trained.summarize(raw).map(|s| s.text).unwrap_or_default();
+        let b = revived.summarize(raw).map(|s| s.text).unwrap_or_default();
+        assert_eq!(a, b);
+    }
+    // Canonical serialization: saving the revived model reproduces the file.
+    assert_eq!(revived.model().to_json(), json_a.trim_end_matches('\n'));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn streaming_summarizer_converges_to_batch() {
+    use stmaker_suite::{StreamConfig, StreamingSummarizer};
+    let h = Harness::new();
+    let (train, _) = h.corpora(40, 1);
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let summarizer = Summarizer::train(
+        &h.world.net,
+        &h.world.registry,
+        &train,
+        features,
+        weights,
+        SummarizerConfig::default(),
+    );
+
+    let gen = TripGenerator::new(&h.world, TripConfig::default());
+    let mut rng = StdRng::seed_from_u64(9009);
+    let trip = (0..60)
+        .find_map(|_| gen.generate_at(2, 8.5, &mut rng))
+        .expect("rush trip");
+
+    let mut stream = StreamingSummarizer::new(&summarizer, StreamConfig::default());
+    let mut refreshes = 0;
+    let mut lengths = Vec::new();
+    for p in trip.raw.points() {
+        if let Some(summary) = stream.push(*p) {
+            refreshes += 1;
+            lengths.push(summary.symbolic_len);
+        }
+    }
+    assert!(refreshes >= 3, "a multi-km trip must refresh several times, got {refreshes}");
+    // The live summary covers more and more of the trip.
+    assert!(lengths.windows(2).all(|w| w[1] >= w[0]), "coverage must grow: {lengths:?}");
+    assert_eq!(stream.len(), trip.raw.len());
+
+    // Finalizing equals batch summarization of the same samples.
+    let live = stream.finish().expect("summarizable");
+    let batch = summarizer.summarize(&trip.raw).expect("summarizable");
+    assert_eq!(live.text, batch.text);
+}
