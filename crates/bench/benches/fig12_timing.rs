@@ -45,14 +45,18 @@ fn fig12a(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12a_time_vs_len");
     group.sample_size(20);
     for (centre, trips) in buckets.iter().filter(|(_, v)| v.len() >= 5) {
-        group.bench_with_input(BenchmarkId::new("summarize", format!("T{centre}")), trips, |b, trips| {
-            let mut i = 0;
-            b.iter(|| {
-                let raw = &trips[i % trips.len()];
-                i += 1;
-                black_box(summarizer.summarize(black_box(raw)).ok())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("summarize", format!("T{centre}")),
+            trips,
+            |b, trips| {
+                let mut i = 0;
+                b.iter(|| {
+                    let raw = &trips[i % trips.len()];
+                    i += 1;
+                    black_box(summarizer.summarize(black_box(raw)).ok())
+                });
+            },
+        );
     }
     group.finish();
 }

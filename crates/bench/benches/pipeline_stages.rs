@@ -38,7 +38,9 @@ fn stages(c: &mut Criterion) {
         b.iter(|| {
             let raw = &trips[i % trips.len()];
             i += 1;
-            black_box(calibrate(black_box(raw), &h.world.registry, CalibrationParams::default()).ok())
+            black_box(
+                calibrate(black_box(raw), &h.world.registry, CalibrationParams::default()).ok(),
+            )
         });
     });
 

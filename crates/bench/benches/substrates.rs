@@ -30,18 +30,15 @@ fn substrates(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let base = stmaker_geo::GeoPoint::new(39.9, 116.4);
     let pois: Vec<_> = (0..2000)
-        .map(|_| {
-            base.destination(rng.random_range(0.0..360.0), rng.random_range(0.0..6_000.0))
-        })
+        .map(|_| base.destination(rng.random_range(0.0..360.0), rng.random_range(0.0..6_000.0)))
         .collect();
     group.bench_function("dbscan_2k", |b| {
         b.iter(|| black_box(dbscan(black_box(&pois), DbscanParams::default())))
     });
 
     // HITS over 10k visits, 500 users, 300 landmarks.
-    let visits: Vec<Visit> = (0..10_000)
-        .map(|i| Visit::new((i * 7) % 500, (i * i) % 300))
-        .collect();
+    let visits: Vec<Visit> =
+        (0..10_000).map(|i| Visit::new((i * 7) % 500, (i * i) % 300)).collect();
     group.bench_function("hits_10k_visits", |b| {
         b.iter(|| black_box(compute_significance(300, black_box(&visits), HitsConfig::default())))
     });
@@ -109,9 +106,7 @@ fn substrates(c: &mut Criterion) {
     });
     let mut rng2 = StdRng::seed_from_u64(9);
     let g2 = h.generator();
-    let trip = (0..50)
-        .find_map(|_| g2.generate_at(0, 8.0, &mut rng2))
-        .expect("rush trip");
+    let trip = (0..50).find_map(|_| g2.generate_at(0, 8.0, &mut rng2)).expect("rush trip");
     group.bench_function("stay_uturn_detection", |b| {
         b.iter(|| {
             let s = detect_stay_points(black_box(&trip.raw), StayPointParams::default());

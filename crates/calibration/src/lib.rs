@@ -112,11 +112,13 @@ pub fn calibrate(
             })
         })
         .collect();
+    // total_cmp: projections of finite points are finite, but a total order
+    // keeps the sort deterministic (NaN last) instead of panicking if an
+    // upstream geometry bug ever produces one.
     anchors.sort_by(|a, b| {
         a.arc_m
-            .partial_cmp(&b.arc_m)
-            .unwrap()
-            .then(a.distance_m.partial_cmp(&b.distance_m).unwrap())
+            .total_cmp(&b.arc_m)
+            .then(a.distance_m.total_cmp(&b.distance_m))
             .then(a.landmark.cmp(&b.landmark))
     });
 
@@ -137,8 +139,11 @@ pub fn calibrate(
     let mut kept: Vec<Anchor> = Vec::with_capacity(anchors.len());
     let mut run_start_arc = f64::NEG_INFINITY;
     for a in anchors {
-        if a.arc_m - run_start_arc < params.min_spacing_m {
-            let last = kept.last_mut().expect("a run implies a kept representative");
+        // Within a run there is always a kept representative (the run opener
+        // pushed one); the `if let` keeps that invariant panic-free.
+        if let Some(last) =
+            kept.last_mut().filter(|_| a.arc_m - run_start_arc < params.min_spacing_m)
+        {
             if better(&a, last) {
                 *last = a;
             }
@@ -238,7 +243,12 @@ mod tests {
     /// Landmarks every 500 m along an east route, plus one far-away decoy.
     fn registry_along_route() -> LandmarkRegistry {
         let mut lms: Vec<Landmark> = (0..5)
-            .map(|i| lm(base().destination(90.0, 500.0 * i as f64).destination(0.0, 20.0), &format!("L{i}")))
+            .map(|i| {
+                lm(
+                    base().destination(90.0, 500.0 * i as f64).destination(0.0, 20.0),
+                    &format!("L{i}"),
+                )
+            })
             .collect();
         lms.push(lm(base().destination(0.0, 5_000.0), "FarAway"));
         LandmarkRegistry::from_landmarks(lms)
@@ -257,12 +267,35 @@ mod tests {
     }
 
     #[test]
+    fn nan_anchor_sorts_last_without_panic() {
+        // Regression: the anchor ordering used `partial_cmp(..).unwrap()` and
+        // panicked on NaN. total_cmp must keep it total, with the NaN entry
+        // deterministically last.
+        let a = |id: u32, arc_m: f64, distance_m: f64| Anchor {
+            landmark: LandmarkId(id),
+            arc_m,
+            distance_m,
+        };
+        let mut anchors =
+            vec![a(0, 900.0, 3.0), a(1, f64::NAN, 1.0), a(2, 100.0, 2.0), a(3, 100.0, 1.0)];
+        anchors.sort_by(|a, b| {
+            a.arc_m
+                .total_cmp(&b.arc_m)
+                .then(a.distance_m.total_cmp(&b.distance_m))
+                .then(a.landmark.cmp(&b.landmark))
+        });
+        let ids: Vec<u32> = anchors.iter().map(|a| a.landmark.0).collect();
+        assert_eq!(ids, [3, 2, 0, 1], "NaN arc must sort last, ties by distance");
+    }
+
+    #[test]
     fn picks_up_landmarks_in_order() {
         let reg = registry_along_route();
         let raw = east_trajectory(100.0, 2000.0, 10);
         let sym = calibrate(&raw, &reg, CalibrationParams::default()).unwrap();
         assert_eq!(sym.size(), 5);
-        let names: Vec<&str> = sym.points().iter().map(|p| reg.get(p.landmark).name.as_str()).collect();
+        let names: Vec<&str> =
+            sym.points().iter().map(|p| reg.get(p.landmark).name.as_str()).collect();
         assert_eq!(names, vec!["L0", "L1", "L2", "L3", "L4"]);
         // Timestamps increase with arc position.
         assert!(sym.points().windows(2).all(|w| w[0].t <= w[1].t));
@@ -273,10 +306,7 @@ mod tests {
         let reg = registry_along_route();
         let raw = east_trajectory(100.0, 2000.0, 10);
         let sym = calibrate(&raw, &reg, CalibrationParams::default()).unwrap();
-        assert!(sym
-            .points()
-            .iter()
-            .all(|p| reg.get(p.landmark).name != "FarAway"));
+        assert!(sym.points().iter().all(|p| reg.get(p.landmark).name != "FarAway"));
     }
 
     #[test]
@@ -324,7 +354,8 @@ mod tests {
         let reg = LandmarkRegistry::from_landmarks(lms);
         let raw = east_trajectory(100.0, 1000.0, 10);
         let sym = calibrate(&raw, &reg, CalibrationParams::default()).unwrap();
-        let names: Vec<&str> = sym.points().iter().map(|p| reg.get(p.landmark).name.as_str()).collect();
+        let names: Vec<&str> =
+            sym.points().iter().map(|p| reg.get(p.landmark).name.as_str()).collect();
         assert_eq!(names, vec!["Near", "End"]);
     }
 

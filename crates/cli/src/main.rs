@@ -198,12 +198,9 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
         hour as u32,
         ((hour % 1.0) * 60.0) as u32,
     );
-    let summary = if k == 0 {
-        summarizer.summarize(&trip.raw)
-    } else {
-        summarizer.summarize_k(&trip.raw, k)
-    }
-    .map_err(|e| e.to_string())?;
+    let summary =
+        if k == 0 { summarizer.summarize(&trip.raw) } else { summarizer.summarize_k(&trip.raw, k) }
+            .map_err(|e| e.to_string())?;
     println!("\n{}", summary.text);
     Ok(())
 }
@@ -241,15 +238,8 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
 
     let stack = Stack::from_config(load_world_config(&dir)?);
     let summarizer = stack.train(n_train);
-    summarizer
-        .model()
-        .save(&out)
-        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
-    println!(
-        "trained on {} trips; model saved to {}",
-        summarizer.model().n_trained,
-        out.display()
-    );
+    summarizer.model().save(&out).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!("trained on {} trips; model saved to {}", summarizer.model().n_trained, out.display());
     Ok(())
 }
 
@@ -262,17 +252,12 @@ fn cmd_summarize(args: &[String]) -> Result<(), String> {
     let trip_path = dir.join(trip_file);
     let body = std::fs::read_to_string(&trip_path)
         .map_err(|e| format!("cannot read {}: {e}", trip_path.display()))?;
-    let raw =
-        read_trajectory_csv(&body).map_err(|e| format!("{}: {e}", trip_path.display()))?;
+    let raw = read_trajectory_csv(&body).map_err(|e| format!("{}: {e}", trip_path.display()))?;
 
     let stack = Stack::from_config(load_world_config(&dir)?);
     let summarizer = stack.summarizer(&opts)?;
-    let summary = if k == 0 {
-        summarizer.summarize(&raw)
-    } else {
-        summarizer.summarize_k(&raw, k)
-    }
-    .map_err(|e| e.to_string())?;
+    let summary = if k == 0 { summarizer.summarize(&raw) } else { summarizer.summarize_k(&raw, k) }
+        .map_err(|e| e.to_string())?;
 
     println!("{}", summary.text);
     if let Some(out) = opts.get("--geojson") {
@@ -311,8 +296,7 @@ fn cmd_group(args: &[String]) -> Result<(), String> {
 
     let stack = Stack::from_config(load_world_config(&dir)?);
     let summarizer = stack.summarizer(&opts)?;
-    let group =
-        summarizer.summarize_group(&trips, min_share).map_err(|e| e.to_string())?;
+    let group = summarizer.summarize_group(&trips, min_share).map_err(|e| e.to_string())?;
     println!("{}", group.text);
     println!(
         "\n({} of {} trips summarized; drill-down below)",

@@ -59,9 +59,7 @@ impl Feature for RoadWidth {
         FeatureScale::Numeric
     }
     fn extract(&self, ctx: &SegmentContext<'_>) -> f64 {
-        ctx.edge
-            .map(|e| e.width_m)
-            .unwrap_or_else(|| RoadGrade::Provincial.typical_width_m())
+        ctx.edge.map(|e| e.width_m).unwrap_or_else(|| RoadGrade::Provincial.typical_width_m())
     }
 }
 
@@ -109,9 +107,8 @@ impl Feature for Speed {
             // contribute neither. Excluding only the time would divide real
             // distance *plus* the GPS jitter accumulated while parked by a
             // tiny moving time, inflating speeds wildly after long stays.
-            let in_stay = |i: usize| {
-                ctx.stays.iter().any(|s| i >= s.first_index && i < s.last_index)
-            };
+            let in_stay =
+                |i: usize| ctx.stays.iter().any(|s| i >= s.first_index && i < s.last_index);
             let mut dist = 0.0;
             let mut moving = 0i64;
             for (i, w) in ctx.raw_points.windows(2).enumerate() {
@@ -230,10 +227,9 @@ impl Feature for SpeedChange {
     fn phrase(&self, info: &PhraseInfo) -> Option<String> {
         let n = info.value.round() as i64;
         Some(match info.regular {
-            Some(r) => format!(
-                "with {n} sharp speed change(s) while {:.1} is usual on this route",
-                r
-            ),
+            Some(r) => {
+                format!("with {n} sharp speed change(s) while {:.1} is usual on this route", r)
+            }
             None => format!("with {n} sharp speed change(s)"),
         })
     }
@@ -344,7 +340,10 @@ mod tests {
         let mut pts = Vec::new();
         let mut t = 0i64;
         for i in 0..=10 {
-            pts.push(RawPoint { point: base().destination(90.0, 50.0 * i as f64), t: Timestamp(t) });
+            pts.push(RawPoint {
+                point: base().destination(90.0, 50.0 * i as f64),
+                t: Timestamp(t),
+            });
             t += 5;
         }
         let stop = base().destination(90.0, 520.0);
@@ -366,17 +365,13 @@ mod tests {
         let mut ctx = ctx_with(&pts);
         ctx.stays = &stays;
         let v = Speed.extract(&ctx);
-        assert!(
-            (20.0..60.0).contains(&v),
-            "moving speed should be ~36 km/h, got {v:.1}"
-        );
+        assert!((20.0..60.0).contains(&v), "moving speed should be ~36 km/h, got {v:.1}");
     }
 
     #[test]
     fn unmatched_segments_report_neutral_routing_values() {
-        let raw: Vec<RawPoint> = (0..2)
-            .map(|i| RawPoint { point: base(), t: Timestamp(i) })
-            .collect();
+        let raw: Vec<RawPoint> =
+            (0..2).map(|i| RawPoint { point: base(), t: Timestamp(i) }).collect();
         let ctx = ctx_with(&raw);
         assert_eq!(GradeOfRoad.extract(&ctx), 4.0);
         assert_eq!(TrafficDirection.extract(&ctx), 1.0);

@@ -74,11 +74,7 @@ pub struct ExtractionParams {
 
 impl Default for ExtractionParams {
     fn default() -> Self {
-        Self {
-            stay: StayPointParams::default(),
-            uturn: UTurnParams::default(),
-            hmm_matching: true,
-        }
+        Self { stay: StayPointParams::default(), uturn: UTurnParams::default(), hmm_matching: true }
     }
 }
 
@@ -212,7 +208,8 @@ mod tests {
     fn segment_data_attributes_samples_and_edges() {
         let (net, registry, raw, symbolic) = fixture();
         let matcher = MapMatcher::new(&net, MatchParams::default());
-        let data = extract_segment_data(&raw, &symbolic, &registry, &matcher, ExtractionParams::default());
+        let data =
+            extract_segment_data(&raw, &symbolic, &registry, &matcher, ExtractionParams::default());
         assert_eq!(data.len(), 2);
         // First segment: samples t ∈ [0, 100] → 11 samples.
         assert_eq!(data[0].raw_range, (0, 11));
@@ -227,7 +224,8 @@ mod tests {
     fn context_borrows_line_up() {
         let (net, registry, raw, symbolic) = fixture();
         let matcher = MapMatcher::new(&net, MatchParams::default());
-        let data = extract_segment_data(&raw, &symbolic, &registry, &matcher, ExtractionParams::default());
+        let data =
+            extract_segment_data(&raw, &symbolic, &registry, &matcher, ExtractionParams::default());
         let ctx = segment_context(&raw, &symbolic, &data, &net, 1);
         assert_eq!(ctx.from_landmark, LandmarkId(1));
         assert_eq!(ctx.to_landmark, LandmarkId(2));

@@ -102,10 +102,7 @@ impl FeatureSet {
     /// Panics on duplicate keys.
     pub fn push(&mut self, f: Arc<dyn Feature>) {
         let key = f.key().to_owned();
-        assert!(
-            !self.by_key.contains_key(&key),
-            "duplicate feature key {key:?}"
-        );
+        assert!(!self.by_key.contains_key(&key), "duplicate feature key {key:?}");
         self.by_key.insert(key, self.features.len());
         self.features.push(f);
     }
@@ -172,9 +169,7 @@ impl FeatureWeights {
     /// Panics if the key is unknown or the weight is not positive/finite.
     pub fn set(&mut self, set: &FeatureSet, key: &str, w: f64) {
         assert!(w.is_finite() && w > 0.0, "weights must be positive, got {w}");
-        let idx = set
-            .index_of(key)
-            .unwrap_or_else(|| panic!("unknown feature key {key:?}"));
+        let idx = set.index_of(key).unwrap_or_else(|| panic!("unknown feature key {key:?}"));
         self.weights[idx] = w;
     }
 

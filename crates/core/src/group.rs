@@ -76,8 +76,7 @@ impl Summarizer<'_> {
         min_share: f64,
     ) -> Result<GroupSummary, GroupError> {
         assert!((0.0..=1.0).contains(&min_share), "min_share must be in [0, 1]");
-        let members: Vec<Summary> =
-            trips.iter().filter_map(|t| self.summarize(t).ok()).collect();
+        let members: Vec<Summary> = trips.iter().filter_map(|t| self.summarize(t).ok()).collect();
         if members.is_empty() {
             return Err(GroupError::NothingSummarizable);
         }
@@ -115,8 +114,7 @@ impl Summarizer<'_> {
                 // Mean for numeric values; modal category for categorical
                 // ones (averaging grade codes would name a road grade that
                 // nobody drove).
-                let agg = crate::select::aggregate(&observed_values[key], f.scale())
-                    .unwrap_or(0.0);
+                let agg = crate::select::aggregate(&observed_values[key], f.scale()).unwrap_or(0.0);
                 recurring.push(GroupFeatureStat {
                     key: key.to_owned(),
                     label: f.label().to_owned(),
@@ -126,20 +124,19 @@ impl Summarizer<'_> {
             }
         }
         recurring.sort_by(|a, b| {
-            b.fraction.partial_cmp(&a.fraction).unwrap().then(a.key.cmp(&b.key))
+            crate::select::desc_nan_last(a.fraction, b.fraction).then(a.key.cmp(&b.key))
         });
 
         // Modal origin/destination pair.
         let mut od_counts: HashMap<(LandmarkId, LandmarkId), usize> = HashMap::new();
         for m in &members {
-            let from = m.partitions[0].from;
-            let to = m.partitions.last().expect("non-empty").to;
-            *od_counts.entry((from, to)).or_insert(0) += 1;
+            let (Some(first), Some(last)) = (m.partitions.first(), m.partitions.last()) else {
+                continue; // a summary without partitions has no endpoints
+            };
+            *od_counts.entry((first.from, last.to)).or_insert(0) += 1;
         }
-        let modal_od = od_counts
-            .iter()
-            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
-            .map(|((from, to), _)| {
+        let modal_od = od_counts.iter().max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0))).map(
+            |((from, to), _)| {
                 let find_name = |lm: LandmarkId| {
                     members
                         .iter()
@@ -156,7 +153,8 @@ impl Summarizer<'_> {
                         .unwrap_or_default()
                 };
                 ((*from, find_name(*from)), (*to, find_name(*to)))
-            });
+            },
+        );
 
         let text = render_group_text(n, &modal_od, &recurring);
         Ok(GroupSummary {
@@ -191,13 +189,14 @@ fn render_group_text(
         .map(|r| format!("{:.0}% were flagged for {}", r.fraction * 100.0, r.label))
         .collect();
     text.push_str(": ");
-    match phrases.len() {
-        1 => text.push_str(&phrases[0]),
-        _ => {
-            text.push_str(&phrases[..phrases.len() - 1].join(", "));
+    match phrases.split_last() {
+        Some((only, [])) => text.push_str(only),
+        Some((last, head)) => {
+            text.push_str(&head.join(", "));
             text.push_str(", and ");
-            text.push_str(phrases.last().expect("non-empty"));
+            text.push_str(last);
         }
+        None => {} // unreachable in practice: the empty case returned above
     }
     text.push('.');
     text
@@ -211,6 +210,24 @@ mod tests {
     fn render_smooth_group() {
         let t = render_group_text(5, &None, &[]);
         assert_eq!(t, "Across 5 trips, traffic flowed smoothly with no recurring irregularities.");
+    }
+
+    #[test]
+    fn nan_fractions_rank_last_without_panic() {
+        // Regression: the recurring-feature sort used
+        // `partial_cmp(..).unwrap()` and panicked on NaN.
+        let mk = |key: &str, fraction: f64| GroupFeatureStat {
+            key: key.into(),
+            label: key.into(),
+            fraction,
+            mean_observed: 0.0,
+        };
+        let mut recurring = vec![mk("a", 0.2), mk("b", f64::NAN), mk("c", 0.8)];
+        recurring.sort_by(|a, b| {
+            crate::select::desc_nan_last(a.fraction, b.fraction).then(a.key.cmp(&b.key))
+        });
+        let keys: Vec<&str> = recurring.iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(keys, ["c", "a", "b"], "the NaN entry must sort last");
     }
 
     #[test]

@@ -52,16 +52,17 @@ fn norm_seq(values: &[f64]) -> Vec<f64> {
 pub fn feature_edit_distance(a: &[f64], b: &[f64], scale: FeatureScale) -> f64 {
     let (m, n) = (a.len(), b.len());
     if m == 0 {
-        return n as f64;
+        return n as f64; // cast-ok: sequence length, exact well below 2^53
     }
     if n == 0 {
-        return m as f64;
+        return m as f64; // cast-ok: sequence length, exact well below 2^53
     }
     // Rolling one-row DP.
+    // cast-ok: indel costs are small integer counts, exact as f64
     let mut prev: Vec<f64> = (0..=n).map(|j| j as f64).collect();
     let mut cur = vec![0.0; n + 1];
     for i in 1..=m {
-        cur[0] = i as f64;
+        cur[0] = i as f64; // cast-ok: indel cost, small integer count
         for j in 1..=n {
             let sub = prev[j - 1] + subst_cost(a[i - 1], b[j - 1], scale);
             let del = prev[j] + 1.0;
@@ -70,6 +71,7 @@ pub fn feature_edit_distance(a: &[f64], b: &[f64], scale: FeatureScale) -> f64 {
         }
         std::mem::swap(&mut prev, &mut cur);
     }
+    crate::invariant::check_edit_distance_bounds(prev[n], m, n);
     prev[n]
 }
 
@@ -96,7 +98,9 @@ pub fn routing_irregular_rate(
         }
         FeatureScale::Categorical => feature_edit_distance(tp_values, pr_values, scale),
     };
-    weight * d / denom as f64
+    let gamma = weight * d / denom as f64; // cast-ok: sequence length, exact well below 2^53
+    crate::invariant::check_irregular_rate("routing", gamma);
+    gamma
 }
 
 /// Sec. V-B: Γ_f(TP) for a moving feature.
@@ -118,13 +122,13 @@ pub fn routing_irregular_rate(
 ///   (history exceeds the observed maximum), while a uniformly fast night
 ///   trip deflates it — which keeps night speed FF low in Fig. 8, exactly
 ///   as the paper reports.
-pub fn moving_irregular_rate(tp_values: &[f64], regular_values: &[Option<f64>], weight: f64) -> f64 {
+pub fn moving_irregular_rate(
+    tp_values: &[f64],
+    regular_values: &[Option<f64>],
+    weight: f64,
+) -> f64 {
     assert!(weight > 0.0, "weights must be positive");
-    assert_eq!(
-        tp_values.len(),
-        regular_values.len(),
-        "one regular value per partition segment"
-    );
+    assert_eq!(tp_values.len(), regular_values.len(), "one regular value per partition segment");
     let known: Vec<f64> = regular_values.iter().flatten().copied().collect();
     if known.is_empty() {
         return 0.0;
@@ -142,7 +146,9 @@ pub fn moving_irregular_rate(tp_values: &[f64], regular_values: &[Option<f64>], 
         sum += (tp_values[t] - r).abs() / constant;
         compared += 1;
     }
-    weight * sum / compared as f64
+    let gamma = weight * sum / compared as f64; // cast-ok: segment count, exact well below 2^53
+    crate::invariant::check_irregular_rate("moving", gamma);
+    gamma
 }
 
 #[cfg(test)]

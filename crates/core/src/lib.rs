@@ -47,6 +47,7 @@
 //! | [`context`] | Sec. III-B — per-segment extraction pipeline |
 //! | [`similarity`] | Eq. (3) — weighted cosine similarity |
 //! | [`partition`] | Eq. (4) & Algorithm 1 — optimal (k-)partition |
+//! | [`invariant`] | debug-build runtime gates over the stages above |
 //! | [`irregular`] | Sec. V — irregular rates |
 //! | [`select`] | Sec. V — threshold selection |
 //! | [`template`] | Tables V & VI — phrase/sentence templates |
@@ -56,6 +57,7 @@ pub mod builtin;
 pub mod context;
 pub mod feature;
 pub mod group;
+pub mod invariant;
 pub mod irregular;
 pub mod partition;
 pub mod select;
@@ -67,11 +69,11 @@ pub mod template;
 pub use builtin::{extended_features, keys, standard_features};
 pub use context::{ExtractionParams, SegmentContext};
 pub use feature::{Feature, FeatureKind, FeatureScale, FeatureSet, FeatureWeights, PhraseInfo};
-pub use partition::{optimal_k_partition, optimal_partition, PartitionResult, PartitionSpan};
 pub use group::{GroupError, GroupFeatureStat, GroupSummary};
+pub use partition::{optimal_k_partition, optimal_partition, PartitionResult, PartitionSpan};
 pub use select::SelectedFeature;
 pub use streaming::{StreamConfig, StreamingSummarizer};
 pub use summarize::{
-    mentioned_keys, summary_mentions, PartitionSummary, Prepared, Summarizer, SummarizeError,
+    mentioned_keys, summary_mentions, PartitionSummary, Prepared, SummarizeError, Summarizer,
     SummarizerConfig, Summary, TrainedModel,
 };

@@ -63,10 +63,7 @@ impl PartitionResult {
 pub fn partition_potential(sims: &[f64], sigs: &[f64], ca: f64, cuts: &[bool]) -> f64 {
     assert_eq!(sims.len(), sigs.len());
     assert_eq!(sims.len(), cuts.len());
-    cuts.iter()
-        .enumerate()
-        .map(|(b, cut)| if *cut { -ca * sigs[b] } else { -sims[b] })
-        .sum()
+    cuts.iter().enumerate().map(|(b, cut)| if *cut { -ca * sigs[b] } else { -sims[b] }).sum()
 }
 
 fn spans_from_cuts(n_segs: usize, cuts: &[bool]) -> Vec<PartitionSpan> {
@@ -94,13 +91,21 @@ pub fn optimal_partition(sims: &[f64], sigs: &[f64], ca: f64) -> PartitionResult
     let n_segs = sims.len() + 1;
     let cuts: Vec<bool> = (0..sims.len()).map(|b| ca * sigs[b] > sims[b]).collect();
     let potential = partition_potential(sims, sigs, ca, &cuts);
-    PartitionResult { spans: spans_from_cuts(n_segs, &cuts), potential }
+    let result = PartitionResult { spans: spans_from_cuts(n_segs, &cuts), potential };
+    crate::invariant::check_finite("unconstrained partition potential", result.potential);
+    crate::invariant::check_spans_cover(&result.spans, n_segs);
+    result
 }
 
 /// Algorithm 1: the optimal partition with exactly `k` partitions.
 ///
 /// Returns `None` when `k` is 0 or exceeds the number of segments.
-pub fn optimal_k_partition(sims: &[f64], sigs: &[f64], ca: f64, k: usize) -> Option<PartitionResult> {
+pub fn optimal_k_partition(
+    sims: &[f64],
+    sigs: &[f64],
+    ca: f64,
+    k: usize,
+) -> Option<PartitionResult> {
     assert_eq!(sims.len(), sigs.len(), "boundary array length mismatch");
     let n = sims.len() + 1; // number of segments
     if k == 0 || k > n {
@@ -150,7 +155,15 @@ pub fn optimal_k_partition(sims: &[f64], sigs: &[f64], ca: f64, k: usize) -> Opt
     }
     debug_assert_eq!(j, 0, "backtrack must consume all cuts");
 
-    Some(PartitionResult { spans: spans_from_cuts(n, &cuts), potential })
+    let result = PartitionResult { spans: spans_from_cuts(n, &cuts), potential };
+    crate::invariant::check_spans_cover(&result.spans, n);
+    debug_assert_eq!(result.k(), k, "backtracked spans must form exactly k partitions");
+    #[cfg(debug_assertions)]
+    crate::invariant::check_k_potential_dominates(
+        potential,
+        optimal_partition(sims, sigs, ca).potential,
+    );
+    Some(result)
 }
 
 #[cfg(test)]

@@ -55,8 +55,7 @@ pub fn select_features(input: &SelectionInput<'_>) -> Vec<SelectedFeature> {
         let (gamma, regular) = match f.kind() {
             FeatureKind::Routing => {
                 let Some(pr) = input.popular_route else { continue };
-                let Some(pr_values) =
-                    popular_route_values(input.featmap, pr, f.key(), f.scale())
+                let Some(pr_values) = popular_route_values(input.featmap, pr, f.key(), f.scale())
                 else {
                     // Some PR hop has no history for this feature (possible
                     // when a custom feature was added after training):
@@ -76,10 +75,10 @@ pub fn select_features(input: &SelectionInput<'_>) -> Vec<SelectedFeature> {
                     .iter()
                     .map(|(a, b)| match f.scale() {
                         FeatureScale::Numeric => input.featmap.regular_value(*a, *b, f.key()),
-                        FeatureScale::Categorical => input
-                            .featmap
-                            .regular_category(*a, *b, f.key())
-                            .map(|c| c as f64),
+                        FeatureScale::Categorical => {
+                            // cast-ok: small category code
+                            input.featmap.regular_category(*a, *b, f.key()).map(|c| c as f64)
+                        }
                     })
                     .collect();
                 let gamma = moving_irregular_rate(&tp_values, &regulars, w);
@@ -122,7 +121,7 @@ pub fn select_features(input: &SelectionInput<'_>) -> Vec<SelectedFeature> {
                             FeatureKind::Moving => input
                                 .featmap
                                 .regular_category(*a, *b, f.key())
-                                .map(|c| c as f64)
+                                .map(|c| c as f64) // cast-ok: small category code
                                 .unwrap_or(reg),
                         };
                         **v != reference
@@ -137,6 +136,7 @@ pub fn select_features(input: &SelectionInput<'_>) -> Vec<SelectedFeature> {
             _ => aggregate(&tp_values, f.scale()).unwrap_or(0.0),
         };
 
+        crate::invariant::check_irregular_rate(f.key(), gamma);
         if gamma > input.eta {
             out.push(SelectedFeature {
                 key: f.key().to_owned(),
@@ -149,12 +149,22 @@ pub fn select_features(input: &SelectionInput<'_>) -> Vec<SelectedFeature> {
         }
     }
     out.sort_by(|a, b| {
-        b.irregular_rate
-            .partial_cmp(&a.irregular_rate)
-            .unwrap()
-            .then_with(|| a.key.cmp(&b.key))
+        desc_nan_last(a.irregular_rate, b.irregular_rate).then_with(|| a.key.cmp(&b.key))
     });
     out
+}
+
+/// Descending float comparator with a total order: larger values sort first
+/// and NaN — which `partial_cmp(..).unwrap()` would panic on — sorts
+/// deterministically last. Shared by every "most irregular first" ranking.
+pub fn desc_nan_last(a: f64, b: f64) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
 }
 
 /// Per-hop values of a routing feature along the popular route, read from
@@ -172,7 +182,7 @@ pub fn popular_route_values(
         .map(|w| match scale {
             FeatureScale::Numeric => featmap.regular_value(w[0], w[1], key),
             FeatureScale::Categorical => {
-                featmap.regular_category(w[0], w[1], key).map(|c| c as f64)
+                featmap.regular_category(w[0], w[1], key).map(|c| c as f64) // cast-ok: small category code
             }
         })
         .collect()
@@ -185,6 +195,7 @@ pub fn aggregate(values: &[f64], scale: FeatureScale) -> Option<f64> {
         return None;
     }
     match scale {
+        // cast-ok: value count, exact well below 2^53
         FeatureScale::Numeric => Some(values.iter().sum::<f64>() / values.len() as f64),
         FeatureScale::Categorical => {
             let mut counts: std::collections::BTreeMap<i64, usize> = Default::default();
@@ -194,7 +205,7 @@ pub fn aggregate(values: &[f64], scale: FeatureScale) -> Option<f64> {
             counts
                 .into_iter()
                 .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-                .map(|(code, _)| code as f64)
+                .map(|(code, _)| code as f64) // cast-ok: small category code
         }
     }
 }
@@ -345,8 +356,7 @@ mod tests {
                 0.0
             }
         }
-        let features =
-            FeatureSet::new().with(std::sync::Arc::new(SignalState));
+        let features = FeatureSet::new().with(std::sync::Arc::new(SignalState));
         let weights = FeatureWeights::uniform(&features);
         let hops = vec![(l(0), l(1)), (l(1), l(2))];
         let mut featmap = HistoricalFeatureMap::new();
@@ -368,6 +378,42 @@ mod tests {
         assert_eq!(sel[0].key, "signal_state");
         assert_eq!(sel[0].observed, 3.0);
         assert_eq!(sel[0].regular, Some(1.0));
+    }
+
+    #[test]
+    fn nan_rates_rank_last_without_panic() {
+        // Regression: this sort used `partial_cmp(..).unwrap()` and panicked
+        // on NaN. The comparator must stay total (no panic) and rank a NaN
+        // entry deterministically last.
+        let mk = |key: &str, rate: f64| SelectedFeature {
+            key: key.into(),
+            label: key.into(),
+            kind: FeatureKind::Moving,
+            irregular_rate: rate,
+            observed: 0.0,
+            regular: None,
+        };
+        let mut sel =
+            vec![mk("a", 0.3), mk("b", f64::NAN), mk("c", 0.9), mk("d", f64::NAN), mk("e", 0.5)];
+        sel.sort_by(|a, b| {
+            desc_nan_last(a.irregular_rate, b.irregular_rate).then_with(|| a.key.cmp(&b.key))
+        });
+        let keys: Vec<String> = sel.iter().map(|s| s.key.clone()).collect();
+        assert_eq!(keys, ["c", "e", "a", "b", "d"], "NaN entries must sort last");
+        // Deterministic: resorting a rotation gives the same order.
+        sel.rotate_left(2);
+        sel.sort_by(|a, b| {
+            desc_nan_last(a.irregular_rate, b.irregular_rate).then_with(|| a.key.cmp(&b.key))
+        });
+        assert_eq!(sel.iter().map(|s| s.key.clone()).collect::<Vec<_>>(), keys);
+    }
+
+    #[test]
+    fn desc_nan_last_orders_descending() {
+        let mut v = vec![0.1, f64::NAN, 0.7, f64::NEG_INFINITY, 0.4];
+        v.sort_by(|a, b| desc_nan_last(*a, *b));
+        assert_eq!(&v[..4], &[0.7, 0.4, 0.1, f64::NEG_INFINITY]);
+        assert!(v[4].is_nan());
     }
 
     #[test]

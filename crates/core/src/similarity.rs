@@ -30,11 +30,7 @@ pub fn normalizing_constants(segment_values: &[Vec<f64>]) -> Vec<f64> {
 /// Dimensions whose constant is 0 (feature identically zero on this
 /// trajectory) normalize to 0.
 pub fn normalize(values: &[f64], constants: &[f64]) -> Vec<f64> {
-    values
-        .iter()
-        .zip(constants)
-        .map(|(v, c)| if *c > 0.0 { v / c } else { 0.0 })
-        .collect()
+    values.iter().zip(constants).map(|(v, c)| if *c > 0.0 { v / c } else { 0.0 }).collect()
 }
 
 /// Eq. (3): weighted cosine similarity of two normalized feature vectors,
@@ -62,7 +58,9 @@ pub fn cosine_similarity(u: &[f64], v: &[f64], w: &FeatureWeights) -> f64 {
     } else {
         dot / (nu.sqrt() * nv.sqrt())
     };
-    0.5 * (cos + 1.0)
+    let s = 0.5 * (cos + 1.0);
+    crate::invariant::check_similarity(s);
+    s
 }
 
 /// Pairwise similarities between consecutive segments:
@@ -71,10 +69,7 @@ pub fn consecutive_similarities(segment_values: &[Vec<f64>], w: &FeatureWeights)
     let constants = normalizing_constants(segment_values);
     let normalized: Vec<Vec<f64>> =
         segment_values.iter().map(|v| normalize(v, &constants)).collect();
-    normalized
-        .windows(2)
-        .map(|pair| cosine_similarity(&pair[0], &pair[1], w))
-        .collect()
+    normalized.windows(2).map(|pair| cosine_similarity(&pair[0], &pair[1], w)).collect()
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 //! milliseconds) a refresh every few hundred metres is negligible for an
 //! embedded device.
 
-use crate::summarize::{Summarizer, SummarizeError, Summary};
+use crate::summarize::{SummarizeError, Summarizer, Summary};
 use stmaker_trajectory::{RawPoint, RawTrajectory};
 
 /// Refresh policy for the stream.
@@ -87,10 +87,8 @@ impl<'s, 'a> StreamingSummarizer<'s, 'a> {
         self.buffer.push(point);
         let t = point.t.0;
         let due_dist = self.dist_since_refresh >= self.cfg.refresh_distance_m;
-        let due_time = self
-            .last_refresh_t
-            .map(|t0| t - t0 >= self.cfg.refresh_interval_s)
-            .unwrap_or(true);
+        let due_time =
+            self.last_refresh_t.map(|t0| t - t0 >= self.cfg.refresh_interval_s).unwrap_or(true);
         if self.buffer.len() < 2 || (!due_dist && !due_time) {
             return None;
         }

@@ -132,8 +132,7 @@ impl TrainedModel {
     /// Reads a model from a file.
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
         let body = std::fs::read_to_string(path)?;
-        Self::from_json(&body)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Self::from_json(&body).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -352,9 +351,7 @@ impl<'a> Summarizer<'a> {
             let from = symbolic.points()[span.seg_start].landmark;
             let to = symbolic.points()[span.seg_end + 1].landmark;
             let hops: Vec<(LandmarkId, LandmarkId)> = (span.seg_start..=span.seg_end)
-                .map(|i| {
-                    (symbolic.points()[i].landmark, symbolic.points()[i + 1].landmark)
-                })
+                .map(|i| (symbolic.points()[i].landmark, symbolic.points()[i + 1].landmark))
                 .collect();
             let pr = self.model.popular.popular_route(from, to);
             let seg_values = &prepared.seg_values[span.seg_start..=span.seg_end];
@@ -370,8 +367,7 @@ impl<'a> Summarizer<'a> {
             });
 
             let facts = self.partition_facts(prepared, span, from, to);
-            let sentence =
-                render_partition_sentence(pi == 0, &facts, &selected, &self.features);
+            let sentence = render_partition_sentence(pi == 0, &facts, &selected, &self.features);
             partitions.push(PartitionSummary {
                 span: *span,
                 from,
@@ -383,11 +379,7 @@ impl<'a> Summarizer<'a> {
             });
         }
 
-        let text = partitions
-            .iter()
-            .map(|p| p.sentence.as_str())
-            .collect::<Vec<_>>()
-            .join(" ");
+        let text = partitions.iter().map(|p| p.sentence.as_str()).collect::<Vec<_>>().join(" ");
         Ok(Summary {
             text,
             partitions,
@@ -445,11 +437,7 @@ pub fn summary_mentions(summary: &Summary, key: &str) -> bool {
 /// The set of feature keys mentioned anywhere in the summary — the unit the
 /// paper's feature-frequency (FF) metric counts.
 pub fn mentioned_keys(summary: &Summary) -> std::collections::BTreeSet<String> {
-    summary
-        .partitions
-        .iter()
-        .flat_map(|p| p.selected.iter().map(|s| s.key.clone()))
-        .collect()
+    summary.partitions.iter().flat_map(|p| p.selected.iter().map(|s| s.key.clone())).collect()
 }
 
 #[cfg(test)]
@@ -471,8 +459,7 @@ mod tests {
     fn error_messages_are_actionable() {
         let e = SummarizeError::InvalidK { k: 9, max: 4 };
         assert_eq!(e.to_string(), "cannot split 4 segment(s) into 9 partition(s)");
-        let e: SummarizeError =
-            stmaker_calibration::CalibrationError::TooFewLandmarks(1).into();
+        let e: SummarizeError = stmaker_calibration::CalibrationError::TooFewLandmarks(1).into();
         assert!(e.to_string().contains("calibration failed"));
         assert!(e.to_string().contains("need at least 2"));
     }

@@ -54,7 +54,11 @@ pub fn render_partition_sentence(
 /// the built-in Table V templates, then a generic comparative phrase.
 ///
 /// [`Feature::phrase`]: crate::feature::Feature::phrase
-pub fn feature_phrase(s: &SelectedFeature, facts: &PartitionFacts, features: &FeatureSet) -> String {
+pub fn feature_phrase(
+    s: &SelectedFeature,
+    facts: &PartitionFacts,
+    features: &FeatureSet,
+) -> String {
     if let Some(idx) = features.index_of(&s.key) {
         if let Some(custom) =
             features.get(idx).phrase(&PhraseInfo { value: s.observed, regular: s.regular })
@@ -116,10 +120,7 @@ pub fn feature_phrase(s: &SelectedFeature, facts: &PartitionFacts, features: &Fe
             let n = facts.stay_count.max(1);
             let noun = if n == 1 { "staying point" } else { "staying points" };
             if facts.stay_total_secs > 0 {
-                format!(
-                    "with {n} {noun} (in total for {} seconds)",
-                    facts.stay_total_secs
-                )
+                format!("with {n} {noun} (in total for {} seconds)", facts.stay_total_secs)
             } else {
                 format!("with {n} {noun}")
             }
@@ -144,9 +145,7 @@ pub fn feature_phrase(s: &SelectedFeature, facts: &PartitionFacts, features: &Fe
 }
 
 fn grade_name(code: f64) -> &'static str {
-    RoadGrade::from_code(code.round().clamp(1.0, 7.0) as u8)
-        .map(|g| g.name())
-        .unwrap_or("road")
+    RoadGrade::from_code(code.round().clamp(1.0, 7.0) as u8).map(|g| g.name()).unwrap_or("road")
 }
 
 fn direction_name(code: f64) -> &'static str {
@@ -157,13 +156,10 @@ fn direction_name(code: f64) -> &'static str {
 
 /// Joins phrases with commas and a final "and".
 fn join_phrases(phrases: &[String]) -> String {
-    match phrases.len() {
-        0 => String::new(),
-        1 => phrases[0].clone(),
-        _ => {
-            let head = &phrases[..phrases.len() - 1];
-            format!("{}, and {}", head.join(", "), phrases.last().expect("non-empty"))
-        }
+    match phrases.split_last() {
+        None => String::new(),
+        Some((only, [])) => only.clone(),
+        Some((last, head)) => format!("{}, and {last}", head.join(", ")),
     }
 }
 
@@ -203,7 +199,10 @@ mod tests {
     #[test]
     fn smooth_partition_sentence() {
         let s = render_partition_sentence(false, &facts(), &[], &standard_features());
-        assert_eq!(s, "Then it moved from the Daoxiang Community to the Haidian Hospital smoothly.");
+        assert_eq!(
+            s,
+            "Then it moved from the Daoxiang Community to the Haidian Hospital smoothly."
+        );
     }
 
     #[test]
@@ -227,10 +226,7 @@ mod tests {
     #[test]
     fn grade_phrase_names_road_and_regular() {
         let p = feature_phrase(&sel(keys::GRADE, 5.0, Some(1.0)), &facts(), &standard_features());
-        assert_eq!(
-            p,
-            "through country road (Suzhou Street) while most drivers choose highway"
-        );
+        assert_eq!(p, "through country road (Suzhou Street) while most drivers choose highway");
         // Same grade as usual → no comparison clause.
         let p = feature_phrase(&sel(keys::GRADE, 1.0, Some(1.0)), &facts(), &standard_features());
         assert_eq!(p, "through highway (Suzhou Street)");

@@ -6,7 +6,9 @@ use std::sync::Arc;
 use stmaker::feature::{Feature, FeatureKind, FeatureScale, FeatureSet, FeatureWeights};
 use stmaker::irregular::{feature_edit_distance, moving_irregular_rate, routing_irregular_rate};
 use stmaker::partition::{optimal_k_partition, optimal_partition, partition_potential};
-use stmaker::similarity::{consecutive_similarities, cosine_similarity, normalize, normalizing_constants};
+use stmaker::similarity::{
+    consecutive_similarities, cosine_similarity, normalize, normalizing_constants,
+};
 
 struct Dummy(&'static str);
 impl Feature for Dummy {

@@ -27,14 +27,8 @@ fn main() {
     println!("# Ablations (scale: {})", scale.label);
     let n_trips = if scale.label == "full" { 600 } else { 200 };
     let h = Harness::new(scale);
-    let keys6 = [
-        keys::GRADE,
-        keys::WIDTH,
-        keys::DIRECTION,
-        keys::SPEED,
-        keys::STAY_POINTS,
-        keys::U_TURNS,
-    ];
+    let keys6 =
+        [keys::GRADE, keys::WIDTH, keys::DIRECTION, keys::SPEED, keys::STAY_POINTS, keys::U_TURNS];
 
     // --- 1. η sweep.
     let mut eta_rows = Vec::new();

@@ -23,14 +23,8 @@ fn main() {
     let n_trips = if scale.label == "full" { 1000 } else { 200 };
 
     let h = Harness::new(scale);
-    let keys6 = [
-        keys::GRADE,
-        keys::WIDTH,
-        keys::DIRECTION,
-        keys::SPEED,
-        keys::STAY_POINTS,
-        keys::U_TURNS,
-    ];
+    let keys6 =
+        [keys::GRADE, keys::WIDTH, keys::DIRECTION, keys::SPEED, keys::STAY_POINTS, keys::U_TURNS];
     let sweep = [0.5, 1.0, 2.0, 3.0, 4.0];
 
     // The trained model is weight-independent (weights only steer
@@ -47,12 +41,8 @@ fn main() {
         let features = stmaker::standard_features();
         let weights = FeatureWeights::uniform(&features).with(&features, keys::SPEED, w_spe);
         summarizer.set_weights(weights);
-        let summaries: Vec<_> = h
-            .test
-            .iter()
-            .take(n_trips)
-            .filter_map(|t| summarizer.summarize(&t.raw).ok())
-            .collect();
+        let summaries: Vec<_> =
+            h.test.iter().take(n_trips).filter_map(|t| summarizer.summarize(&t.raw).ok()).collect();
         let ffs = feature_frequency(&summaries, &keys6);
         let mut row = vec![format!("w_Spe = {w_spe}")];
         for k in &keys6 {

@@ -56,12 +56,7 @@ fn main() {
 
     let out = Fig11Out {
         counts: result.counts,
-        fractions: [
-            result.fraction(1),
-            result.fraction(2),
-            result.fraction(3),
-            result.fraction(4),
-        ],
+        fractions: [result.fraction(1), result.fraction(2), result.fraction(3), result.fraction(4)],
         at_least_3: result.fraction_at_least_3(),
         pool: pool.len(),
     };

@@ -27,8 +27,11 @@ fn main() {
     // (a) time vs |T|. Bucket centres scale with the city (quick-scale trips
     // are shorter than the paper's 20–120 landmark range; the growth trend
     // is what matters).
-    let buckets: Vec<usize> =
-        if h.scale.label == "full" { vec![10, 20, 30, 40, 50, 60] } else { vec![5, 10, 15, 20, 25, 30] };
+    let buckets: Vec<usize> = if h.scale.label == "full" {
+        vec![10, 20, 30, 40, 50, 60]
+    } else {
+        vec![5, 10, 15, 20, 25, 30]
+    };
     let by_len = time_by_symbolic_len(&summarizer, &trips, &buckets, 2);
     let rows: Vec<Vec<String>> = by_len
         .iter()

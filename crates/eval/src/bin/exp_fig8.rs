@@ -29,14 +29,8 @@ fn main() {
     let h = Harness::new(scale);
     let summarizer = h.train_default();
     let gen = h.generator();
-    let keys6 = [
-        keys::GRADE,
-        keys::WIDTH,
-        keys::DIRECTION,
-        keys::SPEED,
-        keys::STAY_POINTS,
-        keys::U_TURNS,
-    ];
+    let keys6 =
+        [keys::GRADE, keys::WIDTH, keys::DIRECTION, keys::SPEED, keys::STAY_POINTS, keys::U_TURNS];
 
     // Generate test trips per bucket (controlled hours) and summarize.
     let mut rng = StdRng::seed_from_u64(0xF18);

@@ -26,11 +26,8 @@ fn main() {
     let h = Harness::new(scale);
     let summarizer = h.train_default();
 
-    let summaries: Vec<_> = h
-        .test
-        .iter()
-        .filter_map(|t| summarizer.summarize(&t.raw).ok())
-        .collect();
+    let summaries: Vec<_> =
+        h.test.iter().filter_map(|t| summarizer.summarize(&t.raw).ok()).collect();
     println!("summarized {} of {} test trips", summaries.len(), h.test.len());
 
     let usage = usage_by_significance_decile(&h.world.registry, &summaries);

@@ -52,7 +52,11 @@ fn main() {
 
     let rows = vec![
         vec!["raw (Table I CSV)".to_string(), fmt_kb(raw_bytes), per(raw_bytes, n)],
-        vec!["semantic (annotated JSON)".to_string(), fmt_kb(semantic_bytes), per(semantic_bytes, n)],
+        vec![
+            "semantic (annotated JSON)".to_string(),
+            fmt_kb(semantic_bytes),
+            per(semantic_bytes, n),
+        ],
         vec!["summary (generated text)".to_string(), fmt_kb(summary_bytes), per(summary_bytes, n)],
     ];
     print_table(

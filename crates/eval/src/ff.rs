@@ -118,11 +118,11 @@ mod tests {
     #[test]
     fn buckets_partition_the_day() {
         let items = vec![
-            (1.0, summary_with(&["speed"])),   // bucket 0
-            (9.5, summary_with(&["speed"])),   // bucket 4
-            (9.9, summary_with(&[])),          // bucket 4
-            (23.0, summary_with(&["speed"])),  // bucket 11
-            (24.5, summary_with(&["speed"])),  // wraps to bucket 0
+            (1.0, summary_with(&["speed"])),  // bucket 0
+            (9.5, summary_with(&["speed"])),  // bucket 4
+            (9.9, summary_with(&[])),         // bucket 4
+            (23.0, summary_with(&["speed"])), // bucket 11
+            (24.5, summary_with(&["speed"])), // wraps to bucket 0
         ];
         let by = FfByBucket::compute(&items, &["speed"]);
         assert_eq!(by.counts[0], 2);

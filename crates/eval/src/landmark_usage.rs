@@ -17,7 +17,7 @@ pub fn usage_by_significance_decile(
     // Rank landmarks by significance (descending) → decile of each.
     let mut order: Vec<(LandmarkId, f64)> =
         registry.landmarks().iter().map(|l| (l.id, l.significance)).collect();
-    order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    order.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let n = order.len().max(1);
     let mut decile_of = vec![0usize; n];
     for (rank, (id, _)) in order.iter().enumerate() {
@@ -87,11 +87,7 @@ mod tests {
         let reg = registry(100);
         // Landmarks 0–9 are the top decile. Four usages there, two in the
         // bottom decile.
-        let summaries = vec![
-            summary_between(0, 5),
-            summary_between(3, 9),
-            summary_between(95, 99),
-        ];
+        let summaries = vec![summary_between(0, 5), summary_between(3, 9), summary_between(95, 99)];
         let usage = usage_by_significance_decile(&reg, &summaries);
         assert!((usage[0] - 4.0 / 6.0).abs() < 1e-12);
         assert!((usage[9] - 2.0 / 6.0).abs() < 1e-12);

@@ -122,9 +122,7 @@ pub fn content_score(summary: &Summary, truth: &GroundTruth) -> f64 {
     let precision = if got.is_empty() {
         0.0
     } else {
-        got.iter()
-            .map(|e| if want.contains(e) { event_weight(e) } else { 0.0 })
-            .sum::<f64>()
+        got.iter().map(|e| if want.contains(e) { event_weight(e) } else { 0.0 }).sum::<f64>()
             / got.iter().map(|e| event_weight(e)).sum::<f64>()
     };
     WHERE_CREDIT + (1.0 - WHERE_CREDIT) * (0.7 * recall + 0.3 * precision)
@@ -152,9 +150,8 @@ pub fn simulate_reader_study(
             }
             let (summary, truth) = &pool[next % pool.len()];
             next += 1;
-            let score = (content_score(summary, truth) + leniency
-                + rng.random_range(-0.05..0.05))
-            .clamp(0.0, 1.0);
+            let score = (content_score(summary, truth) + leniency + rng.random_range(-0.05..0.05))
+                .clamp(0.0, 1.0);
             let grade = match score {
                 s if s >= 0.80 => 4,
                 s if s >= 0.55 => 3,
@@ -262,11 +259,7 @@ mod tests {
         assert_eq!(r.total, 450);
         assert!(r.fraction(4) > 0.5, "grade-4 fraction {}", r.fraction(4));
         // The bad summaries (missed every event) land at grade ≤ 2.
-        assert!(
-            r.fraction(1) + r.fraction(2) > 0.1,
-            "bad summaries must show up: {:?}",
-            r.counts
-        );
+        assert!(r.fraction(1) + r.fraction(2) > 0.1, "bad summaries must show up: {:?}", r.counts);
         assert_eq!(r.counts.iter().sum::<usize>(), r.total);
     }
 

@@ -30,8 +30,7 @@ impl Viewport {
         let (x0, y0) = frame.to_xy(&GeoPoint { lat: bbox.min_lat, lon: bbox.min_lon });
         let (x1, y1) = frame.to_xy(&GeoPoint { lat: bbox.max_lat, lon: bbox.max_lon });
         let (w, h) = (x1 - x0, y1 - y0);
-        let scale =
-            ((WIDTH - 2.0 * MARGIN) / w.max(1.0)).min((HEIGHT - 2.0 * MARGIN) / h.max(1.0));
+        let scale = ((WIDTH - 2.0 * MARGIN) / w.max(1.0)).min((HEIGHT - 2.0 * MARGIN) / h.max(1.0));
         Self { frame, min_x: x0, min_y: y0, scale }
     }
 
@@ -66,9 +65,7 @@ pub fn render_trip_report(
     title: &str,
 ) -> String {
     let pts: Vec<GeoPoint> = net.nodes().iter().map(|n| n.point).collect();
-    let bbox = BoundingBox::enclosing(&pts)
-        .expect("network has nodes")
-        .inflate(0.002);
+    let bbox = BoundingBox::enclosing(&pts).expect("network has nodes").inflate(0.002);
     let vp = Viewport::fit(bbox);
 
     let mut svg = String::new();
@@ -129,11 +126,8 @@ pub fn render_trip_report(
         ey - 4.0
     ));
 
-    let sentences: String = summary
-        .partitions
-        .iter()
-        .map(|p| format!("<li>{}</li>\n", escape(&p.sentence)))
-        .collect();
+    let sentences: String =
+        summary.partitions.iter().map(|p| format!("<li>{}</li>\n", escape(&p.sentence))).collect();
     let stats = format!(
         "{} raw samples · {:.1} km · {} landmarks · {} partition(s)",
         raw.len(),

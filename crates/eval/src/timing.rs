@@ -34,10 +34,7 @@ pub fn time_by_symbolic_len(
         // Size the trajectory first (untimed), then time the full pipeline.
         let Ok(prepared) = summarizer.prepare(raw) else { continue };
         let size = prepared.symbolic.size();
-        let Some(bi) = buckets
-            .iter()
-            .position(|c| size.abs_diff(*c) <= tolerance)
-        else {
+        let Some(bi) = buckets.iter().position(|c| size.abs_diff(*c) <= tolerance) else {
             continue;
         };
         let t0 = Instant::now();

@@ -136,7 +136,9 @@ impl<'w> TripGenerator<'w> {
             if src == dst {
                 continue;
             }
-            if let Some(p) = stmaker_road::pathfind::shortest_path(net, src, dst, PathCost::TravelTime) {
+            if let Some(p) =
+                stmaker_road::pathfind::shortest_path(net, src, dst, PathCost::TravelTime)
+            {
                 if p.length_m(net) >= self.cfg.min_trip_m {
                     route = Some(p);
                     doors = (src_door, dst_door);
@@ -219,8 +221,10 @@ impl<'w> TripGenerator<'w> {
             let a = net.node(drive_nodes[i]).point;
             let b = net.node(drive_nodes[i + 1]).point;
             let grade = self.leg_grade(drive_nodes[i], drive_nodes[i + 1]);
-            let mut speed =
-                grade.free_flow_kmh() * regime_factor * vehicle_factor * rng.random_range(0.92..1.08);
+            let mut speed = grade.free_flow_kmh()
+                * regime_factor
+                * vehicle_factor
+                * rng.random_range(0.92..1.08);
             if (slow_lo..slow_hi).contains(&i) {
                 speed *= 0.45;
             }
@@ -235,9 +239,8 @@ impl<'w> TripGenerator<'w> {
             let expect = self.traffic.stops_per_km(hour) * leg_km;
             let n_stops = (expect.floor() as usize)
                 + usize::from(rng.random_bool((expect.fract()).clamp(0.0, 1.0)));
-            let mut fracs: Vec<f64> =
-                (0..n_stops).map(|_| rng.random_range(0.2..0.8)).collect();
-            fracs.sort_by(|x, y| x.partial_cmp(y).expect("fracs are finite"));
+            let mut fracs: Vec<f64> = (0..n_stops).map(|_| rng.random_range(0.2..0.8)).collect();
+            fracs.sort_by(f64::total_cmp);
             let mut cursor = a;
             for frac in fracs {
                 let at = a.lerp(&b, frac);
@@ -254,11 +257,9 @@ impl<'w> TripGenerator<'w> {
             // U-turn spur after reaching node i+1.
             if uturn_at == Some(i + 1) {
                 let pivot_node = drive_nodes[i + 1];
-                if let Some(&(_, spur_to)) = net
-                    .neighbors(pivot_node)
-                    .iter()
-                    .find(|(_, n)| *n != drive_nodes[i] && Some(*n) != drive_nodes.get(i + 2).copied())
-                {
+                if let Some(&(_, spur_to)) = net.neighbors(pivot_node).iter().find(|(_, n)| {
+                    *n != drive_nodes[i] && Some(*n) != drive_nodes.get(i + 2).copied()
+                }) {
                     let p = net.node(pivot_node).point;
                     let q_full = net.node(spur_to).point;
                     let spur_m = p.haversine_m(&q_full).min(250.0);
@@ -277,10 +278,13 @@ impl<'w> TripGenerator<'w> {
 
         // --- Walk the plan second by second.
         let depart = Timestamp::at(day, hour);
-        let mut true_path: Vec<(GeoPoint, i64)> = vec![(match &plan[0] {
-            PlanItem::Drive { from, .. } => *from,
-            PlanItem::Dwell { at, .. } => *at,
-        }, 0)];
+        let mut true_path: Vec<(GeoPoint, i64)> = vec![(
+            match &plan[0] {
+                PlanItem::Drive { from, .. } => *from,
+                PlanItem::Dwell { at, .. } => *at,
+            },
+            0,
+        )];
         let mut t = 0i64;
         for item in &plan {
             match item {
@@ -317,7 +321,10 @@ impl<'w> TripGenerator<'w> {
         // Always include the trip end.
         let (last_p, last_t) = *true_path.last().expect("path non-empty");
         if samples.last().map(|s| s.t.0 != depart.0 + last_t).unwrap_or(true) {
-            samples.push(RawPoint { point: self.jitter(last_p, rng), t: Timestamp(depart.0 + last_t) });
+            samples.push(RawPoint {
+                point: self.jitter(last_p, rng),
+                t: Timestamp(depart.0 + last_t),
+            });
         }
         if samples.len() < 2 {
             return None;
@@ -434,8 +441,7 @@ mod tests {
             let mut speeds = Vec::new();
             for _ in 0..15 {
                 if let Some(t) = g.generate_at(0, hour, rng) {
-                    speeds
-                        .push(t.raw.length_m() / t.raw.duration_secs().max(1) as f64 * 3.6);
+                    speeds.push(t.raw.length_m() / t.raw.duration_secs().max(1) as f64 * 3.6);
                 }
             }
             speeds.iter().sum::<f64>() / speeds.len() as f64

@@ -107,9 +107,7 @@ impl World {
         }
 
         // --- Landmarks: DBSCAN POI clusters + every road turning point.
-        let turning_points = nodes
-            .iter()
-            .map(|n| (n.point, format!("Junction {}", n.id.0)));
+        let turning_points = nodes.iter().map(|n| (n.point, format!("Junction {}", n.id.0)));
         let registry = LandmarkRegistry::build(&pois, DbscanParams::default(), turning_points);
 
         // --- Visits: LBSN check-ins (popularity-weighted POI choice) plus
@@ -120,7 +118,10 @@ impl World {
             for _ in 0..cfg.checkins_per_user {
                 let poi_idx = sample_cumulative(&cum, &mut rng);
                 if let Some(lm) = registry.landmark_of_poi(poi_idx) {
-                    visits.push(Visit { user: stmaker_significance::UserId(user as u32), landmark: lm });
+                    visits.push(Visit {
+                        user: stmaker_significance::UserId(user as u32),
+                        landmark: lm,
+                    });
                 }
             }
         }
@@ -133,7 +134,7 @@ impl World {
             .filter(|l| matches!(l.kind, stmaker_poi::LandmarkKind::PoiCluster { .. }))
             .map(|l| (l.id, checkin_hits.significance[l.id.0 as usize]))
             .collect();
-        clusters.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        clusters.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let node_index = net.node_index(300.0);
         let mut hub_of_node: std::collections::HashMap<NodeId, LandmarkId> = Default::default();
         let mut hot_nodes: Vec<NodeId> = Vec::new();
@@ -180,7 +181,9 @@ impl World {
             if src == dst {
                 continue;
             }
-            if let Some(path) = stmaker_road::pathfind::shortest_path(&net, src, dst, PathCost::TravelTime) {
+            if let Some(path) =
+                stmaker_road::pathfind::shortest_path(&net, src, dst, PathCost::TravelTime)
+            {
                 let user = stmaker_significance::UserId((cfg.n_users + r) as u32);
                 for node in &path.nodes {
                     for lm in &node_visible[node.0 as usize] {
@@ -323,11 +326,8 @@ mod tests {
     fn different_seeds_differ() {
         let a = World::generate(WorldConfig::small(5));
         let b = World::generate(WorldConfig::small(6));
-        let differ = a
-            .pois
-            .iter()
-            .zip(&b.pois)
-            .any(|(x, y)| x.name != y.name || x.point != y.point);
+        let differ =
+            a.pois.iter().zip(&b.pois).any(|(x, y)| x.name != y.name || x.point != y.point);
         assert!(differ);
     }
 
@@ -341,10 +341,7 @@ mod tests {
             .filter(|l| matches!(l.kind, LandmarkKind::TurningPoint))
             .map(|l| l.significance)
             .collect();
-        assert!(
-            tp_sig.iter().any(|s| *s > 0.0),
-            "car routes must make some junctions significant"
-        );
+        assert!(tp_sig.iter().any(|s| *s > 0.0), "car routes must make some junctions significant");
     }
 
     #[test]

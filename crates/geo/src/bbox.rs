@@ -58,7 +58,10 @@ impl BoundingBox {
 
     /// Whether the point lies inside (inclusive of the boundary).
     pub fn contains(&self, p: &GeoPoint) -> bool {
-        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon && p.lon <= self.max_lon
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lon >= self.min_lon
+            && p.lon <= self.max_lon
     }
 
     /// The centre of the box.

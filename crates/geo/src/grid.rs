@@ -164,14 +164,13 @@ impl<T: Copy> GridIndex<T> {
         let (qx, qy) = self.frame.to_xy(q);
         let grid_w = self.cols as f64 * self.cell_m;
         let grid_h = self.rows as f64 * self.cell_m;
-        let dist_to_grid_origin =
-            ((qx - self.min_x).powi(2) + (qy - self.min_y).powi(2)).sqrt();
+        let dist_to_grid_origin = ((qx - self.min_x).powi(2) + (qy - self.min_y).powi(2)).sqrt();
         let max_span = dist_to_grid_origin + grid_w.hypot(grid_h) + self.cell_m;
         let mut radius = self.cell_m;
         loop {
             let mut hits = self.within_radius(q, radius);
             if hits.len() >= k || radius > max_span {
-                hits.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                hits.sort_by(|a, b| a.1.total_cmp(&b.1));
                 hits.truncate(k);
                 return hits;
             }
@@ -262,10 +261,8 @@ mod tests {
 
     #[test]
     fn insert_outside_box_is_still_findable() {
-        let mut g = GridIndex::new(
-            BoundingBox::new(base(), base().destination(45.0, 1000.0)),
-            100.0,
-        );
+        let mut g =
+            GridIndex::new(BoundingBox::new(base(), base().destination(45.0, 1000.0)), 100.0);
         let outside = base().destination(225.0, 3_000.0);
         g.insert(99usize, outside);
         let (id, d) = g.nearest(&outside).unwrap();

@@ -64,12 +64,9 @@ impl GeoPoint {
         let lat1 = self.lat.to_radians();
         let lon1 = self.lon.to_radians();
         let lat2 = (lat1.sin() * d.cos() + lat1.cos() * d.sin() * br.cos()).asin();
-        let lon2 = lon1
-            + (br.sin() * d.sin() * lat1.cos()).atan2(d.cos() - lat1.sin() * lat2.sin());
-        GeoPoint {
-            lat: lat2.to_degrees(),
-            lon: ((lon2.to_degrees() + 540.0) % 360.0) - 180.0,
-        }
+        let lon2 =
+            lon1 + (br.sin() * d.sin() * lat1.cos()).atan2(d.cos() - lat1.sin() * lat2.sin());
+        GeoPoint { lat: lat2.to_degrees(), lon: ((lon2.to_degrees() + 540.0) % 360.0) - 180.0 }
     }
 
     /// Linear interpolation between `self` (t = 0) and `other` (t = 1) in the

@@ -53,10 +53,7 @@ impl Polyline {
 
     /// Total arc length in metres (haversine over consecutive vertices).
     pub fn length_m(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].haversine_m(&w[1]))
-            .sum()
+        self.points.windows(2).map(|w| w[0].haversine_m(&w[1])).sum()
     }
 
     /// Cumulative arc length at every vertex; `out[0] == 0`.
@@ -85,12 +82,7 @@ impl Polyline {
         // Single pass: accumulate arc length as we scan so no cumulative
         // vector is allocated per call (projection is the hot loop of
         // calibration and map matching).
-        let mut best = PolyProjection {
-            segment: 0,
-            t: 0.0,
-            distance_m: f64::INFINITY,
-            arc_m: 0.0,
-        };
+        let mut best = PolyProjection { segment: 0, t: 0.0, distance_m: f64::INFINITY, arc_m: 0.0 };
         let mut arc_before = 0.0;
         for (i, w) in self.points.windows(2).enumerate() {
             let seg_len = w[0].haversine_m(&w[1]);
@@ -114,12 +106,12 @@ impl Polyline {
             return self.points[0];
         }
         let cum = self.cumulative_m();
-        let total = *cum.last().unwrap();
+        let total = cum.last().copied().unwrap_or(0.0);
         if arc_m >= total {
-            return *self.points.last().unwrap();
+            return self.points[self.points.len() - 1];
         }
         // Binary search for the segment containing arc_m.
-        let mut i = match cum.binary_search_by(|c| c.partial_cmp(&arc_m).unwrap()) {
+        let mut i = match cum.binary_search_by(|c| c.total_cmp(&arc_m)) {
             Ok(i) => i,
             Err(i) => i - 1,
         };
@@ -142,12 +134,8 @@ impl Polyline {
         for i in 0..=n {
             pts.push(self.point_at(i as f64 * step_m));
         }
-        let last = *self.points.last().unwrap();
-        if pts
-            .last()
-            .map(|p| p.haversine_m(&last) > 1e-6)
-            .unwrap_or(true)
-        {
+        let last = self.points[self.points.len() - 1];
+        if pts.last().map(|p| p.haversine_m(&last) > 1e-6).unwrap_or(true) {
             pts.push(last);
         }
         Polyline::new(pts)

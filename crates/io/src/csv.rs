@@ -22,22 +22,21 @@ pub fn read_trajectory_csv(text: &str) -> Result<RawTrajectory, FormatError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let fields: Vec<&str> = line
-            .split(|c: char| c == ',' || c.is_whitespace())
-            .filter(|f| !f.is_empty())
-            .collect();
+        let fields: Vec<&str> =
+            line.split(|c: char| c == ',' || c.is_whitespace()).filter(|f| !f.is_empty()).collect();
         // Header detection: the first non-comment line is a header iff its
         // first field is not a number. (Parsing, not "contains a letter",
         // so scientific-notation data rows are never mistaken for headers,
         // and a header after comments/blank lines is still recognized.)
-        if !seen_data
-            && fields.first().map(|f| f.parse::<f64>().is_err()).unwrap_or(false)
-        {
+        if !seen_data && fields.first().map(|f| f.parse::<f64>().is_err()).unwrap_or(false) {
             continue; // header row
         }
         seen_data = true;
         if fields.len() < 3 {
-            return Err(FormatError::new(line_no, format!("expected ≥ 3 fields, got {}", fields.len())));
+            return Err(FormatError::new(
+                line_no,
+                format!("expected ≥ 3 fields, got {}", fields.len()),
+            ));
         }
         let lat: f64 = fields[0]
             .parse()
@@ -46,7 +45,10 @@ pub fn read_trajectory_csv(text: &str) -> Result<RawTrajectory, FormatError> {
             .parse()
             .map_err(|_| FormatError::new(line_no, format!("bad longitude {:?}", fields[1])))?;
         if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
-            return Err(FormatError::new(line_no, format!("coordinates out of range: {lat}, {lon}")));
+            return Err(FormatError::new(
+                line_no,
+                format!("coordinates out of range: {lat}, {lon}"),
+            ));
         }
         let t = parse_timestamp(&fields[2..], line_no)?;
         points.push(RawPoint { point: GeoPoint::new(lat, lon), t });
@@ -199,7 +201,13 @@ mod tests {
 
     #[test]
     fn rejects_bad_datetimes() {
-        assert!(read_trajectory_csv("39.9 116.3 20131302 09:00:00\n39.9 116.3 20131102 09:00:01\n").is_err());
-        assert!(read_trajectory_csv("39.9 116.3 20131102 25:00:00\n39.9 116.3 20131102 09:00:01\n").is_err());
+        assert!(read_trajectory_csv(
+            "39.9 116.3 20131302 09:00:00\n39.9 116.3 20131102 09:00:01\n"
+        )
+        .is_err());
+        assert!(read_trajectory_csv(
+            "39.9 116.3 20131102 25:00:00\n39.9 116.3 20131102 09:00:01\n"
+        )
+        .is_err());
     }
 }

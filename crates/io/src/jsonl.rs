@@ -65,7 +65,8 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let text = "{\"lat\":39.9,\"lon\":116.3,\"t\":0}\n{\"lat\":39.91,\"lon\":116.31,\"t\":10}\n";
+        let text =
+            "{\"lat\":39.9,\"lon\":116.3,\"t\":0}\n{\"lat\":39.91,\"lon\":116.31,\"t\":10}\n";
         let traj = read_trajectory_jsonl(text).unwrap();
         assert_eq!(traj.len(), 2);
         let back = write_trajectory_jsonl(&traj);
@@ -74,7 +75,8 @@ mod tests {
 
     #[test]
     fn blank_lines_skipped() {
-        let text = "{\"lat\":39.9,\"lon\":116.3,\"t\":0}\n\n{\"lat\":39.91,\"lon\":116.31,\"t\":10}\n";
+        let text =
+            "{\"lat\":39.9,\"lon\":116.3,\"t\":0}\n\n{\"lat\":39.91,\"lon\":116.31,\"t\":10}\n";
         assert_eq!(read_trajectory_jsonl(text).unwrap().len(), 2);
     }
 

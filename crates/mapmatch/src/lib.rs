@@ -116,7 +116,7 @@ impl<'a> MapMatcher<'a> {
             .map(|p| {
                 self.candidates(&frame, p)
                     .into_iter()
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
                     .map(|(e, _)| e)
             })
             .collect()
@@ -200,7 +200,7 @@ impl<'a> MapMatcher<'a> {
         let mut k = cost[n - 1]
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         for t in (0..n).rev() {
@@ -223,10 +223,7 @@ pub fn dominant_edge(matches: &[Option<EdgeId>]) -> Option<EdgeId> {
     for e in matches.iter().flatten() {
         *counts.entry(*e).or_insert(0) += 1;
     }
-    counts
-        .into_iter()
-        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-        .map(|(e, _)| e)
+    counts.into_iter().max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0))).map(|(e, _)| e)
 }
 
 #[cfg(test)]
@@ -253,7 +250,13 @@ mod tests {
         (net, south, north, conn)
     }
 
-    fn pts_along(from: GeoPoint, bearing: f64, n: usize, step_m: f64, lateral: &[f64]) -> Vec<RawPoint> {
+    fn pts_along(
+        from: GeoPoint,
+        bearing: f64,
+        n: usize,
+        step_m: f64,
+        lateral: &[f64],
+    ) -> Vec<RawPoint> {
         (0..n)
             .map(|i| {
                 let on_road = from.destination(bearing, step_m * i as f64);

@@ -48,11 +48,8 @@ pub fn dbscan(points: &[GeoPoint], params: DbscanParams) -> (Vec<Assignment>, us
         if label[i] != UNVISITED {
             continue;
         }
-        let neighbours: Vec<usize> = index
-            .within_radius(&points[i], params.eps_m)
-            .into_iter()
-            .map(|(id, _)| id)
-            .collect();
+        let neighbours: Vec<usize> =
+            index.within_radius(&points[i], params.eps_m).into_iter().map(|(id, _)| id).collect();
         if neighbours.len() < params.min_pts {
             label[i] = NOISE;
             continue;
@@ -91,7 +88,11 @@ pub fn dbscan(points: &[GeoPoint], params: DbscanParams) -> (Vec<Assignment>, us
 }
 
 /// Geometric centroid of each cluster (index = cluster id).
-pub fn centroids(points: &[GeoPoint], assignments: &[Assignment], n_clusters: usize) -> Vec<GeoPoint> {
+pub fn centroids(
+    points: &[GeoPoint],
+    assignments: &[Assignment],
+    n_clusters: usize,
+) -> Vec<GeoPoint> {
     let mut lat = vec![0.0; n_clusters];
     let mut lon = vec![0.0; n_clusters];
     let mut cnt = vec![0usize; n_clusters];
@@ -160,7 +161,8 @@ mod tests {
     #[test]
     fn chain_merges_through_density() {
         // A chain of points 100 m apart with eps 150: all density-connected.
-        let pts: Vec<GeoPoint> = (0..20).map(|i| base().destination(90.0, 100.0 * i as f64)).collect();
+        let pts: Vec<GeoPoint> =
+            (0..20).map(|i| base().destination(90.0, 100.0 * i as f64)).collect();
         let (assign, k) = dbscan(&pts, DbscanParams { eps_m: 150.0, min_pts: 2 });
         assert_eq!(k, 1);
         assert!(assign.iter().all(|a| *a == Some(0)));

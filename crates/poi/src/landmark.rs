@@ -90,12 +90,8 @@ impl LandmarkRegistry {
             });
         }
 
-        let cluster_to_landmark: Vec<LandmarkId> =
-            (0..k).map(|c| LandmarkId(c as u32)).collect();
-        let poi_to_landmark = assign
-            .iter()
-            .map(|a| a.map(|c| cluster_to_landmark[c]))
-            .collect();
+        let cluster_to_landmark: Vec<LandmarkId> = (0..k).map(|c| LandmarkId(c as u32)).collect();
+        let poi_to_landmark = assign.iter().map(|a| a.map(|c| cluster_to_landmark[c])).collect();
 
         for (point, name) in turning_points {
             landmarks.push(Landmark {
@@ -175,7 +171,13 @@ mod tests {
     use crate::poi::{PoiCategory, PoiId};
 
     fn poi(i: u32, p: GeoPoint, name: &str, pop: f64) -> Poi {
-        Poi { id: PoiId(i), point: p, name: name.into(), category: PoiCategory::Mall, popularity: pop }
+        Poi {
+            id: PoiId(i),
+            point: p,
+            name: name.into(),
+            category: PoiCategory::Mall,
+            popularity: pop,
+        }
     }
 
     fn base() -> GeoPoint {
@@ -187,10 +189,20 @@ mod tests {
         let b2 = base().destination(90.0, 4_000.0);
         let mut pois = Vec::new();
         for i in 0..5 {
-            pois.push(poi(i, base().destination(i as f64 * 72.0, 50.0), &format!("MallA{i}"), i as f64));
+            pois.push(poi(
+                i,
+                base().destination(i as f64 * 72.0, 50.0),
+                &format!("MallA{i}"),
+                i as f64,
+            ));
         }
         for i in 0..5 {
-            pois.push(poi(5 + i, b2.destination(i as f64 * 72.0, 50.0), &format!("MallB{i}"), 10.0 - i as f64));
+            pois.push(poi(
+                5 + i,
+                b2.destination(i as f64 * 72.0, 50.0),
+                &format!("MallB{i}"),
+                10.0 - i as f64,
+            ));
         }
         let tps = vec![
             (base().destination(0.0, 2_000.0), "Crossing 1".to_string()),
@@ -260,8 +272,20 @@ mod tests {
     #[test]
     fn from_landmarks_reindexes() {
         let lms = vec![
-            Landmark { id: LandmarkId(99), point: base(), name: "X".into(), kind: LandmarkKind::TurningPoint, significance: 0.0 },
-            Landmark { id: LandmarkId(42), point: base().destination(90.0, 100.0), name: "Y".into(), kind: LandmarkKind::TurningPoint, significance: 0.0 },
+            Landmark {
+                id: LandmarkId(99),
+                point: base(),
+                name: "X".into(),
+                kind: LandmarkKind::TurningPoint,
+                significance: 0.0,
+            },
+            Landmark {
+                id: LandmarkId(42),
+                point: base().destination(90.0, 100.0),
+                name: "Y".into(),
+                kind: LandmarkKind::TurningPoint,
+                significance: 0.0,
+            },
         ];
         let reg = LandmarkRegistry::from_landmarks(lms);
         assert_eq!(reg.get(LandmarkId(0)).name, "X");

@@ -57,12 +57,10 @@ impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on cost; ties broken by node id for determinism.
-        other
-            .cost
-            .partial_cmp(&self.cost)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.node.0.cmp(&self.node.0))
+        // Min-heap on cost; ties broken by node id for determinism. total_cmp
+        // keeps the heap ordering a real total order even if a NaN cost ever
+        // slipped in (partial_cmp-with-Equal-fallback silently corrupts it).
+        other.cost.total_cmp(&self.cost).then_with(|| other.node.0.cmp(&self.node.0))
     }
 }
 
@@ -217,9 +215,7 @@ mod tests {
         let mut ids = Vec::new();
         for r in 0..3 {
             for c in 0..3 {
-                let p = base
-                    .destination(90.0, 500.0 * c as f64)
-                    .destination(0.0, 500.0 * r as f64);
+                let p = base.destination(90.0, 500.0 * c as f64).destination(0.0, 500.0 * r as f64);
                 ids.push(net.add_node(p));
             }
         }
@@ -232,7 +228,14 @@ mod tests {
         }
         for r in 0..2 {
             for c in 0..3 {
-                net.add_edge(at(r, c), at(r + 1, c), RoadGrade::County, 9.0, Direction::TwoWay, "v");
+                net.add_edge(
+                    at(r, c),
+                    at(r + 1, c),
+                    RoadGrade::County,
+                    9.0,
+                    Direction::TwoWay,
+                    "v",
+                );
             }
         }
         (net, ids)

@@ -125,12 +125,12 @@ pub fn build_city(cfg: &SynthCityConfig) -> RoadNetwork {
     };
 
     let add_link = |net: &mut RoadNetwork,
-                        a: (usize, usize),
-                        b: (usize, usize),
-                        name: String,
-                        is_ring: bool,
-                        is_arterial: bool,
-                        rng: &mut StdRng| {
+                    a: (usize, usize),
+                    b: (usize, usize),
+                    name: String,
+                    is_ring: bool,
+                    is_arterial: bool,
+                    rng: &mut StdRng| {
         let mid_r = (a.0 + b.0) as f64 / 2.0;
         let mid_c = (a.1 + b.1) as f64 / 2.0;
         let grade = grade_for(is_ring, is_arterial, mid_r, mid_c, rng);
@@ -155,7 +155,11 @@ pub fn build_city(cfg: &SynthCityConfig) -> RoadNetwork {
         let is_arterial = !is_ring && r % cfg.arterial_every == 0;
         for c in 0..cfg.cols - 1 {
             let name = if is_ring {
-                if r == 0 { "S Ring Expressway".to_string() } else { "N Ring Expressway".to_string() }
+                if r == 0 {
+                    "S Ring Expressway".to_string()
+                } else {
+                    "N Ring Expressway".to_string()
+                }
             } else if is_arterial {
                 format!("E {} Avenue", ordinal(r))
             } else {
@@ -170,7 +174,11 @@ pub fn build_city(cfg: &SynthCityConfig) -> RoadNetwork {
         let is_arterial = !is_ring && c % cfg.arterial_every == 0;
         for r in 0..cfg.rows - 1 {
             let name = if is_ring {
-                if c == 0 { "W Ring Expressway".to_string() } else { "E Ring Expressway".to_string() }
+                if c == 0 {
+                    "W Ring Expressway".to_string()
+                } else {
+                    "E Ring Expressway".to_string()
+                }
             } else if is_arterial {
                 format!("N {} Avenue", ordinal(c))
             } else {
@@ -249,8 +257,7 @@ mod tests {
     fn one_way_fraction_roughly_respected() {
         let cfg = SynthCityConfig { one_way_fraction: 0.5, ..SynthCityConfig::default() };
         let net = build_city(&cfg);
-        let minor: Vec<_> =
-            net.edges().iter().filter(|e| e.grade >= RoadGrade::County).collect();
+        let minor: Vec<_> = net.edges().iter().filter(|e| e.grade >= RoadGrade::County).collect();
         let one_way = minor.iter().filter(|e| e.direction == Direction::OneWay).count();
         let frac = one_way as f64 / minor.len() as f64;
         assert!((frac - 0.5).abs() < 0.1, "one-way fraction {frac}");

@@ -45,12 +45,7 @@ impl HistoricalFeatureMap {
     /// Records one observation of `feature` on the direct hop `from → to`.
     pub fn add_observation(&mut self, from: LandmarkId, to: LandmarkId, feature: &str, value: f64) {
         assert!(value.is_finite(), "feature observations must be finite");
-        let stat = self
-            .edges
-            .entry((from, to))
-            .or_default()
-            .entry(feature.to_owned())
-            .or_default();
+        let stat = self.edges.entry((from, to)).or_default().entry(feature.to_owned()).or_default();
         stat.sum += value;
         stat.count += 1;
     }
@@ -64,11 +59,7 @@ impl HistoricalFeatureMap {
 
     /// How many observations back the `from → to` average of `feature`.
     pub fn observation_count(&self, from: LandmarkId, to: LandmarkId, feature: &str) -> u64 {
-        self.edges
-            .get(&(from, to))
-            .and_then(|m| m.get(feature))
-            .map(|s| s.count)
-            .unwrap_or(0)
+        self.edges.get(&(from, to)).and_then(|m| m.get(feature)).map(|s| s.count).unwrap_or(0)
     }
 
     /// Records one observation of a categorical `feature` (e.g. road-grade
@@ -94,10 +85,7 @@ impl HistoricalFeatureMap {
     /// towards the smaller code for determinism.
     pub fn regular_category(&self, from: LandmarkId, to: LandmarkId, feature: &str) -> Option<u32> {
         let counts = self.categorical.get(&(from, to))?.get(feature)?;
-        counts
-            .iter()
-            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
-            .map(|(code, _)| *code)
+        counts.iter().max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0))).map(|(code, _)| *code)
     }
 
     /// Number of annotated edges.

@@ -56,8 +56,7 @@ impl PopularRoutes {
         corpus: impl IntoIterator<Item = &'a SymbolicTrajectory>,
         cfg: PopularRouteConfig,
     ) -> Self {
-        let seqs: Vec<Vec<LandmarkId>> =
-            corpus.into_iter().map(|t| t.landmark_seq()).collect();
+        let seqs: Vec<Vec<LandmarkId>> = corpus.into_iter().map(|t| t.landmark_seq()).collect();
 
         let mut pairs: HashMap<(LandmarkId, LandmarkId), Vec<Occurrence>> = HashMap::new();
         let mut hop_counts: HashMap<(LandmarkId, LandmarkId), f64> = HashMap::new();
@@ -119,18 +118,22 @@ impl PopularRoutes {
             return Some(vec![from]);
         }
         if self.support(from, to) >= self.cfg.min_support {
-            if let Some(occ) = self.pairs.get(&(from, to)) {
-                return Some(self.most_frequent_exact(occ));
+            if let Some(route) =
+                self.pairs.get(&(from, to)).and_then(|occ| self.most_frequent_exact(occ))
+            {
+                return Some(route);
             }
         }
         self.max_probability_route(from, to).or_else(|| {
             // Last resort: any exact occurrence, even below min_support.
-            self.pairs.get(&(from, to)).map(|occ| self.most_frequent_exact(occ))
+            self.pairs.get(&(from, to)).and_then(|occ| self.most_frequent_exact(occ))
         })
     }
 
-    /// Among the occurrences, the most frequent concrete landmark sequence.
-    fn most_frequent_exact(&self, occ: &[Occurrence]) -> Vec<LandmarkId> {
+    /// Among the occurrences, the most frequent concrete landmark sequence
+    /// (`None` only for an empty occurrence list, which the pair index never
+    /// stores).
+    fn most_frequent_exact(&self, occ: &[Occurrence]) -> Option<Vec<LandmarkId>> {
         let mut counts: HashMap<&[LandmarkId], usize> = HashMap::new();
         for o in occ {
             let seq = &self.corpus[o.traj as usize][o.start as usize..=o.end as usize];
@@ -138,9 +141,10 @@ impl PopularRoutes {
         }
         counts
             .into_iter()
-            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.len().cmp(&a.0.len())).then_with(|| b.0.cmp(a.0)))
+            .max_by(|a, b| {
+                a.1.cmp(&b.1).then_with(|| b.0.len().cmp(&a.0.len())).then_with(|| b.0.cmp(a.0))
+            })
             .map(|(seq, _)| seq.to_vec())
-            .expect("occurrence list is non-empty")
     }
 
     /// Maximum-probability walk on the transfer graph: Dijkstra on
@@ -157,11 +161,8 @@ impl PopularRoutes {
         impl Eq for Entry {}
         impl Ord for Entry {
             fn cmp(&self, other: &Self) -> Ordering {
-                other
-                    .cost
-                    .partial_cmp(&self.cost)
-                    .unwrap_or(Ordering::Equal)
-                    .then_with(|| other.node.cmp(&self.node))
+                // total_cmp: a real total order for the heap (see pathfind.rs).
+                other.cost.total_cmp(&self.cost).then_with(|| other.node.cmp(&self.node))
             }
         }
         impl PartialOrd for Entry {
@@ -219,7 +220,10 @@ mod tests {
         SymbolicTrajectory::new(
             ids.iter()
                 .enumerate()
-                .map(|(i, l)| SymbolicPoint { landmark: LandmarkId(*l), t: Timestamp(60 * i as i64) })
+                .map(|(i, l)| SymbolicPoint {
+                    landmark: LandmarkId(*l),
+                    t: Timestamp(60 * i as i64),
+                })
                 .collect(),
         )
     }
@@ -231,8 +235,7 @@ mod tests {
     #[test]
     fn exact_majority_route_wins() {
         // 0→1→2 three times, 0→3→2 once.
-        let corpus =
-            vec![traj(&[0, 1, 2]), traj(&[0, 1, 2]), traj(&[0, 1, 2]), traj(&[0, 3, 2])];
+        let corpus = vec![traj(&[0, 1, 2]), traj(&[0, 1, 2]), traj(&[0, 1, 2]), traj(&[0, 3, 2])];
         let pr = PopularRoutes::build(&corpus, PopularRouteConfig::default());
         assert_eq!(pr.support(l(0), l(2)), 4);
         assert_eq!(pr.popular_route(l(0), l(2)).unwrap(), vec![l(0), l(1), l(2)]);

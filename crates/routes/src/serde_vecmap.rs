@@ -6,7 +6,7 @@
 //! files for identical models — the same determinism contract the rest of
 //! the stack keeps).
 
-use serde::de::{Deserialize, Deserializer};
+use serde::de::{Deserialize, DeserializeOwned, Deserializer};
 use serde::ser::{Serialize, Serializer};
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -26,8 +26,8 @@ where
 /// Deserializes an entry vector back into a map.
 pub fn deserialize<'de, K, V, D>(deserializer: D) -> Result<HashMap<K, V>, D::Error>
 where
-    K: Deserialize<'de> + Eq + Hash,
-    V: Deserialize<'de>,
+    K: DeserializeOwned + Eq + Hash,
+    V: DeserializeOwned,
     D: Deserializer<'de>,
 {
     let entries: Vec<(K, V)> = Vec::deserialize(deserializer)?;

@@ -98,7 +98,7 @@ pub fn annotate(
                 None => (None, None, None, None),
             };
             let mut hits = registry.within_radius(&p.point, params.nearby_radius_m);
-            hits.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             let nearby = hits
                 .into_iter()
                 .take(params.max_nearby)
@@ -166,8 +166,11 @@ mod tests {
         assert!(sem.points.iter().all(|p| p.annotation.road.as_deref() == Some("East Expy")));
         assert!(sem.points.iter().all(|p| p.annotation.road_grade == Some(2)));
         // The mall is near samples 4–6 only.
-        let with_mall =
-            sem.points.iter().filter(|p| p.annotation.nearby.contains(&"Midway Mall".to_string())).count();
+        let with_mall = sem
+            .points
+            .iter()
+            .filter(|p| p.annotation.nearby.contains(&"Midway Mall".to_string()))
+            .count();
         assert!((1..=4).contains(&with_mall), "mall annotated on {with_mall} samples");
     }
 

@@ -86,12 +86,7 @@ pub fn compute_significance(n_landmarks: usize, visits: &[Visit], cfg: HitsConfi
             new_hub[l] = links.iter().map(|(u, w)| auth[*u] * w).sum();
         }
         l2_normalize(&mut new_hub);
-        let delta: f64 = new_hub
-            .iter()
-            .zip(&hub)
-            .map(|(a, b)| (a - b).powi(2))
-            .sum::<f64>()
-            .sqrt();
+        let delta: f64 = new_hub.iter().zip(&hub).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
         hub = new_hub;
         if delta < cfg.tolerance {
             break;
@@ -99,10 +94,8 @@ pub fn compute_significance(n_landmarks: usize, visits: &[Visit], cfg: HitsConfi
     }
 
     // Min–max normalize over visited landmarks; unvisited stay at exactly 0.
-    let visited_scores: Vec<f64> = (0..n_landmarks)
-        .filter(|l| !by_landmark[*l].is_empty())
-        .map(|l| hub[l])
-        .collect();
+    let visited_scores: Vec<f64> =
+        (0..n_landmarks).filter(|l| !by_landmark[*l].is_empty()).map(|l| hub[l]).collect();
     let (lo, hi) = visited_scores
         .iter()
         .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &s| (lo.min(s), hi.max(s)));
@@ -206,8 +199,7 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let visits: Vec<Visit> =
-            (0..50).map(|i| Visit::new(i % 7, (i * i) % 11)).collect();
+        let visits: Vec<Visit> = (0..50).map(|i| Visit::new(i % 7, (i * i) % 11)).collect();
         let a = compute_significance(11, &visits, HitsConfig::default());
         let b = compute_significance(11, &visits, HitsConfig::default());
         assert_eq!(a.significance, b.significance);
@@ -215,8 +207,7 @@ mod tests {
 
     #[test]
     fn scores_bounded_in_unit_interval() {
-        let visits: Vec<Visit> =
-            (0..200).map(|i| Visit::new(i % 13, (i * 3) % 17)).collect();
+        let visits: Vec<Visit> = (0..200).map(|i| Visit::new(i % 13, (i * 3) % 17)).collect();
         let r = compute_significance(17, &visits, HitsConfig::default());
         assert!(r.significance.iter().all(|s| (0.0..=1.0).contains(s)));
         // Extremes attained.

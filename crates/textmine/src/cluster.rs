@@ -28,12 +28,7 @@ impl KMeansResult {
     /// The `n` highest-weight term ids of cluster `c` — the cluster's topic.
     pub fn top_terms(&self, c: usize, n: usize) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.centroids[c].len()).collect();
-        idx.sort_by(|a, b| {
-            self.centroids[c][*b]
-                .partial_cmp(&self.centroids[c][*a])
-                .unwrap()
-                .then(a.cmp(b))
-        });
+        idx.sort_by(|a, b| self.centroids[c][*b].total_cmp(&self.centroids[c][*a]).then(a.cmp(b)));
         idx.truncate(n);
         idx.retain(|i| self.centroids[c][*i] > 0.0);
         idx
@@ -41,12 +36,7 @@ impl KMeansResult {
 
     /// Documents in cluster `c`.
     pub fn members(&self, c: usize) -> Vec<usize> {
-        self.assignments
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| **a == c)
-            .map(|(i, _)| i)
-            .collect()
+        self.assignments.iter().enumerate().filter(|(_, a)| **a == c).map(|(i, _)| i).collect()
     }
 }
 
@@ -62,8 +52,7 @@ pub fn kmeans_cosine(
     max_iters: usize,
     seed: u64,
 ) -> KMeansResult {
-    let nonzero: Vec<usize> =
-        (0..vectors.len()).filter(|i| !vectors[*i].is_zero()).collect();
+    let nonzero: Vec<usize> = (0..vectors.len()).filter(|i| !vectors[*i].is_zero()).collect();
     let k = k.clamp(1, nonzero.len().max(1));
     if nonzero.is_empty() || dim == 0 {
         return KMeansResult {
@@ -145,7 +134,7 @@ pub fn kmeans_cosine(
                     .min_by(|a, b| {
                         let sa = dot_sparse_dense(&vectors[**a], &centres[assignments[**a]]);
                         let sb = dot_sparse_dense(&vectors[**b], &centres[assignments[**b]]);
-                        sa.partial_cmp(&sb).unwrap().then(a.cmp(b))
+                        sa.total_cmp(&sb).then(a.cmp(b))
                     })
                     .copied()
                     .unwrap_or(nonzero[0]);
@@ -188,13 +177,7 @@ pub fn cluster_texts<S: AsRef<str>>(
     let vectors: Vec<SparseVector> = docs.iter().map(|d| model.transform(d.as_ref())).collect();
     let result = kmeans_cosine(&vectors, model.vocab_len(), k, 50, seed);
     let terms = (0..result.k())
-        .map(|c| {
-            result
-                .top_terms(c, 5)
-                .into_iter()
-                .map(|t| model.term(t).to_owned())
-                .collect()
-        })
+        .map(|c| result.top_terms(c, 5).into_iter().map(|t| model.term(t).to_owned()).collect())
         .collect();
     (result, terms)
 }

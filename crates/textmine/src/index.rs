@@ -79,7 +79,7 @@ impl InvertedIndex {
             .map(|d| (d, qv.cosine(&self.doc_vectors[d])))
             .filter(|(_, s)| *s > 0.0)
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(k);
         scored
     }
@@ -110,7 +110,7 @@ impl InvertedIndex {
             .into_iter()
             .map(|d| (d, qv.cosine(&self.doc_vectors[d])))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(k);
         scored
     }

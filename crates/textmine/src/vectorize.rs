@@ -124,10 +124,7 @@ impl TfIdfModel {
             }
         }
         let n = docs.len().max(1);
-        let idf = df
-            .iter()
-            .map(|d| ((1.0 + n as f64) / (1.0 + *d as f64)).ln() + 1.0)
-            .collect();
+        let idf = df.iter().map(|d| ((1.0 + n as f64) / (1.0 + *d as f64)).ln() + 1.0).collect();
         Self { vocab, terms, idf, n_docs: docs.len() }
     }
 
@@ -160,9 +157,7 @@ impl TfIdfModel {
                 *counts.entry(*id).or_insert(0.0) += 1.0;
             }
         }
-        SparseVector::new(
-            counts.into_iter().map(|(id, tf)| (id, tf * self.idf[id])).collect(),
-        )
+        SparseVector::new(counts.into_iter().map(|(id, tf)| (id, tf * self.idf[id])).collect())
     }
 }
 

@@ -5,8 +5,8 @@ use stmaker_textmine::{kmeans_cosine, tokenize, InvertedIndex, TfIdfModel};
 
 fn docs_strategy() -> impl Strategy<Value = Vec<String>> {
     let word = prop::sample::select(vec![
-        "staying", "points", "u-turn", "detour", "speed", "slower", "faster", "highway",
-        "express", "station", "mall", "hospital", "smoothly", "junction",
+        "staying", "points", "u-turn", "detour", "speed", "slower", "faster", "highway", "express",
+        "station", "mall", "hospital", "smoothly", "junction",
     ]);
     prop::collection::vec(prop::collection::vec(word, 1..12), 1..20)
         .prop_map(|docs| docs.into_iter().map(|d| d.join(" ")).collect())

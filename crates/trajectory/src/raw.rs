@@ -56,10 +56,7 @@ impl RawTrajectory {
     /// Panics if fewer than two samples are supplied or timestamps decrease.
     pub fn new(points: Vec<RawPoint>) -> Self {
         assert!(points.len() >= 2, "a trajectory needs at least two samples");
-        assert!(
-            points.windows(2).all(|w| w[0].t <= w[1].t),
-            "timestamps must be non-decreasing"
-        );
+        assert!(points.windows(2).all(|w| w[0].t <= w[1].t), "timestamps must be non-decreasing");
         Self { points }
     }
 
@@ -95,10 +92,7 @@ impl RawTrajectory {
 
     /// Total geometric length in metres.
     pub fn length_m(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].point.haversine_m(&w[1].point))
-            .sum()
+        self.points.windows(2).map(|w| w[0].point.haversine_m(&w[1].point)).sum()
     }
 
     /// Spatial shape of the trajectory.

@@ -35,8 +35,7 @@ pub fn simplify(traj: &RawTrajectory, epsilon_m: f64) -> RawTrajectory {
         }
         let (mut worst, mut worst_d) = (lo + 1, -1.0f64);
         for i in lo + 1..hi {
-            let (_, d) =
-                frame.project_onto_segment(&pts[i].point, &pts[lo].point, &pts[hi].point);
+            let (_, d) = frame.project_onto_segment(&pts[i].point, &pts[lo].point, &pts[hi].point);
             if d > worst_d {
                 worst_d = d;
                 worst = i;
@@ -49,8 +48,7 @@ pub fn simplify(traj: &RawTrajectory, epsilon_m: f64) -> RawTrajectory {
         }
     }
 
-    let kept: Vec<RawPoint> =
-        pts.iter().zip(&keep).filter(|(_, k)| **k).map(|(p, _)| *p).collect();
+    let kept: Vec<RawPoint> = pts.iter().zip(&keep).filter(|(_, k)| **k).map(|(p, _)| *p).collect();
     RawTrajectory::new(kept)
 }
 
@@ -60,11 +58,7 @@ pub fn simplify(traj: &RawTrajectory, epsilon_m: f64) -> RawTrajectory {
 pub fn max_deviation_m(original: &RawTrajectory, simplified: &RawTrajectory) -> f64 {
     let frame = LocalFrame::new(original.start().point);
     let poly = simplified.polyline();
-    original
-        .points()
-        .iter()
-        .map(|p| poly.project(&frame, &p.point).distance_m)
-        .fold(0.0, f64::max)
+    original.points().iter().map(|p| poly.project(&frame, &p.point).distance_m).fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -135,11 +129,7 @@ mod tests {
         for i in 0..60 {
             let on = base().destination(90.0, 40.0 * i as f64);
             let off = 25.0 * ((i as f64) * 0.7).sin();
-            let p = if off >= 0.0 {
-                on.destination(0.0, off)
-            } else {
-                on.destination(180.0, -off)
-            };
+            let p = if off >= 0.0 { on.destination(0.0, off) } else { on.destination(180.0, -off) };
             pts.push(pt(p, i));
         }
         let traj = RawTrajectory::new(pts);

@@ -58,10 +58,7 @@ impl Default for SpeedChangeParams {
 /// `min_delta_kmh`. This is the `SpeC` feature of Fig. 10(b).
 pub fn sharp_speed_changes(points: &[RawPoint], params: SpeedChangeParams) -> usize {
     let profile = speed_profile_kmh(points);
-    profile
-        .windows(2)
-        .filter(|w| (w[1] - w[0]).abs() >= params.min_delta_kmh)
-        .count()
+    profile.windows(2).filter(|w| (w[1] - w[0]).abs() >= params.min_delta_kmh).count()
 }
 
 #[cfg(test)]
@@ -108,7 +105,14 @@ mod tests {
     #[test]
     fn sharp_changes_counted() {
         // 36 km/h, 36, 108 (jump +72), 108, 36 (jump −72).
-        let pts = vec![pt(0.0, 0), pt(100.0, 10), pt(200.0, 20), pt(500.0, 30), pt(800.0, 40), pt(900.0, 50)];
+        let pts = vec![
+            pt(0.0, 0),
+            pt(100.0, 10),
+            pt(200.0, 20),
+            pt(500.0, 30),
+            pt(800.0, 40),
+            pt(900.0, 50),
+        ];
         let n = sharp_speed_changes(&pts, SpeedChangeParams::default());
         assert_eq!(n, 2);
     }

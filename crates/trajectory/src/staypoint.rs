@@ -111,7 +111,10 @@ mod tests {
         let mut pts = Vec::new();
         let mut t = 0i64;
         for i in 0..6 {
-            pts.push(RawPoint { point: base().destination(90.0, 100.0 * i as f64), t: Timestamp(t) });
+            pts.push(RawPoint {
+                point: base().destination(90.0, 100.0 * i as f64),
+                t: Timestamp(t),
+            });
             t += 10;
         }
         let stop = base().destination(90.0, 520.0);
@@ -168,7 +171,10 @@ mod tests {
         let mut t = 0i64;
         let push_dwell = |pts: &mut Vec<RawPoint>, at: GeoPoint, t0: i64| -> i64 {
             for k in 0..10 {
-                pts.push(RawPoint { point: at.destination((k * 40) as f64, 8.0), t: Timestamp(t0 + k * 20) });
+                pts.push(RawPoint {
+                    point: at.destination((k * 40) as f64, 8.0),
+                    t: Timestamp(t0 + k * 20),
+                });
             }
             t0 + 200
         };

@@ -29,10 +29,7 @@ impl SymbolicTrajectory {
     /// or the same landmark appears twice consecutively.
     pub fn new(points: Vec<SymbolicPoint>) -> Self {
         assert!(points.len() >= 2, "a symbolic trajectory needs at least two landmarks");
-        assert!(
-            points.windows(2).all(|w| w[0].t <= w[1].t),
-            "timestamps must be non-decreasing"
-        );
+        assert!(points.windows(2).all(|w| w[0].t <= w[1].t), "timestamps must be non-decreasing");
         assert!(
             points.windows(2).all(|w| w[0].landmark != w[1].landmark),
             "consecutive duplicate landmarks must be collapsed by calibration"

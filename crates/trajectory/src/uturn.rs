@@ -72,8 +72,8 @@ pub fn detect_u_turns_in(points: &[RawPoint], params: UTurnParams) -> Vec<UTurn>
         let (a, b, c) = (w[0], w[1], w[2]);
         let h1 = points[a].point.bearing_deg(&points[b].point);
         let h2 = points[b].point.bearing_deg(&points[c].point);
-        let span =
-            points[a].point.haversine_m(&points[b].point) + points[b].point.haversine_m(&points[c].point);
+        let span = points[a].point.haversine_m(&points[b].point)
+            + points[b].point.haversine_m(&points[c].point);
         if heading_diff_deg(h1, h2) >= params.min_angle_deg && span <= params.max_turn_span_m {
             let pivot_pos = wi + 1;
             // Merge only reversals detected on *adjacent* smoothed pivots —

@@ -42,7 +42,12 @@ fn main() {
     println!("\nraw trajectory ({} samples):", trip.raw.len());
     println!("    latitude   longitude   timestamp");
     for p in trip.raw.points().iter().take(4) {
-        println!("    {:.4}    {:.4}    t+{}s", p.point.lat, p.point.lon, p.t.0 - trip.raw.start().t.0);
+        println!(
+            "    {:.4}    {:.4}    t+{}s",
+            p.point.lat,
+            p.point.lon,
+            p.t.0 - trip.raw.start().t.0
+        );
     }
     println!("    …          …           …");
 

@@ -50,11 +50,7 @@ fn main() {
     println!("## Traffic overview ({} clusters)", result.k());
     for (c, topic) in topics.iter().enumerate() {
         let members = result.members(c);
-        println!(
-            "cluster {c}: {:>3} trips — topic: {}",
-            members.len(),
-            topic.join(", ")
-        );
+        println!("cluster {c}: {:>3} trips — topic: {}", members.len(), topic.join(", "));
         if let Some(first) = members.first() {
             println!("    e.g. {}", texts[*first]);
         }

@@ -31,10 +31,18 @@ fn main() {
     );
 
     let mut rng = StdRng::seed_from_u64(31);
-    let legs = [("08:10 — the commute in", 8.17), ("12:40 — lunch run", 12.67), ("18:05 — heading home", 18.08)];
+    let legs = [
+        ("08:10 — the commute in", 8.17),
+        ("12:40 — lunch run", 12.67),
+        ("18:05 — heading home", 18.08),
+    ];
 
     println!("# My day on the road\n");
-    let mut most_eventful: Option<(usize, stmaker_suite::Summary, stmaker_suite::trajectory::RawTrajectory)> = None;
+    let mut most_eventful: Option<(
+        usize,
+        stmaker_suite::Summary,
+        stmaker_suite::trajectory::RawTrajectory,
+    )> = None;
     for (title, hour) in legs.iter() {
         let Some(trip) = (0..50).find_map(|_| gen.generate_at(2, *hour, &mut rng)) else {
             continue;
@@ -44,10 +52,7 @@ fn main() {
         println!("{}\n", summary.text);
 
         let events: usize = summary.partitions.iter().map(|p| p.selected.len()).sum();
-        let replace = most_eventful
-            .as_ref()
-            .map(|(best, _, _)| events > *best)
-            .unwrap_or(true);
+        let replace = most_eventful.as_ref().map(|(best, _, _)| events > *best).unwrap_or(true);
         if replace {
             most_eventful = Some((events, summary, trip.raw.clone()));
         }

@@ -7,6 +7,8 @@ cd "$(dirname "$0")"
 SCALE="${STMAKER_SCALE:-quick}"
 OUT="experiments/${SCALE}"
 mkdir -p "$OUT"
+echo "=== static analysis gate ==="
+cargo xtask lint
 for exp in exp_fig6 exp_fig7 exp_fig8 exp_fig9 exp_fig10a exp_fig10b exp_fig11 exp_fig12 exp_ablation exp_volume; do
     echo "=== $exp (scale: $SCALE) ==="
     STMAKER_SCALE="$SCALE" cargo run --release -q -p stmaker-eval --bin "$exp" | tee "$OUT/$exp.txt"

@@ -1,7 +1,10 @@
 //! Umbrella crate: re-exports the full stmaker stack for examples and integration tests.
+pub use stmaker::*;
 pub use stmaker_calibration as calibration;
+pub use stmaker_eval as eval;
 pub use stmaker_generator as generator;
 pub use stmaker_geo as geo;
+pub use stmaker_io as io;
 pub use stmaker_mapmatch as mapmatch;
 pub use stmaker_poi as poi;
 pub use stmaker_road as road;
@@ -9,7 +12,4 @@ pub use stmaker_routes as routes;
 pub use stmaker_semantic as semantic;
 pub use stmaker_significance as significance;
 pub use stmaker_textmine as textmine;
-pub use stmaker_io as io;
 pub use stmaker_trajectory as trajectory;
-pub use stmaker_eval as eval;
-pub use stmaker::*;

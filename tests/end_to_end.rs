@@ -347,9 +347,7 @@ fn streaming_summarizer_converges_to_batch() {
 
     let gen = TripGenerator::new(&h.world, TripConfig::default());
     let mut rng = StdRng::seed_from_u64(9009);
-    let trip = (0..60)
-        .find_map(|_| gen.generate_at(2, 8.5, &mut rng))
-        .expect("rush trip");
+    let trip = (0..60).find_map(|_| gen.generate_at(2, 8.5, &mut rng)).expect("rush trip");
 
     let mut stream = StreamingSummarizer::new(&summarizer, StreamConfig::default());
     let mut refreshes = 0;

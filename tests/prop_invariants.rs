@@ -1,0 +1,90 @@
+//! Property-based restatement of the runtime invariants in
+//! `stmaker::invariant`: where the debug-build gates check one input at a
+//! time, these tests drive the same contracts over random inputs.
+
+use proptest::prelude::*;
+use stmaker::irregular::feature_edit_distance;
+use stmaker::{optimal_k_partition, optimal_partition, FeatureScale, PartitionSpan};
+
+/// Spans must be non-empty, contiguous, and exactly cover `[0, n_segs)`.
+fn assert_covering(spans: &[PartitionSpan], n_segs: usize) {
+    let mut expected_start = 0usize;
+    for s in spans {
+        assert_eq!(s.seg_start, expected_start, "gap or overlap at {s:?}");
+        assert!(s.seg_end >= s.seg_start, "empty span {s:?}");
+        expected_start = s.seg_end + 1;
+    }
+    assert_eq!(expected_start, n_segs, "spans must cover every segment");
+}
+
+proptest! {
+    /// For any boundary arrays and any feasible k, the k-partition exists,
+    /// has exactly k contiguous covering spans, a finite potential, and never
+    /// beats the unconstrained optimum.
+    #[test]
+    fn k_partition_spans_cover_with_finite_scores(
+        pairs in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..24),
+        ca in 0.0f64..2.0,
+        k_seed in 0usize..1000,
+    ) {
+        let sims: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let sigs: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let n_segs = sims.len() + 1;
+        let k = 1 + k_seed % n_segs;
+
+        let r = optimal_k_partition(&sims, &sigs, ca, k)
+            .expect("1 <= k <= n_segs is always feasible");
+        prop_assert_eq!(r.k(), k);
+        prop_assert!(r.potential.is_finite(), "potential {} must be finite", r.potential);
+        assert_covering(&r.spans, n_segs);
+
+        let free = optimal_partition(&sims, &sigs, ca);
+        assert_covering(&free.spans, n_segs);
+        prop_assert!(
+            r.potential >= free.potential - 1e-9,
+            "k-constrained {} beat unconstrained {}", r.potential, free.potential
+        );
+    }
+
+    /// The degenerate k values never panic: 0 and n_segs + 1 yield None,
+    /// 1 and n_segs yield valid partitions.
+    #[test]
+    fn k_extremes_never_panic(
+        pairs in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..24),
+        ca in 0.0f64..2.0,
+    ) {
+        let sims: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let sigs: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let n_segs = sims.len() + 1;
+
+        prop_assert!(optimal_k_partition(&sims, &sigs, ca, 0).is_none());
+        prop_assert!(optimal_k_partition(&sims, &sigs, ca, n_segs + 1).is_none());
+
+        let one = optimal_k_partition(&sims, &sigs, ca, 1).expect("k = 1 always feasible");
+        prop_assert_eq!(one.k(), 1);
+        assert_covering(&one.spans, n_segs);
+
+        let all = optimal_k_partition(&sims, &sigs, ca, n_segs)
+            .expect("k = n_segs always feasible");
+        prop_assert_eq!(all.k(), n_segs);
+        assert_covering(&all.spans, n_segs);
+        prop_assert!(all.spans.iter().all(|s| s.len() == 1));
+    }
+
+    /// Edit distance obeys its bounds for both scales: at least the length
+    /// difference, at most the summed lengths, always finite.
+    #[test]
+    fn edit_distance_within_bounds(
+        a in prop::collection::vec(-1.0f64..1.0, 0..16),
+        b in prop::collection::vec(-1.0f64..1.0, 0..16),
+    ) {
+        for scale in [FeatureScale::Numeric, FeatureScale::Categorical] {
+            let d = feature_edit_distance(&a, &b, scale);
+            let diff = a.len().abs_diff(b.len()) as f64;
+            let total = (a.len() + b.len()) as f64;
+            prop_assert!(d.is_finite(), "distance must be finite");
+            prop_assert!(d >= diff - 1e-9, "{d} below length-difference bound {diff}");
+            prop_assert!(d <= total + 1e-9, "{d} above summed-length bound {total}");
+        }
+    }
+}

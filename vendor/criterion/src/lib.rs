@@ -1,0 +1,205 @@
+//! Offline std-only stub of the `criterion` API surface this workspace
+//! uses: `Criterion`, benchmark groups, `Bencher::iter`, `BenchmarkId`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! No statistics machinery — each benchmark runs a short warm-up and a
+//! fixed sample loop, then prints mean and best wall-clock time per
+//! iteration. Good enough to regenerate relative timings offline; not a
+//! replacement for upstream criterion's analysis.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { _criterion: self, name: name.to_string(), sample_size: 10 }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut routine: impl FnMut(&mut Bencher)) {
+        run_benchmark(name, 10, &mut routine);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.label()), self.sample_size, &mut routine);
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.label()), self.sample_size, &mut |b| {
+            routine(b, input)
+        });
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{parameter}", function.into()) }
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { label: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { label: name }
+    }
+}
+
+/// Times closures handed to it by a benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    /// Mean and best per-iteration time of the last `iter` call.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording mean and best time per iteration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up, and a cheap calibration of how many iterations fit in a
+        // reasonable sample (targets ~2ms per sample, capped).
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed();
+        let per_sample =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u32;
+
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        let mut iters = 0u128;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            total += elapsed;
+            best = best.min(elapsed / per_sample);
+            iters += u128::from(per_sample);
+        }
+        let mean = if iters == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos((total.as_nanos() / iters) as u64)
+        };
+        self.result = Some((mean, best));
+    }
+}
+
+fn run_benchmark(label: &str, samples: usize, routine: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { samples, result: None };
+    routine(&mut bencher);
+    match bencher.result {
+        Some((mean, best)) => {
+            println!("bench {label}: mean {mean:?}/iter, best {best:?}/iter");
+        }
+        None => println!("bench {label}: no measurement (routine never called iter)"),
+    }
+}
+
+/// Declares a group function running each target benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group (ignores harness CLI flags).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+
+    #[test]
+    fn smoke() {
+        let mut c = Criterion::default();
+        c.bench_function("fib10", |b| b.iter(|| fib(black_box(10))));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("fib5", |b| b.iter(|| fib(black_box(5))));
+        group.bench_with_input(BenchmarkId::new("fib", 8), &8u64, |b, &n| {
+            b.iter(|| fib(black_box(n)))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,242 @@
+//! Deserialization: the [`Deserialize`] / [`Deserializer`] traits and impls
+//! for the std types this workspace deserializes.
+
+use crate::{Error, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasher, Hash};
+
+/// A type reconstructible from the [`Value`] data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input (all of this
+/// stub's impls are owned, so the blanket impl covers everything).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A source of one [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Failure type; must absorb the stub's concrete [`Error`].
+    type Error: From<Error>;
+
+    /// Yields the input as a finished value.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// The canonical deserializer: wraps an already-parsed [`Value`].
+#[derive(Debug, Clone)]
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn take_value(self) -> Result<Value, Error> {
+        Ok(self.0)
+    }
+}
+
+/// Reconstructs any deserializable type from a value.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+macro_rules! impl_deserialize_int {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                let out = match value {
+                    Value::I64(v) => <$ty>::try_from(v).ok(),
+                    Value::U64(v) => <$ty>::try_from(v).ok(),
+                    // Integral floats appear when a float field round-trips
+                    // through JSON's single number type.
+                    Value::F64(v) if v.fract() == 0.0 && v.abs() < 9.0e18 => {
+                        <$ty>::try_from(v as i64).ok()
+                    }
+                    other => {
+                        return Err(Error::invalid_type(stringify!($ty), other.kind()).into())
+                    }
+                };
+                out.ok_or_else(|| Error::msg(concat!("integer out of range for ", stringify!($ty))).into())
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_float {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                match value.as_f64() {
+                    Some(v) => Ok(v as $ty),
+                    None => Err(Error::invalid_type("number", value.kind()).into()),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        value.as_bool().ok_or_else(|| Error::invalid_type("bool", value.kind()).into())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::invalid_type("string", other.kind()).into()),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().ok_or_else(|| Error::msg("empty char"))?)
+            }
+            other => Err(Error::invalid_type("single-char string", other.kind()).into()),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_value()
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            other => Ok(Some(from_value(other)?)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Seq(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(from_value(item)?);
+                }
+                Ok(out)
+            }
+            other => Err(Error::invalid_type("array", other.kind()).into()),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Box::new(from_value(deserializer.take_value()?)?))
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:expr => $($name:ident),+))*) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                match deserializer.take_value()? {
+                    Value::Seq(items) if items.len() == $len => {
+                        let mut iter = items.into_iter();
+                        Ok(($(
+                            from_value::<$name>(
+                                iter.next().ok_or_else(|| Error::msg("tuple too short"))?,
+                            )?,
+                        )+))
+                    }
+                    Value::Seq(items) => Err(Error::msg(format!(
+                        "expected array of length {}, got {}", $len, items.len()
+                    )).into()),
+                    other => Err(Error::invalid_type("array", other.kind()).into()),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    (1 => A)
+    (2 => A, B)
+    (3 => A, B, C)
+    (4 => A, B, C, D)
+}
+
+/// Map keys arrive as JSON strings; integer-keyed maps parse them back.
+trait FromMapKey: Sized {
+    fn from_map_key(key: &str) -> Result<Self, Error>;
+}
+
+impl FromMapKey for String {
+    fn from_map_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_from_map_key_int {
+    ($($ty:ty),*) => {$(
+        impl FromMapKey for $ty {
+            fn from_map_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(|_| {
+                    Error::msg(format!(concat!("bad ", stringify!($ty), " map key `{}`"), key))
+                })
+            }
+        }
+    )*};
+}
+
+impl_from_map_key_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: DeserializeOwned + FromMapKey + Eq + Hash,
+    V: DeserializeOwned,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Map(entries) => {
+                let mut out = HashMap::with_capacity_and_hasher(entries.len(), H::default());
+                for (key, value) in entries {
+                    out.insert(K::from_map_key(&key)?, from_value(value)?);
+                }
+                Ok(out)
+            }
+            other => Err(Error::invalid_type("object", other.kind()).into()),
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: DeserializeOwned + FromMapKey + Ord,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Map(entries) => {
+                let mut out = BTreeMap::new();
+                for (key, value) in entries {
+                    out.insert(K::from_map_key(&key)?, from_value(value)?);
+                }
+                Ok(out)
+            }
+            other => Err(Error::invalid_type("object", other.kind()).into()),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! The single concrete error type shared by serialization, deserialization,
+//! and the JSON front-end.
+
+use std::fmt;
+
+/// A (de)serialization failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Builds an error from any message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+
+    /// A required struct field was absent.
+    pub fn missing_field(type_name: &str, field: &str) -> Self {
+        Error::msg(format!("missing field `{field}` while deserializing {type_name}"))
+    }
+
+    /// The value had the wrong JSON kind.
+    pub fn invalid_type(expected: &str, got: &str) -> Self {
+        Error::msg(format!("invalid type: expected {expected}, got {got}"))
+    }
+
+    /// Prefixes the message with a location (field / variant path).
+    pub fn context(mut self, location: &str) -> Self {
+        self.message = format!("{location}: {}", self.message);
+        self
+    }
+
+    /// The message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}

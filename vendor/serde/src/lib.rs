@@ -1,0 +1,155 @@
+//! Offline std-only stub of the `serde` API surface this workspace uses.
+//!
+//! The build environment has no crates.io access, so `serde` resolves to
+//! this path crate. It keeps upstream's trait names and signatures
+//! (`Serialize`, `Deserialize`, `Serializer`, `Deserializer`, the
+//! `ser`/`de` modules, and the derive macros re-exported under the
+//! `derive` feature) but routes everything through one concrete JSON-shaped
+//! [`Value`] data model — exactly enough for this repo's derives,
+//! `#[serde(with = ...)]` adapters, and `serde_json` façade.
+
+#![forbid(unsafe_code)]
+
+mod error;
+#[doc(hidden)]
+pub mod json;
+mod value;
+
+#[path = "de.rs"]
+mod de_impl;
+#[path = "ser.rs"]
+mod ser_impl;
+
+pub use de_impl::{from_value, Deserialize, DeserializeOwned, Deserializer, ValueDeserializer};
+pub use error::Error;
+pub use ser_impl::{to_value, Serialize, Serializer, ValueSerializer};
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirrors upstream's `serde::ser` module path.
+pub mod ser {
+    pub use crate::ser_impl::{Serialize, Serializer};
+    pub use crate::Error;
+}
+
+/// Mirrors upstream's `serde::de` module path.
+pub mod de {
+    pub use crate::de_impl::{Deserialize, DeserializeOwned, Deserializer};
+    pub use crate::Error;
+}
+
+/// Support code for the derive macros. Not a public API.
+#[doc(hidden)]
+pub mod __private {
+    pub use crate::{from_value, to_value, Error, Value, ValueDeserializer, ValueSerializer};
+
+    /// Removes and returns the entry for `key`, if present.
+    pub fn take_entry(map: &mut Vec<(String, Value)>, key: &str) -> Option<Value> {
+        let index = map.iter().position(|(k, _)| k == key)?;
+        Some(map.remove(index).1)
+    }
+
+    /// Asserts the value is an object and yields its entries.
+    pub fn expect_map(value: Value, type_name: &str) -> Result<Vec<(String, Value)>, Error> {
+        match value {
+            Value::Map(entries) => Ok(entries),
+            other => {
+                Err(Error::msg(format!("expected object for {type_name}, got {}", other.kind())))
+            }
+        }
+    }
+
+    /// Asserts the value is an array of exactly `len` items.
+    pub fn expect_seq(value: Value, len: usize, type_name: &str) -> Result<Vec<Value>, Error> {
+        match value {
+            Value::Seq(items) if items.len() == len => Ok(items),
+            Value::Seq(items) => Err(Error::msg(format!(
+                "expected array of {len} for {type_name}, got {}",
+                items.len()
+            ))),
+            other => {
+                Err(Error::msg(format!("expected array for {type_name}, got {}", other.kind())))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(to_value(&42u32), Ok(Value::U64(42)));
+        assert_eq!(to_value(&-7i64), Ok(Value::I64(-7)));
+        assert_eq!(to_value(&1.5f64), Ok(Value::F64(1.5)));
+        assert_eq!(to_value(&f64::NAN), Ok(Value::Null));
+        assert_eq!(from_value::<u32>(Value::I64(5)), Ok(5));
+        assert_eq!(from_value::<f64>(Value::I64(5)), Ok(5.0));
+        assert!(from_value::<u8>(Value::I64(300)).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, 2.5f64), (3, 4.5)];
+        let value = to_value(&v).unwrap();
+        let back: Vec<(u32, f64)> = from_value(value).unwrap();
+        assert_eq!(v, back);
+
+        let mut map = std::collections::HashMap::new();
+        map.insert("b".to_string(), 2i64);
+        map.insert("a".to_string(), 1i64);
+        let value = to_value(&map).unwrap();
+        // HashMap output is key-sorted for determinism.
+        assert_eq!(
+            value,
+            Value::Map(vec![("a".into(), Value::I64(1)), ("b".into(), Value::I64(2))])
+        );
+        let back: std::collections::HashMap<String, i64> = from_value(value).unwrap();
+        assert_eq!(map, back);
+    }
+
+    #[test]
+    fn json_text_round_trips() {
+        let value = Value::Map(vec![
+            ("name".into(), Value::Str("a \"quoted\" π".into())),
+            ("xs".into(), Value::Seq(vec![Value::F64(0.1), Value::I64(-3)])),
+            ("flag".into(), Value::Bool(true)),
+            ("none".into(), Value::Null),
+        ]);
+        let text = json::to_json_compact(&value);
+        assert_eq!(json::from_json(&text).unwrap(), value);
+        let pretty = json::to_json_pretty(&value);
+        assert_eq!(json::from_json(&pretty).unwrap(), value);
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for &x in &[0.1, 1.0 / 3.0, 6378137.0, 1e-12, 2.2250738585072014e-308] {
+            let text = json::to_json_compact(&Value::F64(x));
+            match json::from_json(&text).unwrap() {
+                Value::F64(y) => assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}"),
+                Value::I64(y) => assert_eq!(x, y as f64),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(json::from_json("{\"a\": }").is_err());
+        assert!(json::from_json("[1, 2,]").is_err());
+        assert!(json::from_json("\"unterminated").is_err());
+        assert!(json::from_json("1 2").is_err());
+        assert!(json::from_json("nul").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = json::from_json("\"\\u00e9 \\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, Value::Str("\u{e9} \u{1F600}".to_string()));
+        assert!(json::from_json("\"\\ud83d oops\"").is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! Serialization: the [`Serialize`] / [`Serializer`] traits and impls for
+//! the std types this workspace serializes.
+
+use crate::{Error, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// A type that can render itself into the [`Value`] data model through a
+/// [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for serialized values.
+///
+/// Unlike upstream serde this is value-based rather than streaming: a
+/// serializer consumes one finished [`Value`]. That is exactly enough for a
+/// JSON-only workspace and keeps custom `#[serde(with = ...)]` adapters
+/// (`collect_seq` et al.) working unchanged.
+pub trait Serializer: Sized {
+    /// Successful output.
+    type Ok;
+    /// Failure type; must absorb the stub's concrete [`Error`].
+    type Error: From<Error>;
+
+    /// Consumes one finished value.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes each item of `iter` and consumes the sequence.
+    fn collect_seq<I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        I: IntoIterator,
+        I::Item: Serialize,
+    {
+        let mut items = Vec::new();
+        for item in iter {
+            items.push(to_value(&item)?);
+        }
+        self.serialize_value(Value::Seq(items))
+    }
+
+    /// Serializes each `(key, value)` pair and consumes the map. Keys must
+    /// serialize to strings or integers (stringified), as in JSON.
+    fn collect_map<K, V, I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        K: Serialize,
+        V: Serialize,
+        I: IntoIterator<Item = (K, V)>,
+    {
+        let mut entries = Vec::new();
+        for (key, value) in iter {
+            entries.push((key_to_string(&to_value(&key)?)?, to_value(&value)?));
+        }
+        self.serialize_value(Value::Map(entries))
+    }
+}
+
+/// The canonical serializer: yields the [`Value`] itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_value(self, value: Value) -> Result<Value, Error> {
+        Ok(value)
+    }
+}
+
+/// Serializes any value into the data model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// JSON object keys must be strings; integers stringify, everything else is
+/// rejected (tuple-keyed maps go through an explicit adapter instead).
+fn key_to_string(key: &Value) -> Result<String, Error> {
+    match key {
+        Value::Str(s) => Ok(s.clone()),
+        Value::I64(v) => Ok(v.to_string()),
+        Value::U64(v) => Ok(v.to_string()),
+        other => {
+            Err(Error::msg(format!("map key must be a string or integer, got {}", other.kind())))
+        }
+    }
+}
+
+macro_rules! impl_serialize_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::I64(i64::from(*self)))
+            }
+        }
+    )*};
+}
+
+impl_serialize_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_serialize_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::U64(*self as u64))
+            }
+        }
+    )*};
+}
+
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::I64(*self as i64))
+    }
+}
+
+macro_rules! impl_serialize_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = f64::from(*self);
+                // JSON has no NaN/Infinity; upstream serde_json maps
+                // non-finite floats to null, and we match it.
+                let value = if v.is_finite() { Value::F64(v) } else { Value::Null };
+                serializer.serialize_value(value)
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(inner) => inner.serialize(serializer),
+            None => serializer.serialize_value(Value::Null),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![$(to_value(&self.$idx)?),+];
+                serializer.serialize_value(Value::Seq(items))
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Hash iteration order is arbitrary; sort for deterministic output
+        // (the workspace's model files are diffed byte-for-byte).
+        let mut entries = Vec::with_capacity(self.len());
+        for (key, value) in self {
+            entries.push((key_to_string(&to_value(key)?)?, to_value(value)?));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        serializer.serialize_value(Value::Map(entries))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_map(self.iter())
+    }
+}

@@ -1,0 +1,559 @@
+//! Offline stub of `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (the build environment has no
+//! crates.io access, so no syn/quote). Supports exactly the shapes this
+//! workspace derives:
+//!
+//! * named-field structs, with `#[serde(default)]` and
+//!   `#[serde(with = "path")]` field attributes;
+//! * tuple structs (single-field newtypes serialize transparently);
+//! * unit structs;
+//! * enums with unit, tuple, and struct variants, using serde_json's
+//!   externally-tagged representation (`"Variant"`,
+//!   `{"Variant": value}`, `{"Variant": {..}}`).
+//!
+//! Generics are intentionally unsupported (nothing in the workspace derives
+//! a generic type); the macro emits a compile error rather than guessing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let source = match parse_input(input) {
+        Ok(parsed) => match mode {
+            Mode::Serialize => generate_serialize(&parsed),
+            Mode::Deserialize => generate_deserialize(&parsed),
+        },
+        Err(message) => format!("compile_error!({message:?});"),
+    };
+    source.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive stub produced invalid code: {e}\");")
+            .parse()
+            .expect("compile_error literal parses")
+    })
+}
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// Tuple struct with N fields.
+    TupleStruct(usize),
+    /// Unit struct.
+    UnitStruct,
+    /// Enum.
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`
+    default: bool,
+    /// `#[serde(with = "path")]`
+    with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde_derive stub: generic type `{name}` is not supported"));
+    }
+
+    match (kind.as_str(), tokens.next()) {
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
+            Ok(Input { name, data: Data::UnitStruct })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Input { name, data: Data::Struct(parse_named_fields(g.stream())?) })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Input { name, data: Data::TupleStruct(count_tuple_fields(g.stream())) })
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Input { name, data: Data::Enum(parse_variants(g.stream())?) })
+        }
+        (kind, other) => Err(format!("unsupported item `{kind}` body {other:?}")),
+    }
+}
+
+/// Parses `#[serde(...)]` field attributes out of an attribute group.
+fn parse_serde_attr(group: TokenStream, field: &mut Field) -> Result<(), String> {
+    let mut tokens = group.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return Ok(()), // doc comment or some other attribute
+    }
+    let Some(TokenTree::Group(args)) = tokens.next() else {
+        return Ok(());
+    };
+    let mut arg_tokens = args.stream().into_iter();
+    while let Some(token) = arg_tokens.next() {
+        match token {
+            TokenTree::Ident(i) if i.to_string() == "default" => field.default = true,
+            TokenTree::Ident(i) if i.to_string() == "with" => {
+                match (arg_tokens.next(), arg_tokens.next()) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let raw = lit.to_string();
+                        field.with = Some(raw.trim_matches('"').to_string());
+                    }
+                    _ => return Err("malformed #[serde(with = \"...\")]".to_string()),
+                }
+            }
+            TokenTree::Punct(_) => {}
+            other => {
+                return Err(format!("serde_derive stub: unsupported serde attribute `{other}`"))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        let mut field = Field { name: String::new(), default: false, with: None };
+        // Attributes.
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            match tokens.next() {
+                Some(TokenTree::Group(g)) => parse_serde_attr(g.stream(), &mut field)?,
+                other => return Err(format!("bad attribute {other:?}")),
+            }
+        }
+        // Visibility.
+        if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            tokens.next();
+            if matches!(
+                tokens.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                tokens.next();
+            }
+        }
+        // Field name.
+        match tokens.next() {
+            Some(TokenTree::Ident(i)) => field.name = i.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        }
+        // `:` then the type; skip to the next top-level comma, counting
+        // angle-bracket depth ((), [], {} arrive as opaque groups).
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:`, got {other:?}")),
+        }
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+                None => break,
+            }
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Counts tuple-struct fields: top-level commas + 1 (trailing comma aware).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    let mut pending = false;
+    for token in stream {
+        saw_tokens = true;
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if !saw_tokens {
+        0
+    } else if pending {
+        count + 1
+    } else {
+        count
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Attributes (doc comments on variants).
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(count)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip to next comma (also skips `= discriminant`).
+        while let Some(token) = tokens.next() {
+            if matches!(&token, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+/// `a, b, c` style generated identifiers for tuple fields.
+fn binding_names(count: usize) -> Vec<String> {
+    (0..count).map(|i| format!("__f{i}")).collect()
+}
+
+fn serialize_field_expr(field: &Field, access: &str) -> String {
+    match &field.with {
+        Some(path) => format!("{path}::serialize({access}, serde::__private::ValueSerializer)?"),
+        None => format!("serde::__private::to_value({access})?"),
+    }
+}
+
+fn deserialize_field_expr(field: &Field, type_name: &str) -> String {
+    let from = match &field.with {
+        Some(path) => format!(
+            "{path}::deserialize(serde::__private::ValueDeserializer(__v))\
+             .map_err(serde::__private::Error::from)"
+        ),
+        None => "serde::__private::from_value(__v)".to_string(),
+    };
+    let missing = if field.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return Err(serde::__private::Error::missing_field(\
+             \"{type_name}\", \"{name}\").into())",
+            name = field.name
+        )
+    };
+    format!(
+        "match serde::__private::take_entry(&mut __map, \"{name}\") {{\
+         Some(__v) => {from}.map_err(|e| e.context(\"{type_name}.{name}\"))?, \
+         None => {missing}, }}",
+        name = field.name
+    )
+}
+
+fn generate_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::UnitStruct => "serializer.serialize_value(serde::__private::Value::Null)".to_string(),
+        Data::TupleStruct(1) => {
+            // Newtype structs serialize transparently, like upstream.
+            "let __v = serde::__private::to_value(&self.0)?;\
+             serializer.serialize_value(__v)"
+                .to_string()
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("serde::__private::to_value(&self.{i})?")).collect();
+            format!(
+                "serializer.serialize_value(serde::__private::Value::Seq(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Data::Struct(fields) => {
+            let mut out =
+                String::from("let mut __map: Vec<(String, serde::__private::Value)> = Vec::new();");
+            for field in fields {
+                let expr = serialize_field_expr(field, &format!("&self.{}", field.name));
+                out.push_str(&format!(
+                    "__map.push((\"{name}\".to_string(), {expr}));",
+                    name = field.name
+                ));
+            }
+            out.push_str("serializer.serialize_value(serde::__private::Value::Map(__map))");
+            out
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::__private::Value::Str(\"{vname}\".to_string()),"
+                    )),
+                    VariantShape::Tuple(count) => {
+                        let bindings = binding_names(*count);
+                        let payload = if *count == 1 {
+                            format!("serde::__private::to_value({})?", bindings[0])
+                        } else {
+                            let items: Vec<String> = bindings
+                                .iter()
+                                .map(|b| format!("serde::__private::to_value({b})?"))
+                                .collect();
+                            format!("serde::__private::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => serde::__private::Value::Map(\
+                             vec![(\"{vname}\".to_string(), {payload})]),",
+                            binds = bindings.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from(
+                            "let mut __fields: Vec<(String, serde::__private::Value)> = Vec::new();",
+                        );
+                        for field in fields {
+                            let expr = serialize_field_expr(field, &field.name.clone());
+                            inner.push_str(&format!(
+                                "__fields.push((\"{fname}\".to_string(), {expr}));",
+                                fname = field.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{ {inner} \
+                             serde::__private::Value::Map(vec![(\"{vname}\".to_string(), \
+                             serde::__private::Value::Map(__fields))]) }},",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let __value = match self {{ {arms} }};\
+                 serializer.serialize_value(__value)"
+            )
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\
+             fn serialize<__S: serde::Serializer>(&self, serializer: __S)\
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{ {body} }}\
+         }}"
+    )
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::UnitStruct => format!(
+            "match deserializer.take_value()? {{\
+                 serde::__private::Value::Null => Ok({name}),\
+                 __other => Err(serde::__private::Error::invalid_type(\
+                     \"null\", __other.kind()).into()),\
+             }}"
+        ),
+        Data::TupleStruct(1) => {
+            format!("Ok({name}(serde::__private::from_value(deserializer.take_value()?)?))")
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|_| {
+                    "serde::__private::from_value(\
+                     __items.next().expect(\"length checked\"))?"
+                        .to_string()
+                })
+                .collect();
+            format!(
+                "let __seq = serde::__private::expect_seq(\
+                     deserializer.take_value()?, {n}, \"{name}\")?;\
+                 let mut __items = __seq.into_iter();\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Data::Struct(fields) => {
+            let mut out = format!(
+                "let mut __map = serde::__private::expect_map(\
+                     deserializer.take_value()?, \"{name}\")?;"
+            );
+            out.push_str(&format!("Ok({name} {{"));
+            for field in fields {
+                out.push_str(&format!(
+                    "{fname}: {expr},",
+                    fname = field.name,
+                    expr = deserialize_field_expr(field, name)
+                ));
+            }
+            out.push_str("})");
+            out
+        }
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),"))
+                    }
+                    VariantShape::Tuple(1) => keyed_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         serde::__private::from_value(__payload)?)),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|_| {
+                                "serde::__private::from_value(\
+                                 __items.next().expect(\"length checked\"))?"
+                                    .to_string()
+                            })
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vname}\" => {{\
+                                 let __seq = serde::__private::expect_seq(\
+                                     __payload, {n}, \"{name}::{vname}\")?;\
+                                 let mut __items = __seq.into_iter();\
+                                 Ok({name}::{vname}({}))\
+                             }},",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inner = format!(
+                            "let mut __map = serde::__private::expect_map(\
+                                 __payload, \"{name}::{vname}\")?;"
+                        );
+                        inner.push_str(&format!("Ok({name}::{vname} {{"));
+                        for field in fields {
+                            inner.push_str(&format!(
+                                "{fname}: {expr},",
+                                fname = field.name,
+                                expr = deserialize_field_expr(field, &format!("{name}::{vname}"))
+                            ));
+                        }
+                        inner.push_str("})");
+                        keyed_arms.push_str(&format!("\"{vname}\" => {{ {inner} }},"));
+                    }
+                }
+            }
+            format!(
+                "match deserializer.take_value()? {{\
+                     serde::__private::Value::Str(__s) => match __s.as_str() {{\
+                         {unit_arms}\
+                         __other => Err(serde::__private::Error::msg(format!(\
+                             \"unknown variant `{{__other}}` of {name}\")).into()),\
+                     }},\
+                     serde::__private::Value::Map(__entries) => {{\
+                         let mut __iter = __entries.into_iter();\
+                         let (__tag, __payload) = match (__iter.next(), __iter.next()) {{\
+                             (Some(__entry), None) => __entry,\
+                             _ => return Err(serde::__private::Error::msg(\
+                                 \"expected single-key variant object for {name}\").into()),\
+                         }};\
+                         match __tag.as_str() {{\
+                             {keyed_arms}\
+                             __other => Err(serde::__private::Error::msg(format!(\
+                                 \"unknown variant `{{__other}}` of {name}\")).into()),\
+                         }}\
+                     }},\
+                     __other => Err(serde::__private::Error::invalid_type(\
+                         \"string or single-key object\", __other.kind()).into()),\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\
+             fn deserialize<__D: serde::Deserializer<'de>>(deserializer: __D)\
+                 -> ::std::result::Result<Self, __D::Error> {{ {body} }}\
+         }}"
+    )
+}

@@ -1,0 +1,197 @@
+//! Offline std-only stub of the `serde_json` API surface this workspace
+//! uses: `Value`, `to_string`, `to_string_pretty`, `from_str`, `to_value`,
+//! `from_value`, `Error`, and the `json!` macro.
+//!
+//! The JSON text encoding itself lives in the `serde` stub (shared with
+//! `Value`'s `Display`); this crate is the façade that keeps call sites
+//! source-compatible with upstream.
+
+#![forbid(unsafe_code)]
+
+use serde::json;
+pub use serde::Value;
+use serde::{DeserializeOwned, Serialize};
+use std::fmt;
+
+/// A JSON (de)serialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(serde::Error);
+
+impl Error {
+    /// Builds an error from any message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error(serde::Error::msg(message))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(inner: serde::Error) -> Self {
+        Error(inner)
+    }
+}
+
+/// Serializes a value into the [`Value`] data model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    serde::to_value(value).map_err(Error)
+}
+
+/// Reconstructs a typed value from the [`Value`] data model.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, Error> {
+    serde::from_value(value).map_err(Error)
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(json::to_json_compact(&serde::to_value(value)?))
+}
+
+/// Serializes to 2-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(json::to_json_pretty(&serde::to_value(value)?))
+}
+
+/// Parses JSON text into a typed value.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T, Error> {
+    Ok(serde::from_value(json::from_json(text)?)?)
+}
+
+/// Builds a [`Value`] from JSON-looking syntax with expression
+/// interpolation, like upstream's `json!`.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+/// Implementation detail of [`json!`] (a tt-muncher; call `json!` instead).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // Arrays: delegate element collection to the @array muncher.
+    ([]) => { $crate::Value::Seq(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Seq($crate::json_internal!(@array [] $($tt)+)) };
+
+    // Objects: delegate entry collection to the @object muncher.
+    ({}) => { $crate::Value::Map(::std::vec::Vec::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut __entries: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json_internal!(@object __entries () $($tt)+);
+        $crate::Value::Map(__entries)
+    }};
+
+    // ---- @array: accumulate comma-separated elements -------------------
+    // Last element (no trailing comma).
+    (@array [$($done:expr),*] $($value:tt)+) => {
+        $crate::json_internal!(@array_try [$($done),*] [] $($value)+)
+    };
+
+    // @array_try: peel tokens off until a top-level comma or exhaustion.
+    (@array_try [$($done:expr),*] [$($cur:tt)+] , $($rest:tt)+) => {
+        $crate::json_internal!(@array [$($done,)* $crate::json_internal!($($cur)+)] $($rest)+)
+    };
+    (@array_try [$($done:expr),*] [$($cur:tt)+] ,) => {
+        ::std::vec![$($done,)* $crate::json_internal!($($cur)+)]
+    };
+    (@array_try [$($done:expr),*] [$($cur:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@array_try [$($done),*] [$($cur)* $next] $($rest)*)
+    };
+    (@array_try [$($done:expr),*] [$($cur:tt)+]) => {
+        ::std::vec![$($done,)* $crate::json_internal!($($cur)+)]
+    };
+
+    // ---- @object: accumulate `"key": value` entries --------------------
+    // Done.
+    (@object $entries:ident ()) => {};
+    // Key found: start collecting the value.
+    (@object $entries:ident () $key:tt : $($rest:tt)+) => {
+        $crate::json_internal!(@object_value $entries ($key) [] $($rest)+)
+    };
+
+    // @object_value: peel value tokens until a top-level comma/exhaustion.
+    (@object_value $entries:ident ($key:tt) [$($cur:tt)+] , $($rest:tt)+) => {
+        $entries.push(($crate::json_key!($key), $crate::json_internal!($($cur)+)));
+        $crate::json_internal!(@object $entries () $($rest)+);
+    };
+    (@object_value $entries:ident ($key:tt) [$($cur:tt)+] ,) => {
+        $entries.push(($crate::json_key!($key), $crate::json_internal!($($cur)+)));
+    };
+    (@object_value $entries:ident ($key:tt) [$($cur:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@object_value $entries ($key) [$($cur)* $next] $($rest)*)
+    };
+    (@object_value $entries:ident ($key:tt) [$($cur:tt)+]) => {
+        $entries.push(($crate::json_key!($key), $crate::json_internal!($($cur)+)));
+    };
+
+    // ---- leaves --------------------------------------------------------
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ($other:expr) => {
+        $crate::to_value(&$other).unwrap_or($crate::Value::Null)
+    };
+}
+
+/// Implementation detail of [`json!`]: object keys.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_key {
+    ($key:literal) => {
+        ::std::string::ToString::to_string(&$key)
+    };
+    ($key:expr) => {
+        ::std::string::ToString::to_string(&$key)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let samples = 7usize;
+        let coords = vec![json!([1.0, 2.0]), json!([3.0, 4.5])];
+        let v = json!({
+            "type": "Feature",
+            "geometry": { "type": "LineString", "coordinates": coords },
+            "properties": {
+                "samples": samples,
+                "length_m": (120.0f64).round(),
+                "nested": [1, "two", null, true, { "k": [] }],
+            },
+        });
+        assert_eq!(v["type"].as_str(), Some("Feature"));
+        assert_eq!(v["geometry"]["type"].as_str(), Some("LineString"));
+        assert_eq!(v["geometry"]["coordinates"][1][1].as_f64(), Some(4.5));
+        assert_eq!(v["properties"]["samples"].as_u64(), Some(7));
+        assert_eq!(v["properties"]["length_m"].as_f64(), Some(120.0));
+        assert!(v["properties"]["nested"][2].is_null());
+        assert_eq!(v["properties"]["nested"][4]["k"], json!([]));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let v = json!({"a": [1, 2.5, "x"], "b": {"c": null}});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn from_str_reports_errors() {
+        assert!(from_str::<Value>("{oops}").is_err());
+        assert!(from_str::<Vec<f64>>("[1.0, \"two\"]").is_err());
+    }
+}
