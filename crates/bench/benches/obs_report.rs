@@ -1,0 +1,51 @@
+//! Telemetry-emitting pipeline run: summarizes a small corpus with an
+//! enabled `stmaker-obs` recorder and writes the aggregated report —
+//! the same JSON schema as the CLI's `--metrics-json` and the eval
+//! crate's Fig. 12 binary — to `BENCH_obs.json` (override with
+//! `STMAKER_OBS_OUT`). `cargo xtask obs-schema BENCH_obs.json` validates
+//! the result.
+//!
+//! This is a plain `harness = false` binary rather than a Criterion
+//! bench: the deliverable is the report file, not a timing estimate.
+
+use stmaker::{standard_features, FeatureWeights, SummarizerConfig};
+use stmaker_eval::{ExperimentScale, Harness};
+use stmaker_obs::Recorder;
+
+fn main() {
+    let mut scale = ExperimentScale::quick();
+    scale.n_train = 120;
+    scale.n_test = 80;
+    let h = Harness::new(scale);
+
+    let obs = Recorder::enabled();
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let summarizer = h.train_summarizer(
+        features,
+        weights,
+        SummarizerConfig::default().with_recorder(obs.clone()),
+    );
+
+    let mut ok = 0usize;
+    for trip in &h.test {
+        if summarizer.summarize(&trip.raw).is_ok() {
+            ok += 1;
+        }
+    }
+    // Exercise the k-constrained DP path too, so partition.dp_cells
+    // reflects both Algorithm 1 variants.
+    for (i, trip) in h.test.iter().take(20).enumerate() {
+        let k = 1 + i % 4;
+        let _ = summarizer.summarize_k(&trip.raw, k);
+    }
+    println!("summarized {ok}/{} trips (+20 k-constrained runs)", h.test.len());
+
+    let report = obs.report();
+    println!("\n{}", stmaker_obs::stats::render(&report));
+    let path = std::env::var("STMAKER_OBS_OUT").unwrap_or_else(|_| "BENCH_obs.json".to_owned());
+    match report.write_json(&path) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+}

@@ -8,38 +8,103 @@
 //!
 //! ```text
 //! stmaker-cli gen --dir /tmp/demo --trips 20 --seed 7
+//! stmaker-cli train --dir /tmp/demo --out /tmp/demo/model.json
 //! stmaker-cli summarize --dir /tmp/demo --trip trip_003.csv --k 3
 //! stmaker-cli group --dir /tmp/demo
 //! stmaker-cli search --dir /tmp/demo --query "u-turn station"
 //! stmaker-cli demo
 //! ```
+//!
+//! The global `--trace` flag prints a per-stage span tree after any
+//! subcommand, and `--metrics-json PATH` writes the full telemetry report
+//! (spans, counters, gauges, histograms) as JSON.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use stmaker::{standard_features, FeatureWeights, Summarizer, SummarizerConfig};
+use stmaker::{standard_features, FeatureWeights, Recorder, Summarizer, SummarizerConfig};
 use stmaker_generator::{TripConfig, TripGenerator, World, WorldConfig};
 use stmaker_io::{read_trajectory_csv, summary_to_geojson, write_trajectory_csv};
 use stmaker_textmine::InvertedIndex;
 use stmaker_trajectory::RawTrajectory;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(|s| s.as_str()) {
-        Some("demo") => cmd_demo(&args[1..]),
-        Some("gen") => cmd_gen(&args[1..]),
-        Some("train") => cmd_train(&args[1..]),
-        Some("summarize") => cmd_summarize(&args[1..]),
-        Some("group") => cmd_group(&args[1..]),
-        Some("search") => cmd_search(&args[1..]),
-        Some("help") | Some("--help") | Some("-h") | None => {
-            print_usage();
-            Ok(())
+/// Global observability options, stripped from the argument list before
+/// subcommand dispatch so every subcommand accepts them in any position.
+struct Obs {
+    recorder: Recorder,
+    trace: bool,
+    metrics_json: Option<PathBuf>,
+}
+
+impl Obs {
+    /// Extracts `--trace` / `--metrics-json PATH` from `args` (removing
+    /// them) and builds the matching recorder: enabled if either flag is
+    /// present, the zero-cost no-op otherwise.
+    fn extract(args: &mut Vec<String>) -> Result<Self, String> {
+        let mut trace = false;
+        let mut metrics_json = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--trace" => {
+                    trace = true;
+                    args.remove(i);
+                }
+                "--metrics-json" => {
+                    args.remove(i);
+                    if i >= args.len() {
+                        return Err("missing path after --metrics-json".to_owned());
+                    }
+                    metrics_json = Some(PathBuf::from(args.remove(i)));
+                }
+                _ => i += 1,
+            }
         }
-        Some(other) => Err(format!("unknown subcommand {other:?}; try `stmaker-cli help`")),
-    };
+        let recorder = if trace || metrics_json.is_some() {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        };
+        Ok(Self { recorder, trace, metrics_json })
+    }
+
+    /// Renders/writes the collected telemetry after the subcommand ran.
+    fn finish(&self) -> Result<(), String> {
+        if !self.trace && self.metrics_json.is_none() {
+            return Ok(());
+        }
+        let report = self.recorder.report();
+        if self.trace {
+            eprintln!("\n{}", stmaker_obs::stats::render(&report));
+        }
+        if let Some(path) = &self.metrics_json {
+            report.write_json(path).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("wrote metrics to {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let result = Obs::extract(&mut args).and_then(|obs| {
+        let r = match args.first().map(|s| s.as_str()) {
+            Some("demo") => cmd_demo(&args[1..], &obs),
+            Some("gen") => cmd_gen(&args[1..], &obs),
+            Some("train") => cmd_train(&args[1..], &obs),
+            Some("summarize") => cmd_summarize(&args[1..], &obs),
+            Some("group") => cmd_group(&args[1..], &obs),
+            Some("search") => cmd_search(&args[1..], &obs),
+            Some("help") | Some("--help") | Some("-h") | None => {
+                print_usage();
+                Ok(())
+            }
+            Some(other) => Err(format!("unknown subcommand {other:?}; try `stmaker-cli help`")),
+        };
+        r.and_then(|()| obs.finish())
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -60,7 +125,10 @@ fn print_usage() {
          summarize  --dir DIR --trip FILE [--k K] [--model FILE] [--geojson FILE]\n  \
          group      --dir DIR [--min-share F]       group summary of every trip in DIR\n  \
          search     --dir DIR --query \"...\" [--top K] keyword search over summaries\n  \
-         help                                        this message"
+         help                                        this message\n\n\
+         GLOBAL OPTIONS:\n  \
+         --trace                print a per-stage span/counter table on exit\n  \
+         --metrics-json PATH    write the telemetry report as JSON"
     );
 }
 
@@ -97,12 +165,18 @@ impl<'a> Opts<'a> {
 /// World + trained summarizer assembly shared by the subcommands.
 struct Stack {
     world: World,
+    recorder: Recorder,
 }
 
 impl Stack {
-    fn from_config(cfg: WorldConfig) -> Self {
+    fn from_config(cfg: WorldConfig, obs: &Obs) -> Self {
         eprintln!("building world (seed {})…", cfg.seed);
-        Self { world: World::generate(cfg) }
+        Self { world: World::generate(cfg), recorder: obs.recorder.clone() }
+    }
+
+    /// The default pipeline config with this stack's recorder attached.
+    fn config(&self) -> SummarizerConfig {
+        SummarizerConfig::default().with_recorder(self.recorder.clone())
     }
 
     fn train(&self, n_train: usize) -> Summarizer<'_> {
@@ -118,7 +192,7 @@ impl Stack {
             &training,
             features,
             weights,
-            SummarizerConfig::default(),
+            self.config(),
         )
     }
 
@@ -146,7 +220,7 @@ impl Stack {
                     model,
                     features,
                     weights,
-                    SummarizerConfig::default(),
+                    self.config(),
                 ))
             }
             None => Ok(self.train(300)),
@@ -178,13 +252,13 @@ fn trip_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
     Ok(files)
 }
 
-fn cmd_demo(args: &[String]) -> Result<(), String> {
+fn cmd_demo(args: &[String], obs: &Obs) -> Result<(), String> {
     let opts = Opts::new(args);
     let seed: u64 = opts.parse("--seed", 2024)?;
     let hour: f64 = opts.parse("--hour", 8.5)?;
     let k: usize = opts.parse("--k", 0)?;
 
-    let stack = Stack::from_config(WorldConfig::small(seed));
+    let stack = Stack::from_config(WorldConfig::small(seed), obs);
     let summarizer = stack.train(150);
     let gen = TripGenerator::new(&stack.world, TripConfig::default());
     let mut rng = StdRng::seed_from_u64(seed ^ 0xDE60);
@@ -205,7 +279,7 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
+fn cmd_gen(args: &[String], obs: &Obs) -> Result<(), String> {
     let opts = Opts::new(args);
     let dir = PathBuf::from(opts.require("--dir")?);
     let trips: usize = opts.parse("--trips", 20)?;
@@ -219,7 +293,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
 
-    let stack = Stack::from_config(cfg);
+    let stack = Stack::from_config(cfg, obs);
     let gen = TripGenerator::new(&stack.world, TripConfig::default());
     let corpus = gen.generate_corpus(trips, seed ^ 0x6E6);
     for (i, trip) in corpus.iter().enumerate() {
@@ -230,20 +304,20 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(args: &[String]) -> Result<(), String> {
+fn cmd_train(args: &[String], obs: &Obs) -> Result<(), String> {
     let opts = Opts::new(args);
     let dir = PathBuf::from(opts.require("--dir")?);
     let n_train: usize = opts.parse("--n-train", 300)?;
     let out = opts.get("--out").map(PathBuf::from).unwrap_or_else(|| dir.join("model.json"));
 
-    let stack = Stack::from_config(load_world_config(&dir)?);
+    let stack = Stack::from_config(load_world_config(&dir)?, obs);
     let summarizer = stack.train(n_train);
     summarizer.model().save(&out).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     println!("trained on {} trips; model saved to {}", summarizer.model().n_trained, out.display());
     Ok(())
 }
 
-fn cmd_summarize(args: &[String]) -> Result<(), String> {
+fn cmd_summarize(args: &[String], obs: &Obs) -> Result<(), String> {
     let opts = Opts::new(args);
     let dir = PathBuf::from(opts.require("--dir")?);
     let trip_file = opts.require("--trip")?;
@@ -254,7 +328,7 @@ fn cmd_summarize(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("cannot read {}: {e}", trip_path.display()))?;
     let raw = read_trajectory_csv(&body).map_err(|e| format!("{}: {e}", trip_path.display()))?;
 
-    let stack = Stack::from_config(load_world_config(&dir)?);
+    let stack = Stack::from_config(load_world_config(&dir)?, obs);
     let summarizer = stack.summarizer(&opts)?;
     let summary = if k == 0 { summarizer.summarize(&raw) } else { summarizer.summarize_k(&raw, k) }
         .map_err(|e| e.to_string())?;
@@ -269,7 +343,7 @@ fn cmd_summarize(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_group(args: &[String]) -> Result<(), String> {
+fn cmd_group(args: &[String], obs: &Obs) -> Result<(), String> {
     let opts = Opts::new(args);
     let dir = PathBuf::from(opts.require("--dir")?);
     let min_share: f64 = opts.parse("--min-share", 0.15)?;
@@ -294,7 +368,7 @@ fn cmd_group(args: &[String]) -> Result<(), String> {
         return Err("no readable trips in the directory".to_owned());
     }
 
-    let stack = Stack::from_config(load_world_config(&dir)?);
+    let stack = Stack::from_config(load_world_config(&dir)?, obs);
     let summarizer = stack.summarizer(&opts)?;
     let group = summarizer.summarize_group(&trips, min_share).map_err(|e| e.to_string())?;
     println!("{}", group.text);
@@ -308,7 +382,7 @@ fn cmd_group(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_search(args: &[String]) -> Result<(), String> {
+fn cmd_search(args: &[String], obs: &Obs) -> Result<(), String> {
     let opts = Opts::new(args);
     let dir = PathBuf::from(opts.require("--dir")?);
     let query = opts.require("--query")?;
@@ -318,7 +392,7 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     if files.is_empty() {
         return Err(format!("no trip_*.csv files in {}", dir.display()));
     }
-    let stack = Stack::from_config(load_world_config(&dir)?);
+    let stack = Stack::from_config(load_world_config(&dir)?, obs);
     let summarizer = stack.summarizer(&opts)?;
 
     let mut names = Vec::new();

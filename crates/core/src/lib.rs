@@ -52,6 +52,15 @@
 //! | [`select`] | Sec. V — threshold selection |
 //! | [`template`] | Tables V & VI — phrase/sentence templates |
 //! | [`summarize`] | Fig. 3 — the end-to-end [`Summarizer`] |
+//!
+//! ## Observability
+//!
+//! Every pipeline stage reports into a [`Recorder`] attached via
+//! [`SummarizerConfig::with_recorder`]: per-stage spans (`calibrate`,
+//! `partition`, `select`, `popular_route`, `render`, …) plus domain
+//! counters such as `partition.dp_cells` and `select.features_kept`. The
+//! default recorder is disabled and costs one branch per stage — see the
+//! `stmaker-obs` crate.
 
 pub mod builtin;
 pub mod context;
@@ -77,3 +86,7 @@ pub use summarize::{
     mentioned_keys, summary_mentions, PartitionSummary, Prepared, SummarizeError, Summarizer,
     SummarizerConfig, Summary, TrainedModel,
 };
+
+// Telemetry types, re-exported so downstream crates can attach a recorder
+// without depending on `stmaker-obs` directly.
+pub use stmaker_obs::{Recorder, Report};

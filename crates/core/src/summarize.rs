@@ -20,6 +20,7 @@ use crate::similarity::consecutive_similarities;
 use crate::template::{render_partition_sentence, PartitionFacts};
 use stmaker_calibration::{calibrate, CalibrationError, CalibrationParams};
 use stmaker_mapmatch::{MapMatcher, MatchParams};
+use stmaker_obs::Recorder;
 use stmaker_poi::{LandmarkId, LandmarkRegistry};
 use stmaker_road::RoadNetwork;
 use stmaker_routes::{HistoricalFeatureMap, PopularRouteConfig, PopularRoutes};
@@ -27,7 +28,7 @@ use stmaker_trajectory::{RawTrajectory, SymbolicTrajectory};
 
 /// All tunables of the pipeline. Defaults are the paper's experimental
 /// settings (Sec. VII-B): Ca = 0.5, η = 0.2, unit feature weights.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SummarizerConfig {
     /// Weight `Ca` of landmark significance in the partition potential.
     pub ca: f64,
@@ -41,6 +42,10 @@ pub struct SummarizerConfig {
     pub matching: MatchParams,
     /// Popular-route mining parameters.
     pub popular: PopularRouteConfig,
+    /// Telemetry sink for per-stage spans and counters. Defaults to the
+    /// disabled no-op recorder, which costs a branch per stage and
+    /// nothing else — no allocation, no locking.
+    pub recorder: Recorder,
 }
 
 impl Default for SummarizerConfig {
@@ -52,7 +57,19 @@ impl Default for SummarizerConfig {
             extraction: ExtractionParams::default(),
             matching: MatchParams::default(),
             popular: PopularRouteConfig::default(),
+            recorder: Recorder::disabled(),
         }
+    }
+}
+
+impl SummarizerConfig {
+    /// Attaches a telemetry recorder (builder style): every pipeline
+    /// stage of a summarizer using this config emits spans and counters
+    /// into it.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 }
 
@@ -205,6 +222,8 @@ impl<'a> Summarizer<'a> {
         cfg: SummarizerConfig,
     ) -> Self {
         assert_eq!(weights.as_slice().len(), features.len(), "weights must match feature set");
+        let obs = cfg.recorder.clone();
+        let _train_span = obs.span("train");
         let matcher = MapMatcher::new(net, cfg.matching);
         let mut featmap = HistoricalFeatureMap::new();
         let mut symbolics: Vec<SymbolicTrajectory> = Vec::new();
@@ -232,6 +251,8 @@ impl<'a> Summarizer<'a> {
         }
 
         let n_trained = symbolics.len();
+        obs.add("train.trajectories_ingested", n_trained as u64); // cast-ok: corpus size
+        obs.add("train.trajectories_skipped", (training.len() - n_trained) as u64); // cast-ok: corpus size
         let popular = PopularRoutes::build(&symbolics, cfg.popular);
         // Reuse the matcher built for extraction instead of indexing the
         // network's edge geometry a second time via from_model.
@@ -286,6 +307,13 @@ impl<'a> Summarizer<'a> {
         &self.cfg
     }
 
+    /// The telemetry recorder this summarizer reports into (the disabled
+    /// no-op unless one was attached via
+    /// [`SummarizerConfig::with_recorder`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.cfg.recorder
+    }
+
     /// Replaces the feature weights (Fig. 10(a)'s experiment knob).
     pub fn set_weights(&mut self, weights: FeatureWeights) {
         assert_eq!(weights.as_slice().len(), self.features.len());
@@ -300,7 +328,13 @@ impl<'a> Summarizer<'a> {
     /// Step 1 + feature extraction: calibrate and extract, reusable across
     /// different partition granularities.
     pub fn prepare(&self, raw: &RawTrajectory) -> Result<Prepared, SummarizeError> {
-        let symbolic = calibrate(raw, self.registry, self.cfg.calibration)?;
+        let obs = &self.cfg.recorder;
+        let symbolic = {
+            let _span = obs.span("calibrate");
+            calibrate(raw, self.registry, self.cfg.calibration)?
+        };
+        obs.add("calibrate.landmarks_matched", symbolic.size() as u64); // cast-ok: landmark count
+        let _span = obs.span("extract");
         let data =
             extract_segment_data(raw, &symbolic, self.registry, &self.matcher, self.cfg.extraction);
         let seg_values: Vec<Vec<f64>> = (0..symbolic.segment_count())
@@ -309,18 +343,31 @@ impl<'a> Summarizer<'a> {
                 self.features.extract_all(&ctx)
             })
             .collect();
+        obs.add("extract.segments_scanned", seg_values.len() as u64); // cast-ok: segment count
         Ok(Prepared { symbolic, data, seg_values })
+    }
+
+    /// Opens the root telemetry span for one end-to-end summarization and
+    /// records the requested granularity.
+    fn summarize_span(&self, k: Option<usize>) -> stmaker_obs::Span {
+        let span = self.cfg.recorder.span("summarize");
+        if let Some(k) = k {
+            self.cfg.recorder.gauge("summarize.requested_k", k as f64); // cast-ok: small k
+        }
+        span
     }
 
     /// Summarizes with the globally optimal partition (Eq. 4) — STMaker's
     /// default granularity.
     pub fn summarize(&self, raw: &RawTrajectory) -> Result<Summary, SummarizeError> {
+        let _root = self.summarize_span(None);
         let prepared = self.prepare(raw)?;
         self.summarize_prepared(&prepared, None)
     }
 
     /// Summarizes with exactly `k` partitions (Algorithm 1).
     pub fn summarize_k(&self, raw: &RawTrajectory, k: usize) -> Result<Summary, SummarizeError> {
+        let _root = self.summarize_span(Some(k));
         let prepared = self.prepare(raw)?;
         self.summarize_prepared(&prepared, Some(k))
     }
@@ -333,16 +380,30 @@ impl<'a> Summarizer<'a> {
     ) -> Result<Summary, SummarizeError> {
         let symbolic = &prepared.symbolic;
         let n_segs = symbolic.segment_count();
+        let obs = &self.cfg.recorder;
 
         // --- Step 2: partition.
-        let sims = consecutive_similarities(&prepared.seg_values, &self.weights);
-        let sigs: Vec<f64> = (1..n_segs)
-            .map(|b| self.registry.get(symbolic.points()[b].landmark).significance)
-            .collect();
-        let partition: PartitionResult = match k {
-            None => optimal_partition(&sims, &sigs, self.cfg.ca),
-            Some(k) => optimal_k_partition(&sims, &sigs, self.cfg.ca, k)
-                .ok_or(SummarizeError::InvalidK { k, max: n_segs })?,
+        let partition: PartitionResult = {
+            let _span = obs.span("partition");
+            let sims = consecutive_similarities(&prepared.seg_values, &self.weights);
+            let sigs: Vec<f64> = (1..n_segs)
+                .map(|b| self.registry.get(symbolic.points()[b].landmark).significance)
+                .collect();
+            obs.add("partition.segments_scanned", n_segs as u64); // cast-ok: segment count
+                                                                  // DP table size, computed arithmetically so the hot loops in
+                                                                  // partition.rs stay free of telemetry branches: the
+                                                                  // k-constrained pass fills an (n-1) x k table; the
+                                                                  // unconstrained pass is linear in the boundary count.
+            let dp_cells = match k {
+                Some(k) => (n_segs.saturating_sub(1)).saturating_mul(k),
+                None => sims.len(),
+            };
+            obs.add("partition.dp_cells", dp_cells as u64); // cast-ok: table size
+            match k {
+                None => optimal_partition(&sims, &sigs, self.cfg.ca),
+                Some(k) => optimal_k_partition(&sims, &sigs, self.cfg.ca, k)
+                    .ok_or(SummarizeError::InvalidK { k, max: n_segs })?,
+            }
         };
 
         // --- Steps 3 & 4 per partition.
@@ -353,21 +414,40 @@ impl<'a> Summarizer<'a> {
             let hops: Vec<(LandmarkId, LandmarkId)> = (span.seg_start..=span.seg_end)
                 .map(|i| (symbolic.points()[i].landmark, symbolic.points()[i + 1].landmark))
                 .collect();
-            let pr = self.model.popular.popular_route(from, to);
+            let pr = {
+                let _span = obs.span("popular_route");
+                let pr = self.model.popular.popular_route(from, to);
+                obs.add(
+                    if pr.is_some() { "popular_route.hits" } else { "popular_route.misses" },
+                    1,
+                );
+                pr
+            };
             let seg_values = &prepared.seg_values[span.seg_start..=span.seg_end];
 
-            let selected = select_features(&SelectionInput {
-                features: &self.features,
-                weights: &self.weights,
-                eta: self.cfg.eta,
-                seg_values,
-                hops: &hops,
-                popular_route: pr.as_deref(),
-                featmap: &self.model.featmap,
-            });
+            let selected = {
+                let _span = obs.span("select");
+                let selected = select_features(&SelectionInput {
+                    features: &self.features,
+                    weights: &self.weights,
+                    eta: self.cfg.eta,
+                    seg_values,
+                    hops: &hops,
+                    popular_route: pr.as_deref(),
+                    featmap: &self.model.featmap,
+                });
+                obs.add("select.features_kept", selected.len() as u64); // cast-ok: feature count
+                obs.add(
+                    "select.features_dropped",
+                    self.features.len().saturating_sub(selected.len()) as u64, // cast-ok: feature count
+                );
+                selected
+            };
 
+            let _render_span = obs.span("render");
             let facts = self.partition_facts(prepared, span, from, to);
             let sentence = render_partition_sentence(pi == 0, &facts, &selected, &self.features);
+            drop(_render_span);
             partitions.push(PartitionSummary {
                 span: *span,
                 from,

@@ -5,11 +5,18 @@
 //! slightly." We time the full pipeline (calibration + extraction +
 //! partition + selection + rendering) on generated trips bucketed by their
 //! symbolic size and across k ∈ 1..=7.
+//!
+//! The run also collects per-stage telemetry (spans + counters +
+//! histograms) through `stmaker-obs` and writes it as `BENCH_obs.json`
+//! (override the path with `STMAKER_OBS_OUT`), the same schema the CLI's
+//! `--metrics-json` and the bench crate's `obs_report` bench emit.
 
 use serde::Serialize;
+use stmaker::{standard_features, FeatureWeights, SummarizerConfig};
 use stmaker_eval::report::{ms, print_table, write_json};
 use stmaker_eval::timing::{time_by_k, time_by_symbolic_len};
 use stmaker_eval::{ExperimentScale, Harness};
+use stmaker_obs::Recorder;
 
 #[derive(Serialize)]
 struct Fig12Out {
@@ -21,7 +28,14 @@ fn main() {
     let scale = ExperimentScale::from_env();
     println!("# Fig. 12 — summarization time cost (scale: {})", scale.label);
     let h = Harness::new(scale);
-    let summarizer = h.train_default();
+    let obs = Recorder::enabled();
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let summarizer = h.train_summarizer(
+        features,
+        weights,
+        SummarizerConfig::default().with_recorder(obs.clone()),
+    );
     let trips: Vec<_> = h.test.iter().map(|t| t.raw.clone()).collect();
 
     // (a) time vs |T|. Bucket centres scale with the city (quick-scale trips
@@ -66,5 +80,15 @@ fn main() {
     };
     if let Ok(p) = write_json("fig12_time_cost", &out) {
         println!("wrote {}", p.display());
+    }
+
+    // Per-stage telemetry for the whole run (training + every timed
+    // summarization), in the shared stmaker-obs report schema.
+    let report = obs.report();
+    println!("\n{}", stmaker_obs::stats::render(&report));
+    let obs_path = std::env::var("STMAKER_OBS_OUT").unwrap_or_else(|_| "BENCH_obs.json".to_owned());
+    match report.write_json(&obs_path) {
+        Ok(()) => println!("wrote {obs_path}"),
+        Err(e) => eprintln!("warning: cannot write {obs_path}: {e}"),
     }
 }

@@ -1,0 +1,255 @@
+//! Fixed-bucket histograms with percentile summaries.
+//!
+//! Buckets are defined by a fixed, sorted list of upper bounds chosen at
+//! construction (no re-bucketing, no allocation on the record path); one
+//! implicit overflow bucket catches everything above the last bound.
+//! Percentiles are estimated as the upper bound of the bucket containing
+//! the target rank, clamped to the observed `[min, max]` — so single-sample
+//! and all-equal histograms report the exact value, and
+//! `p50 ≤ p95 ≤ p99` holds by construction (cumulative ranks are
+//! monotone and clamping preserves order).
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bucket histogram over `f64` samples (milliseconds by
+/// convention, but any unit works). Bucket counts and the total count
+/// saturate instead of wrapping.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Strictly increasing bucket upper bounds; a sample `v` lands in the
+    /// first bucket with `v <= bound`, or in the overflow bucket.
+    bounds: Vec<f64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1` (overflow last).
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram over the given upper bounds. Non-finite bounds are
+    /// dropped and the rest sorted and deduplicated.
+    pub fn new(mut bounds: Vec<f64>) -> Self {
+        bounds.retain(|b| b.is_finite());
+        bounds.sort_by(f64::total_cmp);
+        bounds.dedup();
+        let n = bounds.len();
+        Self {
+            bounds,
+            counts: vec![0; n + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The default latency scale: exponential bounds from 1 µs to ~134 s
+    /// (0.001 ms · 2⁰ … 2²⁷), 28 buckets plus overflow.
+    pub fn default_ms() -> Self {
+        Self::new((0..28).map(|i| 0.001 * f64::powi(2.0, i)).collect())
+    }
+
+    /// Records one sample. Non-finite samples are ignored (a NaN duration
+    /// is a caller bug, and poisoning min/max would hide real data).
+    pub fn record(&mut self, value: f64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples at once (counts saturate; used by
+    /// tests to exercise overflow without 2⁶⁴ iterations).
+    pub fn record_n(&mut self, value: f64, n: u64) {
+        if !value.is_finite() || n == 0 {
+            return;
+        }
+        let idx = self.bounds.partition_point(|b| value > *b);
+        self.counts[idx] = self.counts[idx].saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        // cast-ok: sample multiplicity, exact well below 2^53 in practice
+        self.sum += value * n as f64;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        // cast-ok: count precision beyond 2^53 is irrelevant for a mean
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Estimated `q`-quantile (`q` clamped to `[0, 1]`), `None` when
+    /// empty: the upper bound of the bucket holding the target rank,
+    /// clamped to the observed `[min, max]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // cast-ok: rank arithmetic; saturating at 2^53 ranks is harmless
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative = cumulative.saturating_add(*c);
+            if cumulative >= target {
+                let estimate = self.bounds.get(i).copied().unwrap_or(self.max);
+                return Some(estimate.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The serializable summary, `None` when empty.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        let (min, max, mean) = (self.min()?, self.max()?, self.mean()?);
+        let (p50, p95, p99) = (self.quantile(0.5)?, self.quantile(0.95)?, self.quantile(0.99)?);
+        Some(HistogramSummary { count: self.count, sum: self.sum, min, max, mean, p50, p95, p99 })
+    }
+}
+
+/// The reported shape of one histogram: totals plus percentile estimates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Samples recorded (saturating).
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_nothing() {
+        let h = Histogram::default_ms();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert!(h.summary().is_none());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = Histogram::default_ms();
+        h.record(3.7);
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!((s.min, s.max, s.mean), (3.7, 3.7, 3.7));
+        assert_eq!((s.p50, s.p95, s.p99), (3.7, 3.7, 3.7));
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_percentiles() {
+        let mut h = Histogram::default_ms();
+        for _ in 0..1000 {
+            h.record(0.25);
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 1000);
+        assert_eq!((s.p50, s.p95, s.p99), (0.25, 0.25, 0.25));
+        assert!((s.sum - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let mut h = Histogram::default_ms();
+        for i in 0..500 {
+            // cast-ok: test data
+            h.record(0.01 * (i as f64 + 1.0));
+        }
+        let s = h.summary().unwrap();
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99, "{s:?}");
+        assert!(s.min <= s.p50 && s.p99 <= s.max, "{s:?}");
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_samples() {
+        let mut h = Histogram::new(vec![1.0, 2.0]);
+        h.record(1e12); // far beyond the last bound
+        h.record(0.5);
+        let s = h.summary().unwrap();
+        assert_eq!(s.max, 1e12);
+        assert_eq!(s.p99, 1e12, "overflow percentile estimates from max");
+        assert_eq!(s.p50, 1.0, "median bucket's upper bound");
+    }
+
+    #[test]
+    fn bucket_counts_saturate_instead_of_wrapping() {
+        let mut h = Histogram::new(vec![1.0]);
+        h.record_n(0.5, u64::MAX - 1);
+        h.record_n(0.5, 10);
+        assert_eq!(h.count(), u64::MAX);
+        // Percentiles still answer sanely after saturation.
+        assert_eq!(h.quantile(0.99), Some(0.5));
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let mut h = Histogram::default_ms();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+        h.record(1.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.summary().unwrap().max, 1.0);
+    }
+
+    #[test]
+    fn bounds_are_sanitized() {
+        let mut h = Histogram::new(vec![2.0, f64::NAN, 1.0, 2.0, f64::INFINITY]);
+        h.record(1.5);
+        h.record(3.0);
+        assert_eq!(h.count(), 2);
+        let s = h.summary().unwrap();
+        assert!(s.p50 >= 1.5 && s.p99 <= 3.0, "{s:?}");
+    }
+
+    #[test]
+    fn quantile_estimates_respect_bucket_bounds() {
+        let mut h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        for _ in 0..90 {
+            h.record(0.5); // bucket ≤ 1.0
+        }
+        for _ in 0..10 {
+            h.record(50.0); // bucket ≤ 100.0
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(s.p50, 1.0, "median bucket's upper bound");
+        assert!(s.p95 > 1.0 && s.p95 <= 100.0);
+    }
+}

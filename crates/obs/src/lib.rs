@@ -1,0 +1,433 @@
+//! # stmaker-obs — std-only tracing and metrics for the pipeline
+//!
+//! The paper's Sec. VII / Fig. 12 claims are *performance* claims
+//! ("most trajectories can be summarized within tens of milliseconds"),
+//! so the reproduction needs to attribute wall-clock to the pipeline
+//! stages of Fig. 3. This crate is the measurement substrate:
+//!
+//! * **[`Recorder`]** — a cheaply clonable handle threaded through
+//!   [`SummarizerConfig`](https://docs.rs/stmaker). A *disabled* recorder
+//!   (the default) is a true no-op: every call is a single branch on an
+//!   `Option`, with no allocation and no locking, so instrumented hot
+//!   paths cost nothing when telemetry is off.
+//! * **Spans** — hierarchical RAII timers over a monotonic clock
+//!   ([`std::time::Instant`]). Re-entering a span name under the same
+//!   parent aggregates into one node (call count + total time), so a
+//!   400-trip evaluation run produces a compact tree, not 400 copies.
+//!   Every span close also feeds a duration histogram under the span's
+//!   name.
+//! * **Counters / gauges** — saturating `u64` counters for domain volumes
+//!   (DP cells filled, segments scanned, features kept vs. dropped) and
+//!   last-write-wins `f64` gauges.
+//! * **[`Histogram`]** — fixed-bucket (exponential bounds) histograms with
+//!   p50/p95/p99 summaries and saturating bucket counts.
+//! * **[`Report`]** — a serializable snapshot (`spans`, `counters`,
+//!   `gauges`, `histograms`) shared by `stmaker-cli --metrics-json`, the
+//!   Fig. 12 eval binary, and the benches (`BENCH_obs.json`); the
+//!   [`stats`] module renders the same data as a human table.
+//!
+//! Std-only by design: the workspace builds with no crates.io access, and
+//! a tracing layer must never be the reason the build grows a dependency.
+//! The only deps are the vendored `serde`/`serde_json` stubs used for the
+//! report schema.
+//!
+//! ## Example
+//!
+//! ```
+//! use stmaker_obs::Recorder;
+//!
+//! let obs = Recorder::enabled();
+//! {
+//!     let _outer = obs.span("summarize");
+//!     let _inner = obs.span("partition");
+//!     obs.add("partition.dp_cells", 42);
+//! }
+//! let report = obs.report();
+//! assert_eq!(report.spans[0].name, "summarize");
+//! assert_eq!(report.spans[0].children[0].name, "partition");
+//! assert_eq!(report.counters["partition.dp_cells"], 42);
+//! ```
+//!
+//! Threading: the enabled recorder guards its state with a [`Mutex`], so
+//! sharing a handle across threads is safe; span *nesting*, however,
+//! follows global open/close order, so give each worker thread its own
+//! recorder when per-thread trees matter.
+
+pub mod hist;
+pub mod report;
+pub mod stats;
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+pub use hist::{Histogram, HistogramSummary};
+pub use report::{Report, SpanNode};
+
+/// A handle to a telemetry sink, or a no-op when disabled.
+///
+/// Cloning is cheap (an `Option<Arc>` copy); all clones share the same
+/// underlying state, so the handle stored inside a `Summarizer` and the
+/// handle the CLI keeps for reporting see the same spans.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Recorder {
+    /// The no-op recorder: every operation is a branch and nothing else.
+    /// This is also [`Default`].
+    pub const fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live recorder with empty state.
+    pub fn enabled() -> Self {
+        Self { inner: Some(Arc::new(Inner { state: Mutex::new(State::default()) })) }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a named span; the elapsed time is recorded when the returned
+    /// guard drops. Disabled recorders return an inert guard without
+    /// allocating or locking.
+    #[inline]
+    #[must_use = "a span records its duration when the guard drops"]
+    pub fn span(&self, name: &str) -> Span {
+        match &self.inner {
+            None => Span { active: None },
+            Some(inner) => {
+                let idx = inner.open(name);
+                Span {
+                    active: Some(ActiveSpan {
+                        inner: Arc::clone(inner),
+                        idx,
+                        start: Instant::now(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Adds `by` to the named counter (saturating).
+    #[inline]
+    pub fn add(&self, name: &str, by: u64) {
+        if let Some(inner) = &self.inner {
+            let mut s = inner.state();
+            let c = s.counters.entry(name.to_owned()).or_insert(0);
+            *c = c.saturating_add(by);
+        }
+    }
+
+    /// Sets the named gauge (last write wins).
+    #[inline]
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.state().gauges.insert(name.to_owned(), value);
+        }
+    }
+
+    /// Records one sample (in milliseconds) into the named histogram.
+    #[inline]
+    pub fn observe_ms(&self, name: &str, ms: f64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .state()
+                .histograms
+                .entry(name.to_owned())
+                .or_insert_with(Histogram::default_ms)
+                .record(ms);
+        }
+    }
+
+    /// Snapshots everything recorded so far. Open spans are not included;
+    /// a disabled recorder returns an empty report.
+    pub fn report(&self) -> Report {
+        let Some(inner) = &self.inner else { return Report::default() };
+        let s = inner.state();
+        let spans = s.roots.iter().filter_map(|&i| s.span_node(i)).collect();
+        Report {
+            spans,
+            counters: s.counters.clone(),
+            gauges: s.gauges.clone(),
+            histograms: s
+                .histograms
+                .iter()
+                .filter_map(|(k, h)| h.summary().map(|sum| (k.clone(), sum)))
+                .collect(),
+        }
+    }
+
+    /// Clears all recorded state (the handle stays enabled).
+    pub fn reset(&self) {
+        if let Some(inner) = &self.inner {
+            *inner.state() = State::default();
+        }
+    }
+}
+
+struct Inner {
+    state: Mutex<State>,
+}
+
+impl Inner {
+    /// Locks the state; a poisoning panic elsewhere only means telemetry
+    /// from that thread is partial, so recording continues.
+    fn state(&self) -> MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Opens (or re-enters) the child named `name` under the current span
+    /// and returns its node index.
+    fn open(&self, name: &str) -> usize {
+        let mut s = self.state();
+        let parent = s.stack.last().copied();
+        let siblings = match parent {
+            Some(p) => &s.nodes[p].children,
+            None => &s.roots,
+        };
+        let existing = siblings.iter().copied().find(|&i| s.nodes[i].name == name);
+        let idx = match existing {
+            Some(i) => i,
+            None => {
+                let idx = s.nodes.len();
+                s.nodes.push(Node {
+                    name: name.to_owned(),
+                    children: Vec::new(),
+                    calls: 0,
+                    total_ns: 0,
+                });
+                match parent {
+                    Some(p) => s.nodes[p].children.push(idx),
+                    None => s.roots.push(idx),
+                }
+                idx
+            }
+        };
+        s.stack.push(idx);
+        idx
+    }
+
+    /// Closes the span at `idx` with the measured duration. Tolerates
+    /// out-of-order guard drops by unwinding the stack down to `idx`.
+    fn close(&self, idx: usize, dur_ns: u128, ms: f64) {
+        let mut s = self.state();
+        if let Some(pos) = s.stack.iter().rposition(|&i| i == idx) {
+            s.stack.truncate(pos);
+        }
+        let name = {
+            let node = &mut s.nodes[idx];
+            node.calls = node.calls.saturating_add(1);
+            node.total_ns = node.total_ns.saturating_add(dur_ns);
+            node.name.clone()
+        };
+        s.histograms.entry(name).or_insert_with(Histogram::default_ms).record(ms);
+    }
+}
+
+/// Aggregated span-tree state plus the scalar metric stores.
+#[derive(Default)]
+struct State {
+    /// Arena of aggregated span nodes.
+    nodes: Vec<Node>,
+    /// Indices of top-level spans, in first-seen order.
+    roots: Vec<usize>,
+    /// Currently open span indices, innermost last.
+    stack: Vec<usize>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl State {
+    /// Builds the reported subtree at `idx`; `None` when the span (and
+    /// every descendant) is still open and has nothing to report yet.
+    fn span_node(&self, idx: usize) -> Option<SpanNode> {
+        let node = &self.nodes[idx];
+        let children: Vec<SpanNode> =
+            node.children.iter().filter_map(|&c| self.span_node(c)).collect();
+        if node.calls == 0 && children.is_empty() {
+            return None;
+        }
+        Some(SpanNode {
+            name: node.name.clone(),
+            calls: node.calls,
+            total_ms: node.total_ns as f64 / 1e6, // cast-ok: ns precision beyond f64 is irrelevant at ms scale
+            children,
+        })
+    }
+}
+
+/// One aggregated node: all calls to the same span name under the same
+/// parent share a node.
+struct Node {
+    name: String,
+    children: Vec<usize>,
+    calls: u64,
+    total_ns: u128,
+}
+
+/// RAII guard for an open span; records the elapsed time on drop.
+/// Inert (zero state) when produced by a disabled recorder.
+#[must_use = "a span records its duration when the guard drops"]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    inner: Arc<Inner>,
+    idx: usize,
+    start: Instant,
+}
+
+impl Span {
+    /// Whether this guard will record anything (false for disabled
+    /// recorders).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            let elapsed = active.start.elapsed();
+            // cast-ok: sub-ns precision is irrelevant at ms scale
+            active.inner.close(active.idx, elapsed.as_nanos(), elapsed.as_secs_f64() * 1e3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let obs = Recorder::disabled();
+        assert!(!obs.is_enabled());
+        let span = obs.span("anything");
+        assert!(!span.is_recording());
+        drop(span);
+        obs.add("c", 1);
+        obs.gauge("g", 1.0);
+        obs.observe_ms("h", 1.0);
+        let report = obs.report();
+        assert!(report.spans.is_empty());
+        assert!(report.counters.is_empty());
+        assert!(report.gauges.is_empty());
+        assert!(report.histograms.is_empty());
+        assert_eq!(format!("{obs:?}"), "Recorder { enabled: false }");
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Recorder::default().is_enabled());
+    }
+
+    #[test]
+    fn spans_nest_and_aggregate_by_name() {
+        let obs = Recorder::enabled();
+        for _ in 0..3 {
+            let _outer = obs.span("outer");
+            {
+                let _inner = obs.span("inner");
+            }
+            {
+                let _inner = obs.span("inner");
+            }
+        }
+        let report = obs.report();
+        assert_eq!(report.spans.len(), 1);
+        let outer = &report.spans[0];
+        assert_eq!((outer.name.as_str(), outer.calls), ("outer", 3));
+        assert_eq!(outer.children.len(), 1, "same-name children aggregate");
+        let inner = &outer.children[0];
+        assert_eq!((inner.name.as_str(), inner.calls), ("inner", 6));
+        assert!(outer.total_ms >= inner.total_ms, "parent time includes children");
+        // Span closes feed the histograms under the span's name.
+        assert_eq!(report.histograms["outer"].count, 3);
+        assert_eq!(report.histograms["inner"].count, 6);
+    }
+
+    #[test]
+    fn sibling_spans_stay_distinct() {
+        let obs = Recorder::enabled();
+        {
+            let _root = obs.span("root");
+            let _a = obs.span("a");
+            drop(_a);
+            let _b = obs.span("b");
+        }
+        let report = obs.report();
+        let names: Vec<&str> = report.spans[0].children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn out_of_order_drop_does_not_corrupt_the_tree() {
+        let obs = Recorder::enabled();
+        let outer = obs.span("outer");
+        let inner = obs.span("inner");
+        drop(outer); // parent first: stack unwinds through the child
+        drop(inner);
+        let _next = obs.span("next");
+        drop(_next);
+        let report = obs.report();
+        let roots: Vec<&str> = report.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(roots, ["outer", "next"], "next must not nest under a dead span");
+    }
+
+    #[test]
+    fn counters_saturate_and_gauges_overwrite() {
+        let obs = Recorder::enabled();
+        obs.add("c", u64::MAX - 1);
+        obs.add("c", 5);
+        obs.gauge("g", 1.0);
+        obs.gauge("g", 2.5);
+        let report = obs.report();
+        assert_eq!(report.counters["c"], u64::MAX);
+        assert_eq!(report.gauges["g"], 2.5);
+    }
+
+    #[test]
+    fn reset_clears_state_but_stays_enabled() {
+        let obs = Recorder::enabled();
+        obs.add("c", 1);
+        let _s = obs.span("s");
+        drop(_s);
+        obs.reset();
+        assert!(obs.is_enabled());
+        let report = obs.report();
+        assert!(report.spans.is_empty() && report.counters.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Recorder::enabled();
+        let clone = obs.clone();
+        clone.add("shared", 7);
+        assert_eq!(obs.report().counters["shared"], 7);
+    }
+
+    #[test]
+    fn open_spans_are_excluded_from_the_report() {
+        let obs = Recorder::enabled();
+        let _open = obs.span("open");
+        let report = obs.report();
+        assert!(report.spans.is_empty(), "unclosed spans must not appear");
+    }
+}

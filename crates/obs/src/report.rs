@@ -1,0 +1,199 @@
+//! The machine-readable telemetry snapshot and its schema checks.
+//!
+//! One schema serves every producer — `stmaker-cli --metrics-json`, the
+//! Fig. 12 eval binary, and the benches' `BENCH_obs.json` — so the perf
+//! trajectory can be diffed across PRs. The top level is always an object
+//! with the four keys in [`REQUIRED_KEYS`]; [`validate_json`] is the
+//! single gate used by `cargo xtask obs-schema` and CI.
+
+use crate::hist::HistogramSummary;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The top-level keys every report JSON must carry.
+pub const REQUIRED_KEYS: [&str; 4] = ["spans", "counters", "gauges", "histograms"];
+
+/// A snapshot of everything a [`Recorder`](crate::Recorder) collected.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Report {
+    /// Aggregated span trees, in first-seen order.
+    pub spans: Vec<SpanNode>,
+    /// Saturating event counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries (empty histograms are omitted).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// One aggregated span: every entry of the same name under the same
+/// parent folds into a single node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpanNode {
+    /// Span name (stage name in the pipeline schema).
+    pub name: String,
+    /// Times the span was entered and closed.
+    pub calls: u64,
+    /// Total wall-clock across all calls, milliseconds.
+    pub total_ms: f64,
+    /// Child spans, in first-seen order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Mean wall-clock per call, milliseconds (0 when never called).
+    pub fn mean_ms(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            // cast-ok: call count precision beyond 2^53 is irrelevant for a mean
+            self.total_ms / self.calls as f64
+        }
+    }
+}
+
+impl Report {
+    /// Serializes to pretty JSON (the `BENCH_obs.json` /
+    /// `--metrics-json` format).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_owned())
+    }
+
+    /// Parses a report back from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Writes the pretty JSON form to `path`.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let mut body = self.to_json_pretty();
+        body.push('\n');
+        std::fs::write(path, body)
+    }
+
+    /// Every span name appearing anywhere in the tree.
+    pub fn span_names(&self) -> BTreeSet<String> {
+        fn walk(nodes: &[SpanNode], out: &mut BTreeSet<String>) {
+            for n in nodes {
+                out.insert(n.name.clone());
+                walk(&n.children, out);
+            }
+        }
+        let mut out = BTreeSet::new();
+        walk(&self.spans, &mut out);
+        out
+    }
+}
+
+/// Validates that `text` is a report-shaped JSON document: a top-level
+/// object with all [`REQUIRED_KEYS`], `spans` an array and the other
+/// three objects. Returns the set of span names found (for stage-presence
+/// checks). This is deliberately structural, not a full deserialization,
+/// so it also guards against a future producer drifting the schema.
+pub fn validate_json(text: &str) -> Result<BTreeSet<String>, String> {
+    let value: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let serde_json::Value::Map(entries) = &value else {
+        return Err("top level must be a JSON object".to_owned());
+    };
+    for key in REQUIRED_KEYS {
+        let Some(v) = entries.iter().find(|(k, _)| k == key).map(|(_, v)| v) else {
+            return Err(format!("missing required top-level key `{key}`"));
+        };
+        let ok = match key {
+            "spans" => matches!(v, serde_json::Value::Seq(_)),
+            _ => matches!(v, serde_json::Value::Map(_)),
+        };
+        if !ok {
+            let want = if key == "spans" { "array" } else { "object" };
+            return Err(format!("top-level key `{key}` must be a JSON {want}"));
+        }
+    }
+    let mut names = BTreeSet::new();
+    if let Some(spans) = value.get("spans") {
+        collect_span_names(spans, &mut names)?;
+    }
+    Ok(names)
+}
+
+fn collect_span_names(spans: &serde_json::Value, out: &mut BTreeSet<String>) -> Result<(), String> {
+    let serde_json::Value::Seq(items) = spans else {
+        return Err("`spans`/`children` must be arrays".to_owned());
+    };
+    for item in items {
+        let Some(name) = item.get("name").and_then(|n| n.as_str()) else {
+            return Err("every span needs a string `name`".to_owned());
+        };
+        out.insert(name.to_owned());
+        if let Some(children) = item.get("children") {
+            collect_span_names(children, out)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn sample_report() -> Report {
+        let obs = Recorder::enabled();
+        {
+            let _root = obs.span("summarize");
+            let _stage = obs.span("partition");
+        }
+        obs.add("partition.dp_cells", 99);
+        obs.gauge("k", 3.0);
+        obs.observe_ms("summarize", 1.5);
+        obs.report()
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report();
+        let json = report.to_json_pretty();
+        let back = Report::from_json(&json).expect("round-trips");
+        assert_eq!(back.counters["partition.dp_cells"], 99);
+        assert_eq!(back.spans[0].name, "summarize");
+        assert_eq!(back.spans[0].children[0].name, "partition");
+        assert_eq!(back.span_names(), report.span_names());
+    }
+
+    #[test]
+    fn validate_accepts_real_reports_and_returns_span_names() {
+        let json = sample_report().to_json_pretty();
+        let names = validate_json(&json).expect("valid");
+        assert!(names.contains("summarize") && names.contains("partition"), "{names:?}");
+    }
+
+    #[test]
+    fn validate_rejects_missing_keys_and_wrong_shapes() {
+        assert!(validate_json("[1, 2]").unwrap_err().contains("object"));
+        assert!(validate_json("{not json").unwrap_err().contains("not valid JSON"));
+        let err = validate_json(r#"{"spans": [], "counters": {}, "gauges": {}}"#).unwrap_err();
+        assert!(err.contains("histograms"), "{err}");
+        let err = validate_json(r#"{"spans": {}, "counters": {}, "gauges": {}, "histograms": {}}"#)
+            .unwrap_err();
+        assert!(err.contains("array"), "{err}");
+        let err = validate_json(
+            r#"{"spans": [{"calls": 1}], "counters": {}, "gauges": {}, "histograms": {}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("name"), "{err}");
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let names = validate_json(&Report::default().to_json_pretty()).expect("valid");
+        assert!(names.is_empty());
+    }
+
+    #[test]
+    fn mean_ms_handles_zero_calls() {
+        let node = SpanNode { name: "x".into(), calls: 0, total_ms: 0.0, children: vec![] };
+        assert_eq!(node.mean_ms(), 0.0);
+        let node = SpanNode { name: "x".into(), calls: 4, total_ms: 10.0, children: vec![] };
+        assert_eq!(node.mean_ms(), 2.5);
+    }
+}

@@ -1,0 +1,150 @@
+//! Human-readable rendering of a [`Report`]: the span tree with timings
+//! plus compact counter/gauge/histogram tables. This is what
+//! `stmaker-cli --trace` prints.
+
+use crate::report::{Report, SpanNode};
+use std::fmt::Write as _;
+
+/// Renders the whole report as an aligned text block.
+pub fn render(report: &Report) -> String {
+    let mut out = String::new();
+    render_span_tree(report, &mut out);
+    render_counters(report, &mut out);
+    render_gauges(report, &mut out);
+    render_histograms(report, &mut out);
+    out
+}
+
+/// Renders only the span tree (`--trace` header block).
+fn render_span_tree(report: &Report, out: &mut String) {
+    let _ = writeln!(out, "== spans ==");
+    if report.spans.is_empty() {
+        let _ = writeln!(out, "(no spans recorded)");
+        return;
+    }
+    // Pre-compute the widest indented name so timings align.
+    let mut width = 0;
+    fn measure(nodes: &[SpanNode], depth: usize, width: &mut usize) {
+        for n in nodes {
+            *width = (*width).max(depth * 2 + n.name.len());
+            measure(&n.children, depth + 1, width);
+        }
+    }
+    measure(&report.spans, 0, &mut width);
+    fn walk(nodes: &[SpanNode], depth: usize, width: usize, out: &mut String) {
+        for n in nodes {
+            let indent = "  ".repeat(depth);
+            let _ = writeln!(
+                out,
+                "{indent}{:<pad$}  calls {:>6}  total {:>10}  mean {:>10}",
+                n.name,
+                n.calls,
+                fmt_ms(n.total_ms),
+                fmt_ms(n.mean_ms()),
+                pad = width - depth * 2,
+            );
+            walk(&n.children, depth + 1, width, out);
+        }
+    }
+    walk(&report.spans, 0, width, out);
+}
+
+fn render_counters(report: &Report, out: &mut String) {
+    if report.counters.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n== counters ==");
+    let width = report.counters.keys().map(String::len).max().unwrap_or(0);
+    for (name, value) in &report.counters {
+        let _ = writeln!(out, "{name:<width$}  {value}");
+    }
+}
+
+fn render_gauges(report: &Report, out: &mut String) {
+    if report.gauges.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n== gauges ==");
+    let width = report.gauges.keys().map(String::len).max().unwrap_or(0);
+    for (name, value) in &report.gauges {
+        let _ = writeln!(out, "{name:<width$}  {value}");
+    }
+}
+
+fn render_histograms(report: &Report, out: &mut String) {
+    if report.histograms.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n== histograms (ms) ==");
+    let width = report.histograms.keys().map(String::len).max().unwrap_or(4).max(4);
+    let _ = writeln!(
+        out,
+        "{:<width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+        "name", "count", "mean", "p50", "p95", "p99", "max"
+    );
+    for (name, h) in &report.histograms {
+        let _ = writeln!(
+            out,
+            "{name:<width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+            h.count,
+            fmt_ms(h.mean),
+            fmt_ms(h.p50),
+            fmt_ms(h.p95),
+            fmt_ms(h.p99),
+            fmt_ms(h.max),
+        );
+    }
+}
+
+/// Milliseconds with a unit, scaled for readability.
+fn fmt_ms(ms: f64) -> String {
+    if !ms.is_finite() {
+        "-".to_owned()
+    } else if ms >= 1000.0 {
+        format!("{:.2} s", ms / 1000.0)
+    } else if ms >= 1.0 {
+        format!("{ms:.2} ms")
+    } else {
+        format!("{:.1} µs", ms * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn render_covers_every_section() {
+        let obs = Recorder::enabled();
+        {
+            let _root = obs.span("summarize");
+            let _stage = obs.span("partition");
+        }
+        obs.add("partition.dp_cells", 7);
+        obs.gauge("k", 3.0);
+        let text = render(&obs.report());
+        assert!(text.contains("== spans =="), "{text}");
+        assert!(text.contains("summarize"), "{text}");
+        assert!(text.contains("  partition"), "child is indented: {text}");
+        assert!(text.contains("== counters =="), "{text}");
+        assert!(text.contains("partition.dp_cells"), "{text}");
+        assert!(text.contains("== gauges =="), "{text}");
+        assert!(text.contains("== histograms (ms) =="), "{text}");
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        let text = render(&Report::default());
+        assert!(text.contains("(no spans recorded)"));
+        assert!(!text.contains("== counters =="), "empty sections are omitted");
+    }
+
+    #[test]
+    fn fmt_ms_scales_units() {
+        assert_eq!(fmt_ms(0.5), "500.0 µs");
+        assert_eq!(fmt_ms(12.345), "12.35 ms");
+        assert_eq!(fmt_ms(2500.0), "2.50 s");
+        assert_eq!(fmt_ms(f64::NAN), "-");
+    }
+}

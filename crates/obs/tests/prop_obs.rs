@@ -1,0 +1,139 @@
+//! Property-based tests for the recorder: span durations are
+//! non-negative, nesting follows open/close order, parents contain their
+//! children, and histogram percentiles stay ordered and bounded.
+
+use proptest::prelude::*;
+use stmaker_obs::{Histogram, Recorder, Span, SpanNode};
+
+/// Interprets a program of open/close operations against a recorder,
+/// keeping guards on a stack so drops close innermost-first. Returns the
+/// expected (name, depth) sequence of opens for shape checking.
+fn run_program(obs: &Recorder, ops: &[(u8, u8)]) -> Vec<(String, usize)> {
+    let mut guards: Vec<Span> = Vec::new();
+    let mut opened = Vec::new();
+    for (op, name) in ops {
+        if *op == 1 {
+            let name = format!("s{}", name % 4);
+            opened.push((name.clone(), guards.len()));
+            guards.push(obs.span(&name));
+        } else if guards.pop().is_some() {
+            // guard dropped here, closing the innermost span
+        }
+    }
+    while guards.pop().is_some() {}
+    opened
+}
+
+/// Depth-first walk collecting (name, depth, calls, total_ms) rows.
+fn flatten(nodes: &[SpanNode], depth: usize, out: &mut Vec<(String, usize, u64, f64)>) {
+    for n in nodes {
+        out.push((n.name.clone(), depth, n.calls, n.total_ms));
+        flatten(&n.children, depth + 1, out);
+    }
+}
+
+/// Sum of direct children's total_ms per node must not exceed the node's
+/// own total (children intervals nest strictly inside the parent's).
+fn check_containment(nodes: &[SpanNode]) -> Result<(), String> {
+    for n in nodes {
+        let child_sum: f64 = n.children.iter().map(|c| c.total_ms).sum();
+        if child_sum > n.total_ms + 1e-6 {
+            return Err(format!(
+                "span `{}`: children total {child_sum} ms exceeds own {} ms",
+                n.name, n.total_ms
+            ));
+        }
+        check_containment(&n.children)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn span_trees_nest_correctly_with_non_negative_durations(
+        ops in prop::collection::vec((0u8..2, 0u8..8), 0..40),
+    ) {
+        let obs = Recorder::enabled();
+        let opened = run_program(&obs, &ops);
+        let report = obs.report();
+
+        let mut rows = Vec::new();
+        flatten(&report.spans, 0, &mut rows);
+
+        // Durations are non-negative and call counts positive everywhere.
+        for (name, _, calls, total_ms) in &rows {
+            prop_assert!(*calls >= 1, "span `{name}` reported without calls");
+            prop_assert!(*total_ms >= 0.0, "span `{name}` has negative duration");
+            prop_assert!(total_ms.is_finite());
+        }
+
+        // Every (name, depth) that was opened appears at that depth, and
+        // nothing appears that was never opened there.
+        for (name, depth) in &opened {
+            prop_assert!(
+                rows.iter().any(|(n, d, _, _)| n == name && d == depth),
+                "opened span `{name}` at depth {depth} missing from the tree"
+            );
+        }
+        for (name, depth, _, _) in &rows {
+            prop_assert!(
+                opened.iter().any(|(n, d)| n == name && d == depth),
+                "tree invented span `{name}` at depth {depth}"
+            );
+        }
+
+        // Total calls across the tree equals the number of opens.
+        let total_calls: u64 = rows.iter().map(|(_, _, c, _)| *c).sum();
+        prop_assert_eq!(total_calls, opened.len() as u64);
+
+        // Parents contain their children.
+        if let Err(msg) = check_containment(&report.spans) {
+            prop_assert!(false, "{}", msg);
+        }
+
+        // Each close also feeds the histogram of the span's name.
+        for (name, _) in &opened {
+            prop_assert!(report.histograms.contains_key(name));
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_are_ordered_and_bounded(
+        samples in prop::collection::vec(0.0f64..10_000.0, 1..200),
+    ) {
+        let mut h = Histogram::default_ms();
+        for s in &samples {
+            h.record(*s);
+        }
+        let sum: f64 = samples.iter().sum();
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let s = h.summary().expect("non-empty");
+        prop_assert_eq!(s.count, samples.len() as u64);
+        prop_assert!((s.sum - sum).abs() < 1e-6 * (1.0 + sum.abs()));
+        prop_assert_eq!(s.min, min);
+        prop_assert_eq!(s.max, max);
+        prop_assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max,
+            "percentiles out of order: {:?}", s);
+        prop_assert!(s.mean >= s.min && s.mean <= s.max);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(
+        samples in prop::collection::vec(0.0f64..1_000.0, 1..100),
+        qs in prop::collection::vec(0.0f64..=1.0, 2..10),
+    ) {
+        let mut h = Histogram::default_ms();
+        for s in &samples {
+            h.record(*s);
+        }
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let values: Vec<f64> = qs.iter().map(|q| h.quantile(*q).expect("non-empty")).collect();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {values:?} for {qs:?}");
+        }
+    }
+}

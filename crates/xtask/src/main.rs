@@ -13,9 +13,9 @@
 //!   <reason>`.
 //! * **L2 (no panics, strict crates):** no `.unwrap()` / `.expect(..)` /
 //!   `panic!` / `unreachable!` / `todo!` / `unimplemented!` in the non-test
-//!   library code of `core`, `calibration`, `trajectory`, `road`, `routes`.
-//!   Genuine by-construction invariants go in `lint-allowlist.txt` with a
-//!   justification.
+//!   library code of `core`, `calibration`, `trajectory`, `road`, `routes`,
+//!   `obs`. Genuine by-construction invariants go in `lint-allowlist.txt`
+//!   with a justification.
 //! * **L3 (cast hygiene, DP hot paths):** `as usize` / `as f64` casts in the
 //!   partition/similarity/irregular/select hot paths need a `// cast-ok:
 //!   <reason>` marker on the same or previous line.
@@ -27,6 +27,13 @@
 //! error and fails the build. The scanner masks comments, strings, and char
 //! literals before matching, and skips `#[cfg(test)]` items entirely.
 //!
+//! A second subcommand, `cargo xtask obs-schema <report.json>
+//! [--require-stages a,b,c]`, validates a telemetry report produced by
+//! `stmaker-cli --metrics-json`, the Fig. 12 eval binary, or the
+//! `obs_report` bench: the file must be a JSON object with the `spans` /
+//! `counters` / `gauges` / `histograms` top-level keys, and (optionally)
+//! must contain a span for every named pipeline stage.
+//!
 //! Run via the `.cargo/config.toml` alias: `cargo xtask lint`.
 
 use std::collections::BTreeMap;
@@ -35,7 +42,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Crates whose library code must be panic-free (L2) and fully strict.
-const STRICT_CRATES: &[&str] = &["core", "calibration", "trajectory", "road", "routes"];
+const STRICT_CRATES: &[&str] = &["core", "calibration", "trajectory", "road", "routes", "obs"];
 
 /// Crates linted in report-only mode: findings print as warnings and do not
 /// fail the run. `__root__` stands for the workspace-root `stmaker-suite`
@@ -152,10 +159,23 @@ impl Allowlist {
     }
 }
 
+const USAGE: &str = "usage: cargo xtask lint [--root <workspace-dir>]\n       \
+                     cargo xtask obs-schema <report.json> [--require-stages a,b,c]";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("obs-schema") => cmd_obs_schema(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
-    let mut cmd: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -166,18 +186,10 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
-            other if cmd.is_none() => cmd = Some(other.to_string()),
             other => {
-                eprintln!("unexpected argument `{other}`");
+                eprintln!("unexpected argument `{other}`\n{USAGE}");
                 return ExitCode::from(2);
             }
-        }
-    }
-    match cmd.as_deref() {
-        Some("lint") => {}
-        _ => {
-            eprintln!("usage: cargo xtask lint [--root <workspace-dir>]");
-            return ExitCode::from(2);
         }
     }
     let root = root.unwrap_or_else(workspace_root);
@@ -192,6 +204,72 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Validates a `stmaker-obs` telemetry report file: required top-level
+/// keys, structural shape, and (optionally) presence of named stage spans.
+fn cmd_obs_schema(args: &[String]) -> ExitCode {
+    let mut path: Option<PathBuf> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--require-stages" => match it.next() {
+                Some(list) => {
+                    required.extend(
+                        list.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from),
+                    );
+                }
+                None => {
+                    eprintln!("--require-stages needs a comma-separated list");
+                    return ExitCode::from(2);
+                }
+            },
+            other if path.is_none() => path = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("obs-schema needs a report path\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask obs-schema: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let span_names = match stmaker_obs::report::validate_json(&text) {
+        Ok(names) => names,
+        Err(e) => {
+            eprintln!("xtask obs-schema: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let missing: Vec<&String> = required.iter().filter(|s| !span_names.contains(*s)).collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "xtask obs-schema: {}: missing required stage span(s): {}",
+            path.display(),
+            missing.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "xtask obs-schema: {} ok ({} span name(s){})",
+        path.display(),
+        span_names.len(),
+        if required.is_empty() {
+            String::new()
+        } else {
+            format!(", all {} required stages present", required.len())
+        }
+    );
+    ExitCode::SUCCESS
 }
 
 /// The workspace root, two levels above this crate's manifest.

@@ -6,6 +6,7 @@ pub use stmaker_generator as generator;
 pub use stmaker_geo as geo;
 pub use stmaker_io as io;
 pub use stmaker_mapmatch as mapmatch;
+pub use stmaker_obs as obs;
 pub use stmaker_poi as poi;
 pub use stmaker_road as road;
 pub use stmaker_routes as routes;

@@ -368,3 +368,56 @@ fn streaming_summarizer_converges_to_batch() {
     let batch = summarizer.summarize(&trip.raw).expect("summarizable");
     assert_eq!(live.text, batch.text);
 }
+
+#[test]
+fn recorder_sees_every_pipeline_stage() {
+    use stmaker_suite::Recorder;
+    let h = Harness::new();
+    let (train, test) = h.corpora(40, 5);
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let obs = Recorder::enabled();
+    let summarizer = Summarizer::train(
+        &h.world.net,
+        &h.world.registry,
+        &train,
+        features,
+        weights,
+        SummarizerConfig::default().with_recorder(obs.clone()),
+    );
+
+    let mut summarized = 0u64;
+    for raw in &test {
+        if summarizer.summarize(raw).is_ok() {
+            summarized += 1;
+        }
+    }
+    assert!(summarized >= 1, "at least one test trip must summarize");
+
+    let report = obs.report();
+    let names = report.span_names();
+    for stage in
+        ["train", "summarize", "calibrate", "partition", "select", "popular_route", "render"]
+    {
+        assert!(names.contains(stage), "missing span `{stage}` in {names:?}");
+    }
+    // The root summarize span is called once per successful summarize (failed
+    // calibrations still open the root span, so >=).
+    let root_calls =
+        report.spans.iter().find(|s| s.name == "summarize").map(|s| s.calls).unwrap_or(0);
+    assert!(root_calls >= summarized, "summarize span calls {root_calls} < {summarized}");
+    assert!(report.counters.get("partition.dp_cells").is_some_and(|&c| c > 0));
+    assert!(report.counters.get("train.trajectories_ingested").is_some_and(|&c| c >= 30));
+
+    // The JSON the CLI / eval binaries write round-trips through the
+    // schema validator used by `cargo xtask obs-schema` and CI.
+    let json = report.to_json_pretty();
+    let validated = stmaker_suite::obs::report::validate_json(&json).expect("schema-valid report");
+    assert!(validated.contains("partition"));
+
+    // A disabled recorder stays silent end to end.
+    let silent = Recorder::disabled();
+    assert!(!silent.is_enabled());
+    let empty = silent.report();
+    assert!(empty.spans.is_empty() && empty.counters.is_empty());
+}
