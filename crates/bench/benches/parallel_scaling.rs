@@ -1,0 +1,110 @@
+//! Parallel scaling of training and batch summarization: times
+//! `Summarizer::train` and `Summarizer::summarize_batch` at 1/2/4/8 worker
+//! threads over a fixed corpus and writes the timings — as gauges in the
+//! shared `stmaker-obs` report schema — to `BENCH_parallel.json` (override
+//! with `STMAKER_OBS_OUT`). `cargo xtask obs-schema BENCH_parallel.json`
+//! validates the result.
+//!
+//! Also asserts the determinism contract while it is at it: the trained
+//! model JSON at every thread count must be byte-identical to the 1-thread
+//! run (stmaker-exec's fixed-shard reduce; DESIGN.md §10).
+//!
+//! Speedups are whatever the host gives: on a single-core container every
+//! thread count measures ~1×, and the `bench.host_cpus` gauge records how
+//! many CPUs were actually available so readers can interpret the numbers.
+//!
+//! This is a plain `harness = false` binary rather than a Criterion bench:
+//! the deliverable is the report file, not a timing estimate.
+
+use std::time::Instant;
+
+use stmaker::{standard_features, FeatureWeights, SummarizerConfig};
+use stmaker_eval::{ExperimentScale, Harness};
+use stmaker_obs::Recorder;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let mut scale = ExperimentScale::quick();
+    scale.n_train = 400;
+    scale.n_test = 200;
+    let h = Harness::new(scale);
+    let trips: Vec<_> = h.test.iter().map(|t| t.raw.clone()).collect();
+
+    let obs = Recorder::enabled();
+    let host_cpus =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    obs.gauge("bench.host_cpus", host_cpus as f64); // cast-ok: CPU count
+    obs.gauge("bench.corpus.train", h.train.len() as f64); // cast-ok: corpus size
+    obs.gauge("bench.corpus.batch", trips.len() as f64); // cast-ok: corpus size
+
+    let mut reference_json: Option<String> = None;
+    let mut train_ms_1 = 0.0f64;
+    let mut batch_ms_1 = 0.0f64;
+
+    for threads in THREAD_COUNTS {
+        let features = standard_features();
+        let weights = FeatureWeights::uniform(&features);
+        let cfg = SummarizerConfig::default().with_threads(threads);
+
+        let t0 = Instant::now();
+        let summarizer = h.train_summarizer(features, weights, cfg);
+        let train_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let json = summarizer.model().to_json();
+        match &reference_json {
+            None => reference_json = Some(json),
+            Some(reference) => assert_eq!(
+                &json, reference,
+                "trained model at {threads} threads must be byte-identical to 1 thread"
+            ),
+        }
+
+        let t0 = Instant::now();
+        let ok = summarizer.summarize_batch(&trips).iter().filter(|r| r.is_ok()).count();
+        let batch_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        obs.gauge(&format!("bench.train.t{threads}.ms"), train_ms);
+        obs.gauge(&format!("bench.batch.t{threads}.ms"), batch_ms);
+        if threads == 1 {
+            train_ms_1 = train_ms;
+            batch_ms_1 = batch_ms;
+        }
+        if train_ms > 0.0 {
+            obs.gauge(&format!("bench.train.t{threads}.speedup"), train_ms_1 / train_ms);
+        }
+        if batch_ms > 0.0 {
+            obs.gauge(&format!("bench.batch.t{threads}.speedup"), batch_ms_1 / batch_ms);
+        }
+        println!(
+            "threads={threads}: train {train_ms:>8.1} ms ({:>4.2}x), \
+             batch {batch_ms:>8.1} ms ({:>4.2}x), {ok}/{} summaries ok",
+            train_ms_1 / train_ms,
+            batch_ms_1 / batch_ms,
+            trips.len(),
+        );
+    }
+    println!("model JSON byte-identical across all thread counts ✓ (host CPUs: {host_cpus})");
+
+    // One traced 4-thread training run so the report carries the executor's
+    // spans/counters (train.shard, exec.threads, exec.tasks_stolen), not
+    // just the scalar gauges above.
+    let summarizer = h.train_summarizer(
+        standard_features(),
+        FeatureWeights::uniform(&standard_features()),
+        SummarizerConfig::default().with_threads(4).with_recorder(obs.clone()),
+    );
+    let _ = summarizer.summarize_batch(&trips[..trips.len().min(50)]);
+
+    let report = obs.report();
+    println!("\n{}", stmaker_obs::stats::render(&report));
+    // cargo runs benches with cwd = the package root; default to the
+    // workspace root so the committed report is what gets refreshed.
+    let path = std::env::var("STMAKER_OBS_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json").to_owned()
+    });
+    match report.write_json(&path) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+}

@@ -25,7 +25,7 @@
 
 use stmaker_geo::LocalFrame;
 use stmaker_poi::{LandmarkId, LandmarkRegistry};
-use stmaker_trajectory::{RawTrajectory, SymbolicPoint, SymbolicTrajectory, Timestamp};
+use stmaker_trajectory::{RawTrajectory, RawView, SymbolicPoint, SymbolicTrajectory, Timestamp};
 
 /// Tunables for calibration.
 #[derive(Debug, Clone, Copy)]
@@ -81,6 +81,16 @@ struct Anchor {
 /// Calibrates a raw trajectory onto the landmark registry.
 pub fn calibrate(
     raw: &RawTrajectory,
+    registry: &LandmarkRegistry,
+    params: CalibrationParams,
+) -> Result<SymbolicTrajectory, CalibrationError> {
+    calibrate_view(raw.view(), registry, params)
+}
+
+/// [`calibrate`] over a borrowed sample buffer (zero-copy entry point used
+/// by streaming and batch callers).
+pub fn calibrate_view(
+    raw: RawView<'_>,
     registry: &LandmarkRegistry,
     params: CalibrationParams,
 ) -> Result<SymbolicTrajectory, CalibrationError> {
@@ -177,7 +187,7 @@ pub fn calibrate(
 }
 
 /// Cumulative `(arc_m, timestamp)` pairs per raw sample.
-fn arc_to_time_table(raw: &RawTrajectory) -> Vec<(f64, Timestamp)> {
+fn arc_to_time_table(raw: RawView<'_>) -> Vec<(f64, Timestamp)> {
     let mut out = Vec::with_capacity(raw.len());
     let mut acc = 0.0;
     let pts = raw.points();

@@ -36,15 +36,19 @@ struct Obs {
     recorder: Recorder,
     trace: bool,
     metrics_json: Option<PathBuf>,
+    /// Worker threads for training/batch stages; 0 = auto
+    /// (`STMAKER_THREADS` env, else available parallelism).
+    threads: usize,
 }
 
 impl Obs {
-    /// Extracts `--trace` / `--metrics-json PATH` from `args` (removing
-    /// them) and builds the matching recorder: enabled if either flag is
-    /// present, the zero-cost no-op otherwise.
+    /// Extracts `--trace` / `--metrics-json PATH` / `--threads N` from
+    /// `args` (removing them) and builds the matching recorder: enabled if
+    /// either tracing flag is present, the zero-cost no-op otherwise.
     fn extract(args: &mut Vec<String>) -> Result<Self, String> {
         let mut trace = false;
         let mut metrics_json = None;
+        let mut threads = 0usize;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -59,6 +63,14 @@ impl Obs {
                     }
                     metrics_json = Some(PathBuf::from(args.remove(i)));
                 }
+                "--threads" => {
+                    args.remove(i);
+                    if i >= args.len() {
+                        return Err("missing count after --threads".to_owned());
+                    }
+                    let v = args.remove(i);
+                    threads = v.parse().map_err(|_| format!("bad value for --threads: {v:?}"))?;
+                }
                 _ => i += 1,
             }
         }
@@ -67,7 +79,7 @@ impl Obs {
         } else {
             Recorder::disabled()
         };
-        Ok(Self { recorder, trace, metrics_json })
+        Ok(Self { recorder, trace, metrics_json, threads })
     }
 
     /// Renders/writes the collected telemetry after the subcommand ran.
@@ -128,7 +140,10 @@ fn print_usage() {
          help                                        this message\n\n\
          GLOBAL OPTIONS:\n  \
          --trace                print a per-stage span/counter table on exit\n  \
-         --metrics-json PATH    write the telemetry report as JSON"
+         --metrics-json PATH    write the telemetry report as JSON\n  \
+         --threads N            worker threads for train/batch stages\n  \
+         \x20                      (0 = auto; also via STMAKER_THREADS; results\n  \
+         \x20                      are identical for every thread count)"
     );
 }
 
@@ -166,17 +181,19 @@ impl<'a> Opts<'a> {
 struct Stack {
     world: World,
     recorder: Recorder,
+    threads: usize,
 }
 
 impl Stack {
     fn from_config(cfg: WorldConfig, obs: &Obs) -> Self {
         eprintln!("building world (seed {})…", cfg.seed);
-        Self { world: World::generate(cfg), recorder: obs.recorder.clone() }
+        Self { world: World::generate(cfg), recorder: obs.recorder.clone(), threads: obs.threads }
     }
 
-    /// The default pipeline config with this stack's recorder attached.
+    /// The default pipeline config with this stack's recorder and
+    /// thread count attached.
     fn config(&self) -> SummarizerConfig {
-        SummarizerConfig::default().with_recorder(self.recorder.clone())
+        SummarizerConfig::default().with_recorder(self.recorder.clone()).with_threads(self.threads)
     }
 
     fn train(&self, n_train: usize) -> Summarizer<'_> {

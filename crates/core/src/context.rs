@@ -13,7 +13,7 @@ use stmaker_mapmatch::{dominant_edge, MapMatcher};
 use stmaker_poi::{LandmarkId, LandmarkRegistry};
 use stmaker_road::{EdgeId, RoadEdge, RoadNetwork};
 use stmaker_trajectory::{
-    detect_stay_points_in, detect_u_turns_in, RawPoint, RawTrajectory, StayPoint, StayPointParams,
+    detect_stay_points_in, detect_u_turns_in, RawPoint, RawView, StayPoint, StayPointParams,
     SymbolicTrajectory, Timestamp, UTurn, UTurnParams,
 };
 
@@ -90,7 +90,7 @@ impl Default for ExtractionParams {
 /// within one sampling interval of a landmark and has not been observed in
 /// the generated corpora.
 pub fn extract_segment_data(
-    raw: &RawTrajectory,
+    raw: RawView<'_>,
     symbolic: &SymbolicTrajectory,
     registry: &LandmarkRegistry,
     matcher: &MapMatcher<'_>,
@@ -128,7 +128,7 @@ pub fn extract_segment_data(
 
 /// Builds a borrowed [`SegmentContext`] for segment `i`.
 pub fn segment_context<'a>(
-    raw: &'a RawTrajectory,
+    raw: RawView<'a>,
     symbolic: &SymbolicTrajectory,
     data: &'a [SegmentData],
     net: &'a RoadNetwork,
@@ -164,6 +164,7 @@ mod tests {
     use stmaker_mapmatch::MatchParams;
     use stmaker_poi::{Landmark, LandmarkKind};
     use stmaker_road::{Direction, RoadGrade};
+    use stmaker_trajectory::RawTrajectory;
 
     fn base() -> GeoPoint {
         GeoPoint::new(39.9, 116.4)
@@ -208,8 +209,13 @@ mod tests {
     fn segment_data_attributes_samples_and_edges() {
         let (net, registry, raw, symbolic) = fixture();
         let matcher = MapMatcher::new(&net, MatchParams::default());
-        let data =
-            extract_segment_data(&raw, &symbolic, &registry, &matcher, ExtractionParams::default());
+        let data = extract_segment_data(
+            raw.view(),
+            &symbolic,
+            &registry,
+            &matcher,
+            ExtractionParams::default(),
+        );
         assert_eq!(data.len(), 2);
         // First segment: samples t ∈ [0, 100] → 11 samples.
         assert_eq!(data[0].raw_range, (0, 11));
@@ -224,9 +230,14 @@ mod tests {
     fn context_borrows_line_up() {
         let (net, registry, raw, symbolic) = fixture();
         let matcher = MapMatcher::new(&net, MatchParams::default());
-        let data =
-            extract_segment_data(&raw, &symbolic, &registry, &matcher, ExtractionParams::default());
-        let ctx = segment_context(&raw, &symbolic, &data, &net, 1);
+        let data = extract_segment_data(
+            raw.view(),
+            &symbolic,
+            &registry,
+            &matcher,
+            ExtractionParams::default(),
+        );
+        let ctx = segment_context(raw.view(), &symbolic, &data, &net, 1);
         assert_eq!(ctx.from_landmark, LandmarkId(1));
         assert_eq!(ctx.to_landmark, LandmarkId(2));
         assert_eq!(ctx.duration_secs(), 100);

@@ -76,7 +76,8 @@ impl Summarizer<'_> {
         min_share: f64,
     ) -> Result<GroupSummary, GroupError> {
         assert!((0.0..=1.0).contains(&min_share), "min_share must be in [0, 1]");
-        let members: Vec<Summary> = trips.iter().filter_map(|t| self.summarize(t).ok()).collect();
+        let members: Vec<Summary> =
+            self.summarize_batch(trips).into_iter().filter_map(Result::ok).collect();
         if members.is_empty() {
             return Err(GroupError::NothingSummarizable);
         }

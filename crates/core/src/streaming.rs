@@ -15,7 +15,7 @@
 //! embedded device.
 
 use crate::summarize::{SummarizeError, Summarizer, Summary};
-use stmaker_trajectory::{RawPoint, RawTrajectory};
+use stmaker_trajectory::RawPoint;
 
 /// Refresh policy for the stream.
 #[derive(Debug, Clone, Copy)]
@@ -106,10 +106,11 @@ impl<'s, 'a> StreamingSummarizer<'s, 'a> {
     }
 
     /// Re-summarizes the buffered prefix; returns whether a fresh summary
-    /// was produced.
+    /// was produced. Summarizes the buffer in place ([`Summarizer::
+    /// summarize_points`]) — cloning it here would cost O(n²) allocation
+    /// over a trip's worth of refreshes.
     fn refresh(&mut self) -> bool {
-        let traj = RawTrajectory::new(self.buffer.clone());
-        match self.summarizer.summarize(&traj) {
+        match self.summarizer.summarize_points(&self.buffer) {
             Ok(summary) => {
                 self.current = Some(summary);
                 true
@@ -120,13 +121,12 @@ impl<'s, 'a> StreamingSummarizer<'s, 'a> {
 
     /// Finalizes the trip: summarizes everything buffered, regardless of the
     /// refresh policy. Equivalent to batch-summarizing the same samples.
-    pub fn finish(mut self) -> Result<Summary, SummarizeError> {
+    pub fn finish(self) -> Result<Summary, SummarizeError> {
         if self.buffer.len() < 2 {
             return Err(SummarizeError::Calibration(
                 stmaker_calibration::CalibrationError::TooFewLandmarks(0),
             ));
         }
-        let traj = RawTrajectory::new(std::mem::take(&mut self.buffer));
-        self.summarizer.summarize(&traj)
+        self.summarizer.summarize_points(&self.buffer)
     }
 }

@@ -18,13 +18,16 @@ use crate::partition::{optimal_k_partition, optimal_partition, PartitionResult, 
 use crate::select::{select_features, SelectedFeature, SelectionInput};
 use crate::similarity::consecutive_similarities;
 use crate::template::{render_partition_sentence, PartitionFacts};
-use stmaker_calibration::{calibrate, CalibrationError, CalibrationParams};
+use std::time::Instant;
+
+use stmaker_calibration::{calibrate_view, CalibrationError, CalibrationParams};
+use stmaker_exec::Executor;
 use stmaker_mapmatch::{MapMatcher, MatchParams};
 use stmaker_obs::Recorder;
 use stmaker_poi::{LandmarkId, LandmarkRegistry};
 use stmaker_road::RoadNetwork;
 use stmaker_routes::{HistoricalFeatureMap, PopularRouteConfig, PopularRoutes};
-use stmaker_trajectory::{RawTrajectory, SymbolicTrajectory};
+use stmaker_trajectory::{RawPoint, RawTrajectory, RawView, SymbolicTrajectory};
 
 /// All tunables of the pipeline. Defaults are the paper's experimental
 /// settings (Sec. VII-B): Ca = 0.5, η = 0.2, unit feature weights.
@@ -42,6 +45,11 @@ pub struct SummarizerConfig {
     pub matching: MatchParams,
     /// Popular-route mining parameters.
     pub popular: PopularRouteConfig,
+    /// Worker threads for training and batch summarization; `0` (the
+    /// default) means auto — `STMAKER_THREADS` if set, else
+    /// [`std::thread::available_parallelism`]. Thread count never changes
+    /// results: see `stmaker-exec`'s determinism contract.
+    pub threads: usize,
     /// Telemetry sink for per-stage spans and counters. Defaults to the
     /// disabled no-op recorder, which costs a branch per stage and
     /// nothing else — no allocation, no locking.
@@ -57,6 +65,7 @@ impl Default for SummarizerConfig {
             extraction: ExtractionParams::default(),
             matching: MatchParams::default(),
             popular: PopularRouteConfig::default(),
+            threads: 0,
             recorder: Recorder::disabled(),
         }
     }
@@ -69,6 +78,13 @@ impl SummarizerConfig {
     #[must_use]
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Sets the worker-thread count (builder style); `0` means auto.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -213,6 +229,12 @@ impl<'a> Summarizer<'a> {
     /// popular routes, and builds the historical feature map (including
     /// per-hop routing statistics used to describe the popular route).
     /// Training trajectories that fail calibration are skipped.
+    ///
+    /// Training fans out over `cfg.threads` workers: the corpus is split
+    /// into fixed shards (a function of corpus size only), each shard
+    /// folds into a partial feature map, and the partials merge via
+    /// [`HistoricalFeatureMap::merge`] in ascending shard order — so the
+    /// trained model is byte-identical for every thread count.
     pub fn train(
         net: &'a RoadNetwork,
         registry: &'a LandmarkRegistry,
@@ -225,35 +247,64 @@ impl<'a> Summarizer<'a> {
         let obs = cfg.recorder.clone();
         let _train_span = obs.span("train");
         let matcher = MapMatcher::new(net, cfg.matching);
-        let mut featmap = HistoricalFeatureMap::new();
-        let mut symbolics: Vec<SymbolicTrajectory> = Vec::new();
+        let exec = Executor::new(cfg.threads).with_recorder(obs.clone());
+        let (calibration, extraction) = (cfg.calibration, cfg.extraction);
 
-        for raw in training {
-            let Ok(symbolic) = calibrate(raw, registry, cfg.calibration) else { continue };
-            let data = extract_segment_data(raw, &symbolic, registry, &matcher, cfg.extraction);
-            for i in 0..symbolic.segment_count() {
-                let ctx = segment_context(raw, &symbolic, &data, net, i);
-                let (from, to) = (ctx.from_landmark, ctx.to_landmark);
-                for f in features.features() {
-                    let v = f.extract(&ctx);
-                    match f.scale() {
-                        FeatureScale::Numeric => featmap.add_observation(from, to, f.key(), v),
-                        FeatureScale::Categorical => featmap.add_categorical_observation(
-                            from,
-                            to,
-                            f.key(),
-                            v.round().max(0.0) as u32,
-                        ),
+        /// Per-shard training state; merged in shard order below.
+        struct TrainShard {
+            featmap: HistoricalFeatureMap,
+            symbolics: Vec<SymbolicTrajectory>,
+            skipped: u64,
+            elapsed: std::time::Duration,
+        }
+
+        let partials = exec.shard_partials(training, |_, _, shard| {
+            let t0 = Instant::now();
+            let mut featmap = HistoricalFeatureMap::new();
+            let mut symbolics: Vec<SymbolicTrajectory> = Vec::new();
+            let mut skipped = 0u64;
+            for raw in shard {
+                let raw = raw.view();
+                let Ok(symbolic) = calibrate_view(raw, registry, calibration) else {
+                    skipped += 1;
+                    continue;
+                };
+                let data = extract_segment_data(raw, &symbolic, registry, &matcher, extraction);
+                for i in 0..symbolic.segment_count() {
+                    let ctx = segment_context(raw, &symbolic, &data, net, i);
+                    let (from, to) = (ctx.from_landmark, ctx.to_landmark);
+                    for f in features.features() {
+                        let v = f.extract(&ctx);
+                        match f.scale() {
+                            FeatureScale::Numeric => featmap.add_observation(from, to, f.key(), v),
+                            FeatureScale::Categorical => featmap.add_categorical_observation(
+                                from,
+                                to,
+                                f.key(),
+                                v.round().max(0.0) as u32,
+                            ),
+                        }
                     }
                 }
+                symbolics.push(symbolic);
             }
-            symbolics.push(symbolic);
+            TrainShard { featmap, symbolics, skipped, elapsed: t0.elapsed() }
+        });
+
+        let mut featmap = HistoricalFeatureMap::new();
+        let mut symbolics: Vec<SymbolicTrajectory> = Vec::new();
+        let mut skipped = 0u64;
+        for p in partials {
+            obs.span_observed("train.shard", p.elapsed);
+            featmap.merge(&p.featmap);
+            symbolics.extend(p.symbolics);
+            skipped += p.skipped;
         }
 
         let n_trained = symbolics.len();
         obs.add("train.trajectories_ingested", n_trained as u64); // cast-ok: corpus size
-        obs.add("train.trajectories_skipped", (training.len() - n_trained) as u64); // cast-ok: corpus size
-        let popular = PopularRoutes::build(&symbolics, cfg.popular);
+        obs.add("train.trajectories_skipped", skipped);
+        let popular = PopularRoutes::build_with(&symbolics, cfg.popular, &exec);
         // Reuse the matcher built for extraction instead of indexing the
         // network's edge geometry a second time via from_model.
         Self {
@@ -328,10 +379,16 @@ impl<'a> Summarizer<'a> {
     /// Step 1 + feature extraction: calibrate and extract, reusable across
     /// different partition granularities.
     pub fn prepare(&self, raw: &RawTrajectory) -> Result<Prepared, SummarizeError> {
-        let obs = &self.cfg.recorder;
+        self.prepare_view(raw.view(), &self.cfg.recorder)
+    }
+
+    /// [`Self::prepare`] over a borrowed sample buffer, reporting into
+    /// `obs` (batch workers pass a disabled recorder so the shared span
+    /// tree stays single-threaded).
+    fn prepare_view(&self, raw: RawView<'_>, obs: &Recorder) -> Result<Prepared, SummarizeError> {
         let symbolic = {
             let _span = obs.span("calibrate");
-            calibrate(raw, self.registry, self.cfg.calibration)?
+            calibrate_view(raw, self.registry, self.cfg.calibration)?
         };
         obs.add("calibrate.landmarks_matched", symbolic.size() as u64); // cast-ok: landmark count
         let _span = obs.span("extract");
@@ -372,15 +429,93 @@ impl<'a> Summarizer<'a> {
         self.summarize_prepared(&prepared, Some(k))
     }
 
+    /// Summarizes straight out of a borrowed sample buffer — the zero-copy
+    /// path used by [`crate::streaming::StreamingSummarizer`], which would
+    /// otherwise clone its whole buffer into an owned trajectory on every
+    /// refresh.
+    ///
+    /// # Panics
+    /// Panics if `points` has fewer than two samples or timestamps
+    /// decrease (the [`RawView`] invariants).
+    pub fn summarize_points(&self, points: &[RawPoint]) -> Result<Summary, SummarizeError> {
+        let raw = RawView::new(points);
+        let _root = self.summarize_span(None);
+        let prepared = self.prepare_view(raw, &self.cfg.recorder)?;
+        self.summarize_prepared(&prepared, None)
+    }
+
+    /// Summarizes many trajectories in parallel over `cfg.threads` workers
+    /// (default granularity). Results are index-aligned with `trips` —
+    /// exactly what mapping [`Self::summarize`] over the slice would
+    /// return, computed on however many workers are configured.
+    pub fn summarize_batch(&self, trips: &[RawTrajectory]) -> Vec<Result<Summary, SummarizeError>> {
+        self.summarize_batch_inner(trips, None)
+    }
+
+    /// [`Self::summarize_batch`] with exactly `k` partitions per trip.
+    pub fn summarize_batch_k(
+        &self,
+        trips: &[RawTrajectory],
+        k: usize,
+    ) -> Vec<Result<Summary, SummarizeError>> {
+        self.summarize_batch_inner(trips, Some(k))
+    }
+
+    fn summarize_batch_inner(
+        &self,
+        trips: &[RawTrajectory],
+        k: Option<usize>,
+    ) -> Vec<Result<Summary, SummarizeError>> {
+        let obs = &self.cfg.recorder;
+        let _root = obs.span("summarize_batch");
+        let exec = Executor::new(self.cfg.threads).with_recorder(obs.clone());
+        // Workers run the pipeline against a disabled recorder (cross-thread
+        // span opens would interleave nondeterministically in the shared
+        // tree); they measure their own wall time and the caller replays the
+        // per-trip durations below in input order.
+        let quiet = Recorder::disabled();
+        let timed = exec.par_map(trips, |_, raw| {
+            let t0 = Instant::now();
+            let r = self
+                .prepare_view(raw.view(), &quiet)
+                .and_then(|p| self.summarize_prepared_obs(&p, k, &quiet));
+            (r, t0.elapsed())
+        });
+
+        let mut out = Vec::with_capacity(timed.len());
+        let (mut ok, mut failed) = (0u64, 0u64);
+        for (r, dur) in timed {
+            obs.span_observed("summarize_batch.trip", dur);
+            match &r {
+                Ok(_) => ok += 1,
+                Err(_) => failed += 1,
+            }
+            out.push(r);
+        }
+        obs.add("batch.summaries_ok", ok);
+        obs.add("batch.summaries_failed", failed);
+        out
+    }
+
     /// Steps 2–4 on an already prepared trajectory.
     pub fn summarize_prepared(
         &self,
         prepared: &Prepared,
         k: Option<usize>,
     ) -> Result<Summary, SummarizeError> {
+        self.summarize_prepared_obs(prepared, k, &self.cfg.recorder)
+    }
+
+    /// [`Self::summarize_prepared`] reporting into `obs` instead of the
+    /// configured recorder (batch workers pass the disabled one).
+    fn summarize_prepared_obs(
+        &self,
+        prepared: &Prepared,
+        k: Option<usize>,
+        obs: &Recorder,
+    ) -> Result<Summary, SummarizeError> {
         let symbolic = &prepared.symbolic;
         let n_segs = symbolic.segment_count();
-        let obs = &self.cfg.recorder;
 
         // --- Step 2: partition.
         let partition: PartitionResult = {

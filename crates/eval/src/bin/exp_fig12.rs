@@ -15,7 +15,7 @@ use serde::Serialize;
 use stmaker::{standard_features, FeatureWeights, SummarizerConfig};
 use stmaker_eval::report::{ms, print_table, write_json};
 use stmaker_eval::timing::{time_by_k, time_by_symbolic_len};
-use stmaker_eval::{ExperimentScale, Harness};
+use stmaker_eval::{threads_from_args, ExperimentScale, Harness};
 use stmaker_obs::Recorder;
 
 #[derive(Serialize)]
@@ -34,7 +34,7 @@ fn main() {
     let summarizer = h.train_summarizer(
         features,
         weights,
-        SummarizerConfig::default().with_recorder(obs.clone()),
+        SummarizerConfig::default().with_recorder(obs.clone()).with_threads(threads_from_args()),
     );
     let trips: Vec<_> = h.test.iter().map(|t| t.raw.clone()).collect();
 

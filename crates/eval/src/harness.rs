@@ -62,6 +62,20 @@ impl ExperimentScale {
     }
 }
 
+/// Worker-thread count for an experiment binary: the value after a
+/// `--threads` argument if one was passed, else `0` (auto — the
+/// `STMAKER_THREADS` env var, else available parallelism). Thread count
+/// never changes experiment results (stmaker-exec's determinism contract);
+/// it only changes how fast training and batch stages run.
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// A fully assembled experiment: world, corpora, and the pieces needed to
 /// train summarizers (experiments train their own because Fig. 10 varies
 /// weights and feature sets).

@@ -22,5 +22,5 @@ pub mod report;
 pub mod timing;
 
 pub use ff::{feature_frequency, FfByBucket};
-pub use harness::{ExperimentScale, Harness};
+pub use harness::{threads_from_args, ExperimentScale, Harness};
 pub use reader::{simulate_reader_study, ReaderStudyResult};

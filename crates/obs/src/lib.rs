@@ -119,6 +119,20 @@ impl Recorder {
         }
     }
 
+    /// Records one already-measured interval as a span under the current
+    /// nesting point, feeding the same call/duration aggregates and
+    /// histogram as a [`Recorder::span`] guard would. Workers that run
+    /// with a disabled recorder measure with `Instant` themselves and the
+    /// coordinating thread replays the durations here in deterministic
+    /// order, keeping the span tree single-threaded.
+    #[inline]
+    pub fn span_observed(&self, name: &str, dur: std::time::Duration) {
+        if let Some(inner) = &self.inner {
+            let idx = inner.open(name);
+            inner.close(idx, dur.as_nanos(), dur.as_secs_f64() * 1e3);
+        }
+    }
+
     /// Adds `by` to the named counter (saturating).
     #[inline]
     pub fn add(&self, name: &str, by: u64) {
@@ -314,6 +328,28 @@ impl Drop for Span {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn span_observed_aggregates_like_a_guard() {
+        let obs = Recorder::enabled();
+        obs.span_observed("stage", std::time::Duration::from_millis(3));
+        {
+            let _outer = obs.span("outer");
+            obs.span_observed("stage.child", std::time::Duration::from_millis(2));
+            obs.span_observed("stage.child", std::time::Duration::from_millis(5));
+        }
+        let report = obs.report();
+        let stage = report.spans.iter().find(|s| s.name == "stage").expect("root span");
+        assert_eq!(stage.calls, 1);
+        assert!(stage.total_ms >= 2.9);
+        let outer = report.spans.iter().find(|s| s.name == "outer").expect("outer span");
+        let child = outer.children.iter().find(|s| s.name == "stage.child").expect("child");
+        assert_eq!(child.calls, 2);
+        assert!(child.total_ms >= 6.9);
+        assert!(report.histograms.contains_key("stage.child"));
+        // The disabled recorder stays inert.
+        Recorder::disabled().span_observed("stage", std::time::Duration::from_millis(1));
+    }
 
     #[test]
     fn disabled_recorder_is_inert() {

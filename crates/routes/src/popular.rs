@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
+use stmaker_exec::Executor;
 use stmaker_poi::LandmarkId;
 use stmaker_trajectory::SymbolicTrajectory;
 
@@ -47,34 +48,74 @@ pub struct PopularRoutes {
     /// Transfer counts of *direct* hops, for the probability fallback.
     #[serde(with = "crate::serde_vecmap")]
     transfers: HashMap<LandmarkId, Vec<(LandmarkId, f64)>>,
+    /// Distinct-trajectory support per pair, precomputed at build time so
+    /// [`PopularRoutes::support`] is a single lookup. Empty when loaded
+    /// from a model file written before this field existed; `support()`
+    /// then falls back to scanning the occurrence list.
+    #[serde(with = "crate::serde_vecmap", default)]
+    supports: HashMap<(LandmarkId, LandmarkId), u32>,
     cfg: PopularRouteConfig,
 }
 
 impl PopularRoutes {
-    /// Builds the miner from a historical corpus.
+    /// Builds the miner from a historical corpus (single-threaded).
     pub fn build<'a>(
         corpus: impl IntoIterator<Item = &'a SymbolicTrajectory>,
         cfg: PopularRouteConfig,
     ) -> Self {
+        Self::build_with(corpus, cfg, &Executor::new(1))
+    }
+
+    /// Builds the miner on `exec`'s workers: each corpus shard indexes its
+    /// own pair/hop maps, and the partials merge in ascending shard order.
+    /// Shard order equals trajectory order, so every occurrence list comes
+    /// out in ascending trajectory order and hop counts (integer-valued,
+    /// exactly representable) sum identically — the result is the same for
+    /// every thread count, byte-for-byte.
+    pub fn build_with<'a>(
+        corpus: impl IntoIterator<Item = &'a SymbolicTrajectory>,
+        cfg: PopularRouteConfig,
+        exec: &Executor,
+    ) -> Self {
         let seqs: Vec<Vec<LandmarkId>> = corpus.into_iter().map(|t| t.landmark_seq()).collect();
+
+        /// Per-shard slice of the pair/hop indexes.
+        struct Shard {
+            pairs: HashMap<(LandmarkId, LandmarkId), Vec<Occurrence>>,
+            hop_counts: HashMap<(LandmarkId, LandmarkId), f64>,
+        }
+
+        let partials = exec.shard_partials(&seqs, |_, base, shard| {
+            let mut pairs: HashMap<(LandmarkId, LandmarkId), Vec<Occurrence>> = HashMap::new();
+            let mut hop_counts: HashMap<(LandmarkId, LandmarkId), f64> = HashMap::new();
+            for (off, seq) in shard.iter().enumerate() {
+                let ti = base + off;
+                let n = seq.len();
+                for i in 0..n {
+                    let max_j = (i + cfg.max_indexed_span).min(n - 1);
+                    for j in (i + 1)..=max_j {
+                        pairs.entry((seq[i], seq[j])).or_default().push(Occurrence {
+                            traj: ti as u32,
+                            start: i as u32,
+                            end: j as u32,
+                        });
+                    }
+                }
+                for w in seq.windows(2) {
+                    *hop_counts.entry((w[0], w[1])).or_insert(0.0) += 1.0;
+                }
+            }
+            Shard { pairs, hop_counts }
+        });
 
         let mut pairs: HashMap<(LandmarkId, LandmarkId), Vec<Occurrence>> = HashMap::new();
         let mut hop_counts: HashMap<(LandmarkId, LandmarkId), f64> = HashMap::new();
-
-        for (ti, seq) in seqs.iter().enumerate() {
-            let n = seq.len();
-            for i in 0..n {
-                let max_j = (i + cfg.max_indexed_span).min(n - 1);
-                for j in (i + 1)..=max_j {
-                    pairs.entry((seq[i], seq[j])).or_default().push(Occurrence {
-                        traj: ti as u32,
-                        start: i as u32,
-                        end: j as u32,
-                    });
-                }
+        for p in partials {
+            for (k, mut occ) in p.pairs {
+                pairs.entry(k).or_default().append(&mut occ);
             }
-            for w in seq.windows(2) {
-                *hop_counts.entry((w[0], w[1])).or_insert(0.0) += 1.0;
+            for (k, c) in p.hop_counts {
+                *hop_counts.entry(k).or_insert(0.0) += c;
             }
         }
 
@@ -87,7 +128,9 @@ impl PopularRoutes {
             list.sort_by_key(|(l, _)| *l); // deterministic order
         }
 
-        Self { corpus: seqs, pairs, transfers, cfg }
+        let supports = pairs.iter().map(|(&k, occ)| (k, distinct_trajs(occ))).collect();
+
+        Self { corpus: seqs, pairs, transfers, supports, cfg }
     }
 
     /// Number of indexed historical trajectories.
@@ -97,17 +140,15 @@ impl PopularRoutes {
 
     /// How many *distinct* historical trajectories traverse `from … to` (in
     /// order). A looping trajectory that covers the pair several times
-    /// counts once.
+    /// counts once. O(1): precomputed at build time.
     pub fn support(&self, from: LandmarkId, to: LandmarkId) -> usize {
-        self.pairs
-            .get(&(from, to))
-            .map(|v| {
-                let mut ids: Vec<u32> = v.iter().map(|o| o.traj).collect();
-                ids.sort_unstable();
-                ids.dedup();
-                ids.len()
-            })
-            .unwrap_or(0)
+        if !self.supports.is_empty() {
+            return self.supports.get(&(from, to)).copied().unwrap_or(0) as usize;
+        }
+        // Model files written before the precomputed table existed: the
+        // occurrence lists are stored in ascending trajectory order, so a
+        // linear run count gives the distinct-trajectory support.
+        self.pairs.get(&(from, to)).map(|v| distinct_trajs(v) as usize).unwrap_or(0)
     }
 
     /// The most popular historical route from `from` to `to`, inclusive of
@@ -211,6 +252,20 @@ impl PopularRoutes {
     }
 }
 
+/// Distinct trajectory ids in an occurrence list. Occurrences are inserted
+/// in ascending trajectory order, so counting runs suffices — no sort.
+fn distinct_trajs(occ: &[Occurrence]) -> u32 {
+    let mut count = 0u32;
+    let mut last = None;
+    for o in occ {
+        if last != Some(o.traj) {
+            count += 1;
+            last = Some(o.traj);
+        }
+    }
+    count
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +356,40 @@ mod tests {
         let a = PopularRoutes::build(&corpus, PopularRouteConfig::default());
         let b = PopularRoutes::build(&corpus, PopularRouteConfig::default());
         assert_eq!(a.popular_route(l(0), l(2)), b.popular_route(l(0), l(2)));
+    }
+
+    #[test]
+    fn looping_trajectory_counts_once_in_support() {
+        // One trajectory covering 0→1 twice (it loops back), plus a second
+        // plain traversal: distinct-trajectory support is 2, not 3.
+        let corpus = vec![traj(&[0, 1, 2, 0, 1]), traj(&[0, 1])];
+        let pr = PopularRoutes::build(&corpus, PopularRouteConfig::default());
+        assert_eq!(pr.support(l(0), l(1)), 2);
+        assert_eq!(pr.support(l(1), l(0)), 1);
+        assert_eq!(pr.support(l(2), l(1)), 1); // 2→0→1 via the loop
+        assert_eq!(pr.support(l(9), l(0)), 0);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_build() {
+        let corpus: Vec<SymbolicTrajectory> = (0..150)
+            .map(|i| {
+                let ids: Vec<u32> = (0..6).map(|j| (i * 7 + j * 3) % 40).collect();
+                traj(&ids)
+            })
+            .collect();
+        let seq =
+            serde_json::to_string(&PopularRoutes::build(&corpus, PopularRouteConfig::default()))
+                .expect("serializes");
+        for threads in [2, 4, 8] {
+            let par = serde_json::to_string(&PopularRoutes::build_with(
+                &corpus,
+                PopularRouteConfig::default(),
+                &Executor::new(threads),
+            ))
+            .expect("serializes");
+            assert_eq!(par, seq, "threads={threads}");
+        }
     }
 
     #[test]

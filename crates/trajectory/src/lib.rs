@@ -21,7 +21,7 @@ pub mod staypoint;
 pub mod symbolic;
 pub mod uturn;
 
-pub use raw::{RawPoint, RawTrajectory, Timestamp};
+pub use raw::{RawPoint, RawTrajectory, RawView, Timestamp};
 pub use simplify::{max_deviation_m, simplify};
 pub use speed::{average_speed_kmh, sharp_speed_changes, speed_profile_kmh, SpeedChangeParams};
 pub use staypoint::{detect_stay_points, detect_stay_points_in, StayPoint, StayPointParams};

@@ -55,9 +55,15 @@ impl RawTrajectory {
     /// # Panics
     /// Panics if fewer than two samples are supplied or timestamps decrease.
     pub fn new(points: Vec<RawPoint>) -> Self {
-        assert!(points.len() >= 2, "a trajectory needs at least two samples");
-        assert!(points.windows(2).all(|w| w[0].t <= w[1].t), "timestamps must be non-decreasing");
+        RawView::validate(&points);
         Self { points }
+    }
+
+    /// A zero-copy borrowed view over this trajectory's samples. All
+    /// read-only trajectory operations live on [`RawView`]; the owning
+    /// methods below delegate to it.
+    pub fn view(&self) -> RawView<'_> {
+        RawView { points: &self.points }
     }
 
     /// The GPS samples.
@@ -87,6 +93,92 @@ impl RawTrajectory {
 
     /// Total elapsed time in seconds.
     pub fn duration_secs(&self) -> i64 {
+        self.view().duration_secs()
+    }
+
+    /// Total geometric length in metres.
+    pub fn length_m(&self) -> f64 {
+        self.view().length_m()
+    }
+
+    /// Spatial shape of the trajectory.
+    pub fn polyline(&self) -> Polyline {
+        self.view().polyline()
+    }
+
+    /// The samples with timestamps in `[t0, t1]` (inclusive).
+    ///
+    /// Used to attribute raw samples to a symbolic segment when extracting
+    /// its moving features. Returns an empty slice if no samples fall inside.
+    pub fn slice_time(&self, t0: Timestamp, t1: Timestamp) -> &[RawPoint] {
+        self.view().slice_time(t0, t1)
+    }
+
+    /// The half-open index range of samples with timestamps in `[t0, t1]`.
+    pub fn time_range_indices(&self, t0: Timestamp, t1: Timestamp) -> (usize, usize) {
+        self.view().time_range_indices(t0, t1)
+    }
+
+    /// Interpolated position at time `t` (clamped to the trajectory's span).
+    pub fn position_at(&self, t: Timestamp) -> GeoPoint {
+        self.view().position_at(t)
+    }
+}
+
+/// A borrowed, zero-copy view of a raw trajectory: the same invariants as
+/// [`RawTrajectory`] (≥ 2 samples, non-decreasing timestamps) over a slice
+/// someone else owns. `Copy`, so it passes through pipelines by value.
+///
+/// This lets streaming and batch callers summarize straight out of a sample
+/// buffer without cloning it into an owned `RawTrajectory` first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawView<'a> {
+    points: &'a [RawPoint],
+}
+
+impl<'a> RawView<'a> {
+    /// Creates a view, validating temporal ordering.
+    ///
+    /// # Panics
+    /// Panics if fewer than two samples are supplied or timestamps decrease.
+    pub fn new(points: &'a [RawPoint]) -> Self {
+        Self::validate(points);
+        Self { points }
+    }
+
+    /// Shared invariant check for owned and borrowed construction.
+    fn validate(points: &[RawPoint]) {
+        assert!(points.len() >= 2, "a trajectory needs at least two samples");
+        assert!(points.windows(2).all(|w| w[0].t <= w[1].t), "timestamps must be non-decreasing");
+    }
+
+    /// The GPS samples.
+    pub fn points(&self) -> &'a [RawPoint] {
+        self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Never true (construction requires ≥ 2 samples); kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First sample.
+    pub fn start(&self) -> &'a RawPoint {
+        &self.points[0]
+    }
+
+    /// Last sample.
+    pub fn end(&self) -> &'a RawPoint {
+        self.points.last().expect("non-empty by construction")
+    }
+
+    /// Total elapsed time in seconds.
+    pub fn duration_secs(&self) -> i64 {
         self.start().t.delta_secs(&self.end().t)
     }
 
@@ -101,10 +193,7 @@ impl RawTrajectory {
     }
 
     /// The samples with timestamps in `[t0, t1]` (inclusive).
-    ///
-    /// Used to attribute raw samples to a symbolic segment when extracting
-    /// its moving features. Returns an empty slice if no samples fall inside.
-    pub fn slice_time(&self, t0: Timestamp, t1: Timestamp) -> &[RawPoint] {
+    pub fn slice_time(&self, t0: Timestamp, t1: Timestamp) -> &'a [RawPoint] {
         let (lo, hi) = self.time_range_indices(t0, t1);
         &self.points[lo..hi]
     }
@@ -205,6 +294,34 @@ mod tests {
         assert_eq!(Timestamp::at(0, 0.0).two_hour_bucket(), 0);
         assert_eq!(Timestamp::at(0, 17.0).two_hour_bucket(), 8); // 16:00–18:00
         assert_eq!(Timestamp::at(0, 23.9).two_hour_bucket(), 11);
+    }
+
+    #[test]
+    fn view_matches_owned_behaviour() {
+        let t = east_line(11);
+        let v = t.view();
+        assert_eq!(v.len(), t.len());
+        assert_eq!(v.duration_secs(), t.duration_secs());
+        assert_eq!(v.length_m(), t.length_m());
+        assert_eq!(
+            v.slice_time(Timestamp(20), Timestamp(50)),
+            t.slice_time(Timestamp(20), Timestamp(50))
+        );
+        assert_eq!(v.position_at(Timestamp(15)), t.position_at(Timestamp(15)));
+        // Views are Copy: both copies stay usable.
+        let v2 = v;
+        assert_eq!(v.start().t, v2.start().t);
+        // A view can also be built straight from a borrowed buffer.
+        let buf: Vec<RawPoint> = t.points().to_vec();
+        let direct = RawView::new(&buf);
+        assert_eq!(direct.polyline().len(), t.polyline().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn view_rejects_single_sample() {
+        let p = [RawPoint { point: base(), t: Timestamp(0) }];
+        RawView::new(&p);
     }
 
     #[test]

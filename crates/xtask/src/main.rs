@@ -42,7 +42,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Crates whose library code must be panic-free (L2) and fully strict.
-const STRICT_CRATES: &[&str] = &["core", "calibration", "trajectory", "road", "routes", "obs"];
+const STRICT_CRATES: &[&str] =
+    &["core", "calibration", "trajectory", "road", "routes", "obs", "exec"];
 
 /// Crates linted in report-only mode: findings print as warnings and do not
 /// fail the run. `__root__` stands for the workspace-root `stmaker-suite`

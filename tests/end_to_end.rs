@@ -421,3 +421,111 @@ fn recorder_sees_every_pipeline_stage() {
     let empty = silent.report();
     assert!(empty.spans.is_empty() && empty.counters.is_empty());
 }
+
+#[test]
+fn training_is_byte_identical_across_thread_counts() {
+    let h = Harness::new();
+    let (train, _) = h.corpora(80, 0);
+    let make = |threads: usize| {
+        let features = standard_features();
+        let weights = FeatureWeights::uniform(&features);
+        Summarizer::train(
+            &h.world.net,
+            &h.world.registry,
+            &train,
+            features,
+            weights,
+            SummarizerConfig::default().with_threads(threads),
+        )
+        .model()
+        .to_json()
+    };
+    // The determinism contract (DESIGN.md §10): shard structure is a
+    // function of corpus size only and partials merge in shard order, so
+    // the trained model cannot depend on the worker count.
+    let reference = make(1);
+    for threads in [2, 3, 4, 8] {
+        assert_eq!(make(threads), reference, "threads={threads} diverged from threads=1");
+    }
+}
+
+#[test]
+fn summarize_batch_matches_individual_summaries() {
+    let h = Harness::new();
+    let (train, test) = h.corpora(60, 12);
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let summarizer = Summarizer::train(
+        &h.world.net,
+        &h.world.registry,
+        &train,
+        features,
+        weights,
+        SummarizerConfig::default().with_threads(4),
+    );
+
+    let batch = summarizer.summarize_batch(&test);
+    assert_eq!(batch.len(), test.len(), "results are index-aligned with the input");
+    for (raw, batched) in test.iter().zip(&batch) {
+        let individual = summarizer.summarize(raw);
+        match (batched, individual) {
+            (Ok(b), Ok(s)) => assert_eq!(b.text, s.text),
+            (Err(_), Err(_)) => {}
+            (b, s) => {
+                panic!("batch {:?} vs individual {:?} disagree on success", b.is_ok(), s.is_ok())
+            }
+        }
+    }
+
+    // The k-constrained batch variant agrees with summarize_k the same way.
+    let batch_k = summarizer.summarize_batch_k(&test, 2);
+    for (raw, batched) in test.iter().zip(&batch_k) {
+        match (batched, summarizer.summarize_k(raw, 2)) {
+            (Ok(b), Ok(s)) => assert_eq!(b.text, s.text),
+            (Err(_), Err(_)) => {}
+            (b, s) => panic!("batch_k {:?} vs summarize_k {:?} disagree", b.is_ok(), s.is_ok()),
+        }
+    }
+}
+
+#[test]
+fn batch_telemetry_reports_per_trip_spans() {
+    use stmaker_suite::Recorder;
+    let h = Harness::new();
+    let (train, test) = h.corpora(40, 6);
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let obs = Recorder::enabled();
+    let summarizer = Summarizer::train(
+        &h.world.net,
+        &h.world.registry,
+        &train,
+        features,
+        weights,
+        SummarizerConfig::default().with_threads(2).with_recorder(obs.clone()),
+    );
+    let batch = summarizer.summarize_batch(&test);
+
+    let report = obs.report();
+    let names = report.span_names();
+    assert!(names.contains("train.shard"), "missing per-shard train spans in {names:?}");
+    assert!(names.contains("summarize_batch"), "missing batch root span in {names:?}");
+    assert!(report.gauges.contains_key("exec.threads"));
+    assert!(report.counters.contains_key("exec.tasks_stolen"));
+    let trip_calls = report
+        .spans
+        .iter()
+        .find(|s| s.name == "summarize_batch")
+        .map(|s| {
+            s.children
+                .iter()
+                .filter(|c| c.name == "summarize_batch.trip")
+                .map(|c| c.calls)
+                .sum::<u64>()
+        })
+        .unwrap_or(0);
+    assert_eq!(trip_calls as usize, test.len(), "one trip span per input");
+    let ok = report.counters.get("batch.summaries_ok").copied().unwrap_or(0);
+    let failed = report.counters.get("batch.summaries_failed").copied().unwrap_or(0);
+    assert_eq!((ok + failed) as usize, batch.len());
+}

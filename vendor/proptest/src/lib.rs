@@ -169,6 +169,7 @@ impl_strategy_tuple! {
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
 }
 
 /// String patterns as strategies, like upstream's regex support — but only
