@@ -50,12 +50,37 @@ impl Default for CalibrationParams {
     }
 }
 
+impl CalibrationParams {
+    /// Checks the tunables: the radius must be positive and finite, the
+    /// spacing and tie margin non-negative and finite. NaN fails every
+    /// comparison, so each check catches it too.
+    pub fn validate(&self) -> Result<(), CalibrationError> {
+        if !(self.radius_m > 0.0) || !self.radius_m.is_finite() {
+            return Err(CalibrationError::InvalidParams("radius_m must be positive and finite"));
+        }
+        if !(self.min_spacing_m >= 0.0) || !self.min_spacing_m.is_finite() {
+            return Err(CalibrationError::InvalidParams(
+                "min_spacing_m must be non-negative and finite",
+            ));
+        }
+        if !(self.tie_margin_m >= 0.0) || !self.tie_margin_m.is_finite() {
+            return Err(CalibrationError::InvalidParams(
+                "tie_margin_m must be non-negative and finite",
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Why calibration failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CalibrationError {
     /// Fewer than two landmarks anchor the trajectory; no symbolic form
     /// exists. Carries the number found.
     TooFewLandmarks(usize),
+    /// The [`CalibrationParams`] are unusable; carries which constraint
+    /// failed.
+    InvalidParams(&'static str),
 }
 
 impl std::fmt::Display for CalibrationError {
@@ -63,6 +88,9 @@ impl std::fmt::Display for CalibrationError {
         match self {
             CalibrationError::TooFewLandmarks(n) => {
                 write!(f, "only {n} landmark(s) within calibration radius; need at least 2")
+            }
+            CalibrationError::InvalidParams(what) => {
+                write!(f, "invalid calibration params: {what}")
             }
         }
     }
@@ -94,7 +122,7 @@ pub fn calibrate_view(
     registry: &LandmarkRegistry,
     params: CalibrationParams,
 ) -> Result<SymbolicTrajectory, CalibrationError> {
-    assert!(params.radius_m > 0.0 && params.min_spacing_m >= 0.0);
+    params.validate()?;
     let poly = raw.polyline();
     let frame = LocalFrame::new(raw.start().point);
 
@@ -274,6 +302,27 @@ mod tests {
                 })
                 .collect(),
         )
+    }
+
+    #[test]
+    fn params_validation_is_fallible() {
+        assert!(CalibrationParams::default().validate().is_ok());
+        let bad = CalibrationParams { radius_m: 0.0, ..CalibrationParams::default() };
+        assert_eq!(
+            bad.validate(),
+            Err(CalibrationError::InvalidParams("radius_m must be positive and finite"))
+        );
+        let bad = CalibrationParams { radius_m: f64::NAN, ..CalibrationParams::default() };
+        assert!(bad.validate().is_err(), "NaN radius must fail");
+        let bad = CalibrationParams { min_spacing_m: -1.0, ..CalibrationParams::default() };
+        assert!(bad.validate().is_err());
+        let bad = CalibrationParams { tie_margin_m: f64::INFINITY, ..CalibrationParams::default() };
+        assert!(bad.validate().is_err());
+        // calibrate_view surfaces the same error instead of asserting.
+        let raw = east_trajectory(100.0, 2_000.0, 10);
+        let registry = registry_along_route();
+        let bad = CalibrationParams { radius_m: -5.0, ..CalibrationParams::default() };
+        assert!(matches!(calibrate(&raw, &registry, bad), Err(CalibrationError::InvalidParams(_))));
     }
 
     #[test]

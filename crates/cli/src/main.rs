@@ -26,9 +26,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stmaker::{standard_features, FeatureWeights, Recorder, Summarizer, SummarizerConfig};
 use stmaker_generator::{TripConfig, TripGenerator, World, WorldConfig};
-use stmaker_io::{read_trajectory_csv, summary_to_geojson, write_trajectory_csv};
+use stmaker_io::{
+    read_raw_points_csv, read_raw_points_jsonl, read_trajectory_csv, read_trajectory_jsonl,
+    summary_to_geojson, write_trajectory_csv,
+};
 use stmaker_textmine::InvertedIndex;
-use stmaker_trajectory::RawTrajectory;
+use stmaker_trajectory::{sanitize, RawPoint, RawTrajectory, SanitizeConfig, SanitizePolicy};
 
 /// Global observability options, stripped from the argument list before
 /// subcommand dispatch so every subcommand accepts them in any position.
@@ -39,16 +42,21 @@ struct Obs {
     /// Worker threads for training/batch stages; 0 = auto
     /// (`STMAKER_THREADS` env, else available parallelism).
     threads: usize,
+    /// Ingest-hardening policy for trip files (`--sanitize POLICY`); `None`
+    /// means strict parsing with no repair.
+    sanitize: Option<SanitizePolicy>,
 }
 
 impl Obs {
-    /// Extracts `--trace` / `--metrics-json PATH` / `--threads N` from
-    /// `args` (removing them) and builds the matching recorder: enabled if
-    /// either tracing flag is present, the zero-cost no-op otherwise.
+    /// Extracts `--trace` / `--metrics-json PATH` / `--threads N` /
+    /// `--sanitize POLICY` from `args` (removing them) and builds the
+    /// matching recorder: enabled if either tracing flag is present, the
+    /// zero-cost no-op otherwise.
     fn extract(args: &mut Vec<String>) -> Result<Self, String> {
         let mut trace = false;
         let mut metrics_json = None;
         let mut threads = 0usize;
+        let mut sanitize = None;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -71,6 +79,14 @@ impl Obs {
                     let v = args.remove(i);
                     threads = v.parse().map_err(|_| format!("bad value for --threads: {v:?}"))?;
                 }
+                "--sanitize" => {
+                    args.remove(i);
+                    if i >= args.len() {
+                        return Err("missing policy after --sanitize".to_owned());
+                    }
+                    let v = args.remove(i);
+                    sanitize = Some(v.parse::<SanitizePolicy>()?);
+                }
                 _ => i += 1,
             }
         }
@@ -79,7 +95,7 @@ impl Obs {
         } else {
             Recorder::disabled()
         };
-        Ok(Self { recorder, trace, metrics_json, threads })
+        Ok(Self { recorder, trace, metrics_json, threads, sanitize })
     }
 
     /// Renders/writes the collected telemetry after the subcommand ran.
@@ -107,6 +123,7 @@ fn main() -> ExitCode {
             Some("gen") => cmd_gen(&args[1..], &obs),
             Some("train") => cmd_train(&args[1..], &obs),
             Some("summarize") => cmd_summarize(&args[1..], &obs),
+            Some("sanitize") => cmd_sanitize(&args[1..], &obs),
             Some("group") => cmd_group(&args[1..], &obs),
             Some("search") => cmd_search(&args[1..], &obs),
             Some("help") | Some("--help") | Some("-h") | None => {
@@ -131,10 +148,12 @@ fn print_usage() {
         "stmaker-cli — trajectory summarization (ICDE'15 reproduction)\n\n\
          USAGE:\n  stmaker-cli <subcommand> [options]\n\n\
          SUBCOMMANDS:\n  \
-         demo       [--seed N] [--hour H] [--k K]   one-shot world+trip demo\n  \
+         demo       [--seed N] [--hour H] [--k K] [--trip FILE] one-shot world+trip demo\n  \
          gen        --dir DIR [--trips N] [--seed N] export trips as CSV + world.json\n  \
          train      --dir DIR [--out FILE] [--n-train N] save a trained model\n  \
          summarize  --dir DIR --trip FILE [--k K] [--model FILE] [--geojson FILE]\n  \
+         sanitize   --trip FILE [--max-speed M] [--max-gap S] [--out FILE]\n  \
+         \x20                                          audit/repair a trip file\n  \
          group      --dir DIR [--min-share F]       group summary of every trip in DIR\n  \
          search     --dir DIR --query \"...\" [--top K] keyword search over summaries\n  \
          help                                        this message\n\n\
@@ -143,7 +162,11 @@ fn print_usage() {
          --metrics-json PATH    write the telemetry report as JSON\n  \
          --threads N            worker threads for train/batch stages\n  \
          \x20                      (0 = auto; also via STMAKER_THREADS; results\n  \
-         \x20                      are identical for every thread count)"
+         \x20                      are identical for every thread count)\n  \
+         --sanitize POLICY      ingest hardening for trip files: strict |\n  \
+         \x20                      repair | drop (defects counted to stderr;\n  \
+         \x20                      without the flag, parsing is strict and\n  \
+         \x20                      defective files are rejected with an error)"
     );
 }
 
@@ -269,14 +292,76 @@ fn trip_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
     Ok(files)
 }
 
+/// Reads a trip file (CSV, or JSON-lines for `.jsonl` paths) into a sample
+/// buffer under the global `--sanitize` policy. Without a policy the strict
+/// reader runs and any defect is a hard, line-numbered error; with one, the
+/// lenient reader feeds the sanitizer, the report goes to stderr and the
+/// recorder, and the longest surviving segment is returned.
+fn load_trip_points(path: &Path, obs: &Obs) -> Result<Vec<RawPoint>, String> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let is_jsonl = path.extension().map(|x| x == "jsonl").unwrap_or(false);
+    match obs.sanitize {
+        None => {
+            let traj =
+                if is_jsonl { read_trajectory_jsonl(&body) } else { read_trajectory_csv(&body) }
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+            Ok(traj.points().to_vec())
+        }
+        Some(policy) => {
+            let pts =
+                if is_jsonl { read_raw_points_jsonl(&body) } else { read_raw_points_csv(&body) }
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+            let cfg = SanitizeConfig::with_policy(policy);
+            let cleaned = sanitize(&pts, &cfg).map_err(|e| format!("{}: {e}", path.display()))?;
+            eprintln!("{}", cleaned.report);
+            cleaned.report.record_into(&obs.recorder);
+            cleaned
+                .longest()
+                .map(<[RawPoint]>::to_vec)
+                .ok_or_else(|| format!("{}: no usable segment after sanitization", path.display()))
+        }
+    }
+}
+
+/// Summarizes an already-loaded sample buffer through the fallible entry
+/// points — a malformed buffer is an error message, never a backtrace.
+fn summarize_points_cmd(
+    summarizer: &Summarizer<'_>,
+    points: Vec<RawPoint>,
+    k: usize,
+) -> Result<stmaker::Summary, String> {
+    if k == 0 {
+        summarizer.summarize_points(&points).map_err(|e| e.to_string())
+    } else {
+        let raw = RawTrajectory::try_new(points).map_err(|e| e.to_string())?;
+        summarizer.summarize_k(&raw, k).map_err(|e| e.to_string())
+    }
+}
+
 fn cmd_demo(args: &[String], obs: &Obs) -> Result<(), String> {
     let opts = Opts::new(args);
     let seed: u64 = opts.parse("--seed", 2024)?;
     let hour: f64 = opts.parse("--hour", 8.5)?;
     let k: usize = opts.parse("--k", 0)?;
 
+    // `--trip FILE` summarizes a file against the demo world instead of a
+    // generated trip — the smoke path for ingest hardening (the file must
+    // come from the same seed's world for calibration to anchor). Loaded
+    // before the world build so a bad file fails fast.
+    let file_points =
+        opts.get("--trip").map(|file| load_trip_points(Path::new(file), obs)).transpose()?;
+
     let stack = Stack::from_config(WorldConfig::small(seed), obs);
     let summarizer = stack.train(150);
+
+    if let Some(points) = file_points {
+        println!("trip: {} samples", points.len());
+        let summary = summarize_points_cmd(&summarizer, points, k)?;
+        println!("\n{}", summary.text);
+        return Ok(());
+    }
+
     let gen = TripGenerator::new(&stack.world, TripConfig::default());
     let mut rng = StdRng::seed_from_u64(seed ^ 0xDE60);
     let trip = (0..100)
@@ -293,6 +378,48 @@ fn cmd_demo(args: &[String], obs: &Obs) -> Result<(), String> {
         if k == 0 { summarizer.summarize(&trip.raw) } else { summarizer.summarize_k(&trip.raw, k) }
             .map_err(|e| e.to_string())?;
     println!("\n{}", summary.text);
+    Ok(())
+}
+
+/// Audits (and under repair/drop policies, repairs) a trip file without
+/// summarizing it: prints the defect report, per-segment sizes, and
+/// optionally writes the longest surviving segment back out as CSV.
+fn cmd_sanitize(args: &[String], obs: &Obs) -> Result<(), String> {
+    let opts = Opts::new(args);
+    let file = PathBuf::from(opts.require("--trip")?);
+    let max_speed: f64 = opts.parse("--max-speed", 70.0)?;
+    let max_gap: i64 = opts.parse("--max-gap", 1800)?;
+
+    let body = std::fs::read_to_string(&file)
+        .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+    let is_jsonl = file.extension().map(|x| x == "jsonl").unwrap_or(false);
+    let pts = if is_jsonl { read_raw_points_jsonl(&body) } else { read_raw_points_csv(&body) }
+        .map_err(|e| format!("{}: {e}", file.display()))?;
+
+    let cfg = SanitizeConfig {
+        policy: obs.sanitize.unwrap_or_default(),
+        max_speed_mps: max_speed,
+        max_gap_secs: max_gap,
+    };
+    let cleaned = sanitize(&pts, &cfg).map_err(|e| format!("{}: {e}", file.display()))?;
+    cleaned.report.record_into(&obs.recorder);
+    println!("{}", cleaned.report);
+    for (i, seg) in cleaned.segments.iter().enumerate() {
+        println!(
+            "  segment {i}: {} samples, t={}..{}",
+            seg.len(),
+            seg[0].t.0,
+            seg[seg.len() - 1].t.0
+        );
+    }
+    if let Some(out) = opts.get("--out") {
+        let longest = cleaned
+            .longest()
+            .ok_or_else(|| format!("{}: no usable segment to write", file.display()))?;
+        let traj = RawTrajectory::try_new(longest.to_vec()).map_err(|e| e.to_string())?;
+        std::fs::write(out, write_trajectory_csv(&traj)).map_err(|e| e.to_string())?;
+        eprintln!("wrote repaired trajectory ({} samples) to {out}", traj.len());
+    }
     Ok(())
 }
 
@@ -341,14 +468,11 @@ fn cmd_summarize(args: &[String], obs: &Obs) -> Result<(), String> {
     let k: usize = opts.parse("--k", 0)?;
 
     let trip_path = dir.join(trip_file);
-    let body = std::fs::read_to_string(&trip_path)
-        .map_err(|e| format!("cannot read {}: {e}", trip_path.display()))?;
-    let raw = read_trajectory_csv(&body).map_err(|e| format!("{}: {e}", trip_path.display()))?;
+    let points = load_trip_points(&trip_path, obs)?;
 
     let stack = Stack::from_config(load_world_config(&dir)?, obs);
     let summarizer = stack.summarizer(&opts)?;
-    let summary = if k == 0 { summarizer.summarize(&raw) } else { summarizer.summarize_k(&raw, k) }
-        .map_err(|e| e.to_string())?;
+    let summary = summarize_points_cmd(&summarizer, points, k)?;
 
     println!("{}", summary.text);
     if let Some(out) = opts.get("--geojson") {

@@ -54,12 +54,17 @@ pub struct GroupSummary {
 pub enum GroupError {
     /// No member trajectory could be summarized.
     NothingSummarizable,
+    /// `min_share` is outside `[0, 1]` (or NaN).
+    InvalidMinShare(f64),
 }
 
 impl std::fmt::Display for GroupError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GroupError::NothingSummarizable => write!(f, "no trajectory in the group calibrated"),
+            GroupError::InvalidMinShare(s) => {
+                write!(f, "min_share must be in [0, 1], got {s}")
+            }
         }
     }
 }
@@ -75,7 +80,10 @@ impl Summarizer<'_> {
         trips: &[RawTrajectory],
         min_share: f64,
     ) -> Result<GroupSummary, GroupError> {
-        assert!((0.0..=1.0).contains(&min_share), "min_share must be in [0, 1]");
+        // `contains` is false for NaN, so the one check covers it too.
+        if !(0.0..=1.0).contains(&min_share) {
+            return Err(GroupError::InvalidMinShare(min_share));
+        }
         let members: Vec<Summary> =
             self.summarize_batch(trips).into_iter().filter_map(Result::ok).collect();
         if members.is_empty() {

@@ -81,7 +81,7 @@ pub use feature::{Feature, FeatureKind, FeatureScale, FeatureSet, FeatureWeights
 pub use group::{GroupError, GroupFeatureStat, GroupSummary};
 pub use partition::{optimal_k_partition, optimal_partition, PartitionResult, PartitionSpan};
 pub use select::SelectedFeature;
-pub use streaming::{StreamConfig, StreamingSummarizer};
+pub use streaming::{OutOfOrderPolicy, StreamConfig, StreamError, StreamingSummarizer};
 pub use summarize::{
     mentioned_keys, summary_mentions, PartitionSummary, Prepared, SummarizeError, Summarizer,
     SummarizerConfig, Summary, TrainedModel,

@@ -13,9 +13,31 @@
 //! whole trip — and at Fig. 12's per-summary cost (single-digit
 //! milliseconds) a refresh every few hundred metres is negligible for an
 //! embedded device.
+//!
+//! Live feeds are not clean: retransmitted packets arrive late and receiver
+//! glitches serialize as NaN. [`StreamingSummarizer::try_push`] therefore
+//! never panics — defective samples are dropped and counted (the default
+//! [`OutOfOrderPolicy::Drop`]) or surfaced as a typed [`StreamError`]
+//! ([`OutOfOrderPolicy::Reject`]). The panicking
+//! [`StreamingSummarizer::push`] survives as a deprecated shim.
 
 use crate::summarize::{SummarizeError, Summarizer, Summary};
-use stmaker_trajectory::RawPoint;
+use stmaker_trajectory::{RawPoint, TrajectoryError};
+
+/// What to do with a sample that arrives out of time order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutOfOrderPolicy {
+    /// Drop the late sample and count it ([`StreamingSummarizer::dropped`]
+    /// and the `stream.out_of_order_dropped` counter). The default: streams
+    /// are time-ordered by definition, so a late sample is transport noise,
+    /// not data.
+    #[default]
+    Drop,
+    /// Return [`StreamError::OutOfOrder`] and leave the buffer untouched.
+    /// Use when the transport guarantees ordering and a violation means an
+    /// upstream bug worth failing loudly on.
+    Reject,
+}
 
 /// Refresh policy for the stream.
 #[derive(Debug, Clone, Copy)]
@@ -26,13 +48,69 @@ pub struct StreamConfig {
     /// (whichever comes first). Covers a car stuck in a jam: no distance
     /// accumulates, but the stay-point count is growing.
     pub refresh_interval_s: i64,
+    /// How late samples are handled by [`StreamingSummarizer::try_push`].
+    pub out_of_order: OutOfOrderPolicy,
 }
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        Self { refresh_distance_m: 500.0, refresh_interval_s: 120 }
+        Self {
+            refresh_distance_m: 500.0,
+            refresh_interval_s: 120,
+            out_of_order: OutOfOrderPolicy::Drop,
+        }
     }
 }
+
+impl StreamConfig {
+    /// Checks the refresh thresholds: the distance must be positive and
+    /// finite, the interval positive.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        if !(self.refresh_distance_m > 0.0) || !self.refresh_distance_m.is_finite() {
+            return Err(StreamError::InvalidConfig {
+                what: "refresh_distance_m must be positive and finite",
+            });
+        }
+        if self.refresh_interval_s <= 0 {
+            return Err(StreamError::InvalidConfig { what: "refresh_interval_s must be positive" });
+        }
+        Ok(())
+    }
+}
+
+/// Why a streaming operation was refused.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamError {
+    /// The [`StreamConfig`] is unusable.
+    InvalidConfig {
+        /// Which constraint failed.
+        what: &'static str,
+    },
+    /// A sample arrived out of order under [`OutOfOrderPolicy::Reject`].
+    OutOfOrder {
+        /// Timestamp of the newest buffered sample, seconds.
+        last_t: i64,
+        /// Timestamp of the rejected sample, seconds.
+        got_t: i64,
+    },
+    /// A sample carried a defective coordinate under
+    /// [`OutOfOrderPolicy::Reject`].
+    InvalidPoint(TrajectoryError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::InvalidConfig { what } => write!(f, "invalid stream config: {what}"),
+            StreamError::OutOfOrder { last_t, got_t } => {
+                write!(f, "out-of-order sample: t={got_t} after t={last_t}")
+            }
+            StreamError::InvalidPoint(e) => write!(f, "invalid sample: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
 
 /// Incremental summarization over an arriving point stream.
 pub struct StreamingSummarizer<'s, 'a> {
@@ -42,12 +120,28 @@ pub struct StreamingSummarizer<'s, 'a> {
     current: Option<Summary>,
     dist_since_refresh: f64,
     last_refresh_t: Option<i64>,
+    dropped_out_of_order: u64,
+    dropped_invalid: u64,
 }
 
 impl<'s, 'a> StreamingSummarizer<'s, 'a> {
     /// Wraps a trained summarizer.
+    ///
+    /// # Panics
+    /// Panics if the refresh thresholds are not positive; prefer
+    /// [`StreamingSummarizer::try_new`].
     pub fn new(summarizer: &'s Summarizer<'a>, cfg: StreamConfig) -> Self {
         assert!(cfg.refresh_distance_m > 0.0 && cfg.refresh_interval_s > 0);
+        Self::build(summarizer, cfg)
+    }
+
+    /// Fallible construction: validates `cfg` instead of asserting.
+    pub fn try_new(summarizer: &'s Summarizer<'a>, cfg: StreamConfig) -> Result<Self, StreamError> {
+        cfg.validate()?;
+        Ok(Self::build(summarizer, cfg))
+    }
+
+    fn build(summarizer: &'s Summarizer<'a>, cfg: StreamConfig) -> Self {
         Self {
             summarizer,
             cfg,
@@ -55,6 +149,8 @@ impl<'s, 'a> StreamingSummarizer<'s, 'a> {
             current: None,
             dist_since_refresh: 0.0,
             last_refresh_t: None,
+            dropped_out_of_order: 0,
+            dropped_invalid: 0,
         }
     }
 
@@ -73,15 +169,54 @@ impl<'s, 'a> StreamingSummarizer<'s, 'a> {
         self.current.as_ref()
     }
 
-    /// Feeds one sample. Returns `Some` with a *fresh* summary when the
+    /// Samples dropped so far as `(out_of_order, invalid_coordinate)` under
+    /// [`OutOfOrderPolicy::Drop`] — the stream's own sanitize report.
+    pub fn dropped(&self) -> (u64, u64) {
+        (self.dropped_out_of_order, self.dropped_invalid)
+    }
+
+    /// Feeds one sample. Returns `Ok(Some)` with a *fresh* summary when the
     /// refresh policy fired and the prefix was summarizable.
     ///
-    /// # Panics
-    /// Panics if `point` is older than the previous sample (streams are
-    /// time-ordered by definition; reordering is the transport's job).
-    pub fn push(&mut self, point: RawPoint) -> Option<&Summary> {
+    /// Never panics: an out-of-order or defective sample is dropped and
+    /// counted under [`OutOfOrderPolicy::Drop`] (returning `Ok(None)`), or
+    /// reported as a [`StreamError`] under [`OutOfOrderPolicy::Reject`] —
+    /// in both cases the buffered prefix stays intact and the stream
+    /// remains usable.
+    pub fn try_push(&mut self, point: RawPoint) -> Result<Option<&Summary>, StreamError> {
+        let (lat, lon) = (point.point.lat, point.point.lon);
+        let defect = if !lat.is_finite() || !lon.is_finite() {
+            Some(TrajectoryError::NonFiniteCoordinate { index: self.buffer.len() })
+        } else if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+            // A defective-but-finite coordinate must not enter the buffer
+            // either, or `finish` would reject the whole otherwise-good trip.
+            Some(TrajectoryError::OutOfRangeCoordinate { index: self.buffer.len(), lat, lon })
+        } else {
+            None
+        };
+        if let Some(e) = defect {
+            return match self.cfg.out_of_order {
+                OutOfOrderPolicy::Drop => {
+                    self.dropped_invalid += 1;
+                    self.summarizer.recorder().add("stream.invalid_dropped", 1);
+                    Ok(None)
+                }
+                OutOfOrderPolicy::Reject => Err(StreamError::InvalidPoint(e)),
+            };
+        }
         if let Some(last) = self.buffer.last() {
-            assert!(last.t <= point.t, "stream samples must be time-ordered");
+            if point.t < last.t {
+                return match self.cfg.out_of_order {
+                    OutOfOrderPolicy::Drop => {
+                        self.dropped_out_of_order += 1;
+                        self.summarizer.recorder().add("stream.out_of_order_dropped", 1);
+                        Ok(None)
+                    }
+                    OutOfOrderPolicy::Reject => {
+                        Err(StreamError::OutOfOrder { last_t: last.t.0, got_t: point.t.0 })
+                    }
+                };
+            }
             self.dist_since_refresh += last.point.haversine_m(&point.point);
         }
         self.buffer.push(point);
@@ -90,19 +225,33 @@ impl<'s, 'a> StreamingSummarizer<'s, 'a> {
         let due_time =
             self.last_refresh_t.map(|t0| t - t0 >= self.cfg.refresh_interval_s).unwrap_or(true);
         if self.buffer.len() < 2 || (!due_dist && !due_time) {
-            return None;
+            return Ok(None);
         }
         let refreshed = self.refresh();
         if refreshed {
             self.dist_since_refresh = 0.0;
             self.last_refresh_t = Some(t);
-            self.current.as_ref()
+            Ok(self.current.as_ref())
         } else {
             // The prefix did not calibrate: keep the refresh debt so the
             // very next sample retries, and do not hand back the stale
             // previous summary as if it were fresh.
-            None
+            Ok(None)
         }
+    }
+
+    /// Feeds one sample (legacy panicking form).
+    ///
+    /// # Panics
+    /// Panics if `point` is older than the previous sample. New code should
+    /// use [`StreamingSummarizer::try_push`], which applies
+    /// [`StreamConfig::out_of_order`] instead of panicking.
+    #[deprecated(note = "panics on out-of-order input; use try_push")]
+    pub fn push(&mut self, point: RawPoint) -> Option<&Summary> {
+        if let Some(last) = self.buffer.last() {
+            assert!(last.t <= point.t, "stream samples must be time-ordered");
+        }
+        self.try_push(point).ok().flatten()
     }
 
     /// Re-summarizes the buffered prefix; returns whether a fresh summary
@@ -123,10 +272,35 @@ impl<'s, 'a> StreamingSummarizer<'s, 'a> {
     /// refresh policy. Equivalent to batch-summarizing the same samples.
     pub fn finish(self) -> Result<Summary, SummarizeError> {
         if self.buffer.len() < 2 {
-            return Err(SummarizeError::Calibration(
-                stmaker_calibration::CalibrationError::TooFewLandmarks(0),
-            ));
+            return Err(SummarizeError::Input(TrajectoryError::TooFewPoints {
+                got: self.buffer.len(),
+            }));
         }
         self.summarizer.summarize_points(&self.buffer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_is_fallible() {
+        assert!(StreamConfig::default().validate().is_ok());
+        let bad = StreamConfig { refresh_distance_m: 0.0, ..StreamConfig::default() };
+        assert!(matches!(bad.validate(), Err(StreamError::InvalidConfig { .. })));
+        let bad = StreamConfig { refresh_distance_m: f64::NAN, ..StreamConfig::default() };
+        assert!(matches!(bad.validate(), Err(StreamError::InvalidConfig { .. })));
+        let bad = StreamConfig { refresh_interval_s: 0, ..StreamConfig::default() };
+        let msg = bad.validate().expect_err("invalid").to_string();
+        assert!(msg.contains("refresh_interval_s"), "{msg}");
+    }
+
+    #[test]
+    fn stream_error_messages_are_actionable() {
+        let e = StreamError::OutOfOrder { last_t: 100, got_t: 40 };
+        assert_eq!(e.to_string(), "out-of-order sample: t=40 after t=100");
+        let e = StreamError::InvalidPoint(TrajectoryError::NonFiniteCoordinate { index: 7 });
+        assert!(e.to_string().contains("non-finite"), "{e}");
     }
 }

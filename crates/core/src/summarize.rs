@@ -27,7 +27,7 @@ use stmaker_obs::Recorder;
 use stmaker_poi::{LandmarkId, LandmarkRegistry};
 use stmaker_road::RoadNetwork;
 use stmaker_routes::{HistoricalFeatureMap, PopularRouteConfig, PopularRoutes};
-use stmaker_trajectory::{RawPoint, RawTrajectory, RawView, SymbolicTrajectory};
+use stmaker_trajectory::{RawPoint, RawTrajectory, RawView, SymbolicTrajectory, TrajectoryError};
 
 /// All tunables of the pipeline. Defaults are the paper's experimental
 /// settings (Sec. VII-B): Ca = 0.5, η = 0.2, unit feature weights.
@@ -92,6 +92,10 @@ impl SummarizerConfig {
 /// Why a trajectory could not be summarized.
 #[derive(Debug)]
 pub enum SummarizeError {
+    /// The input buffer is not a valid trajectory (too few samples,
+    /// defective coordinates, out-of-order timestamps). Route untrusted
+    /// feeds through `stmaker_trajectory::sanitize` first.
+    Input(TrajectoryError),
     /// Calibration failed (trajectory anchors fewer than two landmarks).
     Calibration(CalibrationError),
     /// The requested partition count is infeasible: `k` must be in
@@ -107,6 +111,7 @@ pub enum SummarizeError {
 impl std::fmt::Display for SummarizeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            SummarizeError::Input(e) => write!(f, "invalid trajectory input: {e}"),
             SummarizeError::Calibration(e) => write!(f, "calibration failed: {e}"),
             SummarizeError::InvalidK { k, max } => {
                 write!(f, "cannot split {max} segment(s) into {k} partition(s)")
@@ -120,6 +125,12 @@ impl std::error::Error for SummarizeError {}
 impl From<CalibrationError> for SummarizeError {
     fn from(e: CalibrationError) -> Self {
         SummarizeError::Calibration(e)
+    }
+}
+
+impl From<TrajectoryError> for SummarizeError {
+    fn from(e: TrajectoryError) -> Self {
+        SummarizeError::Input(e)
     }
 }
 
@@ -434,11 +445,11 @@ impl<'a> Summarizer<'a> {
     /// otherwise clone its whole buffer into an owned trajectory on every
     /// refresh.
     ///
-    /// # Panics
-    /// Panics if `points` has fewer than two samples or timestamps
-    /// decrease (the [`RawView`] invariants).
+    /// Never panics: a buffer violating the [`RawView`] invariants (too few
+    /// samples, defective coordinates, decreasing timestamps) returns
+    /// [`SummarizeError::Input`].
     pub fn summarize_points(&self, points: &[RawPoint]) -> Result<Summary, SummarizeError> {
-        let raw = RawView::new(points);
+        let raw = RawView::try_new(points)?;
         let _root = self.summarize_span(None);
         let prepared = self.prepare_view(raw, &self.cfg.recorder)?;
         self.summarize_prepared(&prepared, None)
@@ -481,7 +492,43 @@ impl<'a> Summarizer<'a> {
                 .and_then(|p| self.summarize_prepared_obs(&p, k, &quiet));
             (r, t0.elapsed())
         });
+        self.collect_batch(timed)
+    }
 
+    /// Summarizes many *untrusted* sample buffers in parallel — the batch
+    /// analogue of [`Self::summarize_points`]. Where [`Self::summarize_batch`]
+    /// takes [`RawTrajectory`] values that are valid by construction, this
+    /// accepts raw buffers straight off disk: each is validated inside its
+    /// worker, and a defective buffer yields [`SummarizeError::Input`] at its
+    /// index while every other trip still summarizes. Results stay
+    /// index-aligned and byte-identical at any `cfg.threads`.
+    pub fn summarize_batch_points(
+        &self,
+        trips: &[Vec<RawPoint>],
+    ) -> Vec<Result<Summary, SummarizeError>> {
+        let obs = &self.cfg.recorder;
+        let _root = obs.span("summarize_batch");
+        let exec = Executor::new(self.cfg.threads).with_recorder(obs.clone());
+        let quiet = Recorder::disabled();
+        let timed = exec.par_map(trips, |_, points| {
+            let t0 = Instant::now();
+            let r = RawView::try_new(points).map_err(SummarizeError::Input).and_then(|raw| {
+                self.prepare_view(raw, &quiet)
+                    .and_then(|p| self.summarize_prepared_obs(&p, None, &quiet))
+            });
+            (r, t0.elapsed())
+        });
+        self.collect_batch(timed)
+    }
+
+    /// Replays per-trip wall times into the shared recorder in input order
+    /// and tallies the ok/failed counters — the deterministic tail every
+    /// batch entry point funnels through.
+    fn collect_batch(
+        &self,
+        timed: Vec<(Result<Summary, SummarizeError>, std::time::Duration)>,
+    ) -> Vec<Result<Summary, SummarizeError>> {
+        let obs = &self.cfg.recorder;
         let mut out = Vec::with_capacity(timed.len());
         let (mut ok, mut failed) = (0u64, 0u64);
         for (r, dur) in timed {

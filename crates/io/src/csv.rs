@@ -12,9 +12,13 @@ use crate::FormatError;
 use stmaker_geo::GeoPoint;
 use stmaker_trajectory::{RawPoint, RawTrajectory, Timestamp};
 
-/// Parses a trajectory from CSV text.
-pub fn read_trajectory_csv(text: &str) -> Result<RawTrajectory, FormatError> {
-    let mut points = Vec::new();
+/// Parses rows into `(line_no, point)` pairs without validating values —
+/// the shared front half of the strict and lenient readers. `"nan"` and
+/// `"inf"` are valid `f64` spellings, so defective samples survive this
+/// stage; only *structurally* unreadable rows (non-numeric fields, bad
+/// datetimes) error.
+fn parse_rows_csv(text: &str) -> Result<Vec<(usize, RawPoint)>, FormatError> {
+    let mut rows = Vec::new();
     let mut seen_data = false;
     for (i, raw_line) in text.lines().enumerate() {
         let line_no = i + 1;
@@ -44,25 +48,68 @@ pub fn read_trajectory_csv(text: &str) -> Result<RawTrajectory, FormatError> {
         let lon: f64 = fields[1]
             .parse()
             .map_err(|_| FormatError::new(line_no, format!("bad longitude {:?}", fields[1])))?;
-        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+        let t = parse_timestamp(&fields[2..], line_no)?;
+        // Struct literal, not `GeoPoint::new`: the constructor asserts on
+        // defective values, and the whole point of the lenient path is to
+        // carry them to the sanitizer intact.
+        rows.push((line_no, RawPoint { point: GeoPoint { lat, lon }, t }));
+    }
+    Ok(rows)
+}
+
+/// Validates parsed rows: finite + in-range coordinates, at least two
+/// samples, non-decreasing timestamps — each failure reported with the
+/// 1-based line number of the offending row.
+fn validate_rows(rows: &[(usize, RawPoint)], total_lines: usize) -> Result<(), FormatError> {
+    for (line_no, p) in rows {
+        if !p.point.lat.is_finite() || !p.point.lon.is_finite() {
             return Err(FormatError::new(
-                line_no,
-                format!("coordinates out of range: {lat}, {lon}"),
+                *line_no,
+                format!("non-finite coordinates: {}, {}", p.point.lat, p.point.lon),
             ));
         }
-        let t = parse_timestamp(&fields[2..], line_no)?;
-        points.push(RawPoint { point: GeoPoint::new(lat, lon), t });
+        if !(-90.0..=90.0).contains(&p.point.lat) || !(-180.0..=180.0).contains(&p.point.lon) {
+            return Err(FormatError::new(
+                *line_no,
+                format!("coordinates out of range: {}, {}", p.point.lat, p.point.lon),
+            ));
+        }
     }
-    if points.len() < 2 {
+    if rows.len() < 2 {
         return Err(FormatError::new(
-            text.lines().count(),
-            format!("a trajectory needs at least 2 samples, got {}", points.len()),
+            total_lines,
+            format!("a trajectory needs at least 2 samples, got {}", rows.len()),
         ));
     }
-    if !points.windows(2).all(|w| w[0].t <= w[1].t) {
-        return Err(FormatError::new(0, "timestamps must be non-decreasing".to_owned()));
+    for w in rows.windows(2) {
+        if w[1].1.t < w[0].1.t {
+            return Err(FormatError::new(
+                w[1].0,
+                format!(
+                    "timestamps must be non-decreasing: t={} after t={}",
+                    w[1].1.t.0, w[0].1.t.0
+                ),
+            ));
+        }
     }
-    Ok(RawTrajectory::new(points))
+    Ok(())
+}
+
+/// Parses a trajectory from CSV text, rejecting any defective sample
+/// (non-finite or out-of-range coordinates, decreasing timestamps) with the
+/// offending line number.
+pub fn read_trajectory_csv(text: &str) -> Result<RawTrajectory, FormatError> {
+    let rows = parse_rows_csv(text)?;
+    validate_rows(&rows, text.lines().count())?;
+    Ok(RawTrajectory::new(rows.into_iter().map(|(_, p)| p).collect()))
+}
+
+/// Parses CSV rows into raw samples *without* validating coordinates or
+/// ordering — the lenient front door for
+/// `stmaker_trajectory::sanitize`, which wants to see the defects so it can
+/// count and repair them. Only structurally unreadable rows error.
+pub fn read_raw_points_csv(text: &str) -> Result<Vec<RawPoint>, FormatError> {
+    Ok(parse_rows_csv(text)?.into_iter().map(|(_, p)| p).collect())
 }
 
 /// Serializes a trajectory to the canonical CSV layout (Unix seconds).
@@ -191,6 +238,39 @@ mod tests {
         assert!(read_trajectory_csv("99.0,116.3,0\n39.9,116.3,5\n").is_err());
         let e = read_trajectory_csv("39.9,116.3,10\n39.9,116.4,5\n").unwrap_err();
         assert!(e.message.contains("non-decreasing"));
+        // The ordering error names the offending row, not line 0.
+        assert_eq!(e.line, 2);
+        let e = read_trajectory_csv("39.9,116.3,0\n39.9,116.4,9\n39.9,116.5,4\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn rejects_non_finite_with_explicit_message() {
+        // "nan" and "inf" are valid f64 spellings, so they parse — the
+        // reader must still refuse them, and say why (not "out of range").
+        let e = read_trajectory_csv("nan,116.3,0\n39.9,116.3,5\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("non-finite"), "{e}");
+        let e = read_trajectory_csv("39.9,116.3,0\n39.9,inf,5\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("non-finite"), "{e}");
+        let e = read_trajectory_csv("39.9,116.3,0\n39.9,-inf,5\n").unwrap_err();
+        assert!(e.message.contains("non-finite"), "{e}");
+    }
+
+    #[test]
+    fn lenient_reader_carries_defects_through() {
+        // The sanitizer's front door: defective values survive parsing so
+        // they can be counted and repaired downstream.
+        let text = "lat,lon,ts\nnan,116.3,0\n39.9,116.3,10\n39.91,116.31,5\n99.0,116.3,20\n";
+        let pts = read_raw_points_csv(text).unwrap();
+        assert_eq!(pts.len(), 4);
+        assert!(pts[0].point.lat.is_nan());
+        assert_eq!(pts[2].t, Timestamp(5)); // out-of-order kept verbatim
+        assert_eq!(pts[3].point.lat, 99.0); // out-of-range kept verbatim
+                                            // Structurally unreadable rows still error, with their line number.
+        let e = read_raw_points_csv("39.9,116.3,0\nnot,numbers,here\n").unwrap_err();
+        assert_eq!(e.line, 2);
     }
 
     #[test]

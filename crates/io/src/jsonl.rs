@@ -17,9 +17,11 @@ struct Sample {
     t: i64,
 }
 
-/// Parses a trajectory from JSON-lines text.
-pub fn read_trajectory_jsonl(text: &str) -> Result<RawTrajectory, FormatError> {
-    let mut points = Vec::new();
+/// Parses lines into `(line_no, point)` pairs without validating values —
+/// serde happily deserializes huge literals like `1e999` to `inf`, and
+/// the lenient path wants to carry such defects to the sanitizer intact.
+fn parse_rows_jsonl(text: &str) -> Result<Vec<(usize, RawPoint)>, FormatError> {
+    let mut rows = Vec::new();
     for (i, raw_line) in text.lines().enumerate() {
         let line_no = i + 1;
         let line = raw_line.trim();
@@ -28,24 +30,67 @@ pub fn read_trajectory_jsonl(text: &str) -> Result<RawTrajectory, FormatError> {
         }
         let s: Sample = serde_json::from_str(line)
             .map_err(|e| FormatError::new(line_no, format!("bad JSON sample: {e}")))?;
-        if !(-90.0..=90.0).contains(&s.lat) || !(-180.0..=180.0).contains(&s.lon) {
-            return Err(FormatError::new(
-                line_no,
-                format!("coordinates out of range: {}, {}", s.lat, s.lon),
-            ));
-        }
-        points.push(RawPoint { point: GeoPoint::new(s.lat, s.lon), t: Timestamp(s.t) });
-    }
-    if points.len() < 2 {
-        return Err(FormatError::new(
-            text.lines().count(),
-            format!("a trajectory needs at least 2 samples, got {}", points.len()),
+        // Struct literal, not `GeoPoint::new`: the constructor asserts on
+        // defective values and this stage must not panic on them.
+        rows.push((
+            line_no,
+            RawPoint { point: GeoPoint { lat: s.lat, lon: s.lon }, t: Timestamp(s.t) },
         ));
     }
-    if !points.windows(2).all(|w| w[0].t <= w[1].t) {
-        return Err(FormatError::new(0, "timestamps must be non-decreasing".to_owned()));
+    Ok(rows)
+}
+
+/// Validates parsed samples with the same rules as the CSV reader: finite +
+/// in-range coordinates, at least two samples, non-decreasing timestamps,
+/// each failure naming the offending 1-based line.
+fn validate_rows(rows: &[(usize, RawPoint)], total_lines: usize) -> Result<(), FormatError> {
+    for (line_no, p) in rows {
+        if !p.point.lat.is_finite() || !p.point.lon.is_finite() {
+            return Err(FormatError::new(
+                *line_no,
+                format!("non-finite coordinates: {}, {}", p.point.lat, p.point.lon),
+            ));
+        }
+        if !(-90.0..=90.0).contains(&p.point.lat) || !(-180.0..=180.0).contains(&p.point.lon) {
+            return Err(FormatError::new(
+                *line_no,
+                format!("coordinates out of range: {}, {}", p.point.lat, p.point.lon),
+            ));
+        }
     }
-    Ok(RawTrajectory::new(points))
+    if rows.len() < 2 {
+        return Err(FormatError::new(
+            total_lines,
+            format!("a trajectory needs at least 2 samples, got {}", rows.len()),
+        ));
+    }
+    for w in rows.windows(2) {
+        if w[1].1.t < w[0].1.t {
+            return Err(FormatError::new(
+                w[1].0,
+                format!(
+                    "timestamps must be non-decreasing: t={} after t={}",
+                    w[1].1.t.0, w[0].1.t.0
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Parses a trajectory from JSON-lines text, rejecting any defective sample
+/// with the offending line number.
+pub fn read_trajectory_jsonl(text: &str) -> Result<RawTrajectory, FormatError> {
+    let rows = parse_rows_jsonl(text)?;
+    validate_rows(&rows, text.lines().count())?;
+    Ok(RawTrajectory::new(rows.into_iter().map(|(_, p)| p).collect()))
+}
+
+/// Parses JSON-lines samples *without* validating coordinates or ordering —
+/// the lenient front door for `stmaker_trajectory::sanitize`. Only
+/// structurally unreadable lines error.
+pub fn read_raw_points_jsonl(text: &str) -> Result<Vec<RawPoint>, FormatError> {
+    Ok(parse_rows_jsonl(text)?.into_iter().map(|(_, p)| p).collect())
 }
 
 /// Serializes a trajectory to JSON-lines.
@@ -91,8 +136,40 @@ mod tests {
     #[test]
     fn rejects_decreasing_time_and_bad_coords() {
         let t = "{\"lat\":39.9,\"lon\":116.3,\"t\":10}\n{\"lat\":39.9,\"lon\":116.3,\"t\":0}\n";
-        assert!(read_trajectory_jsonl(t).is_err());
+        let e = read_trajectory_jsonl(t).unwrap_err();
+        assert!(e.message.contains("non-decreasing"), "{e}");
+        assert_eq!(e.line, 2, "ordering error names the offending row");
         let t = "{\"lat\":239.9,\"lon\":116.3,\"t\":0}\n{\"lat\":39.9,\"lon\":116.3,\"t\":1}\n";
         assert!(read_trajectory_jsonl(t).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_with_explicit_message() {
+        // JSON has no NaN literal and this parser refuses overflowing ones,
+        // so non-finite values can only reach the validator through direct
+        // construction — which is exactly what defense-in-depth guards: the
+        // check must name the defect precisely, not call it "out of range".
+        let t = "{\"lat\":1e999,\"lon\":116.3,\"t\":0}\n{\"lat\":39.9,\"lon\":116.3,\"t\":1}\n";
+        assert!(read_trajectory_jsonl(t).is_err(), "overflow literal must not pass");
+        let rows = vec![
+            (1, RawPoint { point: GeoPoint { lat: f64::NAN, lon: 116.3 }, t: Timestamp(0) }),
+            (2, RawPoint { point: GeoPoint::new(39.9, 116.3), t: Timestamp(1) }),
+        ];
+        let e = validate_rows(&rows, 2).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("non-finite"), "{e}");
+    }
+
+    #[test]
+    fn lenient_reader_carries_defects_through() {
+        // Out-of-order and out-of-range samples survive parsing verbatim so
+        // the sanitizer can count and repair them.
+        let t = "{\"lat\":99.9,\"lon\":116.3,\"t\":10}\n{\"lat\":39.9,\"lon\":116.3,\"t\":0}\n";
+        let pts = read_raw_points_jsonl(t).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].point.lat, 99.9); // out-of-range kept verbatim
+        assert_eq!(pts[1].t, Timestamp(0)); // out-of-order kept verbatim
+        let e = read_raw_points_jsonl("{\"lat\":39.9,\"lon\":116.3,\"t\":0}\nnope\n").unwrap_err();
+        assert_eq!(e.line, 2);
     }
 }

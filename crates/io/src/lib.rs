@@ -18,9 +18,9 @@ pub mod csv;
 pub mod geojson;
 pub mod jsonl;
 
-pub use csv::{read_trajectory_csv, write_trajectory_csv};
+pub use csv::{read_raw_points_csv, read_trajectory_csv, write_trajectory_csv};
 pub use geojson::{summary_to_geojson, trajectory_to_geojson};
-pub use jsonl::{read_trajectory_jsonl, write_trajectory_jsonl};
+pub use jsonl::{read_raw_points_jsonl, read_trajectory_jsonl, write_trajectory_jsonl};
 
 /// A parse failure, with 1-based line number for operator-friendly messages.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,5 +1,6 @@
 //! Raw trajectories: Definition 1 of the paper.
 
+use crate::sanitize::TrajectoryError;
 use serde::{Deserialize, Serialize};
 use stmaker_geo::{GeoPoint, Polyline};
 
@@ -52,11 +53,24 @@ pub struct RawTrajectory {
 impl RawTrajectory {
     /// Creates a trajectory, validating temporal ordering.
     ///
+    /// Prefer [`RawTrajectory::try_new`] for untrusted input — this
+    /// constructor is for data whose validity is already established (test
+    /// fixtures, the trip generator, sanitized segments).
+    ///
     /// # Panics
-    /// Panics if fewer than two samples are supplied or timestamps decrease.
+    /// Panics if fewer than two samples are supplied, timestamps decrease,
+    /// or a coordinate is non-finite.
     pub fn new(points: Vec<RawPoint>) -> Self {
         RawView::validate(&points);
         Self { points }
+    }
+
+    /// Fallible construction: full invariant check (≥ 2 samples, finite
+    /// in-range coordinates, non-decreasing timestamps) with a typed
+    /// [`TrajectoryError`] instead of a panic.
+    pub fn try_new(points: Vec<RawPoint>) -> Result<Self, TrajectoryError> {
+        RawView::check(&points)?;
+        Ok(Self { points })
     }
 
     /// A zero-copy borrowed view over this trajectory's samples. All
@@ -139,17 +153,64 @@ pub struct RawView<'a> {
 impl<'a> RawView<'a> {
     /// Creates a view, validating temporal ordering.
     ///
+    /// Prefer [`RawView::try_new`] for untrusted input.
+    ///
     /// # Panics
-    /// Panics if fewer than two samples are supplied or timestamps decrease.
+    /// Panics if fewer than two samples are supplied, timestamps decrease,
+    /// or a coordinate is non-finite.
     pub fn new(points: &'a [RawPoint]) -> Self {
         Self::validate(points);
         Self { points }
     }
 
-    /// Shared invariant check for owned and borrowed construction.
+    /// Fallible construction: [`RawView::check`] with a typed error instead
+    /// of a panic.
+    pub fn try_new(points: &'a [RawPoint]) -> Result<Self, TrajectoryError> {
+        Self::check(points)?;
+        Ok(Self { points })
+    }
+
+    /// Shared invariant check for owned and borrowed construction
+    /// (panicking form, kept for the trusted constructors).
     fn validate(points: &[RawPoint]) {
         assert!(points.len() >= 2, "a trajectory needs at least two samples");
         assert!(points.windows(2).all(|w| w[0].t <= w[1].t), "timestamps must be non-decreasing");
+        assert!(
+            points.iter().all(|p| p.point.lat.is_finite() && p.point.lon.is_finite()),
+            "coordinates must be finite"
+        );
+    }
+
+    /// The full construction invariant as a typed verdict: ≥ 2 samples,
+    /// every coordinate finite and within `[-90, 90]` × `[-180, 180]`,
+    /// timestamps non-decreasing. This is the acceptance test a sanitized
+    /// segment must pass (see [`crate::sanitize`]).
+    pub fn check(points: &[RawPoint]) -> Result<(), TrajectoryError> {
+        if points.len() < 2 {
+            return Err(TrajectoryError::TooFewPoints { got: points.len() });
+        }
+        for (index, p) in points.iter().enumerate() {
+            if !p.point.lat.is_finite() || !p.point.lon.is_finite() {
+                return Err(TrajectoryError::NonFiniteCoordinate { index });
+            }
+            if !(-90.0..=90.0).contains(&p.point.lat) || !(-180.0..=180.0).contains(&p.point.lon) {
+                return Err(TrajectoryError::OutOfRangeCoordinate {
+                    index,
+                    lat: p.point.lat,
+                    lon: p.point.lon,
+                });
+            }
+        }
+        for (i, w) in points.windows(2).enumerate() {
+            if w[1].t < w[0].t {
+                return Err(TrajectoryError::OutOfOrderTimestamp {
+                    index: i + 1,
+                    prev_t: w[0].t.0,
+                    got_t: w[1].t.0,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The GPS samples.
@@ -315,6 +376,58 @@ mod tests {
         let buf: Vec<RawPoint> = t.points().to_vec();
         let direct = RawView::new(&buf);
         assert_eq!(direct.polyline().len(), t.polyline().len());
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        use crate::sanitize::TrajectoryError;
+        // Too few points.
+        let one = vec![RawPoint { point: base(), t: Timestamp(0) }];
+        assert_eq!(
+            RawTrajectory::try_new(one.clone()).unwrap_err(),
+            TrajectoryError::TooFewPoints { got: 1 }
+        );
+        assert_eq!(RawView::try_new(&one).unwrap_err(), TrajectoryError::TooFewPoints { got: 1 });
+        // Non-finite coordinate.
+        let mut pts = east_line(3).points().to_vec();
+        pts[1].point.lon = f64::NAN;
+        assert_eq!(
+            RawView::try_new(&pts).unwrap_err(),
+            TrajectoryError::NonFiniteCoordinate { index: 1 }
+        );
+        // Out-of-range coordinate.
+        let mut pts = east_line(3).points().to_vec();
+        pts[2].point.lat = 97.0;
+        assert!(matches!(
+            RawTrajectory::try_new(pts).unwrap_err(),
+            TrajectoryError::OutOfRangeCoordinate { index: 2, .. }
+        ));
+        // Out-of-order timestamps.
+        let mut pts = east_line(3).points().to_vec();
+        pts[2].t = Timestamp(-5);
+        assert_eq!(
+            RawView::try_new(&pts).unwrap_err(),
+            TrajectoryError::OutOfOrderTimestamp { index: 2, prev_t: 10, got_t: -5 }
+        );
+        // Valid input round-trips; duplicate timestamps stay legal.
+        let t = east_line(4);
+        assert_eq!(RawTrajectory::try_new(t.points().to_vec()).expect("valid"), t);
+        let dup = vec![
+            RawPoint { point: base(), t: Timestamp(0) },
+            RawPoint { point: base(), t: Timestamp(0) },
+        ];
+        assert!(RawView::try_new(&dup).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn new_panics_on_non_finite_coordinates() {
+        // NaN coordinates cannot come from GeoPoint::new (it asserts), but
+        // serde deserialization and direct field writes bypass it.
+        RawTrajectory::new(vec![
+            RawPoint { point: GeoPoint { lat: f64::NAN, lon: 116.4 }, t: Timestamp(0) },
+            RawPoint { point: base(), t: Timestamp(5) },
+        ]);
     }
 
     #[test]

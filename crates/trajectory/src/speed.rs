@@ -11,7 +11,9 @@ use crate::raw::RawPoint;
 /// Per-hop speeds in km/h: `out[i]` is the mean speed between samples `i`
 /// and `i + 1`. Hops with zero elapsed time are skipped (their index is
 /// simply absent from motion statistics — callers receive one entry per
-/// *positive-duration* hop).
+/// *positive-duration* hop), as are hops whose speed comes out non-finite
+/// (a NaN coordinate that slipped past sanitization must not poison every
+/// downstream aggregate).
 pub fn speed_profile_kmh(points: &[RawPoint]) -> Vec<f64> {
     points
         .windows(2)
@@ -21,7 +23,8 @@ pub fn speed_profile_kmh(points: &[RawPoint]) -> Vec<f64> {
                 return None;
             }
             let d = w[0].point.haversine_m(&w[1].point);
-            Some(d / dt as f64 * 3.6)
+            let v = d / dt as f64 * 3.6;
+            v.is_finite().then_some(v)
         })
         .collect()
 }
@@ -35,7 +38,7 @@ pub fn average_speed_kmh(points: &[RawPoint]) -> f64 {
     }
     let dist: f64 = points.windows(2).map(|w| w[0].point.haversine_m(&w[1].point)).sum();
     let secs = points[0].t.delta_secs(&points[points.len() - 1].t);
-    if secs <= 0 {
+    if secs <= 0 || !dist.is_finite() {
         return 0.0;
     }
     dist / secs as f64 * 3.6
@@ -100,6 +103,29 @@ mod tests {
         assert_eq!(average_speed_kmh(&[]), 0.0);
         assert_eq!(average_speed_kmh(&[pt(0.0, 0)]), 0.0);
         assert_eq!(average_speed_kmh(&[pt(0.0, 5), pt(100.0, 5)]), 0.0);
+    }
+
+    #[test]
+    fn emitted_speeds_are_always_finite() {
+        // Regression: duplicate-timestamp samples produce dt = 0 hops and a
+        // NaN coordinate produces a NaN haversine distance; neither may leak
+        // a non-finite value into the profile or the average.
+        let mut pts = vec![
+            pt(0.0, 0),
+            pt(50.0, 10),
+            pt(50.0, 10), // duplicate timestamp: dt = 0
+            pt(150.0, 20),
+        ];
+        // Direct field write: GeoPoint::new asserts, but serde and struct
+        // literals can still smuggle a NaN in.
+        pts.push(RawPoint { point: GeoPoint { lat: f64::NAN, lon: 116.4 }, t: Timestamp(30) });
+        pts.push(pt(250.0, 40));
+        let prof = speed_profile_kmh(&pts);
+        assert!(!prof.is_empty());
+        assert!(prof.iter().all(|v| v.is_finite()), "{prof:?}");
+        assert!(average_speed_kmh(&pts).is_finite());
+        // The poisoned input still counts sharp changes without panicking.
+        let _ = sharp_speed_changes(&pts, SpeedChangeParams::default());
     }
 
     #[test]

@@ -353,11 +353,12 @@ fn streaming_summarizer_converges_to_batch() {
     let mut refreshes = 0;
     let mut lengths = Vec::new();
     for p in trip.raw.points() {
-        if let Some(summary) = stream.push(*p) {
+        if let Ok(Some(summary)) = stream.try_push(*p) {
             refreshes += 1;
             lengths.push(summary.symbolic_len);
         }
     }
+    assert_eq!(stream.dropped(), (0, 0), "a clean trip must not shed samples");
     assert!(refreshes >= 3, "a multi-km trip must refresh several times, got {refreshes}");
     // The live summary covers more and more of the trip.
     assert!(lengths.windows(2).all(|w| w[1] >= w[0]), "coverage must grow: {lengths:?}");
