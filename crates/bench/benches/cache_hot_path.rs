@@ -1,0 +1,166 @@
+//! Route-cache hot-path benchmark: cold vs. warm throughput of the
+//! serving path (`Summarizer::summarize_prepared`) on a repeated-pair
+//! workload, plus the byte-identity guarantee the cache is sold on.
+//!
+//! The workload models the commuter-corridor access pattern that
+//! motivates the cache (DESIGN.md §12): a fixed set of test trips whose
+//! landmark pairs repeat across requests. The **cold** pass runs every
+//! trip once against an empty cache; **warm** passes re-run the same
+//! trips with the cache populated. Calibration and feature extraction
+//! happen once up front (`Summarizer::prepare`) — they are per-trip
+//! input processing, not the repeated query path the cache accelerates.
+//!
+//! Asserted here (and mirrored by the `end_to_end` test
+//! `summaries_identical_with_and_without_cache`):
+//!
+//! * summaries with the cache are byte-identical to summaries without
+//!   it, at 1/2/4 worker threads;
+//! * the warm hit rate is ≥ 0.9 (every route query after the cold pass
+//!   is a hit, modulo capacity evictions);
+//! * warm passes are ≥ 2× faster than the cold pass (full scale only;
+//!   `STMAKER_BENCH_SMOKE=1` shrinks the corpus for CI and skips the
+//!   timing assertion, which would be noise on a shared runner).
+//!
+//! Results land — as gauges in the shared `stmaker-obs` report schema —
+//! in `BENCH_cache.json` (override with `STMAKER_OBS_OUT`);
+//! `cargo xtask obs-schema BENCH_cache.json` validates them. Like the
+//! other report-producing benches this is a plain `harness = false`
+//! binary: the deliverable is the report file, not a Criterion estimate.
+
+use std::time::Instant;
+
+use stmaker::{standard_features, FeatureWeights, Prepared, Summarizer, SummarizerConfig};
+use stmaker_eval::{ExperimentScale, Harness};
+use stmaker_obs::Recorder;
+
+/// Route slots in the serving cache — comfortably above the distinct
+/// pair count of the quick-scale corpus, so the warm passes measure
+/// hits rather than eviction churn.
+const CACHE_CAPACITY: usize = 512;
+
+/// Thread counts the byte-identity sweep covers.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let smoke = std::env::var("STMAKER_BENCH_SMOKE").is_ok();
+    let mut scale = ExperimentScale::quick();
+    if smoke {
+        scale.n_train = 120;
+        scale.n_test = 60;
+    } else {
+        scale.n_test = 200;
+    }
+    let warm_passes: usize = if smoke { 2 } else { 8 };
+
+    let h = Harness::new(scale);
+    let trips: Vec<_> = h.test.iter().map(|t| t.raw.clone()).collect();
+
+    let obs = Recorder::enabled();
+    let host_cpus =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    obs.gauge("bench.host_cpus", host_cpus as f64); // cast-ok: CPU count
+    obs.gauge("bench.cache.capacity", CACHE_CAPACITY as f64); // cast-ok: entry count
+    obs.gauge("bench.cache.corpus", trips.len() as f64); // cast-ok: corpus size
+    obs.gauge("bench.cache.warm_passes", warm_passes as f64); // cast-ok: pass count
+
+    // ── Cold vs. warm on the serving path ────────────────────────────
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let cfg = SummarizerConfig::default().with_threads(1).with_route_cache(CACHE_CAPACITY);
+    let summarizer = h.train_summarizer(features, weights, cfg);
+
+    let prepared: Vec<Prepared> = trips.iter().filter_map(|t| summarizer.prepare(t).ok()).collect();
+    assert!(!prepared.is_empty(), "quick-scale corpus must yield preparable trips");
+
+    let serve_pass = |summarizer: &Summarizer<'_>| -> (f64, usize) {
+        let t0 = Instant::now();
+        let ok = prepared.iter().filter(|p| summarizer.summarize_prepared(p, None).is_ok()).count();
+        (t0.elapsed().as_secs_f64() * 1e3, ok)
+    };
+
+    let (cold_ms, cold_ok) = serve_pass(&summarizer);
+    let warm_stats_before = summarizer.route_cache_stats();
+    let mut warm_total_ms = 0.0;
+    for _ in 0..warm_passes {
+        let (ms, ok) = serve_pass(&summarizer);
+        assert_eq!(ok, cold_ok, "warm passes must summarize the same trips");
+        warm_total_ms += ms;
+    }
+    let warm_ms = warm_total_ms / warm_passes as f64; // cast-ok: pass count
+    let speedup = if warm_ms > 0.0 { cold_ms / warm_ms } else { 1.0 };
+
+    let stats = summarizer.route_cache_stats().unwrap_or_default();
+    let warm_stats = match &warm_stats_before {
+        Some(before) => stats.since(before),
+        None => stats,
+    };
+    obs.gauge("bench.serve.cold.ms", cold_ms);
+    obs.gauge("bench.serve.warm.ms", warm_ms);
+    obs.gauge("bench.serve.speedup", speedup);
+    obs.gauge("bench.cache.hit_rate", stats.hit_rate());
+    obs.gauge("bench.cache.warm_hit_rate", warm_stats.hit_rate());
+    stats.record_into(&obs, "cache");
+    println!(
+        "serving path over {} prepared trips: cold {cold_ms:.1} ms, \
+         warm {warm_ms:.1} ms/pass ({speedup:.2}x), warm hit rate {:.3}",
+        prepared.len(),
+        warm_stats.hit_rate(),
+    );
+
+    assert!(warm_stats.hit_rate() > 0.0, "warm passes over a repeated workload must hit the cache");
+    if !smoke {
+        assert!(
+            warm_stats.hit_rate() >= 0.9,
+            "warm hit rate {:.3} below the 0.9 bar",
+            warm_stats.hit_rate()
+        );
+        assert!(speedup >= 2.0, "warm speedup {speedup:.2}x below the 2x bar");
+    }
+
+    // ── Byte-identity: cache on vs. off, threads 1/2/4 ───────────────
+    // The cache memoizes pure functions of the trained model, so the
+    // rendered summaries must match byte for byte regardless of thread
+    // count or cache state (including evictions: a deliberately tiny
+    // cache below churns constantly and must still agree).
+    let reference: Vec<Option<String>> = {
+        let s = h.train_summarizer(
+            standard_features(),
+            FeatureWeights::uniform(&standard_features()),
+            SummarizerConfig::default().with_threads(1),
+        );
+        s.summarize_batch(&trips).into_iter().map(|r| r.ok().map(|s| s.text)).collect()
+    };
+    for threads in THREAD_COUNTS {
+        for capacity in [CACHE_CAPACITY, 4] {
+            let s = h.train_summarizer(
+                standard_features(),
+                FeatureWeights::uniform(&standard_features()),
+                SummarizerConfig::default().with_threads(threads).with_route_cache(capacity),
+            );
+            let got: Vec<Option<String>> =
+                s.summarize_batch(&trips).into_iter().map(|r| r.ok().map(|s| s.text)).collect();
+            assert_eq!(
+                got, reference,
+                "summaries with a {capacity}-route cache at {threads} thread(s) \
+                 must be byte-identical to the uncached single-thread run"
+            );
+        }
+        obs.gauge(&format!("bench.identity.t{threads}"), 1.0);
+    }
+    println!(
+        "byte-identity: cached (cap {CACHE_CAPACITY} and cap 4) == uncached \
+         at {THREAD_COUNTS:?} threads ✓"
+    );
+
+    let report = obs.report();
+    println!("\n{}", stmaker_obs::stats::render(&report));
+    // cargo runs benches with cwd = the package root; default to the
+    // workspace root so the committed report is what gets refreshed.
+    let path = std::env::var("STMAKER_OBS_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cache.json").to_owned()
+    });
+    match report.write_json(&path) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+}

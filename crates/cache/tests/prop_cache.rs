@@ -1,0 +1,95 @@
+//! Property tests for the sharded CLOCK cache (ISSUE 5 satellite):
+//! capacity is a hard bound for any insert sequence, get-after-put is
+//! coherent with the most recent put, and concurrent readers only ever
+//! observe values that were actually put.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use stmaker_cache::ShardedCache;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Inserting any key sequence never exceeds the effective capacity,
+    /// at any intermediate point.
+    #[test]
+    fn inserts_never_exceed_capacity(
+        cap in 0usize..40,
+        ops in prop::collection::vec((0u8..32, 0u64..1000), 0..200),
+    ) {
+        let cache: ShardedCache<u8, u64> = ShardedCache::new(cap);
+        prop_assert!(cache.capacity() >= cap.max(1));
+        for (k, v) in ops {
+            cache.insert(k, v);
+            prop_assert!(cache.len() <= cache.capacity());
+        }
+        let stats = cache.stats();
+        prop_assert!(stats.len <= stats.capacity);
+    }
+
+    /// A `get` returns either nothing (evicted / never present) or the
+    /// value of the most recent `insert` for that key — never a stale or
+    /// foreign value.
+    #[test]
+    fn get_after_put_is_coherent(
+        cap in 1usize..24,
+        ops in prop::collection::vec((0u8..2, 0u8..16, 0u64..1000), 1..200),
+    ) {
+        let cache: ShardedCache<u8, u64> = ShardedCache::new(cap);
+        let mut model: HashMap<u8, u64> = HashMap::new();
+        for (is_put, k, v) in ops {
+            if is_put == 1 {
+                cache.insert(k, v);
+                model.insert(k, v);
+            } else if let Some(got) = cache.get(&k) {
+                prop_assert_eq!(Some(&got), model.get(&k));
+            }
+        }
+    }
+
+    /// Read-through fills of a pure function always return the function's
+    /// value, and residency stays bounded.
+    #[test]
+    fn read_through_matches_the_pure_function(
+        cap in 1usize..24,
+        keys in prop::collection::vec(0u8..32, 1..200),
+    ) {
+        let cache: ShardedCache<u8, u64> = ShardedCache::new(cap);
+        let f = |k: u8| u64::from(k).wrapping_mul(2654435761) ^ 0x5bd1;
+        for k in keys {
+            prop_assert_eq!(cache.get_or_insert_with(&k, || f(k)), f(k));
+            prop_assert!(cache.len() <= cache.capacity());
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, stats.hits + stats.misses);
+        prop_assert!(stats.misses >= 1);
+    }
+
+    /// Concurrent readers racing read-through fills over a shared cache
+    /// only ever see values of the pure function being memoized.
+    #[test]
+    fn concurrent_readers_see_only_put_values(
+        cap in 1usize..32,
+        per_thread in prop::collection::vec(
+            prop::collection::vec(0u8..64, 1..40),
+            2..5,
+        ),
+    ) {
+        let cache: ShardedCache<u8, u64> = ShardedCache::new(cap);
+        let f = |k: u8| u64::from(k).wrapping_mul(0x9E3779B9) ^ 0xA5A5;
+        std::thread::scope(|scope| {
+            for keys in &per_thread {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for &k in keys {
+                        assert_eq!(cache.get_or_insert_with(&k, || f(k)), f(k));
+                        if let Some(v) = cache.get(&k) {
+                            assert_eq!(v, f(k));
+                        }
+                    }
+                });
+            }
+        });
+        prop_assert!(cache.len() <= cache.capacity());
+    }
+}

@@ -45,18 +45,23 @@ struct Obs {
     /// Ingest-hardening policy for trip files (`--sanitize POLICY`); `None`
     /// means strict parsing with no repair.
     sanitize: Option<SanitizePolicy>,
+    /// Capacity of the read-through route cache on the serving path
+    /// (`--route-cache N`); 0 = disabled. Purely a latency knob — results
+    /// are byte-identical either way.
+    route_cache: usize,
 }
 
 impl Obs {
     /// Extracts `--trace` / `--metrics-json PATH` / `--threads N` /
-    /// `--sanitize POLICY` from `args` (removing them) and builds the
-    /// matching recorder: enabled if either tracing flag is present, the
-    /// zero-cost no-op otherwise.
+    /// `--sanitize POLICY` / `--route-cache N` from `args` (removing them)
+    /// and builds the matching recorder: enabled if either tracing flag is
+    /// present, the zero-cost no-op otherwise.
     fn extract(args: &mut Vec<String>) -> Result<Self, String> {
         let mut trace = false;
         let mut metrics_json = None;
         let mut threads = 0usize;
         let mut sanitize = None;
+        let mut route_cache = 0usize;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -87,6 +92,15 @@ impl Obs {
                     let v = args.remove(i);
                     sanitize = Some(v.parse::<SanitizePolicy>()?);
                 }
+                "--route-cache" => {
+                    args.remove(i);
+                    if i >= args.len() {
+                        return Err("missing capacity after --route-cache".to_owned());
+                    }
+                    let v = args.remove(i);
+                    route_cache =
+                        v.parse().map_err(|_| format!("bad value for --route-cache: {v:?}"))?;
+                }
                 _ => i += 1,
             }
         }
@@ -95,7 +109,7 @@ impl Obs {
         } else {
             Recorder::disabled()
         };
-        Ok(Self { recorder, trace, metrics_json, threads, sanitize })
+        Ok(Self { recorder, trace, metrics_json, threads, sanitize, route_cache })
     }
 
     /// Renders/writes the collected telemetry after the subcommand ran.
@@ -148,7 +162,10 @@ fn print_usage() {
         "stmaker-cli — trajectory summarization (ICDE'15 reproduction)\n\n\
          USAGE:\n  stmaker-cli <subcommand> [options]\n\n\
          SUBCOMMANDS:\n  \
-         demo       [--seed N] [--hour H] [--k K] [--trip FILE] one-shot world+trip demo\n  \
+         demo       [--seed N] [--hour H] [--k K] [--trip FILE] [--repeat N]\n  \
+         \x20                                          one-shot world+trip demo; --repeat\n  \
+         \x20                                          re-summarizes the trip as an N-copy\n  \
+         \x20                                          batch and prints the cache hit rate\n  \
          gen        --dir DIR [--trips N] [--seed N] export trips as CSV + world.json\n  \
          train      --dir DIR [--out FILE] [--n-train N] save a trained model\n  \
          summarize  --dir DIR --trip FILE [--k K] [--model FILE] [--geojson FILE]\n  \
@@ -166,7 +183,10 @@ fn print_usage() {
          --sanitize POLICY      ingest hardening for trip files: strict |\n  \
          \x20                      repair | drop (defects counted to stderr;\n  \
          \x20                      without the flag, parsing is strict and\n  \
-         \x20                      defective files are rejected with an error)"
+         \x20                      defective files are rejected with an error)\n  \
+         --route-cache N        read-through serving cache holding N routes\n  \
+         \x20                      (0 = off, the default; summaries are\n  \
+         \x20                      byte-identical with and without it)"
     );
 }
 
@@ -205,18 +225,27 @@ struct Stack {
     world: World,
     recorder: Recorder,
     threads: usize,
+    route_cache: usize,
 }
 
 impl Stack {
     fn from_config(cfg: WorldConfig, obs: &Obs) -> Self {
         eprintln!("building world (seed {})…", cfg.seed);
-        Self { world: World::generate(cfg), recorder: obs.recorder.clone(), threads: obs.threads }
+        Self {
+            world: World::generate(cfg),
+            recorder: obs.recorder.clone(),
+            threads: obs.threads,
+            route_cache: obs.route_cache,
+        }
     }
 
     /// The default pipeline config with this stack's recorder and
     /// thread count attached.
     fn config(&self) -> SummarizerConfig {
-        SummarizerConfig::default().with_recorder(self.recorder.clone()).with_threads(self.threads)
+        SummarizerConfig::default()
+            .with_recorder(self.recorder.clone())
+            .with_threads(self.threads)
+            .with_route_cache(self.route_cache)
     }
 
     fn train(&self, n_train: usize) -> Summarizer<'_> {
@@ -344,6 +373,7 @@ fn cmd_demo(args: &[String], obs: &Obs) -> Result<(), String> {
     let seed: u64 = opts.parse("--seed", 2024)?;
     let hour: f64 = opts.parse("--hour", 8.5)?;
     let k: usize = opts.parse("--k", 0)?;
+    let repeat: usize = opts.parse("--repeat", 1)?;
 
     // `--trip FILE` summarizes a file against the demo world instead of a
     // generated trip — the smoke path for ingest hardening (the file must
@@ -378,6 +408,33 @@ fn cmd_demo(args: &[String], obs: &Obs) -> Result<(), String> {
         if k == 0 { summarizer.summarize(&trip.raw) } else { summarizer.summarize_k(&trip.raw, k) }
             .map_err(|e| e.to_string())?;
     println!("\n{}", summary.text);
+
+    // `--repeat N` re-summarizes the same trip as an N-copy batch: every
+    // copy after the first hits the warm route cache (when enabled), so
+    // the printed hit rate shows what a repeated-pair serving workload
+    // gets out of `--route-cache`.
+    if repeat > 1 {
+        let trips = vec![trip.raw.clone(); repeat];
+        let t0 = std::time::Instant::now();
+        let results = if k == 0 {
+            summarizer.summarize_batch(&trips)
+        } else {
+            summarizer.summarize_batch_k(&trips, k)
+        };
+        let elapsed = t0.elapsed();
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        eprintln!("\nre-summarized {repeat} copies in {elapsed:.1?} ({ok} ok)");
+        match summarizer.route_cache_stats() {
+            Some(s) => eprintln!(
+                "route cache: {} of {} lookups hit ({:.1}% hit rate), {} evictions",
+                s.hits,
+                s.hits + s.misses,
+                100.0 * s.hit_rate(),
+                s.evictions
+            ),
+            None => eprintln!("route cache disabled (enable with --route-cache N)"),
+        }
+    }
     Ok(())
 }
 

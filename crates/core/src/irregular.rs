@@ -36,20 +36,47 @@ fn subst_cost(a: f64, b: f64, scale: FeatureScale) -> f64 {
     }
 }
 
-/// Normalizes a sequence by its own maximum absolute value (identically-zero
-/// sequences pass through unchanged).
-fn norm_seq(values: &[f64]) -> Vec<f64> {
+/// Normalizes a sequence by its own maximum absolute value into a reused
+/// buffer (identically-zero sequences pass through unchanged).
+fn norm_seq_into(values: &[f64], out: &mut Vec<f64>) {
+    out.clear();
     let max = values.iter().fold(0.0f64, |m, v| m.max(v.abs()));
     if max > 0.0 {
-        values.iter().map(|v| v / max).collect()
+        out.extend(values.iter().map(|v| v / max));
     } else {
-        values.to_vec()
+        out.extend_from_slice(values);
     }
 }
 
+/// Reusable buffers for the Sec. V hot loop: the two rolling DP rows of
+/// [`feature_edit_distance_with`] plus the normalized sequence copies that
+/// [`routing_irregular_rate_with`] feeds into it. The serving path computes
+/// an edit distance per feature per partition per trip; one scratch per
+/// worker (thread-local in `summarize_batch`) turns four heap allocations
+/// per call into none once the buffers reach steady-state capacity.
+#[derive(Debug, Default)]
+pub struct EditScratch {
+    prev: Vec<f64>,
+    cur: Vec<f64>,
+    norm_a: Vec<f64>,
+    norm_b: Vec<f64>,
+}
+
 /// The edit distance of Sec. V-A between two feature-value sequences:
-/// insert/delete cost 1, substitution per `subst_cost`.
+/// insert/delete cost 1, substitution per `subst_cost`. Allocates its DP
+/// rows per call; hot paths should hold an [`EditScratch`] and call
+/// [`feature_edit_distance_with`].
 pub fn feature_edit_distance(a: &[f64], b: &[f64], scale: FeatureScale) -> f64 {
+    feature_edit_distance_with(a, b, scale, &mut EditScratch::default())
+}
+
+/// [`feature_edit_distance`] with caller-provided DP rows.
+pub fn feature_edit_distance_with(
+    a: &[f64],
+    b: &[f64],
+    scale: FeatureScale,
+    scratch: &mut EditScratch,
+) -> f64 {
     let (m, n) = (a.len(), b.len());
     if m == 0 {
         return n as f64; // cast-ok: sequence length, exact well below 2^53
@@ -57,10 +84,13 @@ pub fn feature_edit_distance(a: &[f64], b: &[f64], scale: FeatureScale) -> f64 {
     if n == 0 {
         return m as f64; // cast-ok: sequence length, exact well below 2^53
     }
-    // Rolling one-row DP.
+    // Rolling one-row DP over reused rows.
+    let EditScratch { prev, cur, .. } = scratch;
+    prev.clear();
     // cast-ok: indel costs are small integer counts, exact as f64
-    let mut prev: Vec<f64> = (0..=n).map(|j| j as f64).collect();
-    let mut cur = vec![0.0; n + 1];
+    prev.extend((0..=n).map(|j| j as f64));
+    cur.clear();
+    cur.resize(n + 1, 0.0);
     for i in 1..=m {
         cur[0] = i as f64; // cast-ok: indel cost, small integer count
         for j in 1..=n {
@@ -69,7 +99,7 @@ pub fn feature_edit_distance(a: &[f64], b: &[f64], scale: FeatureScale) -> f64 {
             let ins = cur[j - 1] + 1.0;
             cur[j] = sub.min(del).min(ins);
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
     }
     crate::invariant::check_edit_distance_bounds(prev[n], m, n);
     prev[n]
@@ -87,6 +117,18 @@ pub fn routing_irregular_rate(
     scale: FeatureScale,
     weight: f64,
 ) -> f64 {
+    routing_irregular_rate_with(tp_values, pr_values, scale, weight, &mut EditScratch::default())
+}
+
+/// [`routing_irregular_rate`] with caller-provided scratch buffers for the
+/// normalized copies and DP rows.
+pub fn routing_irregular_rate_with(
+    tp_values: &[f64],
+    pr_values: &[f64],
+    scale: FeatureScale,
+    weight: f64,
+    scratch: &mut EditScratch,
+) -> f64 {
     assert!(weight > 0.0, "weights must be positive");
     let denom = tp_values.len().max(pr_values.len());
     if denom == 0 {
@@ -94,9 +136,20 @@ pub fn routing_irregular_rate(
     }
     let d = match scale {
         FeatureScale::Numeric => {
-            feature_edit_distance(&norm_seq(tp_values), &norm_seq(pr_values), scale)
+            // Detach the normalization buffers so the DP rows inside the
+            // same scratch stay borrowable (moves, not allocations).
+            let mut na = std::mem::take(&mut scratch.norm_a);
+            let mut nb = std::mem::take(&mut scratch.norm_b);
+            norm_seq_into(tp_values, &mut na);
+            norm_seq_into(pr_values, &mut nb);
+            let d = feature_edit_distance_with(&na, &nb, scale, scratch);
+            scratch.norm_a = na;
+            scratch.norm_b = nb;
+            d
         }
-        FeatureScale::Categorical => feature_edit_distance(tp_values, pr_values, scale),
+        FeatureScale::Categorical => {
+            feature_edit_distance_with(tp_values, pr_values, scale, scratch)
+        }
     };
     let gamma = weight * d / denom as f64; // cast-ok: sequence length, exact well below 2^53
     crate::invariant::check_irregular_rate("routing", gamma);
@@ -129,22 +182,26 @@ pub fn moving_irregular_rate(
 ) -> f64 {
     assert!(weight > 0.0, "weights must be positive");
     assert_eq!(tp_values.len(), regular_values.len(), "one regular value per partition segment");
-    let known: Vec<f64> = regular_values.iter().flatten().copied().collect();
-    if known.is_empty() {
+    // Fold the known-history max and count in one pass — no intermediate
+    // `known` vector (this runs per moving feature per partition per trip).
+    let mut reg_max = 0.0f64;
+    let mut compared = 0usize;
+    for r in regular_values.iter().flatten() {
+        reg_max = reg_max.max(r.abs());
+        compared += 1;
+    }
+    if compared == 0 {
         return 0.0;
     }
     let tp_max = tp_values.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-    let reg_max = known.iter().fold(0.0f64, |m, v| m.max(v.abs()));
     let constant = if tp_max > 0.0 { tp_max } else { reg_max };
     if constant == 0.0 {
         return 0.0; // feature identically zero both observed and historically
     }
     let mut sum = 0.0;
-    let mut compared = 0usize;
     for (t, r) in regular_values.iter().enumerate() {
         let Some(r) = r else { continue };
         sum += (tp_values[t] - r).abs() / constant;
-        compared += 1;
     }
     let gamma = weight * sum / compared as f64; // cast-ok: segment count, exact well below 2^53
     crate::invariant::check_irregular_rate("moving", gamma);

@@ -63,6 +63,7 @@
 //! `stmaker-obs` crate.
 
 pub mod builtin;
+pub mod cached_routes;
 pub mod context;
 pub mod feature;
 pub mod group;
@@ -76,6 +77,7 @@ pub mod summarize;
 pub mod template;
 
 pub use builtin::{extended_features, keys, standard_features};
+pub use cached_routes::CachedRoutes;
 pub use context::{ExtractionParams, SegmentContext};
 pub use feature::{Feature, FeatureKind, FeatureScale, FeatureSet, FeatureWeights, PhraseInfo};
 pub use group::{GroupError, GroupFeatureStat, GroupSummary};
@@ -88,5 +90,7 @@ pub use summarize::{
 };
 
 // Telemetry types, re-exported so downstream crates can attach a recorder
-// without depending on `stmaker-obs` directly.
+// or inspect route-cache counters without depending on `stmaker-obs` /
+// `stmaker-cache` directly.
+pub use stmaker_cache::CacheStats;
 pub use stmaker_obs::{Recorder, Report};

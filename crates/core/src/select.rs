@@ -1,8 +1,9 @@
 //! Feature selection (Sec. V): compute every feature's irregular rate on a
 //! partition and keep those above the threshold η.
 
+use crate::cached_routes::CachedRoutes;
 use crate::feature::{FeatureKind, FeatureScale, FeatureSet, FeatureWeights};
-use crate::irregular::{moving_irregular_rate, routing_irregular_rate};
+use crate::irregular::{moving_irregular_rate, routing_irregular_rate_with, EditScratch};
 use stmaker_poi::LandmarkId;
 use stmaker_routes::HistoricalFeatureMap;
 
@@ -40,6 +41,23 @@ pub struct SelectionInput<'a> {
     pub popular_route: Option<&'a [LandmarkId]>,
     /// Historical per-hop feature statistics.
     pub featmap: &'a HistoricalFeatureMap,
+    /// Optional read-through memo for the popular route's per-hop value
+    /// sequences (shared across batch workers); `None` computes per call.
+    pub route_cache: Option<&'a CachedRoutes>,
+}
+
+/// Reusable buffers for [`select_features_with`]: the per-feature value
+/// vectors plus the edit-distance scratch. Selection runs per partition
+/// per trip; holding one of these per worker thread (the batch path keeps
+/// one in a thread-local) removes every per-feature heap allocation that
+/// reaches steady-state capacity.
+#[derive(Debug, Default)]
+pub struct SelectScratch {
+    pub(crate) edit: EditScratch,
+    pub(crate) tp_values: Vec<f64>,
+    pub(crate) regulars: Vec<Option<f64>>,
+    pub(crate) known: Vec<f64>,
+    pub(crate) deviating: Vec<f64>,
 }
 
 /// Computes Γ_f for every feature and returns those with Γ_f > η, most
@@ -47,49 +65,87 @@ pub struct SelectionInput<'a> {
 /// against the popular route, moving features against the historical
 /// feature map.
 pub fn select_features(input: &SelectionInput<'_>) -> Vec<SelectedFeature> {
+    select_features_with(input, &mut SelectScratch::default())
+}
+
+/// [`select_features`] with caller-provided scratch buffers (the batch
+/// serving path holds one per worker thread).
+pub fn select_features_with(
+    input: &SelectionInput<'_>,
+    scratch: &mut SelectScratch,
+) -> Vec<SelectedFeature> {
     let mut out = Vec::new();
     for (idx, f) in input.features.features().iter().enumerate() {
         let w = input.weights.get(idx);
-        let tp_values: Vec<f64> = input.seg_values.iter().map(|v| v[idx]).collect();
+        scratch.tp_values.clear();
+        scratch.tp_values.extend(input.seg_values.iter().map(|v| v[idx]));
 
+        // The popular-route value sequence lives either in the shared memo
+        // (an `Arc` slice, no copy) or in a per-call vector; both borrows
+        // must outlive `pr_values` below, hence the two deferred locals.
+        let cached_vals;
+        let computed_vals;
         let (gamma, regular) = match f.kind() {
             FeatureKind::Routing => {
                 let Some(pr) = input.popular_route else { continue };
-                let Some(pr_values) = popular_route_values(input.featmap, pr, f.key(), f.scale())
-                else {
-                    // Some PR hop has no history for this feature (possible
-                    // when a custom feature was added after training):
-                    // comparing against a truncated sequence would read as a
-                    // spurious length mismatch, so skip the feature instead.
-                    continue;
+                let pr_values: &[f64] = match input.route_cache {
+                    Some(cache) => {
+                        cached_vals = cache.route_values(
+                            input.featmap,
+                            pr,
+                            f.key(),
+                            f.scale(),
+                            idx as u32, // cast-ok: feature index, tiny
+                        );
+                        match &cached_vals {
+                            Some(v) => v,
+                            // Some PR hop has no history for this feature
+                            // (possible when a custom feature was added
+                            // after training): comparing against a
+                            // truncated sequence would read as a spurious
+                            // length mismatch, so skip the feature instead.
+                            None => continue,
+                        }
+                    }
+                    None => {
+                        computed_vals = popular_route_values(input.featmap, pr, f.key(), f.scale());
+                        match &computed_vals {
+                            Some(v) => v,
+                            None => continue,
+                        }
+                    }
                 };
                 if pr_values.is_empty() {
                     continue; // single-landmark popular route: nothing to compare
                 }
-                let gamma = routing_irregular_rate(&tp_values, &pr_values, f.scale(), w);
-                (gamma, aggregate(&pr_values, f.scale()))
+                let gamma = routing_irregular_rate_with(
+                    &scratch.tp_values,
+                    pr_values,
+                    f.scale(),
+                    w,
+                    &mut scratch.edit,
+                );
+                (gamma, aggregate(pr_values, f.scale()))
             }
             FeatureKind::Moving => {
-                let regulars: Vec<Option<f64>> = input
-                    .hops
-                    .iter()
-                    .map(|(a, b)| match f.scale() {
-                        FeatureScale::Numeric => input.featmap.regular_value(*a, *b, f.key()),
-                        FeatureScale::Categorical => {
-                            // cast-ok: small category code
-                            input.featmap.regular_category(*a, *b, f.key()).map(|c| c as f64)
-                        }
-                    })
-                    .collect();
-                let gamma = moving_irregular_rate(&tp_values, &regulars, w);
-                let known: Vec<f64> = regulars.iter().flatten().copied().collect();
-                (gamma, aggregate(&known, f.scale()))
+                scratch.regulars.clear();
+                scratch.regulars.extend(input.hops.iter().map(|(a, b)| match f.scale() {
+                    FeatureScale::Numeric => input.featmap.regular_value(*a, *b, f.key()),
+                    FeatureScale::Categorical => {
+                        // cast-ok: small category code
+                        input.featmap.regular_category(*a, *b, f.key()).map(|c| c as f64)
+                    }
+                }));
+                let gamma = moving_irregular_rate(&scratch.tp_values, &scratch.regulars, w);
+                scratch.known.clear();
+                scratch.known.extend(scratch.regulars.iter().flatten().copied());
+                (gamma, aggregate(&scratch.known, f.scale()))
             }
         };
 
         // Count features describe events; zero events is smooth driving, not
         // something to phrase (Table V templates only state positive counts).
-        if f.count_like() && tp_values.iter().sum::<f64>() == 0.0 {
+        if f.count_like() && scratch.tp_values.iter().sum::<f64>() == 0.0 {
             continue;
         }
 
@@ -112,28 +168,31 @@ pub fn select_features(input: &SelectionInput<'_>) -> Vec<SelectedFeature> {
         // own hop's historical mode.
         let observed = match (f.scale(), regular) {
             (FeatureScale::Categorical, Some(reg)) => {
-                let deviating: Vec<f64> = tp_values
-                    .iter()
-                    .zip(input.hops)
-                    .filter(|(v, (a, b))| {
-                        let reference = match f.kind() {
-                            FeatureKind::Routing => reg,
-                            FeatureKind::Moving => input
-                                .featmap
-                                .regular_category(*a, *b, f.key())
-                                .map(|c| c as f64) // cast-ok: small category code
-                                .unwrap_or(reg),
-                        };
-                        **v != reference
-                    })
-                    .map(|(v, _)| *v)
-                    .collect();
-                match aggregate(&deviating, FeatureScale::Categorical) {
+                scratch.deviating.clear();
+                scratch.deviating.extend(
+                    scratch
+                        .tp_values
+                        .iter()
+                        .zip(input.hops)
+                        .filter(|(v, (a, b))| {
+                            let reference = match f.kind() {
+                                FeatureKind::Routing => reg,
+                                FeatureKind::Moving => input
+                                    .featmap
+                                    .regular_category(*a, *b, f.key())
+                                    .map(|c| c as f64) // cast-ok: small category code
+                                    .unwrap_or(reg),
+                            };
+                            **v != reference
+                        })
+                        .map(|(v, _)| *v),
+                );
+                match aggregate(&scratch.deviating, FeatureScale::Categorical) {
                     Some(v) => v,
                     None => continue, // every segment matches its reference category
                 }
             }
-            _ => aggregate(&tp_values, f.scale()).unwrap_or(0.0),
+            _ => aggregate(&scratch.tp_values, f.scale()).unwrap_or(0.0),
         };
 
         crate::invariant::check_irregular_rate(f.key(), gamma);
@@ -267,6 +326,7 @@ mod tests {
             hops: &fx.hops,
             popular_route: Some(&fx.route),
             featmap: &fx.featmap,
+            route_cache: None,
         })
     }
 
@@ -320,6 +380,7 @@ mod tests {
             hops: &fx.hops,
             popular_route: None,
             featmap: &fx.featmap,
+            route_cache: None,
         });
         assert!(sel.iter().all(|s| s.kind == FeatureKind::Moving));
     }
@@ -373,6 +434,7 @@ mod tests {
             hops: &hops,
             popular_route: None,
             featmap: &featmap,
+            route_cache: None,
         });
         assert_eq!(sel.len(), 1, "{sel:?}");
         assert_eq!(sel[0].key, "signal_state");

@@ -10,16 +10,20 @@
 //! training split; [`Summarizer::summarize`] / [`Summarizer::summarize_k`]
 //! then summarize unseen trajectories.
 
+use crate::cached_routes::CachedRoutes;
 use crate::context::{
     extract_segment_data, nearest_landmark_name, segment_context, ExtractionParams, SegmentData,
 };
 use crate::feature::{FeatureScale, FeatureSet, FeatureWeights};
 use crate::partition::{optimal_k_partition, optimal_partition, PartitionResult, PartitionSpan};
-use crate::select::{select_features, SelectedFeature, SelectionInput};
+use crate::select::{select_features_with, SelectScratch, SelectedFeature, SelectionInput};
 use crate::similarity::consecutive_similarities;
 use crate::template::{render_partition_sentence, PartitionFacts};
+use std::cell::RefCell;
+use std::sync::Arc;
 use std::time::Instant;
 
+use stmaker_cache::CacheStats;
 use stmaker_calibration::{calibrate_view, CalibrationError, CalibrationParams};
 use stmaker_exec::Executor;
 use stmaker_mapmatch::{MapMatcher, MatchParams};
@@ -50,6 +54,12 @@ pub struct SummarizerConfig {
     /// [`std::thread::available_parallelism`]. Thread count never changes
     /// results: see `stmaker-exec`'s determinism contract.
     pub threads: usize,
+    /// Capacity (in routes) of the read-through serving cache memoizing
+    /// `PR(from, to)` and the per-hop regular value sequences; `0` (the
+    /// default) disables it — a disabled cache costs one branch on the
+    /// query path. Lookups are pure, so the cache never changes output
+    /// bytes, only latency (DESIGN.md §12).
+    pub route_cache: usize,
     /// Telemetry sink for per-stage spans and counters. Defaults to the
     /// disabled no-op recorder, which costs a branch per stage and
     /// nothing else — no allocation, no locking.
@@ -66,6 +76,7 @@ impl Default for SummarizerConfig {
             matching: MatchParams::default(),
             popular: PopularRouteConfig::default(),
             threads: 0,
+            route_cache: 0,
             recorder: Recorder::disabled(),
         }
     }
@@ -87,6 +98,22 @@ impl SummarizerConfig {
         self.threads = threads;
         self
     }
+
+    /// Enables the read-through route cache with room for `capacity`
+    /// routes (builder style); `0` disables it. Purely a latency knob:
+    /// summaries are byte-identical with and without it.
+    #[must_use]
+    pub fn with_route_cache(mut self, capacity: usize) -> Self {
+        self.route_cache = capacity;
+        self
+    }
+}
+
+thread_local! {
+    /// Per-thread selection scratch, reused across partitions and trips.
+    /// Batch workers are scoped threads, so each naturally gets its own
+    /// buffers with no cross-worker synchronization.
+    static SELECT_SCRATCH: RefCell<SelectScratch> = RefCell::new(SelectScratch::default());
 }
 
 /// Why a trajectory could not be summarized.
@@ -233,6 +260,15 @@ pub struct Summarizer<'a> {
     weights: FeatureWeights,
     cfg: SummarizerConfig,
     model: TrainedModel,
+    /// Read-through memo for `PR(from, to)` and per-hop value sequences,
+    /// shared across batch workers; `None` unless
+    /// [`SummarizerConfig::with_route_cache`] enabled it.
+    route_cache: Option<Arc<CachedRoutes>>,
+}
+
+/// The route cache a config asks for (`None` when disabled).
+fn build_route_cache(cfg: &SummarizerConfig) -> Option<Arc<CachedRoutes>> {
+    (cfg.route_cache > 0).then(|| Arc::new(CachedRoutes::new(cfg.route_cache)))
 }
 
 impl<'a> Summarizer<'a> {
@@ -318,6 +354,7 @@ impl<'a> Summarizer<'a> {
         let popular = PopularRoutes::build_with(&symbolics, cfg.popular, &exec);
         // Reuse the matcher built for extraction instead of indexing the
         // network's edge geometry a second time via from_model.
+        let route_cache = build_route_cache(&cfg);
         Self {
             net,
             registry,
@@ -326,6 +363,7 @@ impl<'a> Summarizer<'a> {
             weights,
             cfg,
             model: TrainedModel { popular, featmap, n_trained, registry_len: registry.len() },
+            route_cache,
         }
     }
 
@@ -351,7 +389,8 @@ impl<'a> Summarizer<'a> {
             registry.len()
         );
         let matcher = MapMatcher::new(net, cfg.matching);
-        Self { net, registry, matcher, features, weights, cfg, model }
+        let route_cache = build_route_cache(&cfg);
+        Self { net, registry, matcher, features, weights, cfg, model, route_cache }
     }
 
     /// The trained historical model.
@@ -382,9 +421,18 @@ impl<'a> Summarizer<'a> {
         self.weights = weights;
     }
 
-    /// Replaces the selection threshold / partition constants.
+    /// Replaces the selection threshold / partition constants. Rebuilds
+    /// the route cache to match the new capacity (memoized answers are
+    /// pure, so dropping them is always safe).
     pub fn set_config(&mut self, cfg: SummarizerConfig) {
+        self.route_cache = build_route_cache(&cfg);
         self.cfg = cfg;
+    }
+
+    /// Counter snapshot of the route cache (`None` when the cache is
+    /// disabled) — what `demo --repeat` prints its hit rate from.
+    pub fn route_cache_stats(&self) -> Option<CacheStats> {
+        self.route_cache.as_ref().map(|c| c.stats())
     }
 
     /// Step 1 + feature extraction: calibrate and extract, reusable across
@@ -479,6 +527,7 @@ impl<'a> Summarizer<'a> {
     ) -> Vec<Result<Summary, SummarizeError>> {
         let obs = &self.cfg.recorder;
         let _root = obs.span("summarize_batch");
+        let cache_before = self.route_cache.as_ref().map(|c| c.stats());
         let exec = Executor::new(self.cfg.threads).with_recorder(obs.clone());
         // Workers run the pipeline against a disabled recorder (cross-thread
         // span opens would interleave nondeterministically in the shared
@@ -492,7 +541,9 @@ impl<'a> Summarizer<'a> {
                 .and_then(|p| self.summarize_prepared_obs(&p, k, &quiet));
             (r, t0.elapsed())
         });
-        self.collect_batch(timed)
+        let out = self.collect_batch(timed);
+        self.record_cache_delta(cache_before);
+        out
     }
 
     /// Summarizes many *untrusted* sample buffers in parallel — the batch
@@ -508,6 +559,7 @@ impl<'a> Summarizer<'a> {
     ) -> Vec<Result<Summary, SummarizeError>> {
         let obs = &self.cfg.recorder;
         let _root = obs.span("summarize_batch");
+        let cache_before = self.route_cache.as_ref().map(|c| c.stats());
         let exec = Executor::new(self.cfg.threads).with_recorder(obs.clone());
         let quiet = Recorder::disabled();
         let timed = exec.par_map(trips, |_, points| {
@@ -518,7 +570,23 @@ impl<'a> Summarizer<'a> {
             });
             (r, t0.elapsed())
         });
-        self.collect_batch(timed)
+        let out = self.collect_batch(timed);
+        self.record_cache_delta(cache_before);
+        out
+    }
+
+    /// Emits the route cache's counter deltas for one batch —
+    /// `cache.hits`/`cache.misses`/`cache.evictions` plus the
+    /// `route_cache.capacity` gauge — into the shared recorder. A no-op
+    /// when the cache is disabled.
+    fn record_cache_delta(&self, before: Option<CacheStats>) {
+        let (Some(cache), Some(before)) = (&self.route_cache, before) else { return };
+        let obs = &self.cfg.recorder;
+        let delta = cache.stats().since(&before);
+        obs.add("cache.hits", delta.hits);
+        obs.add("cache.misses", delta.misses);
+        obs.add("cache.evictions", delta.evictions);
+        obs.gauge("route_cache.capacity", cache.route_capacity() as f64); // cast-ok: entry count
     }
 
     /// Replays per-trip wall times into the shared recorder in input order
@@ -596,28 +664,35 @@ impl<'a> Summarizer<'a> {
             let hops: Vec<(LandmarkId, LandmarkId)> = (span.seg_start..=span.seg_end)
                 .map(|i| (symbolic.points()[i].landmark, symbolic.points()[i + 1].landmark))
                 .collect();
-            let pr = {
-                let _span = obs.span("popular_route");
-                let pr = self.model.popular.popular_route(from, to);
-                obs.add(
-                    if pr.is_some() { "popular_route.hits" } else { "popular_route.misses" },
-                    1,
-                );
-                pr
-            };
+            // The popular route comes either from the shared memo (an
+            // `Arc` slice — a probe and a refcount bump) or as an owned
+            // vector from the model; both locals must outlive `pr`. A
+            // disabled cache costs exactly this one branch.
+            let _pr_span = obs.span("popular_route");
+            let (pr_owned, pr_cached): (Option<Vec<LandmarkId>>, Option<Arc<[LandmarkId]>>) =
+                match &self.route_cache {
+                    None => (self.model.popular.popular_route(from, to), None),
+                    Some(cache) => (None, cache.popular_route(&self.model.popular, from, to)),
+                };
+            let pr: Option<&[LandmarkId]> = pr_owned.as_deref().or(pr_cached.as_deref());
+            obs.add(if pr.is_some() { "popular_route.hits" } else { "popular_route.misses" }, 1);
+            drop(_pr_span);
             let seg_values = &prepared.seg_values[span.seg_start..=span.seg_end];
 
             let selected = {
                 let _span = obs.span("select");
-                let selected = select_features(&SelectionInput {
+                let input = SelectionInput {
                     features: &self.features,
                     weights: &self.weights,
                     eta: self.cfg.eta,
                     seg_values,
                     hops: &hops,
-                    popular_route: pr.as_deref(),
+                    popular_route: pr,
                     featmap: &self.model.featmap,
-                });
+                    route_cache: self.route_cache.as_deref(),
+                };
+                let selected =
+                    SELECT_SCRATCH.with(|s| select_features_with(&input, &mut s.borrow_mut()));
                 obs.add("select.features_kept", selected.len() as u64); // cast-ok: feature count
                 obs.add(
                     "select.features_dropped",

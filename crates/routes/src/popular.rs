@@ -54,6 +54,13 @@ pub struct PopularRoutes {
     /// then falls back to scanning the occurrence list.
     #[serde(with = "crate::serde_vecmap", default)]
     supports: HashMap<(LandmarkId, LandmarkId), u32>,
+    /// Precomputed winning route per pair whose support reaches
+    /// `min_support`, so the common serving-path query is a single map
+    /// probe instead of re-hashing every occurrence slice. Empty when
+    /// loaded from a model file written before this field existed;
+    /// `popular_route` then falls back to a (single) occurrence scan.
+    #[serde(with = "crate::serde_vecmap", default)]
+    winners: HashMap<(LandmarkId, LandmarkId), Vec<LandmarkId>>,
     cfg: PopularRouteConfig,
 }
 
@@ -128,9 +135,19 @@ impl PopularRoutes {
             list.sort_by_key(|(l, _)| *l); // deterministic order
         }
 
-        let supports = pairs.iter().map(|(&k, occ)| (k, distinct_trajs(occ))).collect();
+        let supports: HashMap<(LandmarkId, LandmarkId), u32> =
+            pairs.iter().map(|(&k, occ)| (k, distinct_trajs(occ))).collect();
 
-        Self { corpus: seqs, pairs, transfers, supports, cfg }
+        // Resolve each trusted pair's winner once, at build time. Serving
+        // queries for these pairs become a single probe; only
+        // below-min_support pairs ever reach the occurrence scan again.
+        let winners: HashMap<(LandmarkId, LandmarkId), Vec<LandmarkId>> = pairs
+            .iter()
+            .filter(|(k, _)| supports.get(*k).copied().unwrap_or(0) as usize >= cfg.min_support)
+            .filter_map(|(&k, occ)| most_frequent_exact(&seqs, occ).map(|w| (k, w)))
+            .collect();
+
+        Self { corpus: seqs, pairs, transfers, supports, winners, cfg }
     }
 
     /// Number of indexed historical trajectories.
@@ -158,34 +175,36 @@ impl PopularRoutes {
         if from == to {
             return Some(vec![from]);
         }
-        if self.support(from, to) >= self.cfg.min_support {
-            if let Some(route) =
-                self.pairs.get(&(from, to)).and_then(|occ| self.most_frequent_exact(occ))
-            {
-                return Some(route);
+        // Common case: the winner for every pair at/above min_support is
+        // resolved at build time — one map probe, no occurrence re-hash.
+        if let Some(winner) = self.winners.get(&(from, to)) {
+            return Some(winner.clone());
+        }
+        // No precomputed winner: the pair is below min_support (or the
+        // model file predates the winners table, leaving it empty). Scan
+        // the occurrence list at most once, reusing the result for both
+        // the support gate and the last-resort fallback.
+        let mut scanned: Option<(u32, Option<Vec<LandmarkId>>)> = None;
+        if self.winners.is_empty() {
+            scanned = self.pairs.get(&(from, to)).map(|occ| scan_pair(&self.corpus, occ));
+            if let Some((support, winner)) = &scanned {
+                if *support as usize >= self.cfg.min_support {
+                    if let Some(route) = winner {
+                        return Some(route.clone());
+                    }
+                }
             }
         }
         self.max_probability_route(from, to).or_else(|| {
             // Last resort: any exact occurrence, even below min_support.
-            self.pairs.get(&(from, to)).and_then(|occ| self.most_frequent_exact(occ))
+            match scanned {
+                Some((_, winner)) => winner,
+                None => self
+                    .pairs
+                    .get(&(from, to))
+                    .and_then(|occ| most_frequent_exact(&self.corpus, occ)),
+            }
         })
-    }
-
-    /// Among the occurrences, the most frequent concrete landmark sequence
-    /// (`None` only for an empty occurrence list, which the pair index never
-    /// stores).
-    fn most_frequent_exact(&self, occ: &[Occurrence]) -> Option<Vec<LandmarkId>> {
-        let mut counts: HashMap<&[LandmarkId], usize> = HashMap::new();
-        for o in occ {
-            let seq = &self.corpus[o.traj as usize][o.start as usize..=o.end as usize];
-            *counts.entry(seq).or_insert(0) += 1;
-        }
-        counts
-            .into_iter()
-            .max_by(|a, b| {
-                a.1.cmp(&b.1).then_with(|| b.0.len().cmp(&a.0.len())).then_with(|| b.0.cmp(a.0))
-            })
-            .map(|(seq, _)| seq.to_vec())
     }
 
     /// Maximum-probability walk on the transfer graph: Dijkstra on
@@ -250,6 +269,38 @@ impl PopularRoutes {
         route.reverse();
         Some(route)
     }
+}
+
+/// Among the occurrences, the most frequent concrete landmark sequence
+/// (`None` only for an empty occurrence list, which the pair index never
+/// stores). Ties break by count, then longer, then lexicographically
+/// smaller — a total order, so builds are reproducible.
+fn most_frequent_exact(corpus: &[Vec<LandmarkId>], occ: &[Occurrence]) -> Option<Vec<LandmarkId>> {
+    scan_pair(corpus, occ).1
+}
+
+/// One pass over an occurrence list yielding the two facts `popular_route`
+/// needs: the distinct-trajectory support and the most frequent concrete
+/// sequence. Folding them keeps the fallback path at a single scan.
+fn scan_pair(corpus: &[Vec<LandmarkId>], occ: &[Occurrence]) -> (u32, Option<Vec<LandmarkId>>) {
+    let mut counts: HashMap<&[LandmarkId], usize> = HashMap::new();
+    let mut distinct = 0u32;
+    let mut last = None;
+    for o in occ {
+        if last != Some(o.traj) {
+            distinct += 1;
+            last = Some(o.traj);
+        }
+        let seq = &corpus[o.traj as usize][o.start as usize..=o.end as usize];
+        *counts.entry(seq).or_insert(0) += 1;
+    }
+    let winner = counts
+        .into_iter()
+        .max_by(|a, b| {
+            a.1.cmp(&b.1).then_with(|| b.0.len().cmp(&a.0.len())).then_with(|| b.0.cmp(a.0))
+        })
+        .map(|(seq, _)| seq.to_vec());
+    (distinct, winner)
 }
 
 /// Distinct trajectory ids in an occurrence list. Occurrences are inserted
@@ -390,6 +441,42 @@ mod tests {
             .expect("serializes");
             assert_eq!(par, seq, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn winner_probe_matches_legacy_scan_path() {
+        // A model file written before the winners/supports tables existed
+        // deserializes with both empty; answers must not change.
+        let corpus: Vec<SymbolicTrajectory> = (0..60)
+            .map(|i| {
+                let ids: Vec<u32> = (0..5).map(|j| (i * 5 + j * 2) % 23).collect();
+                traj(&ids)
+            })
+            .collect();
+        let pr = PopularRoutes::build(&corpus, PopularRouteConfig::default());
+        let mut legacy = PopularRoutes::build(&corpus, PopularRouteConfig::default());
+        legacy.winners = HashMap::new();
+        legacy.supports = HashMap::new();
+        for a in 0..23 {
+            for b in 0..23 {
+                assert_eq!(
+                    pr.popular_route(l(a), l(b)),
+                    legacy.popular_route(l(a), l(b)),
+                    "pair ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn winners_respect_min_support() {
+        let cfg = PopularRouteConfig { min_support: 2, ..PopularRouteConfig::default() };
+        let corpus = vec![traj(&[0, 1, 2]), traj(&[0, 1, 2]), traj(&[5, 6])];
+        let pr = PopularRoutes::build(&corpus, cfg);
+        assert!(pr.winners.contains_key(&(l(0), l(2))));
+        assert!(!pr.winners.contains_key(&(l(5), l(6))));
+        // The below-threshold pair is still answered via the fallback.
+        assert_eq!(pr.popular_route(l(5), l(6)).unwrap(), vec![l(5), l(6)]);
     }
 
     #[test]

@@ -28,11 +28,15 @@
 //! literals before matching, and skips `#[cfg(test)]` items entirely.
 //!
 //! A second subcommand, `cargo xtask obs-schema <report.json>
-//! [--require-stages a,b,c]`, validates a telemetry report produced by
-//! `stmaker-cli --metrics-json`, the Fig. 12 eval binary, or the
-//! `obs_report` bench: the file must be a JSON object with the `spans` /
-//! `counters` / `gauges` / `histograms` top-level keys, and (optionally)
-//! must contain a span for every named pipeline stage.
+//! [--require-stages a,b,c] [--require-counters a,b] [--require-positive
+//! a,b]`, validates a telemetry report produced by `stmaker-cli
+//! --metrics-json`, the Fig. 12 eval binary, or the `obs_report` /
+//! `cache_hot_path` benches: the file must be a JSON object with the
+//! `spans` / `counters` / `gauges` / `histograms` top-level keys, and
+//! (optionally) must contain a span for every named pipeline stage,
+//! every named counter, and a strictly positive value for every named
+//! gauge (how CI checks the committed `BENCH_cache.json` really shows a
+//! non-zero warm hit rate and speedup).
 //!
 //! Run via the `.cargo/config.toml` alias: `cargo xtask lint`.
 
@@ -43,7 +47,7 @@ use std::process::ExitCode;
 
 /// Crates whose library code must be panic-free (L2) and fully strict.
 const STRICT_CRATES: &[&str] =
-    &["core", "calibration", "trajectory", "road", "routes", "obs", "exec"];
+    &["cache", "core", "calibration", "trajectory", "road", "routes", "obs", "exec"];
 
 /// Crates linted in report-only mode: findings print as warnings and do not
 /// fail the run. `__root__` stands for the workspace-root `stmaker-suite`
@@ -161,7 +165,8 @@ impl Allowlist {
 }
 
 const USAGE: &str = "usage: cargo xtask lint [--root <workspace-dir>]\n       \
-                     cargo xtask obs-schema <report.json> [--require-stages a,b,c]";
+                     cargo xtask obs-schema <report.json> [--require-stages a,b,c]\n           \
+                     [--require-counters a,b,c] [--require-positive gauge-a,gauge-b]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -208,10 +213,13 @@ fn cmd_lint(args: &[String]) -> ExitCode {
 }
 
 /// Validates a `stmaker-obs` telemetry report file: required top-level
-/// keys, structural shape, and (optionally) presence of named stage spans.
+/// keys, structural shape, and (optionally) presence of named stage
+/// spans, named counters, and strictly positive named gauges.
 fn cmd_obs_schema(args: &[String]) -> ExitCode {
     let mut path: Option<PathBuf> = None;
     let mut required: Vec<String> = Vec::new();
+    let mut required_counters: Vec<String> = Vec::new();
+    let mut required_positive: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -223,6 +231,28 @@ fn cmd_obs_schema(args: &[String]) -> ExitCode {
                 }
                 None => {
                     eprintln!("--require-stages needs a comma-separated list");
+                    return ExitCode::from(2);
+                }
+            },
+            "--require-counters" => match it.next() {
+                Some(list) => {
+                    required_counters.extend(
+                        list.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from),
+                    );
+                }
+                None => {
+                    eprintln!("--require-counters needs a comma-separated list");
+                    return ExitCode::from(2);
+                }
+            },
+            "--require-positive" => match it.next() {
+                Some(list) => {
+                    required_positive.extend(
+                        list.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from),
+                    );
+                }
+                None => {
+                    eprintln!("--require-positive needs a comma-separated list of gauges");
                     return ExitCode::from(2);
                 }
             },
@@ -260,14 +290,59 @@ fn cmd_obs_schema(args: &[String]) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if !required_counters.is_empty() || !required_positive.is_empty() {
+        // The structural validation above accepted the shape; a full parse
+        // gives us counter/gauge values for the presence checks.
+        let report = match stmaker_obs::Report::from_json(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("xtask obs-schema: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let missing: Vec<&String> =
+            required_counters.iter().filter(|c| !report.counters.contains_key(*c)).collect();
+        if !missing.is_empty() {
+            eprintln!(
+                "xtask obs-schema: {}: missing required counter(s): {}",
+                path.display(),
+                missing.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+        for gauge in &required_positive {
+            match report.gauges.get(gauge) {
+                Some(v) if *v > 0.0 => {}
+                Some(v) => {
+                    eprintln!(
+                        "xtask obs-schema: {}: gauge `{gauge}` must be positive, got {v}",
+                        path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!(
+                        "xtask obs-schema: {}: missing required gauge `{gauge}`",
+                        path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
     println!(
         "xtask obs-schema: {} ok ({} span name(s){})",
         path.display(),
         span_names.len(),
-        if required.is_empty() {
+        if required.is_empty() && required_counters.is_empty() && required_positive.is_empty() {
             String::new()
         } else {
-            format!(", all {} required stages present", required.len())
+            format!(
+                ", {} stage(s) / {} counter(s) / {} positive gauge(s) checked",
+                required.len(),
+                required_counters.len(),
+                required_positive.len()
+            )
         }
     );
     ExitCode::SUCCESS

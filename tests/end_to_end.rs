@@ -490,6 +490,50 @@ fn summarize_batch_matches_individual_summaries() {
 }
 
 #[test]
+fn summaries_identical_with_and_without_cache() {
+    let h = Harness::new();
+    let (train, test) = h.corpora(60, 15);
+    let make = |threads: usize, route_cache: usize| {
+        let features = standard_features();
+        let weights = FeatureWeights::uniform(&features);
+        Summarizer::train(
+            &h.world.net,
+            &h.world.registry,
+            &train,
+            features,
+            weights,
+            SummarizerConfig::default().with_threads(threads).with_route_cache(route_cache),
+        )
+    };
+
+    // The reference: no cache, one thread.
+    let reference: Vec<Option<String>> =
+        make(1, 0).summarize_batch(&test).into_iter().map(|r| r.ok().map(|s| s.text)).collect();
+    assert!(reference.iter().flatten().count() >= 10, "most test trips must summarize");
+
+    // The cache memoizes pure functions of the trained model (DESIGN.md
+    // §12), so summaries must be byte-identical at every thread count and
+    // cache size — including a 2-route cache small enough that the batch
+    // evicts constantly.
+    for threads in [1, 2, 4] {
+        for capacity in [256, 2] {
+            let s = make(threads, capacity);
+            let got: Vec<Option<String>> =
+                s.summarize_batch(&test).into_iter().map(|r| r.ok().map(|s| s.text)).collect();
+            assert_eq!(
+                got, reference,
+                "cache (cap {capacity}) at {threads} thread(s) changed summary bytes"
+            );
+            let stats = s.route_cache_stats().expect("cache enabled");
+            assert!(stats.hits + stats.misses > 0, "batch must exercise the cache");
+            if capacity == 2 {
+                assert!(stats.evictions > 0, "a 2-route cache must evict on this corpus");
+            }
+        }
+    }
+}
+
+#[test]
 fn batch_telemetry_reports_per_trip_spans() {
     use stmaker_suite::Recorder;
     let h = Harness::new();
