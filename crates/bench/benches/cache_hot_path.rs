@@ -73,6 +73,7 @@ fn main() {
     assert!(!prepared.is_empty(), "quick-scale corpus must yield preparable trips");
 
     let serve_pass = |summarizer: &Summarizer<'_>| -> (f64, usize) {
+        // lint: wallclock — benchmark harness: wall time is the measured quantity by design
         let t0 = Instant::now();
         let ok = prepared.iter().filter(|p| summarizer.summarize_prepared(p, None).is_ok()).count();
         (t0.elapsed().as_secs_f64() * 1e3, ok)

@@ -144,6 +144,7 @@ impl Summarizer<'_> {
             };
             *od_counts.entry((first.from, last.to)).or_insert(0) += 1;
         }
+        // lint: ordered — max_by applies a total order (count, then OD key) so the reduction is order-free
         let modal_od = od_counts.iter().max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0))).map(
             |((from, to), _)| {
                 let find_name = |lm: LandmarkId| {

@@ -306,6 +306,7 @@ impl<'a> Summarizer<'a> {
         }
 
         let partials = exec.shard_partials(training, |_, _, shard| {
+            // lint: wallclock — shard wall time is replayed to obs in shard order; model bytes never see it
             let t0 = Instant::now();
             let mut featmap = HistoricalFeatureMap::new();
             let mut symbolics: Vec<SymbolicTrajectory> = Vec::new();
@@ -535,6 +536,7 @@ impl<'a> Summarizer<'a> {
         // per-trip durations below in input order.
         let quiet = Recorder::disabled();
         let timed = exec.par_map(trips, |_, raw| {
+            // lint: wallclock — per-trip duration is replayed to obs in input order, never folded into summaries
             let t0 = Instant::now();
             let r = self
                 .prepare_view(raw.view(), &quiet)
@@ -563,6 +565,7 @@ impl<'a> Summarizer<'a> {
         let exec = Executor::new(self.cfg.threads).with_recorder(obs.clone());
         let quiet = Recorder::disabled();
         let timed = exec.par_map(trips, |_, points| {
+            // lint: wallclock — per-trip duration is replayed to obs in input order, never folded into summaries
             let t0 = Instant::now();
             let r = RawView::try_new(points).map_err(SummarizeError::Input).and_then(|raw| {
                 self.prepare_view(raw, &quiet)

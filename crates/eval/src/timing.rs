@@ -37,6 +37,7 @@ pub fn time_by_symbolic_len(
         let Some(bi) = buckets.iter().position(|c| size.abs_diff(*c) <= tolerance) else {
             continue;
         };
+        // lint: wallclock — timing harness: measured durations are the experiment's output by design
         let t0 = Instant::now();
         let _ = summarizer.summarize(raw);
         let dt = t0.elapsed().as_secs_f64() * 1e3;
@@ -64,6 +65,7 @@ pub fn time_by_k(
             let mut sum = 0.0;
             let mut n = 0usize;
             for raw in trips {
+                // lint: wallclock — timing harness: measured durations are the experiment's output by design
                 let t0 = Instant::now();
                 if summarizer.summarize_k(raw, k).is_ok() {
                     sum += t0.elapsed().as_secs_f64() * 1e3;

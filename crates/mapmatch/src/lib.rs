@@ -223,6 +223,7 @@ pub fn dominant_edge(matches: &[Option<EdgeId>]) -> Option<EdgeId> {
     for e in matches.iter().flatten() {
         *counts.entry(*e).or_insert(0) += 1;
     }
+    // lint: ordered — max_by applies a total order (count, then lower edge id) so the reduction is order-free
     counts.into_iter().max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0))).map(|(e, _)| e)
 }
 

@@ -96,6 +96,7 @@ impl HistoricalFeatureMap {
     /// Merges another map into this one (used to combine shards built in
     /// parallel or across corpus batches).
     pub fn merge(&mut self, other: &HistoricalFeatureMap) {
+        // lint: ordered — per-edge sums/counts are merged commutatively into keyed entries
         for (edge, feats) in &other.edges {
             let dst = self.edges.entry(*edge).or_default();
             for (k, s) in feats {
@@ -104,6 +105,7 @@ impl HistoricalFeatureMap {
                 d.count += s.count;
             }
         }
+        // lint: ordered — per-edge categorical counts are merged commutatively into keyed entries
         for (edge, feats) in &other.categorical {
             let dst = self.categorical.entry(*edge).or_default();
             for (k, counts) in feats {

@@ -118,9 +118,11 @@ impl PopularRoutes {
         let mut pairs: HashMap<(LandmarkId, LandmarkId), Vec<Occurrence>> = HashMap::new();
         let mut hop_counts: HashMap<(LandmarkId, LandmarkId), f64> = HashMap::new();
         for p in partials {
+            // lint: ordered — one entry per key per partial; per-key appends land in the fixed shard order of the outer loop
             for (k, mut occ) in p.pairs {
                 pairs.entry(k).or_default().append(&mut occ);
             }
+            // lint: ordered — per-key addition is commutative; one contribution per key per partial
             for (k, c) in p.hop_counts {
                 *hop_counts.entry(k).or_insert(0.0) += c;
             }
@@ -128,20 +130,24 @@ impl PopularRoutes {
 
         // Normalize hop counts into per-source transition lists.
         let mut transfers: HashMap<LandmarkId, Vec<(LandmarkId, f64)>> = HashMap::new();
+        // lint: ordered — (a, b) keys are unique, so each list gets one entry per target; the sort below canonicalizes
         for (&(a, b), &c) in &hop_counts {
             transfers.entry(a).or_default().push((b, c));
         }
+        // lint: ordered — each list is sorted in place; the visit order of values is irrelevant
         for list in transfers.values_mut() {
             list.sort_by_key(|(l, _)| *l); // deterministic order
         }
 
         let supports: HashMap<(LandmarkId, LandmarkId), u32> =
+            // lint: ordered — pure per-key transform collected back into a keyed map
             pairs.iter().map(|(&k, occ)| (k, distinct_trajs(occ))).collect();
 
         // Resolve each trusted pair's winner once, at build time. Serving
         // queries for these pairs become a single probe; only
         // below-min_support pairs ever reach the occurrence scan again.
         let winners: HashMap<(LandmarkId, LandmarkId), Vec<LandmarkId>> = pairs
+            // lint: ordered — per-key resolution; most_frequent_exact is itself order-free
             .iter()
             .filter(|(k, _)| supports.get(*k).copied().unwrap_or(0) as usize >= cfg.min_support)
             .filter_map(|(&k, occ)| most_frequent_exact(&seqs, occ).map(|w| (k, w)))
@@ -295,6 +301,7 @@ fn scan_pair(corpus: &[Vec<LandmarkId>], occ: &[Occurrence]) -> (u32, Option<Vec
         *counts.entry(seq).or_insert(0) += 1;
     }
     let winner = counts
+        // lint: ordered — max_by applies a total order (count, length, lexicographic) so the reduction is order-free
         .into_iter()
         .max_by(|a, b| {
             a.1.cmp(&b.1).then_with(|| b.0.len().cmp(&a.0.len())).then_with(|| b.0.cmp(a.0))

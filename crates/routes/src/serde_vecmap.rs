@@ -18,6 +18,7 @@ where
     V: Serialize,
     S: Serializer,
 {
+    // lint: ordered — entries are key-sorted on the next line before serialization
     let mut entries: Vec<(&K, &V)> = map.iter().collect();
     entries.sort_by(|a, b| a.0.cmp(b.0));
     serializer.collect_seq(entries)

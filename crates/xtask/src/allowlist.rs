@@ -1,0 +1,193 @@
+//! The structured lint allowlist (`lint-allowlist.txt`), v2 format.
+//!
+//! One entry per line:
+//!
+//! ```text
+//! layer | path-suffix | needle | justification
+//! ```
+//!
+//! `layer` is one of `L1`–`L7`. An entry suppresses findings of that layer
+//! in any file whose workspace-relative path ends with `path-suffix` *at a
+//! path-component boundary*, on lines whose comment-stripped text contains
+//! `needle` (needles therefore never match prose in comments). The
+//! justification is mandatory. Entries that stop matching anything are
+//! reported as warnings — promoted to errors under `--strict` — so the
+//! list cannot rot, and a `path-suffix` that resolves to more than one
+//! scanned file is an error so renames cannot silently re-target an
+//! exemption.
+
+use std::cell::RefCell;
+
+pub const ALLOWLIST_FILE: &str = "lint-allowlist.txt";
+
+const KNOWN_LAYERS: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6", "L7"];
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub layer: String,
+    pub path_suffix: String,
+    pub needle: String,
+    pub justification: String,
+    /// 1-based line in the allowlist file (for diagnostics).
+    pub src_line: usize,
+}
+
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+    used: RefCell<Vec<bool>>,
+}
+
+/// Whether `path` ends with `suffix` at a `/` component boundary (or the
+/// whole path equals the suffix). `foo/util.rs` matches `a/foo/util.rs`
+/// but not `a/not_foo/util.rs`.
+pub fn suffix_matches(path: &str, suffix: &str) -> bool {
+    path == suffix
+        || (path.len() > suffix.len()
+            && path.ends_with(suffix)
+            && path.as_bytes()[path.len() - suffix.len() - 1] == b'/')
+}
+
+impl Allowlist {
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.splitn(4, '|').map(str::trim).collect();
+            let [layer, path_suffix, needle, justification] = parts.as_slice() else {
+                return Err(format!(
+                    "{ALLOWLIST_FILE}:{}: expected `layer | path-suffix | needle | justification`",
+                    i + 1
+                ));
+            };
+            if !KNOWN_LAYERS.contains(layer) {
+                return Err(format!(
+                    "{ALLOWLIST_FILE}:{}: unknown layer `{layer}` (expected one of {})",
+                    i + 1,
+                    KNOWN_LAYERS.join(", ")
+                ));
+            }
+            if justification.is_empty() {
+                return Err(format!(
+                    "{ALLOWLIST_FILE}:{}: entries need a non-empty justification",
+                    i + 1
+                ));
+            }
+            if path_suffix.is_empty() || needle.is_empty() {
+                return Err(format!(
+                    "{ALLOWLIST_FILE}:{}: path-suffix and needle must be non-empty",
+                    i + 1
+                ));
+            }
+            entries.push(AllowEntry {
+                layer: layer.to_string(),
+                path_suffix: path_suffix.to_string(),
+                needle: needle.to_string(),
+                justification: justification.to_string(),
+                src_line: i + 1,
+            });
+        }
+        let used = RefCell::new(vec![false; entries.len()]);
+        Ok(Self { entries, used })
+    }
+
+    /// Whether `(layer, path, comment-stripped line text)` matches an
+    /// entry; marks the entry used.
+    pub fn allows(&self, layer: &str, path: &str, code_line: &str) -> bool {
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.layer == layer
+                && suffix_matches(path, &e.path_suffix)
+                && code_line.contains(&e.needle)
+            {
+                self.used.borrow_mut()[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that never matched a finding.
+    pub fn unused(&self) -> Vec<&AllowEntry> {
+        let used = self.used.borrow();
+        self.entries.iter().enumerate().filter(|(i, _)| !used[*i]).map(|(_, e)| e).collect()
+    }
+
+    /// Entries whose `path-suffix` matches more than one scanned file —
+    /// ambiguous after a file move, each an error. Returns
+    /// `(entry, matching paths)` pairs.
+    pub fn ambiguous<'a>(&'a self, scanned_paths: &[String]) -> Vec<(&'a AllowEntry, Vec<String>)> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            let hits: Vec<String> = scanned_paths
+                .iter()
+                .filter(|p| suffix_matches(p, &e.path_suffix))
+                .cloned()
+                .collect();
+            if hits.len() > 1 {
+                out.push((e, hits));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_v2_entries_and_rejects_malformed() {
+        let a = Allowlist::parse(
+            "# comment\n\nL2 | crates/demo/src/lib.rs | expect(\"set\") | constructor invariant\n",
+        )
+        .expect("parses");
+        assert_eq!(a.entries.len(), 1);
+        assert_eq!(a.entries[0].layer, "L2");
+        assert_eq!(a.entries[0].src_line, 3);
+        assert!(Allowlist::parse("L2 | a.rs | needle |").is_err(), "empty justification");
+        assert!(Allowlist::parse("L2 | a.rs | needle").is_err(), "missing field");
+        assert!(Allowlist::parse("L9 | a.rs | needle | why").is_err(), "unknown layer");
+        assert!(Allowlist::parse("a.rs | needle | why").is_err(), "v1 three-field format");
+    }
+
+    #[test]
+    fn allows_matches_layer_path_and_needle() {
+        let a = Allowlist::parse("L2 | src/lib.rs | x.expect( | invariant\n").expect("parses");
+        assert!(a.allows("L2", "crates/demo/src/lib.rs", "let y = x.expect(\"set\");"));
+        assert!(!a.allows("L1", "crates/demo/src/lib.rs", "let y = x.expect(\"set\");"));
+        assert!(!a.allows("L2", "crates/demo/src/other.rs", "let y = x.expect(\"set\");"));
+        assert!(!a.allows("L2", "crates/demo/src/lib.rs", "let y = x.unwrap();"));
+        assert!(a.unused().is_empty());
+    }
+
+    #[test]
+    fn suffix_matching_respects_component_boundaries() {
+        assert!(suffix_matches("crates/a/src/util.rs", "util.rs"));
+        assert!(suffix_matches("crates/a/src/util.rs", "src/util.rs"));
+        assert!(suffix_matches("util.rs", "util.rs"));
+        assert!(!suffix_matches("crates/a/src/my_util.rs", "util.rs"));
+        assert!(!suffix_matches("crates/a/srcutil.rs", "src/util.rs"));
+    }
+
+    #[test]
+    fn ambiguous_suffixes_are_detected() {
+        let a = Allowlist::parse("L2 | util.rs | needle | why\n").expect("parses");
+        let paths = vec!["crates/a/src/util.rs".to_string(), "crates/b/src/util.rs".to_string()];
+        let amb = a.ambiguous(&paths);
+        assert_eq!(amb.len(), 1);
+        assert_eq!(amb[0].1.len(), 2);
+        let unique = a.ambiguous(&paths[..1].to_vec());
+        assert!(unique.is_empty());
+    }
+
+    #[test]
+    fn unused_entries_are_reported() {
+        let a = Allowlist::parse("L2 | lib.rs | never_matches | why\n").expect("parses");
+        assert!(!a.allows("L2", "crates/demo/src/lib.rs", "let x = 1;"));
+        assert_eq!(a.unused().len(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! L3 — cast hygiene in DP hot paths.
+//!
+//! `as usize` / `as f64` casts inside the partition/similarity/irregular/
+//! select hot paths silently truncate or lose precision; each one needs a
+//! `// cast-ok: <reason>` marker on the same or previous line.
+
+use super::{severity_for, FileCtx, Finding};
+
+pub fn scan(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if !ctx.hot {
+        return findings;
+    }
+    let severity = severity_for(ctx.level);
+    for ci in 0..ctx.code.len() {
+        if !ctx.is_ident(ci, "as") {
+            continue;
+        }
+        let line = ctx.line(ci);
+        if ctx.in_test(line) {
+            continue;
+        }
+        if ci + 1 >= ctx.code.len() {
+            continue;
+        }
+        let target = ctx.text(ci + 1);
+        if matches!(target, "usize" | "f64") && !ctx.has_marker(line, "cast-ok:") {
+            findings.push(Finding {
+                severity,
+                rule: "L3",
+                path: ctx.rel.to_string(),
+                line,
+                message: format!(
+                    "lossy `as {target}` in a DP hot path; justify with \
+                     `// cast-ok: <reason>` on this or the previous line"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Level;
+    use crate::lexer::lex;
+
+    fn run(src: &str, hot: bool) -> Vec<Finding> {
+        let lx = lex(src);
+        let ctx = FileCtx::new("core", "crates/core/src/partition.rs", &lx, Level::Strict, hot);
+        scan(&ctx)
+    }
+
+    #[test]
+    fn flags_unmarked_casts_in_hot_files_only() {
+        let src = "pub fn f(n: usize) -> f64 {\n    let x = n as f64;\n    let y = x as usize;\n    // cast-ok: segment count bounded by trajectory length\n    let z = y as f64;\n    x + z\n}\n";
+        let f = run(src, true);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "L3"));
+        assert!(run(src, false).is_empty());
+    }
+
+    #[test]
+    fn use_as_rename_is_not_a_cast() {
+        // `use x as y` has a non-type identifier after `as`; only the
+        // usize/f64 targets fire.
+        let src = "use std::collections::BTreeMap as Map;\npub fn f(m: &Map<u32, u32>) -> usize { m.len() }\n";
+        assert!(run(src, true).is_empty());
+    }
+
+    #[test]
+    fn marker_inside_string_does_not_suppress() {
+        let src = "pub fn f(n: usize) -> f64 {\n    let tag = \"cast-ok: fake\";\n    let _ = tag;\n    n as f64\n}\n";
+        let f = run(src, true);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+}

@@ -1,0 +1,136 @@
+//! L4 — error ergonomics (workspace-wide, cross-file per crate).
+//!
+//! Every `pub enum *Error` must implement both `Display` and
+//! `std::error::Error`, so downstream code can `?` it and log it without
+//! crate-specific glue.
+
+use super::{FileCtx, Finding, Severity};
+use crate::lexer::TokKind;
+
+pub fn scan(files: &[&FileCtx<'_>], severity: Severity) -> Vec<Finding> {
+    let mut enums: Vec<(String, String, usize)> = Vec::new(); // (name, path, line)
+    let mut displayed: Vec<String> = Vec::new();
+    let mut errored: Vec<String> = Vec::new();
+    for ctx in files {
+        for ci in 0..ctx.code.len() {
+            if ctx.kind(ci) != TokKind::Ident {
+                continue;
+            }
+            if ctx.in_test(ctx.line(ci)) {
+                continue;
+            }
+            match ctx.text(ci) {
+                "enum" => {
+                    // `pub enum X` or `pub(crate) enum X`; pub(crate) lexes
+                    // as pub ( crate ) so look back past the group.
+                    let is_pub = (ci >= 1 && ctx.is_ident(ci - 1, "pub"))
+                        || (ci >= 4
+                            && ctx.is_ident(ci - 4, "pub")
+                            && ctx.is_punct(ci - 3, "(")
+                            && ctx.is_punct(ci - 1, ")"));
+                    if !is_pub {
+                        continue;
+                    }
+                    if ci + 1 < ctx.code.len() && ctx.kind(ci + 1) == TokKind::Ident {
+                        let name = ctx.text(ci + 1);
+                        if name.ends_with("Error") {
+                            enums.push((name.to_string(), ctx.rel.to_string(), ctx.line(ci)));
+                        }
+                    }
+                }
+                word @ ("Display" | "Error") => {
+                    if ctx.is_ident(ci + 1, "for")
+                        && ci + 2 < ctx.code.len()
+                        && ctx.kind(ci + 2) == TokKind::Ident
+                    {
+                        let target = ctx.text(ci + 2).to_string();
+                        if word == "Display" {
+                            displayed.push(target);
+                        } else {
+                            errored.push(target);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    for (name, path, line) in enums {
+        let mut missing = Vec::new();
+        if !displayed.contains(&name) {
+            missing.push("Display");
+        }
+        if !errored.contains(&name) {
+            missing.push("std::error::Error");
+        }
+        if !missing.is_empty() {
+            findings.push(Finding {
+                severity,
+                rule: "L4",
+                path,
+                line,
+                message: format!(
+                    "public error enum `{name}` does not implement {}",
+                    missing.join(" + ")
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Level;
+    use crate::lexer::lex;
+
+    fn run(sources: &[(&str, &str)]) -> Vec<Finding> {
+        let lexed: Vec<_> = sources.iter().map(|(_, src)| lex(src)).collect();
+        let ctxs: Vec<FileCtx<'_>> = sources
+            .iter()
+            .zip(&lexed)
+            .map(|((rel, _), lx)| FileCtx::new("demo", rel, lx, Level::Workspace, false))
+            .collect();
+        let refs: Vec<&FileCtx<'_>> = ctxs.iter().collect();
+        scan(&refs, Severity::Error)
+    }
+
+    #[test]
+    fn flags_missing_impls() {
+        let f = run(&[(
+            "crates/demo/src/lib.rs",
+            "pub enum ParseError { Bad }\nimpl std::fmt::Display for ParseError {}\n",
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("std::error::Error"));
+    }
+
+    #[test]
+    fn passes_complete_error_enums_across_files() {
+        let f = run(&[
+            ("crates/demo/src/lib.rs", "pub enum IoError { Bad }\n"),
+            (
+                "crates/demo/src/err.rs",
+                "impl fmt::Display for IoError {}\nimpl std::error::Error for IoError {}\n",
+            ),
+        ]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn ignores_private_and_non_error_enums_and_doc_mentions() {
+        let f = run(&[(
+            "crates/demo/src/lib.rs",
+            "/// A doc comment mentioning pub enum DocError without declaring it.\nenum InternalError { A }\npub enum Mode { A, B }\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn pub_crate_error_enums_are_checked() {
+        let f = run(&[("crates/demo/src/lib.rs", "pub(crate) enum JoinError { Gone }\n")]);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+}

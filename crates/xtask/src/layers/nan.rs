@@ -1,0 +1,100 @@
+//! L1 — NaN safety (workspace-wide).
+//!
+//! `partial_cmp(..).unwrap()` / `.expect(..)` panics the moment a NaN
+//! reaches a comparison, which in this codebase means a single corrupt GPS
+//! sample can abort a whole batch run. Use `f64::total_cmp` or an explicit
+//! NaN policy (`unwrap_or(Ordering::..)`), or mark the line with
+//! `// nan-ok: <reason>`.
+
+use super::{severity_for, FileCtx, Finding};
+
+pub fn scan(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let severity = severity_for(ctx.level);
+    for ci in 0..ctx.code.len() {
+        if !ctx.is_ident(ci, "partial_cmp") || ci == 0 || !ctx.is_punct(ci - 1, ".") {
+            continue;
+        }
+        let line = ctx.line(ci);
+        if ctx.in_test(line) {
+            continue;
+        }
+        if !ctx.is_punct(ci + 1, "(") {
+            continue;
+        }
+        let Some(close) = ctx.close_paren(ci + 1) else { continue };
+        if !ctx.is_punct(close + 1, ".") {
+            continue;
+        }
+        let next = close + 2;
+        if next >= ctx.code.len() {
+            continue;
+        }
+        let word = ctx.text(next);
+        if matches!(word, "unwrap" | "expect") && !ctx.has_marker(line, "nan-ok:") {
+            findings.push(Finding {
+                severity,
+                rule: "L1",
+                path: ctx.rel.to_string(),
+                line,
+                message: format!(
+                    "`partial_cmp(..).{word}(..)` panics on NaN; \
+                     use `f64::total_cmp` or mark `// nan-ok: <reason>`"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Level;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lx = lex(src);
+        let ctx = FileCtx::new("demo", "crates/demo/src/lib.rs", &lx, Level::Workspace, false);
+        scan(&ctx)
+    }
+
+    #[test]
+    fn flags_partial_cmp_unwrap_and_expect() {
+        let src = "fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "L1");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn flags_multiline_chain_across_comment() {
+        // The chain is interrupted by a comment — token adjacency must
+        // skip it (the old byte scanner handled whitespace only).
+        let src = "fn f(a: f64, b: f64) -> std::cmp::Ordering {\n    a.partial_cmp(&b) /* NaN never */ .expect(\"finite\")\n}\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn accepts_total_cmp_and_explicit_policy() {
+        let src = "fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.total_cmp(b));\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn respects_nan_ok_marker_in_comment_only() {
+        let ok = "fn f(a: f64, b: f64) {\n    // nan-ok: inputs validated finite at the API boundary\n    let _ = a.partial_cmp(&b).unwrap();\n}\n";
+        assert!(run(ok).is_empty());
+        // A marker inside a string on the same line must NOT suppress.
+        let bad = "fn f(a: f64, b: f64) {\n    let _ = (a.partial_cmp(&b).unwrap(), \"nan-ok: fake\");\n}\n";
+        assert_eq!(run(bad).len(), 1);
+    }
+
+    #[test]
+    fn skips_cfg_test_items() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(a: f64, b: f64) { let _ = a.partial_cmp(&b).unwrap(); }\n}\n";
+        assert!(run(src).is_empty());
+    }
+}

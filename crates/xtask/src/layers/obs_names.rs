@@ -1,0 +1,233 @@
+//! L7 — counter/gauge/span name hygiene (workspace-wide).
+//!
+//! Every metric name literal passed to the obs recorder (`.add(name, n)`,
+//! `.gauge(name, v)`, `.observe_ms(name, ms)`, `.span(name)`,
+//! `.span_observed(name, d)`) must
+//!
+//! 1. match the dotted schema — counters/gauges/histograms need at least
+//!    two `[a-z0-9_]` segments (`cache.hits`), span names allow a single
+//!    segment (`partition`) since pipeline stages are one word;
+//! 2. appear in DESIGN.md's instrumentation tables, cross-referenced at
+//!    lint time — a renamed counter that nobody documented is silent
+//!    metric drift, and CI schema checks keyed on the old name stop
+//!    protecting anything.
+//!
+//! Names built at runtime (`format!("{prefix}.hits")`) are skipped — the
+//! registry covers them via their documented prefix families.
+
+use super::{severity_for, FileCtx, Finding};
+use crate::lexer::TokKind;
+use std::collections::BTreeSet;
+
+/// Recorder methods whose first argument is a metric name.
+const NAME_METHODS: &[&str] = &["add", "gauge", "observe_ms", "span", "span_observed"];
+
+/// The documented instrumentation registry, parsed out of DESIGN.md.
+#[derive(Debug, Default)]
+pub struct ObsRegistry {
+    pub names: BTreeSet<String>,
+    /// Whether a registry was found at all; when absent the membership
+    /// check is skipped (schema checks still run) and the engine emits a
+    /// standalone warning.
+    pub present: bool,
+}
+
+impl ObsRegistry {
+    /// Extracts backticked dotted names from markdown table rows:
+    /// any `` | `name` | `` cell whose content matches `[a-z0-9_.]+`.
+    pub fn from_markdown(text: &str) -> Self {
+        let mut names = BTreeSet::new();
+        let mut present = false;
+        for line in text.lines() {
+            let t = line.trim();
+            if !t.starts_with('|') {
+                continue;
+            }
+            for cell in t.split('|') {
+                let cell = cell.trim();
+                let Some(inner) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) else {
+                    continue;
+                };
+                if !inner.is_empty()
+                    && inner.chars().all(|c| {
+                        c.is_ascii_lowercase()
+                            || c.is_ascii_digit()
+                            || c == '_'
+                            || c == '.'
+                            || c == '*'
+                    })
+                {
+                    present = true;
+                    names.insert(inner.to_string());
+                }
+            }
+        }
+        Self { names, present }
+    }
+
+    /// Whether `name` is documented, either directly or through a
+    /// registered `prefix.*` family.
+    pub fn contains(&self, name: &str) -> bool {
+        if self.names.contains(name) {
+            return true;
+        }
+        self.names.iter().any(|n| {
+            n.strip_suffix(".*").is_some_and(|prefix| {
+                name.strip_prefix(prefix).is_some_and(|rest| rest.starts_with('.'))
+            })
+        })
+    }
+}
+
+fn segments_ok(name: &str, min_segments: usize) -> bool {
+    let segs: Vec<&str> = name.split('.').collect();
+    segs.len() >= min_segments
+        && segs.iter().all(|s| {
+            !s.is_empty()
+                && s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+pub fn scan(ctx: &FileCtx<'_>, registry: &ObsRegistry) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let severity = severity_for(ctx.level);
+    for ci in 0..ctx.code.len() {
+        if ctx.kind(ci) != TokKind::Ident || !NAME_METHODS.contains(&ctx.text(ci)) {
+            continue;
+        }
+        // Method position with a string-literal first argument:
+        // `.method("name"…`.
+        if ci == 0 || !ctx.is_punct(ci - 1, ".") || !ctx.is_punct(ci + 1, "(") {
+            continue;
+        }
+        let arg = ci + 2;
+        if arg >= ctx.code.len() || ctx.kind(arg) != TokKind::Str {
+            continue; // runtime-built or non-string name: out of scope
+        }
+        let line = ctx.line(ci);
+        if ctx.in_test(line) {
+            continue;
+        }
+        let raw = ctx.text(arg);
+        let name = raw.trim_matches('"');
+        if name.contains('\\') {
+            continue; // escapes: not a plain metric name literal
+        }
+        let method = ctx.text(ci);
+        let min_segments = if matches!(method, "span" | "span_observed") { 1 } else { 2 };
+        if !segments_ok(name, min_segments) {
+            findings.push(Finding {
+                severity,
+                rule: "L7",
+                path: ctx.rel.to_string(),
+                line,
+                message: format!(
+                    "obs name `{name}` (via `.{method}`) violates the dotted \
+                     `[a-z0-9_]` schema{}",
+                    if min_segments == 2 { " (counters/gauges need ≥ 2 segments)" } else { "" }
+                ),
+            });
+            continue;
+        }
+        if registry.present && !registry.contains(name) {
+            findings.push(Finding {
+                severity,
+                rule: "L7",
+                path: ctx.rel.to_string(),
+                line,
+                message: format!(
+                    "obs name `{name}` (via `.{method}`) is not in DESIGN.md's \
+                     instrumentation tables — document it or fix the drift"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Level;
+    use crate::lexer::lex;
+
+    fn registry() -> ObsRegistry {
+        ObsRegistry::from_markdown(
+            "| name | meaning |\n|---|---|\n| `cache.hits` | cache hits |\n| `partition` | span |\n| `bench.*` | bench gauges |\n",
+        )
+    }
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lx = lex(src);
+        let ctx = FileCtx::new("core", "crates/core/src/lib.rs", &lx, Level::Strict, false);
+        scan(&ctx, &registry())
+    }
+
+    #[test]
+    fn documented_dotted_names_pass() {
+        let src = "pub fn f(rec: &Recorder) {\n    rec.add(\"cache.hits\", 1);\n    let _g = rec.span(\"partition\");\n    rec.gauge(\"bench.serve.speedup\", 2.0);\n}\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn single_segment_counter_violates_schema() {
+        let src = "pub fn f(rec: &Recorder) { rec.add(\"hits\", 1); }\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("schema"));
+    }
+
+    #[test]
+    fn uppercase_and_bad_chars_violate_schema() {
+        for bad in ["Cache.Hits", "cache..hits", "cache.hits-total", ".hits", "cache."] {
+            let src = format!("pub fn f(rec: &Recorder) {{ rec.add(\"{bad}\", 1); }}\n");
+            let f = run(&src);
+            assert_eq!(f.len(), 1, "{bad}: {f:?}");
+        }
+    }
+
+    #[test]
+    fn undocumented_name_is_drift() {
+        let src = "pub fn f(rec: &Recorder) { rec.add(\"cache.miss_total\", 1); }\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("instrumentation tables"));
+    }
+
+    #[test]
+    fn prefix_families_cover_members() {
+        let src = "pub fn f(rec: &Recorder) { rec.gauge(\"bench.cache.warm_hit_rate\", 0.9); }\n";
+        assert!(run(src).is_empty());
+        // The bare prefix itself is not covered by the family.
+        let src2 = "pub fn f(rec: &Recorder) { rec.gauge(\"bench\", 0.9); }\n";
+        assert_eq!(run(src2).len(), 1);
+    }
+
+    #[test]
+    fn runtime_built_names_and_test_code_are_skipped() {
+        let src = "pub fn f(rec: &Recorder, prefix: &str) {\n    rec.add(&format!(\"{prefix}.hits\"), 1);\n}\n#[cfg(test)]\nmod tests {\n    fn t(rec: &Recorder) { rec.add(\"c\", 1); }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn missing_registry_skips_membership_but_keeps_schema() {
+        let empty = ObsRegistry::from_markdown("no tables here");
+        assert!(!empty.present);
+        let src = "pub fn f(rec: &Recorder) {\n    rec.add(\"totally.unknown\", 1);\n    rec.add(\"bad\", 1);\n}\n";
+        let lx = lex(src);
+        let ctx = FileCtx::new("core", "crates/core/src/lib.rs", &lx, Level::Strict, false);
+        let f = scan(&ctx, &empty);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("schema"));
+    }
+
+    #[test]
+    fn registry_parses_markdown_tables() {
+        let r = registry();
+        assert!(r.present);
+        assert!(r.contains("cache.hits"));
+        assert!(r.contains("partition"));
+        assert!(r.contains("bench.anything.goes"));
+        assert!(!r.contains("cache.misses"));
+    }
+}

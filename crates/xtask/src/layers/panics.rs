@@ -1,0 +1,122 @@
+//! L2 — no panics in strict library code.
+//!
+//! `.unwrap()` / `.expect(..)` / `panic!` / `unreachable!` / `todo!` /
+//! `unimplemented!` are forbidden in the non-test library code of the
+//! strict crates. Genuine by-construction invariants go in
+//! `lint-allowlist.txt` as `L2 | path-suffix | needle | justification`.
+
+use super::{severity_for, FileCtx, Finding, Level};
+use crate::allowlist::{Allowlist, ALLOWLIST_FILE};
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn scan(ctx: &FileCtx<'_>, allow: &Allowlist) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if !matches!(ctx.level, Level::Strict | Level::Report) {
+        return findings;
+    }
+    let severity = severity_for(ctx.level);
+    for ci in 0..ctx.code.len() {
+        let line = ctx.line(ci);
+        if ctx.in_test(line) {
+            continue;
+        }
+        let word = ctx.text(ci);
+        let message = if matches!(word, "unwrap" | "expect") {
+            // Method position only: `.unwrap(` — not `unwrap_or`, which
+            // lexes as its own identifier, and not free functions.
+            if ci == 0 || !ctx.is_punct(ci - 1, ".") || !ctx.is_punct(ci + 1, "(") {
+                continue;
+            }
+            format!(
+                "`.{word}(..)` in non-test library code; return an error \
+                 or add a justified entry to {ALLOWLIST_FILE}"
+            )
+        } else if PANIC_MACROS.contains(&word) {
+            if !ctx.is_punct(ci + 1, "!") {
+                continue;
+            }
+            format!(
+                "`{word}!` in non-test library code; return an error \
+                 or add a justified entry to {ALLOWLIST_FILE}"
+            )
+        } else {
+            continue;
+        };
+        if allow.allows("L2", ctx.rel, ctx.code_line(line)) {
+            continue;
+        }
+        findings.push(Finding { severity, rule: "L2", path: ctx.rel.to_string(), line, message });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str, level: Level) -> Vec<Finding> {
+        let lx = lex(src);
+        let ctx = FileCtx::new("demo", "crates/demo/src/lib.rs", &lx, level, false);
+        scan(&ctx, &Allowlist::default())
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_macros_in_strict_code() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    let a = x.unwrap();\n    let b = x.expect(\"set\");\n    if a + b > 9 { panic!(\"boom\") }\n    unreachable!()\n}\n";
+        let f = run(src, Level::Strict);
+        let rules: Vec<&str> = f.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, ["L2", "L2", "L2", "L2"], "{f:?}");
+        assert!(f.iter().all(|f| f.severity == super::super::Severity::Error));
+    }
+
+    #[test]
+    fn not_applied_outside_strict_or_report_crates() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(run(src, Level::Workspace).is_empty());
+        assert_eq!(run(src, Level::Strict).len(), 1);
+        let report = run(src, Level::Report);
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].severity, super::super::Severity::Warning);
+    }
+
+    #[test]
+    fn ignores_unwrap_or_family_comments_strings_and_raw_strings() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    // a comment saying x.unwrap() and panic!()\n    let s = \"x.unwrap() panic!()\";\n    let r = r#\"panic!(\"nested\") .expect(\"q\")\"#;\n    let _ = (s, r);\n    x.unwrap_or_default().max(x.unwrap_or(3))\n}\n";
+        assert!(run(src, Level::Strict).is_empty());
+    }
+
+    #[test]
+    fn allowlist_suppresses_by_layer_with_needle_in_code_not_comments() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.expect(\"set by constructor\")\n}\n";
+        let allow = Allowlist::parse(
+            "L2 | crates/demo/src/lib.rs | expect(\"set by constructor\") | constructor invariant",
+        )
+        .expect("parses");
+        let lx = lex(src);
+        let ctx = FileCtx::new("demo", "crates/demo/src/lib.rs", &lx, Level::Strict, false);
+        assert!(scan(&ctx, &allow).is_empty());
+        assert!(allow.unused().is_empty());
+
+        // The same needle appearing only in a trailing comment must NOT
+        // suppress: needles match comment-stripped text. (A v1 engine bug:
+        // `// expect("set by constructor") is fine here` next to a
+        // different panic silently widened the exemption.)
+        let src2 = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // expect(\"set by constructor\") is fine here\n}\n";
+        let allow2 = Allowlist::parse(
+            "L2 | crates/demo/src/lib.rs | expect(\"set by constructor\") | constructor invariant",
+        )
+        .expect("parses");
+        let lx2 = lex(src2);
+        let ctx2 = FileCtx::new("demo", "crates/demo/src/lib.rs", &lx2, Level::Strict, false);
+        let f = scan(&ctx2, &allow2);
+        assert_eq!(f.len(), 1, "comment text must not satisfy an allowlist needle: {f:?}");
+    }
+
+    #[test]
+    fn skips_cfg_test_items() {
+        let src = "pub fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); panic!(\"fine\"); }\n}\n";
+        assert!(run(src, Level::Strict).is_empty());
+    }
+}

@@ -1,0 +1,493 @@
+//! A small hand-rolled Rust lexer for the lint engine.
+//!
+//! The v1 scanner masked comments and strings byte-for-byte and then ran
+//! substring searches over the masked text. That was good enough to stop
+//! `panic!` inside a doc comment from firing L2, but it kept two failure
+//! modes: markers (`// nan-ok:` etc.) were looked up in the *raw* line, so
+//! a string literal containing a marker silently suppressed findings, and
+//! every rule re-implemented its own ad-hoc token walking. The lexer fixes
+//! both: it tokenizes the source once — line/block comments (nested),
+//! string / raw-string / byte-string / char / byte literals, lifetimes,
+//! identifiers (including `r#raw` idents), numbers, punctuation — and the
+//! layers pattern-match over *code tokens* only, while markers are looked
+//! up in *comment tokens* only.
+//!
+//! Scope: this is a lexer, not a parser. It never interprets macros or
+//! types; the layers on top use positional heuristics (documented per
+//! layer) and escape hatches (markers / the allowlist) where lexical
+//! analysis cannot prove intent.
+
+/// Token classification. Everything that is not whitespace becomes exactly
+/// one token; byte offsets are contiguous per token and never split a
+/// UTF-8 code point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `as`, `unwrap`, `r#type`, …).
+    Ident,
+    /// Lifetime such as `'a` or `'static` (also loop labels).
+    Lifetime,
+    /// Char literal `'x'`, `'\n'`, `'\u{1F600}'`.
+    Char,
+    /// Byte literal `b'x'`.
+    Byte,
+    /// String literal `"…"` (escapes handled).
+    Str,
+    /// Byte string literal `b"…"`.
+    ByteStr,
+    /// Raw string literal `r"…"` / `r#"…"#` (any hash depth).
+    RawStr,
+    /// Raw byte string literal `br"…"` / `br#"…"#`.
+    RawByteStr,
+    /// Numeric literal (`42`, `0x1F`, `1_000.5e-3`, `1f64`).
+    Num,
+    /// `// …` comment (includes `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` comment, nesting handled (includes `/** … */`).
+    BlockComment,
+    /// Any other single character (`.`, `(`, `!`, `?`, `|`, …).
+    Punct,
+}
+
+impl TokKind {
+    /// Whether the token is source *code* (not a comment).
+    pub fn is_code(self) -> bool {
+        !matches!(self, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Whether the token is a string-ish literal (where lint needles must
+    /// never match).
+    pub fn is_string_like(self) -> bool {
+        matches!(
+            self,
+            TokKind::Str
+                | TokKind::ByteStr
+                | TokKind::RawStr
+                | TokKind::RawByteStr
+                | TokKind::Char
+                | TokKind::Byte
+        )
+    }
+}
+
+/// One token: kind plus byte span (`start..end`) and 1-based start line.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: usize,
+}
+
+/// A fully tokenized source file.
+pub struct Lexed<'a> {
+    pub src: &'a str,
+    pub toks: Vec<Tok>,
+    /// Byte offset at which each (1-based) line starts; `line_starts[0]`
+    /// is line 1.
+    pub line_starts: Vec<usize>,
+}
+
+impl<'a> Lexed<'a> {
+    /// The source text of token `i`.
+    pub fn text(&self, i: usize) -> &'a str {
+        let t = self.toks[i];
+        &self.src[t.start..t.end]
+    }
+
+    /// 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset)
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+/// Tokenizes `src`. Never panics: malformed input (unterminated strings or
+/// comments) degrades to a single token running to end of file.
+pub fn lex(src: &str) -> Lexed<'_> {
+    let b = src.as_bytes();
+    let mut line_starts = vec![0usize];
+    for (i, &c) in b.iter().enumerate() {
+        if c == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |offset: usize| line_starts.partition_point(|&s| s <= offset);
+
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        let start = i;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let kind = if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            TokKind::LineComment
+        } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            i = block_comment_end(b, i);
+            TokKind::BlockComment
+        } else if let Some((end, raw_kind)) = raw_string(b, i) {
+            i = end;
+            raw_kind
+        } else if c == b'b' && b.get(i + 1) == Some(&b'"') {
+            i = quoted_end(b, i + 2);
+            TokKind::ByteStr
+        } else if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+            i = char_like_end(b, i + 2);
+            TokKind::Byte
+        } else if c == b'"' {
+            i = quoted_end(b, i + 1);
+            TokKind::Str
+        } else if c == b'\'' {
+            match char_or_lifetime(b, i) {
+                CharOrLifetime::Char(end) => {
+                    i = end;
+                    TokKind::Char
+                }
+                CharOrLifetime::Lifetime(end) => {
+                    i = end;
+                    TokKind::Lifetime
+                }
+            }
+        } else if c == b'r' && b.get(i + 1) == Some(&b'#') && is_ident_start(b.get(i + 2).copied())
+        {
+            // Raw identifier `r#type`.
+            i += 2;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            TokKind::Ident
+        } else if c.is_ascii_alphabetic() || c == b'_' {
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            TokKind::Ident
+        } else if c.is_ascii_digit() {
+            i = number_end(b, i);
+            TokKind::Num
+        } else {
+            // One code point of punctuation (never split UTF-8).
+            i += utf8_len(c);
+            TokKind::Punct
+        };
+        toks.push(Tok { kind, start, end: i.min(b.len()), line: line_of(start) });
+        debug_assert!(i > start, "lexer must always make progress");
+    }
+    Lexed { src, toks, line_starts }
+}
+
+fn is_ident_start(c: Option<u8>) -> bool {
+    matches!(c, Some(c) if c.is_ascii_alphabetic() || c == b'_')
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+/// End offset of the (possibly nested) block comment starting at `i`.
+fn block_comment_end(b: &[u8], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < b.len() {
+        if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+            depth += 1;
+            i += 2;
+        } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    b.len()
+}
+
+/// If a raw (byte) string starts at `i`, its end offset and kind.
+fn raw_string(b: &[u8], i: usize) -> Option<(usize, TokKind)> {
+    let (after_prefix, kind) = match b[i] {
+        b'r' => (i + 1, TokKind::RawStr),
+        b'b' if b.get(i + 1) == Some(&b'r') => (i + 2, TokKind::RawByteStr),
+        _ => return None,
+    };
+    let mut j = after_prefix;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        return None; // `r#ident` or plain identifier starting with r/br
+    }
+    let mut k = j + 1;
+    while k < b.len() {
+        if b[k] == b'"' {
+            let mut h = 0usize;
+            let mut m = k + 1;
+            while h < hashes && b.get(m) == Some(&b'#') {
+                h += 1;
+                m += 1;
+            }
+            if h == hashes {
+                return Some((m, kind));
+            }
+        }
+        k += 1;
+    }
+    Some((b.len(), kind))
+}
+
+/// End offset of a `"`-quoted run whose body starts at `i` (escapes skip
+/// the next byte).
+fn quoted_end(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// End offset of a `'`-terminated char-ish body starting at `i` (used for
+/// byte literals and escaped char literals).
+fn char_like_end(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+enum CharOrLifetime {
+    Char(usize),
+    Lifetime(usize),
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime) at a `'` in position
+/// `i`. Rules: `'\…'` is always a char; `'<ident-run>` is a char iff the
+/// run is followed by a closing `'` (single-code-point runs only — `'ab'`
+/// is not valid Rust, and a lifetime is never followed by `'`); anything
+/// else (`'('`, `' '`, `'é'`) is a char literal.
+fn char_or_lifetime(b: &[u8], i: usize) -> CharOrLifetime {
+    match b.get(i + 1) {
+        // Start the scan AT the backslash so `'\''` consumes the escaped
+        // quote instead of terminating on it.
+        Some(b'\\') => CharOrLifetime::Char(char_like_end(b, i + 1)),
+        Some(&c) if c.is_ascii_alphabetic() || c == b'_' || c.is_ascii_digit() => {
+            let mut j = i + 1;
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            if b.get(j) == Some(&b'\'') {
+                CharOrLifetime::Char(j + 1)
+            } else {
+                CharOrLifetime::Lifetime(j)
+            }
+        }
+        Some(&c) => {
+            let cp = utf8_len(c);
+            if b.get(i + 1 + cp) == Some(&b'\'') {
+                CharOrLifetime::Char(i + cp + 2)
+            } else {
+                // A bare `'` (macro token, malformed source): punctuating
+                // it as a 1-byte "lifetime" keeps the lexer total.
+                CharOrLifetime::Lifetime(i + 1)
+            }
+        }
+        None => CharOrLifetime::Lifetime(i + 1),
+    }
+}
+
+/// End offset of a numeric literal starting at `i`. Consumes digit runs,
+/// `_` separators, alphanumeric suffixes/radix bodies (`0x1F`, `1f64`),
+/// a fractional `.` only when followed by a digit (so `1..3` and tuple
+/// access stay punctuated), and exponent signs (`1e-3`).
+fn number_end(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        let c = b[i];
+        if is_ident_continue(c) {
+            // Exponent sign: `e`/`E` directly followed by `+`/`-` digit.
+            if (c == b'e' || c == b'E')
+                && matches!(b.get(i + 1), Some(b'+') | Some(b'-'))
+                && b.get(i + 2).is_some_and(u8::is_ascii_digit)
+            {
+                i += 2;
+            }
+            i += 1;
+        } else if c == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        let lx = lex(src);
+        (0..lx.toks.len()).map(|i| (lx.toks[i].kind, lx.text(i))).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let k = kinds("let x = a.b_2(3, 0x1F, 1_000.5e-3, 1f64);");
+        assert_eq!(k[0], (TokKind::Ident, "let"));
+        assert_eq!(k[1], (TokKind::Ident, "x"));
+        assert_eq!(k[2], (TokKind::Punct, "="));
+        assert_eq!(k[3], (TokKind::Ident, "a"));
+        assert_eq!(k[4], (TokKind::Punct, "."));
+        assert_eq!(k[5], (TokKind::Ident, "b_2"));
+        assert!(k.contains(&(TokKind::Num, "0x1F")));
+        assert!(k.contains(&(TokKind::Num, "1_000.5e-3")));
+        assert!(k.contains(&(TokKind::Num, "1f64")));
+    }
+
+    #[test]
+    fn range_and_tuple_access_stay_punctuated() {
+        let k = kinds("for i in 1..3 { t.0 }");
+        assert!(k.contains(&(TokKind::Num, "1")));
+        assert!(k.contains(&(TokKind::Num, "3")));
+        assert_eq!(k.iter().filter(|(kd, s)| *kd == TokKind::Punct && *s == ".").count(), 3);
+    }
+
+    #[test]
+    fn line_and_nested_block_comments() {
+        let src = "a // c1 /* not nested\nb /* x /* y */ z */ c /** doc */ d";
+        let k = kinds(src);
+        assert_eq!(k[0], (TokKind::Ident, "a"));
+        assert_eq!(k[1], (TokKind::LineComment, "// c1 /* not nested"));
+        assert_eq!(k[2], (TokKind::Ident, "b"));
+        assert_eq!(k[3], (TokKind::BlockComment, "/* x /* y */ z */"));
+        assert_eq!(k[4], (TokKind::Ident, "c"));
+        assert_eq!(k[5], (TokKind::BlockComment, "/** doc */"));
+        assert_eq!(k[6], (TokKind::Ident, "d"));
+    }
+
+    #[test]
+    fn strings_with_escapes_and_raw_strings() {
+        let k = kinds(r##"let s = "a \" b"; let r = r#"panic!() "quoted" .unwrap()"#;"##);
+        assert!(k.contains(&(TokKind::Str, r#""a \" b""#)));
+        assert!(k.contains(&(TokKind::RawStr, r##"r#"panic!() "quoted" .unwrap()"#"##)));
+        // Nothing inside the literals leaks out as an Ident.
+        assert!(!k.iter().any(|(_, s)| *s == "unwrap" || *s == "panic"));
+    }
+
+    #[test]
+    fn raw_string_hash_depths_and_byte_strings() {
+        let k = kinds(r###"(br"x", b"y\"z", r##"a"# b"##)"###);
+        assert!(k.contains(&(TokKind::RawByteStr, r#"br"x""#)));
+        assert!(k.contains(&(TokKind::ByteStr, r#"b"y\"z""#)));
+        assert!(k.contains(&(TokKind::RawStr, r###"r##"a"# b"##"###)));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let k = kinds(
+            r"fn f<'a>(s: &'a str, c: char) { let q = 'x'; let e = '\n'; let quote = '\''; let sp = ' '; let u = '\u{1F600}'; let st: &'static str = s; 'outer: loop { break 'outer; } }",
+        );
+        assert_eq!(k.iter().filter(|(kd, s)| *kd == TokKind::Lifetime && *s == "'a").count(), 2);
+        assert!(k.contains(&(TokKind::Char, "'x'")));
+        assert!(k.contains(&(TokKind::Char, r"'\n'")));
+        assert!(k.contains(&(TokKind::Char, r"'\''")));
+        assert!(k.contains(&(TokKind::Char, "' '")));
+        assert!(k.contains(&(TokKind::Char, r"'\u{1F600}'")));
+        assert!(k.contains(&(TokKind::Lifetime, "'static")));
+        assert_eq!(
+            k.iter().filter(|(kd, s)| *kd == TokKind::Lifetime && *s == "'outer").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn byte_char_literals_including_escaped_quote() {
+        let k = kinds(r"let a = b'x'; let b = b'\''; let c = b'\\';");
+        assert!(k.contains(&(TokKind::Byte, "b'x'")));
+        assert!(k.contains(&(TokKind::Byte, r"b'\''")));
+        assert!(k.contains(&(TokKind::Byte, r"b'\\'")));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let k = kinds("let r#type = r#match; let r = 1;");
+        assert!(k.contains(&(TokKind::Ident, "r#type")));
+        assert!(k.contains(&(TokKind::Ident, "r#match")));
+        assert!(k.contains(&(TokKind::Ident, "r")));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_before_string_is_not_raw() {
+        let k = kinds(r#"writer "x""#);
+        assert_eq!(k[0], (TokKind::Ident, "writer"));
+        assert_eq!(k[1], (TokKind::Str, "\"x\""));
+    }
+
+    #[test]
+    fn unterminated_forms_run_to_eof_without_panic() {
+        for src in ["\"abc", "/* abc", "r#\"abc", "'", "b'x"] {
+            let lx = lex(src);
+            assert!(!lx.toks.is_empty(), "{src:?}");
+            assert_eq!(lx.toks.last().map(|t| t.end), Some(src.len()), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn non_ascii_text_never_splits_code_points() {
+        let src = "let s = \"héllo\"; // café ☕\nlet é = 1;"; // é as punct-ish bytes
+        let lx = lex(src);
+        for i in 0..lx.toks.len() {
+            let _ = lx.text(i); // would panic on a split code point
+        }
+    }
+
+    #[test]
+    fn lines_are_attributed_correctly() {
+        let src = "a\nb /* multi\nline */ c\nd";
+        let lx = lex(src);
+        let lines: Vec<(String, usize)> =
+            (0..lx.toks.len()).map(|i| (lx.text(i).to_string(), lx.toks[i].line)).collect();
+        assert!(lines.contains(&("a".to_string(), 1)));
+        assert!(lines.contains(&("b".to_string(), 2)));
+        assert!(lines.contains(&("c".to_string(), 3)));
+        assert!(lines.contains(&("d".to_string(), 4)));
+    }
+
+    #[test]
+    fn tokens_cover_all_non_whitespace_bytes_in_order() {
+        let src = r##"fn f<'a>() -> u8 { let s = r#"x"#; /* c */ b'\n' } // t"##;
+        let lx = lex(src);
+        let mut prev_end = 0usize;
+        for t in &lx.toks {
+            assert!(t.start >= prev_end, "tokens overlap");
+            assert!(src[prev_end..t.start].chars().all(char::is_whitespace));
+            prev_end = t.end;
+        }
+        assert!(src[prev_end..].chars().all(char::is_whitespace));
+    }
+}

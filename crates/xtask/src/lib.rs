@@ -1,0 +1,15 @@
+//! Repo-local static analysis for the stmaker workspace — library side.
+//!
+//! The `cargo xtask` binary is a thin CLI over this library so the
+//! fixtures-based integration tests (`tests/lint_fixtures.rs`) can drive
+//! the engine in-process. Layout:
+//!
+//! * [`lexer`] — the hand-rolled Rust tokenizer every layer matches over.
+//! * [`layers`] — the L1–L7 rule catalog (see DESIGN.md §13).
+//! * [`allowlist`] — the structured `lint-allowlist.txt` (v2) parser.
+//! * [`engine`] — collection, dispatch, ratchet, and the JSON report.
+
+pub mod allowlist;
+pub mod engine;
+pub mod layers;
+pub mod lexer;

@@ -1,170 +1,33 @@
-//! `cargo xtask lint` — repo-local static analysis for the stmaker workspace.
+//! `cargo xtask` — repo-local static analysis driver for the stmaker
+//! workspace.
 //!
-//! The workspace reproduces a paper whose algorithms are driven by floating
-//! point scores (partition potentials, irregular rates, similarities), so the
-//! classic Rust float footguns — `partial_cmp(..).unwrap()` panicking on NaN,
-//! silent lossy `as` casts inside DP loops — are exactly the bugs most likely
-//! to corrupt a reproduction silently. This binary enforces the repo rules
-//! that `cargo clippy` cannot express:
+//! Subcommands:
 //!
-//! * **L1 (NaN safety, workspace-wide):** no `partial_cmp(..).unwrap()` /
-//!   `.expect(..)` in non-test code. Use `f64::total_cmp` or an explicit NaN
-//!   policy (`unwrap_or(Ordering::..)`), or mark the line with `// nan-ok:
-//!   <reason>`.
-//! * **L2 (no panics, strict crates):** no `.unwrap()` / `.expect(..)` /
-//!   `panic!` / `unreachable!` / `todo!` / `unimplemented!` in the non-test
-//!   library code of `core`, `calibration`, `trajectory`, `road`, `routes`,
-//!   `obs`. Genuine by-construction invariants go in `lint-allowlist.txt`
-//!   with a justification.
-//! * **L3 (cast hygiene, DP hot paths):** `as usize` / `as f64` casts in the
-//!   partition/similarity/irregular/select hot paths need a `// cast-ok:
-//!   <reason>` marker on the same or previous line.
-//! * **L4 (error ergonomics, workspace-wide):** every `pub enum *Error` must
-//!   implement both `Display` and `std::error::Error`.
-//!
-//! Findings in report-only crates (`eval`, `bench`, `xtask`, the root
-//! `stmaker-suite` package) are downgraded to warnings; everything else is an
-//! error and fails the build. The scanner masks comments, strings, and char
-//! literals before matching, and skips `#[cfg(test)]` items entirely.
-//!
-//! A second subcommand, `cargo xtask obs-schema <report.json>
-//! [--require-stages a,b,c] [--require-counters a,b] [--require-positive
-//! a,b]`, validates a telemetry report produced by `stmaker-cli
-//! --metrics-json`, the Fig. 12 eval binary, or the `obs_report` /
-//! `cache_hot_path` benches: the file must be a JSON object with the
-//! `spans` / `counters` / `gauges` / `histograms` top-level keys, and
-//! (optionally) must contain a span for every named pipeline stage,
-//! every named counter, and a strictly positive value for every named
-//! gauge (how CI checks the committed `BENCH_cache.json` really shows a
-//! non-zero warm hit rate and speedup).
+//! * `lint [--root <dir>] [--strict] [--json <path>]` — run the token-aware
+//!   L1–L7 lint engine (see `stmaker_xtask::layers` and DESIGN.md §13).
+//!   `--strict` promotes hygiene warnings (unused allowlist entries) to
+//!   errors; `--json` additionally writes the machine-readable report.
+//! * `lint-schema <report.json>` — validate a report written by
+//!   `lint --json`: required keys, full L1–L7 layer coverage, and count
+//!   consistency.
+//! * `obs-schema <report.json> [--require-stages a,b,c]
+//!   [--require-counters a,b] [--require-positive a,b]` — validate a
+//!   telemetry report produced by `stmaker-cli --metrics-json`, the
+//!   Fig. 12 eval binary, or the `obs_report` / `cache_hot_path` benches:
+//!   the file must be a JSON object with the `spans` / `counters` /
+//!   `gauges` / `histograms` top-level keys, and (optionally) must contain
+//!   a span for every named pipeline stage, every named counter, and a
+//!   strictly positive value for every named gauge.
 //!
 //! Run via the `.cargo/config.toml` alias: `cargo xtask lint`.
 
-use std::collections::BTreeMap;
-use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use stmaker_xtask::engine::{self, LintOptions};
 
-/// Crates whose library code must be panic-free (L2) and fully strict.
-const STRICT_CRATES: &[&str] =
-    &["cache", "core", "calibration", "trajectory", "road", "routes", "obs", "exec"];
-
-/// Crates linted in report-only mode: findings print as warnings and do not
-/// fail the run. `__root__` stands for the workspace-root `stmaker-suite`
-/// package.
-const REPORT_ONLY_CRATES: &[&str] = &["eval", "bench", "xtask", "__root__"];
-
-/// DP hot-path files subject to the L3 cast rule (workspace-relative).
-const HOT_PATH_FILES: &[&str] = &[
-    "crates/core/src/partition.rs",
-    "crates/core/src/similarity.rs",
-    "crates/core/src/irregular.rs",
-    "crates/core/src/select.rs",
-];
-
-/// The allowlist file, workspace-relative.
-const ALLOWLIST_FILE: &str = "lint-allowlist.txt";
-
-/// How findings in a crate are reported.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Level {
-    /// All rules, all errors (the five paper-critical crates).
-    Strict,
-    /// L1 + L4 as errors; L2/L3 not applied (supporting crates).
-    Workspace,
-    /// All rules, downgraded to warnings (eval/bench/xtask/suite).
-    Report,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Severity {
-    Error,
-    Warning,
-}
-
-#[derive(Debug, Clone)]
-struct Finding {
-    severity: Severity,
-    rule: &'static str,
-    path: String,
-    line: usize,
-    message: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let sev = match self.severity {
-            Severity::Error => "error",
-            Severity::Warning => "warning",
-        };
-        write!(f, "{sev}[{}]: {}:{}: {}", self.rule, self.path, self.line, self.message)
-    }
-}
-
-/// One parsed allowlist entry: suppresses L2 findings in files whose path
-/// ends with `path_suffix` on lines containing `needle`.
-#[derive(Debug, Clone)]
-struct AllowEntry {
-    path_suffix: String,
-    needle: String,
-    justification: String,
-}
-
-#[derive(Debug, Default)]
-struct Allowlist {
-    entries: Vec<AllowEntry>,
-    used: std::cell::RefCell<Vec<bool>>,
-}
-
-impl Allowlist {
-    fn parse(text: &str) -> Result<Self, String> {
-        let mut entries = Vec::new();
-        for (i, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let parts: Vec<&str> = line.splitn(3, '|').map(str::trim).collect();
-            let [path_suffix, needle, justification] = parts.as_slice() else {
-                return Err(format!(
-                    "{ALLOWLIST_FILE}:{}: expected `path-suffix | needle | justification`",
-                    i + 1
-                ));
-            };
-            if justification.is_empty() {
-                return Err(format!(
-                    "{ALLOWLIST_FILE}:{}: entries need a non-empty justification",
-                    i + 1
-                ));
-            }
-            entries.push(AllowEntry {
-                path_suffix: path_suffix.to_string(),
-                needle: needle.to_string(),
-                justification: justification.to_string(),
-            });
-        }
-        let used = std::cell::RefCell::new(vec![false; entries.len()]);
-        Ok(Self { entries, used })
-    }
-
-    /// Whether `(path, line-text)` matches an entry; marks the entry used.
-    fn allows(&self, path: &str, line_text: &str) -> bool {
-        for (i, e) in self.entries.iter().enumerate() {
-            if path.ends_with(&e.path_suffix) && line_text.contains(&e.needle) {
-                self.used.borrow_mut()[i] = true;
-                return true;
-            }
-        }
-        false
-    }
-
-    fn unused(&self) -> Vec<&AllowEntry> {
-        let used = self.used.borrow();
-        self.entries.iter().enumerate().filter(|(i, _)| !used[*i]).map(|(_, e)| e).collect()
-    }
-}
-
-const USAGE: &str = "usage: cargo xtask lint [--root <workspace-dir>]\n       \
+const USAGE: &str =
+    "usage: cargo xtask lint [--root <workspace-dir>] [--strict] [--json <path>]\n       \
+                     cargo xtask lint-schema <report.json>\n       \
                      cargo xtask obs-schema <report.json> [--require-stages a,b,c]\n           \
                      [--require-counters a,b,c] [--require-positive gauge-a,gauge-b]";
 
@@ -172,6 +35,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
         Some("lint") => cmd_lint(&args[1..]),
+        Some("lint-schema") => cmd_lint_schema(&args[1..]),
         Some("obs-schema") => cmd_obs_schema(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
@@ -182,6 +46,8 @@ fn main() -> ExitCode {
 
 fn cmd_lint(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut strict = false;
+    let mut json_out: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -192,6 +58,14 @@ fn cmd_lint(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--strict" => strict = true,
+            "--json" => match it.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unexpected argument `{other}`\n{USAGE}");
                 return ExitCode::from(2);
@@ -199,14 +73,63 @@ fn cmd_lint(args: &[String]) -> ExitCode {
         }
     }
     let root = root.unwrap_or_else(workspace_root);
-    match run_lint(&root) {
-        Ok(0) => ExitCode::SUCCESS,
-        Ok(n) => {
-            eprintln!("xtask lint: {n} error(s)");
-            ExitCode::FAILURE
-        }
+    let report = match engine::run_lint(&LintOptions { root, strict }) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for f in &report.findings {
+        println!("{f}");
+    }
+    let per_layer: Vec<String> = report
+        .layer_counts
+        .iter()
+        .filter(|(_, (e, w))| e + w > 0)
+        .map(|(l, (e, w))| format!("{l}: {e}E/{w}W"))
+        .collect();
+    println!(
+        "xtask lint: {} file(s) scanned, {} error(s), {} warning(s){}",
+        report.files_scanned,
+        report.errors,
+        report.warnings,
+        if per_layer.is_empty() { String::new() } else { format!(" [{}]", per_layer.join(", ")) }
+    );
+    if let Some(path) = json_out {
+        let json = engine::report_to_json(&report);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("xtask lint: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("xtask lint: JSON report written to {}", path.display());
+    }
+    if report.errors > 0 {
+        eprintln!("xtask lint: {} error(s)", report.errors);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_lint_schema(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("lint-schema needs exactly one report path\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask lint-schema: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match engine::validate_report_json(&text) {
+        Ok(summary) => {
+            println!("xtask lint-schema: {path} ok ({summary})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask lint-schema: {path}: {e}");
             ExitCode::FAILURE
         }
     }
@@ -352,701 +275,4 @@ fn cmd_obs_schema(args: &[String]) -> ExitCode {
 fn workspace_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest.parent().and_then(Path::parent).map(Path::to_path_buf).unwrap_or(manifest)
-}
-
-fn run_lint(root: &Path) -> Result<usize, String> {
-    let allow_text = std::fs::read_to_string(root.join(ALLOWLIST_FILE)).unwrap_or_default();
-    let allow = Allowlist::parse(&allow_text)?;
-
-    // (crate key, workspace-relative path, source) for every library file.
-    let mut sources: Vec<(String, String, String)> = Vec::new();
-    let crates_dir = root.join("crates");
-    let entries = std::fs::read_dir(&crates_dir)
-        .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?;
-    let mut crate_names: Vec<String> = Vec::new();
-    for entry in entries {
-        let entry = entry.map_err(|e| e.to_string())?;
-        if entry.path().join("Cargo.toml").is_file() {
-            if let Some(name) = entry.file_name().to_str() {
-                crate_names.push(name.to_string());
-            }
-        }
-    }
-    crate_names.sort();
-    for name in &crate_names {
-        collect_rs(&crates_dir.join(name).join("src"), root, name, &mut sources)?;
-    }
-    // The root `stmaker-suite` package's library.
-    collect_rs(&root.join("src"), root, "__root__", &mut sources)?;
-
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut by_crate: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
-    for (crate_key, rel, src) in &sources {
-        let level = crate_level(crate_key);
-        let hot = HOT_PATH_FILES.contains(&rel.as_str());
-        findings.extend(lint_source(rel, src, level, hot, &allow));
-        by_crate.entry(crate_key.clone()).or_default().push((rel.clone(), mask_source(src)));
-    }
-    for (crate_key, files) in &by_crate {
-        let severity = match crate_level(crate_key) {
-            Level::Report => Severity::Warning,
-            _ => Severity::Error,
-        };
-        findings.extend(error_enum_findings(files, severity));
-    }
-    for e in allow.unused() {
-        findings.push(Finding {
-            severity: Severity::Warning,
-            rule: "allowlist",
-            path: ALLOWLIST_FILE.to_string(),
-            line: 0,
-            message: format!(
-                "unused entry `{} | {}` ({})",
-                e.path_suffix, e.needle, e.justification
-            ),
-        });
-    }
-
-    findings.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
-    for f in &findings {
-        println!("{f}");
-    }
-    let errors = findings.iter().filter(|f| f.severity == Severity::Error).count();
-    let warnings = findings.len() - errors;
-    println!(
-        "xtask lint: {} file(s) scanned, {errors} error(s), {warnings} warning(s)",
-        sources.len()
-    );
-    Ok(errors)
-}
-
-fn crate_level(crate_key: &str) -> Level {
-    if STRICT_CRATES.contains(&crate_key) {
-        Level::Strict
-    } else if REPORT_ONLY_CRATES.contains(&crate_key) {
-        Level::Report
-    } else {
-        Level::Workspace
-    }
-}
-
-/// Recursively collects `.rs` files under `dir` as workspace-relative paths.
-fn collect_rs(
-    dir: &Path,
-    root: &Path,
-    crate_key: &str,
-    out: &mut Vec<(String, String, String)>,
-) -> Result<(), String> {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return Ok(()); // crates without src/ (none today) just scan empty
-    };
-    let mut paths: Vec<PathBuf> = Vec::new();
-    for entry in entries {
-        paths.push(entry.map_err(|e| e.to_string())?.path());
-    }
-    paths.sort();
-    for path in paths {
-        if path.is_dir() {
-            collect_rs(&path, root, crate_key, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
-            let src = std::fs::read_to_string(&path)
-                .map_err(|e| format!("reading {}: {e}", path.display()))?;
-            out.push((crate_key.to_string(), rel, src));
-        }
-    }
-    Ok(())
-}
-
-// ---------------------------------------------------------------------------
-// Source masking: blank out comments, strings, and char literals so the
-// token rules below never fire on prose, while preserving byte offsets.
-// ---------------------------------------------------------------------------
-
-fn mask_source(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out: Vec<u8> = Vec::with_capacity(b.len());
-    let blank = |byte: u8| if byte == b'\n' { b'\n' } else { b' ' };
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        if c == b'/' && b.get(i + 1) == Some(&b'/') {
-            while i < b.len() && b[i] != b'\n' {
-                out.push(b' ');
-                i += 1;
-            }
-        } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
-            let mut depth = 1usize;
-            out.extend([b' ', b' ']);
-            i += 2;
-            while i < b.len() && depth > 0 {
-                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
-                    depth += 1;
-                    out.extend([b' ', b' ']);
-                    i += 2;
-                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
-                    depth -= 1;
-                    out.extend([b' ', b' ']);
-                    i += 2;
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-        } else if is_raw_string_start(b, i) {
-            let end = raw_string_end(b, i);
-            for p in i..end {
-                out.push(blank(b[p]));
-            }
-            i = end;
-        } else if c == b'"' || (c == b'b' && b.get(i + 1) == Some(&b'"')) {
-            let q = if c == b'b' { i + 1 } else { i };
-            for _ in i..=q {
-                out.push(b' ');
-            }
-            i = q + 1;
-            while i < b.len() {
-                if b[i] == b'\\' && i + 1 < b.len() {
-                    out.extend([b' ', b' ']);
-                    i += 2;
-                } else if b[i] == b'"' {
-                    out.push(b' ');
-                    i += 1;
-                    break;
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-        } else if c == b'\'' {
-            if b.get(i + 1) == Some(&b'\\') {
-                // Escaped char literal: mask through the closing quote.
-                let mut k = i + 2;
-                while k < b.len() && b[k] != b'\'' {
-                    k += 1;
-                }
-                let end = (k + 1).min(b.len());
-                for _ in i..end {
-                    out.push(b' ');
-                }
-                i = end;
-            } else if b.get(i + 2) == Some(&b'\'') && b.get(i + 1) != Some(&b'\'') {
-                out.extend([b' ', b' ', b' ']);
-                i += 3;
-            } else {
-                out.push(b'\''); // lifetime
-                i += 1;
-            }
-        } else {
-            out.push(c);
-            i += 1;
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-fn is_raw_string_start(b: &[u8], i: usize) -> bool {
-    let start = match b[i] {
-        b'r' => i,
-        b'b' if b.get(i + 1) == Some(&b'r') => i + 1,
-        _ => return false,
-    };
-    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
-        return false; // `r` is the tail of an identifier
-    }
-    let mut j = start + 1;
-    while b.get(j) == Some(&b'#') {
-        j += 1;
-    }
-    b.get(j) == Some(&b'"')
-}
-
-fn raw_string_end(b: &[u8], i: usize) -> usize {
-    let start = if b[i] == b'b' { i + 1 } else { i };
-    let mut j = start + 1;
-    let mut hashes = 0usize;
-    while b.get(j) == Some(&b'#') {
-        hashes += 1;
-        j += 1;
-    }
-    let mut k = j + 1; // past the opening quote
-    while k < b.len() {
-        if b[k] == b'"' {
-            let mut h = 0usize;
-            let mut m = k + 1;
-            while h < hashes && b.get(m) == Some(&b'#') {
-                h += 1;
-                m += 1;
-            }
-            if h == hashes {
-                return m;
-            }
-        }
-        k += 1;
-    }
-    b.len()
-}
-
-/// Byte offsets at which each line starts (line numbers are 1-based).
-fn line_starts(src: &str) -> Vec<usize> {
-    let mut starts = vec![0usize];
-    for (i, c) in src.bytes().enumerate() {
-        if c == b'\n' {
-            starts.push(i + 1);
-        }
-    }
-    starts
-}
-
-fn line_of(starts: &[usize], offset: usize) -> usize {
-    starts.partition_point(|&s| s <= offset)
-}
-
-/// Marks every line that belongs to a `#[cfg(test)]` item (attribute line
-/// through the item's closing brace or semicolon).
-fn test_line_mask(masked: &str, starts: &[usize]) -> Vec<bool> {
-    // Lines are 1-based, so index `starts.len()` (the last line) must fit.
-    let mut is_test = vec![false; starts.len() + 1];
-    let b = masked.as_bytes();
-    let mut from = 0usize;
-    while let Some(pos) = masked[from..].find("#[cfg(test)]") {
-        let attr_start = from + pos;
-        let mut j = attr_start + "#[cfg(test)]".len();
-        while j < b.len() && b[j] != b'{' && b[j] != b';' {
-            j += 1;
-        }
-        let end = if j < b.len() && b[j] == b'{' {
-            let mut depth = 0usize;
-            let mut k = j;
-            while k < b.len() {
-                match b[k] {
-                    b'{' => depth += 1,
-                    b'}' => {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                k += 1;
-            }
-            k
-        } else {
-            j
-        };
-        let first = line_of(starts, attr_start);
-        let last = line_of(starts, end.min(b.len().saturating_sub(1)));
-        for line in first..=last {
-            if line < is_test.len() {
-                is_test[line] = true;
-            }
-        }
-        from = end.min(b.len());
-        if from <= attr_start {
-            break; // defensive: never loop in place
-        }
-    }
-    is_test
-}
-
-// ---------------------------------------------------------------------------
-// Token scanning and the lint rules.
-// ---------------------------------------------------------------------------
-
-/// Identifier tokens (word, start offset) in the masked source.
-fn ident_tokens(masked: &str) -> Vec<(String, usize)> {
-    let b = masked.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    while i < b.len() {
-        let c = b[i];
-        if c.is_ascii_alphabetic() || c == b'_' {
-            let start = i;
-            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
-                i += 1;
-            }
-            out.push((masked[start..i].to_string(), start));
-        } else {
-            i += 1;
-        }
-    }
-    out
-}
-
-fn prev_nonspace(b: &[u8], mut i: usize) -> Option<u8> {
-    while i > 0 {
-        i -= 1;
-        if !b[i].is_ascii_whitespace() {
-            return Some(b[i]);
-        }
-    }
-    None
-}
-
-fn next_nonspace(b: &[u8], mut i: usize) -> Option<(u8, usize)> {
-    while i < b.len() {
-        if !b[i].is_ascii_whitespace() {
-            return Some((b[i], i));
-        }
-        i += 1;
-    }
-    None
-}
-
-/// The matching `)` offset for the `(` at `open`.
-fn matching_paren(b: &[u8], open: usize) -> Option<usize> {
-    let mut depth = 0usize;
-    let mut i = open;
-    while i < b.len() {
-        match b[i] {
-            b'(' => depth += 1,
-            b')' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(i);
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    None
-}
-
-/// The identifier starting at or after `i` (skipping whitespace), if any.
-fn ident_at(masked: &str, i: usize) -> Option<(String, usize)> {
-    let b = masked.as_bytes();
-    let (c, start) = next_nonspace(b, i)?;
-    if !(c.is_ascii_alphabetic() || c == b'_') {
-        return None;
-    }
-    let mut end = start;
-    while end < b.len() && (b[end].is_ascii_alphanumeric() || b[end] == b'_') {
-        end += 1;
-    }
-    Some((masked[start..end].to_string(), end))
-}
-
-/// Whether the original line at `line` (or the one above) carries `marker`.
-fn has_marker(lines: &[&str], line: usize, marker: &str) -> bool {
-    let idx = line.saturating_sub(1); // to 0-based
-    lines.get(idx).is_some_and(|l| l.contains(marker))
-        || (idx > 0 && lines.get(idx - 1).is_some_and(|l| l.contains(marker)))
-}
-
-/// Lints one file. `hot` enables the L3 cast rule.
-fn lint_source(rel: &str, src: &str, level: Level, hot: bool, allow: &Allowlist) -> Vec<Finding> {
-    let masked = mask_source(src);
-    let starts = line_starts(src);
-    let is_test = test_line_mask(&masked, &starts);
-    let orig_lines: Vec<&str> = src.lines().collect();
-    let b = masked.as_bytes();
-    let mut findings = Vec::new();
-    let severity = match level {
-        Level::Report => Severity::Warning,
-        _ => Severity::Error,
-    };
-
-    let mut push = |rule: &'static str, line: usize, message: String| {
-        findings.push(Finding { severity, rule, path: rel.to_string(), line, message });
-    };
-
-    for (word, start) in ident_tokens(&masked) {
-        let line = line_of(&starts, start);
-        if is_test.get(line).copied().unwrap_or(false) {
-            continue;
-        }
-        let orig_line = orig_lines.get(line - 1).copied().unwrap_or("");
-        match word.as_str() {
-            // L1: `.partial_cmp(..).unwrap()` / `.expect(..)` — NaN panic.
-            "partial_cmp" if prev_nonspace(b, start) == Some(b'.') => {
-                let after = start + word.len();
-                let Some((b'(', open)) = next_nonspace(b, after) else { continue };
-                let Some(close) = matching_paren(b, open) else { continue };
-                let Some((b'.', dot)) = next_nonspace(b, close + 1) else { continue };
-                let Some((next_word, _)) = ident_at(&masked, dot + 1) else { continue };
-                if matches!(next_word.as_str(), "unwrap" | "expect")
-                    && !has_marker(&orig_lines, line, "nan-ok:")
-                {
-                    push(
-                        "L1",
-                        line,
-                        format!(
-                            "`partial_cmp(..).{next_word}(..)` panics on NaN; \
-                             use `f64::total_cmp` or mark `// nan-ok: <reason>`"
-                        ),
-                    );
-                }
-            }
-            // L2: panicking calls in strict library code.
-            "unwrap" | "expect" if level == Level::Strict || level == Level::Report => {
-                if prev_nonspace(b, start) != Some(b'.') {
-                    continue;
-                }
-                let after = start + word.len();
-                if !matches!(next_nonspace(b, after), Some((b'(', _))) {
-                    continue;
-                }
-                if allow.allows(rel, orig_line) {
-                    continue;
-                }
-                push(
-                    "L2",
-                    line,
-                    format!(
-                        "`.{word}(..)` in non-test library code; return an error \
-                         or add a justified entry to {ALLOWLIST_FILE}"
-                    ),
-                );
-            }
-            "panic" | "unreachable" | "todo" | "unimplemented"
-                if level == Level::Strict || level == Level::Report =>
-            {
-                let after = start + word.len();
-                if !matches!(next_nonspace(b, after), Some((b'!', _))) {
-                    continue;
-                }
-                if allow.allows(rel, orig_line) {
-                    continue;
-                }
-                push(
-                    "L2",
-                    line,
-                    format!(
-                        "`{word}!` in non-test library code; return an error \
-                         or add a justified entry to {ALLOWLIST_FILE}"
-                    ),
-                );
-            }
-            // L3: lossy casts in DP hot paths need a cast-ok marker.
-            "as" if hot => {
-                let after = start + word.len();
-                let Some((target, _)) = ident_at(&masked, after) else { continue };
-                if matches!(target.as_str(), "usize" | "f64")
-                    && !has_marker(&orig_lines, line, "cast-ok:")
-                {
-                    push(
-                        "L3",
-                        line,
-                        format!(
-                            "lossy `as {target}` in a DP hot path; justify with \
-                             `// cast-ok: <reason>` on this or the previous line"
-                        ),
-                    );
-                }
-            }
-            _ => {}
-        }
-    }
-    findings
-}
-
-/// L4: every `pub enum *Error` in the crate must implement `Display` and
-/// `std::error::Error`. `files` holds (workspace-relative path, MASKED source).
-fn error_enum_findings(files: &[(String, String)], severity: Severity) -> Vec<Finding> {
-    let mut enums: Vec<(String, String, usize)> = Vec::new(); // (name, path, line)
-    let mut displayed: Vec<String> = Vec::new();
-    let mut errored: Vec<String> = Vec::new();
-    for (path, masked) in files {
-        let starts = line_starts(masked);
-        let toks = ident_tokens(masked);
-        for (i, (word, start)) in toks.iter().enumerate() {
-            match word.as_str() {
-                "enum" => {
-                    let is_pub = i >= 1 && toks[i - 1].0 == "pub"
-                        || i >= 2 && toks[i - 2].0 == "pub" && toks[i - 1].0 == "crate";
-                    if !is_pub {
-                        continue;
-                    }
-                    if let Some((name, _)) = toks.get(i + 1) {
-                        if name.ends_with("Error") {
-                            enums.push((name.clone(), path.clone(), line_of(&starts, *start)));
-                        }
-                    }
-                }
-                "Display" | "Error" => {
-                    if toks.get(i + 1).map(|(w, _)| w.as_str()) == Some("for") {
-                        if let Some((target, _)) = toks.get(i + 2) {
-                            if word == "Display" {
-                                displayed.push(target.clone());
-                            } else {
-                                errored.push(target.clone());
-                            }
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    let mut findings = Vec::new();
-    for (name, path, line) in enums {
-        let mut missing = Vec::new();
-        if !displayed.contains(&name) {
-            missing.push("Display");
-        }
-        if !errored.contains(&name) {
-            missing.push("std::error::Error");
-        }
-        if !missing.is_empty() {
-            findings.push(Finding {
-                severity,
-                rule: "L4",
-                path,
-                line,
-                message: format!(
-                    "public error enum `{name}` does not implement {}",
-                    missing.join(" + ")
-                ),
-            });
-        }
-    }
-    findings
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn lint(src: &str, level: Level, hot: bool) -> Vec<Finding> {
-        lint_source("crates/demo/src/lib.rs", src, level, hot, &Allowlist::default())
-    }
-
-    #[test]
-    fn l1_flags_partial_cmp_unwrap() {
-        let src = "fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
-        let f = lint(src, Level::Workspace, false);
-        assert_eq!(f.len(), 1, "{f:?}");
-        assert_eq!(f[0].rule, "L1");
-        assert_eq!(f[0].line, 2);
-        assert_eq!(f[0].severity, Severity::Error);
-    }
-
-    #[test]
-    fn l1_flags_multiline_chain_and_expect() {
-        let src = "fn f(a: f64, b: f64) -> std::cmp::Ordering {\n    a\n        .partial_cmp(&b)\n        .expect(\"finite\")\n}\n";
-        let f = lint(src, Level::Workspace, false);
-        assert_eq!(f.len(), 1, "{f:?}");
-        assert_eq!(f[0].rule, "L1");
-        assert_eq!(f[0].line, 3);
-    }
-
-    #[test]
-    fn l1_accepts_total_cmp_and_explicit_policy() {
-        let src = "fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.total_cmp(b));\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));\n}\n";
-        assert!(lint(src, Level::Strict, false).is_empty());
-    }
-
-    #[test]
-    fn l1_respects_nan_ok_marker() {
-        let src = "fn f(a: f64, b: f64) {\n    // nan-ok: inputs validated finite at the API boundary\n    let _ = a.partial_cmp(&b).unwrap();\n}\n";
-        assert!(lint(src, Level::Workspace, false).is_empty());
-    }
-
-    #[test]
-    fn cfg_test_items_are_skipped() {
-        let src = "pub fn ok() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let v: Vec<f64> = vec![];\n        let _ = v.iter().copied().fold(f64::NAN, f64::max).partial_cmp(&0.0).unwrap();\n        Some(1).unwrap();\n        panic!(\"fine in tests\");\n    }\n}\n";
-        assert!(lint(src, Level::Strict, false).is_empty());
-    }
-
-    #[test]
-    fn l2_flags_unwrap_expect_and_panics_in_strict_code() {
-        let src = "pub fn f(x: Option<u32>) -> u32 {\n    let a = x.unwrap();\n    let b = x.expect(\"set\");\n    if a + b > 9 { panic!(\"boom\") }\n    unreachable!()\n}\n";
-        let f = lint(src, Level::Strict, false);
-        let rules: Vec<&str> = f.iter().map(|f| f.rule).collect();
-        assert_eq!(rules, ["L2", "L2", "L2", "L2"], "{f:?}");
-    }
-
-    #[test]
-    fn l2_not_applied_outside_strict_or_report_crates() {
-        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
-        assert!(lint(src, Level::Workspace, false).is_empty());
-        assert_eq!(lint(src, Level::Strict, false).len(), 1);
-    }
-
-    #[test]
-    fn l2_ignores_unwrap_or_family_and_comments_and_strings() {
-        let src = "pub fn f(x: Option<u32>) -> u32 {\n    // a comment saying x.unwrap() and panic!()\n    let s = \"x.unwrap() panic!()\";\n    let _ = s;\n    x.unwrap_or_default().max(x.unwrap_or(3))\n}\n";
-        assert!(lint(src, Level::Strict, false).is_empty());
-    }
-
-    #[test]
-    fn l2_allowlist_suppresses_with_justification() {
-        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.expect(\"set by constructor\")\n}\n";
-        let allow = Allowlist::parse(
-            "crates/demo/src/lib.rs | expect(\"set by constructor\") | constructor invariant",
-        )
-        .expect("parses");
-        let f = lint_source("crates/demo/src/lib.rs", src, Level::Strict, false, &allow);
-        assert!(f.is_empty(), "{f:?}");
-        assert!(allow.unused().is_empty());
-    }
-
-    #[test]
-    fn allowlist_rejects_missing_justification() {
-        assert!(Allowlist::parse("a.rs | needle |").is_err());
-        assert!(Allowlist::parse("a.rs | needle").is_err());
-        assert!(Allowlist::parse("# comment only\n").is_ok());
-    }
-
-    #[test]
-    fn l3_flags_unmarked_casts_in_hot_files_only() {
-        let src = "pub fn f(n: usize) -> f64 {\n    let x = n as f64;\n    let y = x as usize;\n    // cast-ok: segment count bounded by trajectory length\n    let z = y as f64;\n    x + z\n}\n";
-        let f = lint(src, Level::Strict, true);
-        assert_eq!(f.len(), 2, "{f:?}");
-        assert!(f.iter().all(|f| f.rule == "L3"));
-        assert!(lint(src, Level::Strict, false).is_empty());
-    }
-
-    #[test]
-    fn l4_flags_missing_impls() {
-        let files = vec![(
-            "crates/demo/src/lib.rs".to_string(),
-            mask_source("pub enum ParseError { Bad }\nimpl std::fmt::Display for ParseError {}\n"),
-        )];
-        let f = error_enum_findings(&files, Severity::Error);
-        assert_eq!(f.len(), 1, "{f:?}");
-        assert!(f[0].message.contains("std::error::Error"));
-    }
-
-    #[test]
-    fn l4_passes_complete_error_enums_across_files() {
-        let files = vec![
-            ("crates/demo/src/lib.rs".to_string(), mask_source("pub enum IoError { Bad }\n")),
-            (
-                "crates/demo/src/err.rs".to_string(),
-                mask_source(
-                    "impl fmt::Display for IoError {}\nimpl std::error::Error for IoError {}\n",
-                ),
-            ),
-        ];
-        assert!(error_enum_findings(&files, Severity::Error).is_empty());
-    }
-
-    #[test]
-    fn l4_ignores_private_and_non_error_enums() {
-        let files = vec![(
-            "crates/demo/src/lib.rs".to_string(),
-            mask_source("enum InternalError { A }\npub enum Mode { A, B }\n"),
-        )];
-        assert!(error_enum_findings(&files, Severity::Error).is_empty());
-    }
-
-    #[test]
-    fn report_level_downgrades_to_warning() {
-        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
-        let f = lint(src, Level::Report, false);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].severity, Severity::Warning);
-    }
-
-    #[test]
-    fn masking_handles_raw_strings_chars_and_lifetimes() {
-        let src = "fn f<'a>(s: &'a str) -> char {\n    let _r = r#\"panic!() .unwrap()\"#;\n    let q = '\"';\n    let _e = '\\n';\n    q\n}\n";
-        let f = lint(src, Level::Strict, false);
-        assert!(f.is_empty(), "{f:?}");
-        // Masking preserves line structure.
-        assert_eq!(mask_source(src).lines().count(), src.lines().count());
-    }
 }

@@ -1,0 +1,1 @@
+pub fn a() -> u32 { 1 }

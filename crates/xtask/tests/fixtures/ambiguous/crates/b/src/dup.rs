@@ -1,0 +1,1 @@
+pub fn b() -> u32 { 2 }

@@ -1,0 +1,18 @@
+//! L6 fixture: nested locks and a guard held across a closure argument;
+//! the marked case is suppressed.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+pub fn nested(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    *a.lock().unwrap_or_else(|e| e.into_inner()) + *b.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub fn across_closure(m: &Mutex<BTreeMap<u32, u32>>) -> u32 {
+    *m.lock().unwrap_or_else(|e| e.into_inner()).entry(1).or_insert_with(|| 9)
+}
+
+pub fn marked(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    // lint: lock-ok — fixture: fixed a-then-b acquisition order
+    *a.lock().unwrap_or_else(|e| e.into_inner()) + *b.lock().unwrap_or_else(|e| e.into_inner())
+}

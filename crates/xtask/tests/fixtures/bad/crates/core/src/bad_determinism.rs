@@ -1,0 +1,24 @@
+//! L5 fixture: hash-order iteration, `RandomState`, wall-clock reads.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn leak(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.iter().map(|(_, v)| *v).collect()
+}
+
+pub fn fine(m: &HashMap<u32, u32>) -> u32 {
+    // lint: ordered — summation is commutative
+    m.values().sum()
+}
+
+pub fn seeded() -> u64 {
+    let s = std::collections::hash_map::RandomState::new();
+    let _ = s;
+    0
+}
+
+pub fn timed() -> std::time::Duration {
+    let t0 = Instant::now();
+    t0.elapsed()
+}

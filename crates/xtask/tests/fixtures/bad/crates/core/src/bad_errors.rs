@@ -1,0 +1,5 @@
+//! L4 fixture: public error enum with no `Display` / `Error` impls.
+
+pub enum FixtureError {
+    Broken,
+}

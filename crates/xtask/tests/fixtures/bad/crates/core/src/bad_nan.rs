@@ -1,0 +1,14 @@
+//! L1 fixture: NaN-unsafe comparator chains (also counted by L2 — the
+//! unwraps are panic sites in a strict crate).
+
+pub fn worst(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[0]
+}
+
+pub fn marked(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // nan-ok: fixture inputs are finite
+    v[0]
+}

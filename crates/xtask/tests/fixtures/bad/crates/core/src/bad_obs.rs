@@ -1,0 +1,7 @@
+//! L7 fixture: one documented name, one schema violation, one drift.
+
+pub fn emit(rec: &Recorder) {
+    rec.add("cache.hits", 1);
+    rec.add("hits", 1);
+    rec.add("cache.unknown_counter", 1);
+}

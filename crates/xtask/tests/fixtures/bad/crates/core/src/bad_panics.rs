@@ -1,0 +1,9 @@
+//! L2 fixture: panics in strict library code, one allowlisted.
+
+pub fn boom(v: Option<u32>) -> u32 {
+    v.expect("fixture: always present")
+}
+
+pub fn allowed(v: Option<u32>) -> u32 {
+    v.expect("covered by allowlist")
+}

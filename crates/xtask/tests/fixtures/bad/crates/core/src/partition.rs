@@ -1,0 +1,10 @@
+//! L3 fixture: this file name matches the DP hot-path list, so unmarked
+//! lossy casts are findings here.
+
+pub fn cells(n: u64) -> usize {
+    n as usize
+}
+
+pub fn ratio(n: u64) -> f64 {
+    n as f64 // cast-ok: fixture — u64 → f64 rounding is acceptable here
+}

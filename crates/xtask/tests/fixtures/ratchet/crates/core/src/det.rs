@@ -1,0 +1,7 @@
+//! Ratchet fixture: a single L5 finding against an `L5 0` baseline.
+
+use std::collections::HashMap;
+
+pub fn leak(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.iter().map(|(_, v)| *v).collect()
+}

@@ -1,0 +1,127 @@
+//! Integration tests driving the full lint engine over known-bad fixture
+//! workspaces under `tests/fixtures/` — each layer must actually fire on
+//! real files, suppression paths (markers, allowlist) must hold, and the
+//! allowlist/ratchet hygiene rules must behave end to end.
+
+use std::path::{Path, PathBuf};
+use stmaker_xtask::engine::{report_to_json, run_lint, validate_report_json, LintOptions};
+use stmaker_xtask::layers::Severity;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn counts(report: &stmaker_xtask::engine::LintReport, layer: &str) -> (usize, usize) {
+    report.layer_counts.get(layer).copied().unwrap_or((0, 0))
+}
+
+#[test]
+fn every_layer_fires_on_the_bad_fixture() {
+    let report = run_lint(&LintOptions { root: fixture("bad"), strict: false }).expect("lint runs");
+
+    // One unmarked partial_cmp chain; the `// nan-ok:` one is suppressed.
+    assert_eq!(counts(&report, "L1"), (1, 0), "{:?}", report.findings);
+    // Two unwraps in bad_nan.rs plus one expect in bad_panics.rs; the
+    // allowlisted expect is suppressed.
+    assert_eq!(counts(&report, "L2"), (3, 0), "{:?}", report.findings);
+    // One unmarked `as usize` in the hot-path file; `// cast-ok:` suppressed.
+    assert_eq!(counts(&report, "L3"), (1, 0), "{:?}", report.findings);
+    // `FixtureError` lacks both Display and Error impls.
+    let (l4_errors, _) = counts(&report, "L4");
+    assert!(l4_errors >= 1, "{:?}", report.findings);
+    // Hash iteration + RandomState + Instant::now; `// lint: ordered` suppressed.
+    assert_eq!(counts(&report, "L5"), (3, 0), "{:?}", report.findings);
+    // Nested locks + guard across closure; `// lint: lock-ok` suppressed.
+    assert_eq!(counts(&report, "L6"), (2, 0), "{:?}", report.findings);
+    // One schema violation + one undocumented name; `cache.hits` documented.
+    assert_eq!(counts(&report, "L7"), (2, 0), "{:?}", report.findings);
+    // The committed ratchet matches the fixture exactly: silent.
+    assert_eq!(counts(&report, "ratchet"), (0, 0), "{:?}", report.findings);
+    assert_eq!(counts(&report, "allowlist"), (0, 0), "{:?}", report.findings);
+
+    assert!(report.errors > 0 && report.warnings == 0, "strict crates report errors only");
+
+    // The machine-readable report round-trips through the schema check.
+    let json = report_to_json(&report);
+    let summary = validate_report_json(&json).expect("fixture report validates");
+    assert!(summary.contains("error(s)"), "{summary}");
+}
+
+#[test]
+fn bad_fixture_findings_name_their_files() {
+    let report = run_lint(&LintOptions { root: fixture("bad"), strict: false }).expect("lint runs");
+    let paths_for = |layer: &str| -> Vec<&str> {
+        report
+            .findings
+            .iter()
+            .filter(|f| f.rule == layer)
+            .map(|f| f.path.as_str())
+            .collect::<Vec<_>>()
+    };
+    assert!(paths_for("L5").iter().all(|p| p.ends_with("bad_determinism.rs")));
+    assert!(paths_for("L6").iter().all(|p| p.ends_with("bad_locks.rs")));
+    assert!(paths_for("L7").iter().all(|p| p.ends_with("bad_obs.rs")));
+    assert!(paths_for("L3").iter().all(|p| p.ends_with("partition.rs")));
+}
+
+#[test]
+fn ambiguous_suffix_is_an_error_and_unused_entries_warn() {
+    let report =
+        run_lint(&LintOptions { root: fixture("ambiguous"), strict: false }).expect("lint runs");
+    let ambiguous: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "allowlist" && f.message.contains("ambiguous"))
+        .collect();
+    assert_eq!(ambiguous.len(), 1, "{:?}", report.findings);
+    assert_eq!(ambiguous[0].severity, Severity::Error);
+    assert!(
+        ambiguous[0].message.contains("crates/a/src/dup.rs")
+            && ambiguous[0].message.contains("crates/b/src/dup.rs"),
+        "ambiguity error names both matches: {}",
+        ambiguous[0].message
+    );
+    // Both entries never suppressed anything, so both are also unused.
+    let unused: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "allowlist" && f.message.contains("unused"))
+        .collect();
+    assert_eq!(unused.len(), 2, "{:?}", report.findings);
+    assert!(unused.iter().all(|f| f.severity == Severity::Warning));
+}
+
+#[test]
+fn strict_mode_promotes_unused_entries_to_errors() {
+    let report =
+        run_lint(&LintOptions { root: fixture("ambiguous"), strict: true }).expect("lint runs");
+    let unused: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "allowlist" && f.message.contains("unused"))
+        .collect();
+    assert_eq!(unused.len(), 2, "{:?}", report.findings);
+    assert!(unused.iter().all(|f| f.severity == Severity::Error));
+}
+
+#[test]
+fn ratchet_flags_regressions_and_slack() {
+    let report =
+        run_lint(&LintOptions { root: fixture("ratchet"), strict: false }).expect("lint runs");
+    let regression: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "ratchet" && f.message.contains("regressed"))
+        .collect();
+    assert_eq!(regression.len(), 1, "{:?}", report.findings);
+    assert_eq!(regression[0].severity, Severity::Error);
+    assert!(regression[0].message.contains("1 > committed baseline 0"));
+    // The stale L6 baseline (1 committed, 0 found) asks to be tightened.
+    let slack: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "ratchet" && f.message.contains("tighten"))
+        .collect();
+    assert_eq!(slack.len(), 1, "{:?}", report.findings);
+    assert_eq!(slack[0].severity, Severity::Warning);
+}
