@@ -10,7 +10,8 @@
 
 use stmaker::{standard_features, FeatureWeights, SummarizerConfig};
 use stmaker_eval::{ExperimentScale, Harness};
-use stmaker_obs::Recorder;
+use stmaker_obs::{Recorder, TraceClock};
+use stmaker_trajectory::RawTrajectory;
 
 fn main() {
     let mut scale = ExperimentScale::quick();
@@ -18,7 +19,9 @@ fn main() {
     scale.n_test = 80;
     let h = Harness::new(scale);
 
-    let obs = Recorder::enabled();
+    // Journal-backed so the run can also emit a Chrome trace
+    // (STMAKER_TRACE_OUT) alongside the aggregate report.
+    let obs = Recorder::enabled_with_journal(stmaker_obs::DEFAULT_JOURNAL_CAPACITY);
     let features = standard_features();
     let weights = FeatureWeights::uniform(&features);
     let summarizer = h.train_summarizer(
@@ -39,7 +42,16 @@ fn main() {
         let k = 1 + i % 4;
         let _ = summarizer.summarize_k(&trip.raw, k);
     }
-    println!("summarized {ok}/{} trips (+20 k-constrained runs)", h.test.len());
+    // A batch run populates the batch-only series: per-trip replayed
+    // spans, merged worker counters, and the top-K slowest-trip
+    // exemplars.
+    let batch: Vec<RawTrajectory> = h.test.iter().take(40).map(|t| t.raw.clone()).collect();
+    let batch_ok = summarizer.summarize_batch(&batch).iter().filter(|r| r.is_ok()).count();
+    println!(
+        "summarized {ok}/{} trips (+20 k-constrained runs, +{batch_ok}/{} batch)",
+        h.test.len(),
+        batch.len()
+    );
 
     let report = obs.report();
     println!("\n{}", stmaker_obs::stats::render(&report));
@@ -47,5 +59,11 @@ fn main() {
     match report.write_json(&path) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+    if let Ok(trace_path) = std::env::var("STMAKER_TRACE_OUT") {
+        match std::fs::write(&trace_path, obs.chrome_trace(TraceClock::Logical)) {
+            Ok(()) => println!("wrote {trace_path}"),
+            Err(e) => eprintln!("warning: cannot write {trace_path}: {e}"),
+        }
     }
 }

@@ -30,6 +30,7 @@ use stmaker_io::{
     read_raw_points_csv, read_raw_points_jsonl, read_trajectory_csv, read_trajectory_jsonl,
     summary_to_geojson, write_trajectory_csv,
 };
+use stmaker_obs::TraceClock;
 use stmaker_textmine::InvertedIndex;
 use stmaker_trajectory::{sanitize, RawPoint, RawTrajectory, SanitizeConfig, SanitizePolicy};
 
@@ -49,19 +50,29 @@ struct Obs {
     /// (`--route-cache N`); 0 = disabled. Purely a latency knob — results
     /// are byte-identical either way.
     route_cache: usize,
+    /// Write a Chrome trace-event JSON of the event journal here
+    /// (`--trace-out FILE`); loads in `about://tracing` / Perfetto.
+    trace_out: Option<PathBuf>,
+    /// Timestamp source for the exported trace (`--trace-clock`):
+    /// `logical` (the default — drain order, byte-identical across thread
+    /// counts) or `wall` (real microseconds).
+    trace_clock: TraceClock,
 }
 
 impl Obs {
-    /// Extracts `--trace` / `--metrics-json PATH` / `--threads N` /
-    /// `--sanitize POLICY` / `--route-cache N` from `args` (removing them)
-    /// and builds the matching recorder: enabled if either tracing flag is
-    /// present, the zero-cost no-op otherwise.
+    /// Extracts `--trace` / `--metrics-json PATH` / `--trace-out FILE` /
+    /// `--trace-clock SRC` / `--threads N` / `--sanitize POLICY` /
+    /// `--route-cache N` from `args` (removing them) and builds the
+    /// matching recorder: journal-backed if `--trace-out` is present,
+    /// enabled if another tracing flag is, the zero-cost no-op otherwise.
     fn extract(args: &mut Vec<String>) -> Result<Self, String> {
         let mut trace = false;
         let mut metrics_json = None;
         let mut threads = 0usize;
         let mut sanitize = None;
         let mut route_cache = 0usize;
+        let mut trace_out = None;
+        let mut trace_clock = TraceClock::default();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -75,6 +86,22 @@ impl Obs {
                         return Err("missing path after --metrics-json".to_owned());
                     }
                     metrics_json = Some(PathBuf::from(args.remove(i)));
+                }
+                "--trace-out" => {
+                    args.remove(i);
+                    if i >= args.len() {
+                        return Err("missing path after --trace-out".to_owned());
+                    }
+                    trace_out = Some(PathBuf::from(args.remove(i)));
+                }
+                "--trace-clock" => {
+                    args.remove(i);
+                    if i >= args.len() {
+                        return Err("missing source after --trace-clock".to_owned());
+                    }
+                    let v = args.remove(i);
+                    trace_clock = TraceClock::parse(&v)
+                        .ok_or_else(|| format!("bad value for --trace-clock: {v:?}"))?;
                 }
                 "--threads" => {
                     args.remove(i);
@@ -104,17 +131,28 @@ impl Obs {
                 _ => i += 1,
             }
         }
-        let recorder = if trace || metrics_json.is_some() {
+        let recorder = if trace_out.is_some() {
+            Recorder::enabled_with_journal(stmaker_obs::DEFAULT_JOURNAL_CAPACITY)
+        } else if trace || metrics_json.is_some() {
             Recorder::enabled()
         } else {
             Recorder::disabled()
         };
-        Ok(Self { recorder, trace, metrics_json, threads, sanitize, route_cache })
+        Ok(Self {
+            recorder,
+            trace,
+            metrics_json,
+            threads,
+            sanitize,
+            route_cache,
+            trace_out,
+            trace_clock,
+        })
     }
 
     /// Renders/writes the collected telemetry after the subcommand ran.
     fn finish(&self) -> Result<(), String> {
-        if !self.trace && self.metrics_json.is_none() {
+        if !self.trace && self.metrics_json.is_none() && self.trace_out.is_none() {
             return Ok(());
         }
         let report = self.recorder.report();
@@ -125,12 +163,27 @@ impl Obs {
             report.write_json(path).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
             eprintln!("wrote metrics to {}", path.display());
         }
+        if let Some(path) = &self.trace_out {
+            let text = self.recorder.chrome_trace(self.trace_clock);
+            std::fs::write(path, text)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!(
+                "wrote trace to {} (open in about://tracing or ui.perfetto.dev)",
+                path.display()
+            );
+        }
         Ok(())
     }
 }
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `obs` is a pure report/trace tool: it takes no world or recorder and
+    // owns its exit codes (1 = timing regression, 2 = structural loss or
+    // unreadable input), so it dispatches before the global-flag parse.
+    if args.first().map(|s| s.as_str()) == Some("obs") {
+        return cmd_obs(&args[1..]);
+    }
     let result = Obs::extract(&mut args).and_then(|obs| {
         let r = match args.first().map(|s| s.as_str()) {
             Some("demo") => cmd_demo(&args[1..], &obs),
@@ -173,10 +226,21 @@ fn print_usage() {
          \x20                                          audit/repair a trip file\n  \
          group      --dir DIR [--min-share F]       group summary of every trip in DIR\n  \
          search     --dir DIR --query \"...\" [--top K] keyword search over summaries\n  \
+         obs diff   BASE.json NEW.json [--threshold X] [--min-base-ms MS]\n  \
+         \x20          [--timing-warn-only]             compare two --metrics-json reports;\n  \
+         \x20                                          exit 1 on timing regression, 2 on\n  \
+         \x20                                          missing metrics\n  \
+         obs top    TRACE.json [--depth N]           aggregate a --trace-out file into a\n  \
+         \x20                                          flamegraph-style text tree\n  \
          help                                        this message\n\n\
          GLOBAL OPTIONS:\n  \
          --trace                print a per-stage span/counter table on exit\n  \
          --metrics-json PATH    write the telemetry report as JSON\n  \
+         --trace-out PATH       write the event journal as Chrome trace-event\n  \
+         \x20                      JSON (open in about://tracing or Perfetto)\n  \
+         --trace-clock SRC      trace timestamps: logical (default; drain\n  \
+         \x20                      order, byte-identical across thread counts)\n  \
+         \x20                      or wall (real microseconds)\n  \
          --threads N            worker threads for train/batch stages\n  \
          \x20                      (0 = auto; also via STMAKER_THREADS; results\n  \
          \x20                      are identical for every thread count)\n  \
@@ -622,4 +686,227 @@ fn cmd_search(args: &[String], obs: &Obs) -> Result<(), String> {
         println!("  {:.3}  {}  {}", score, names[doc], texts[doc]);
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// `obs` — offline report/trace tooling. No world, no recorder; reads the
+// files that `--metrics-json` / `--trace-out` wrote.
+
+fn cmd_obs(args: &[String]) -> ExitCode {
+    match args.first().map(|s| s.as_str()) {
+        Some("diff") => cmd_obs_diff(&args[1..]),
+        Some("top") => cmd_obs_top(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: stmaker-cli obs <diff BASE.json NEW.json [--threshold X] \
+                 [--min-base-ms MS] [--timing-warn-only] | top TRACE.json [--depth N]>"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load_report(path: &str) -> Result<stmaker_obs::Report, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    stmaker_obs::Report::from_json(&body).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Compares two `--metrics-json` reports. Exit codes: 0 = clean (or
+/// timing findings under `--timing-warn-only`), 1 = timing regression,
+/// 2 = structural loss (missing metric/span) or unreadable input.
+fn cmd_obs_diff(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut opts = stmaker_obs::DiffOptions::default();
+    let mut timing_warn_only = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timing-warn-only" => {
+                timing_warn_only = true;
+                i += 1;
+            }
+            key @ ("--threshold" | "--min-base-ms") => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("error: missing value after {key}");
+                    return ExitCode::from(2);
+                };
+                let Ok(parsed) = v.parse::<f64>() else {
+                    eprintln!("error: bad value for {key}: {v:?}");
+                    return ExitCode::from(2);
+                };
+                if key == "--threshold" {
+                    opts.threshold = parsed;
+                } else {
+                    opts.min_base_ms = parsed;
+                }
+                i += 2;
+            }
+            p => {
+                paths.push(p);
+                i += 1;
+            }
+        }
+    }
+    let [base_path, new_path] = paths[..] else {
+        eprintln!("usage: stmaker-cli obs diff BASE.json NEW.json");
+        return ExitCode::from(2);
+    };
+    let (base, new) = match (load_report(base_path), load_report(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", stmaker_obs::render_deltas(&base, &new));
+    let findings = stmaker_obs::diff(&base, &new, &opts);
+    let hard = findings.iter().filter(|f| f.severity == stmaker_obs::Severity::Hard).count();
+    let soft = findings.len() - hard;
+    for f in &findings {
+        let tag = match f.severity {
+            stmaker_obs::Severity::Hard => "HARD",
+            stmaker_obs::Severity::Soft => "soft",
+        };
+        println!("{tag}: {}", f.message);
+    }
+    if hard > 0 {
+        eprintln!("{hard} structural regression(s): {new_path} lost metrics {base_path} had");
+        ExitCode::from(2)
+    } else if soft > 0 && !timing_warn_only {
+        eprintln!("{soft} timing regression(s) past {}x", opts.threshold);
+        ExitCode::FAILURE
+    } else {
+        if soft > 0 {
+            eprintln!("{soft} timing regression(s) — reported as warnings (--timing-warn-only)");
+        } else {
+            println!("no regressions");
+        }
+        ExitCode::SUCCESS
+    }
+}
+
+/// One aggregated node of the `obs top` tree.
+#[derive(Default)]
+struct TopNode {
+    calls: u64,
+    total_us: u64,
+    children: std::collections::BTreeMap<String, TopNode>,
+}
+
+/// Adds one completed span at `path` (root-to-leaf names).
+fn top_record(root: &mut TopNode, path: &[&str], dur_us: u64) {
+    let mut node = root;
+    for seg in path {
+        node = node.children.entry((*seg).to_owned()).or_default();
+    }
+    node.calls += 1;
+    node.total_us += dur_us;
+}
+
+/// Aggregates a Chrome trace-event file into a flamegraph-style text
+/// tree: per-(pid, tid) begin/end stacks, call paths summed across the
+/// run, children sorted slowest-first.
+fn top_tree(body: &str, max_depth: usize) -> Result<String, String> {
+    let v: serde_json::Value = serde_json::from_str(body).map_err(|e| e.to_string())?;
+    let events = v.get("traceEvents").and_then(|e| e.as_array()).ok_or("no traceEvents array")?;
+    let mut root = TopNode::default();
+    let mut stacks: std::collections::BTreeMap<(u64, u64), Vec<(String, u64)>> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        let ph = e.get("ph").and_then(|p| p.as_str()).unwrap_or("");
+        let name = e.get("name").and_then(|n| n.as_str()).unwrap_or("");
+        let key = (
+            e.get("pid").and_then(|p| p.as_u64()).unwrap_or(0),
+            e.get("tid").and_then(|t| t.as_u64()).unwrap_or(0),
+        );
+        let ts = e.get("ts").and_then(|t| t.as_u64()).unwrap_or(0);
+        let stack = stacks.entry(key).or_default();
+        match ph {
+            "B" => stack.push((name.to_owned(), ts)),
+            "E" => {
+                if let Some((opened, begin_ts)) = stack.pop() {
+                    let path: Vec<&str> =
+                        stack.iter().map(|(n, _)| n.as_str()).chain([opened.as_str()]).collect();
+                    top_record(&mut root, &path, ts.saturating_sub(begin_ts));
+                }
+            }
+            "X" | "i" => {
+                let dur = e.get("dur").and_then(|d| d.as_u64()).unwrap_or(0);
+                let path: Vec<&str> = stack.iter().map(|(n, _)| n.as_str()).chain([name]).collect();
+                top_record(&mut root, &path, dur);
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    render_top(&root, 0, max_depth, &mut out);
+    if out.is_empty() {
+        out.push_str("(no spans in trace)\n");
+    }
+    Ok(out)
+}
+
+fn render_top(node: &TopNode, depth: usize, max_depth: usize, out: &mut String) {
+    if depth >= max_depth {
+        return;
+    }
+    let mut kids: Vec<(&String, &TopNode)> = node.children.iter().collect();
+    kids.sort_by(|a, b| b.1.total_us.cmp(&a.1.total_us).then(a.0.cmp(b.0)));
+    for (name, child) in kids {
+        let ms = child.total_us as f64 / 1e3; // cast-ok: µs total for display
+        out.push_str(&format!(
+            "{}{name}  calls {}  total {ms:.3} ms\n",
+            "  ".repeat(depth),
+            child.calls,
+        ));
+        render_top(child, depth + 1, max_depth, out);
+    }
+}
+
+/// Prints the aggregated span tree of a `--trace-out` file.
+fn cmd_obs_top(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut depth = usize::MAX;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--depth" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("error: missing value after --depth");
+                    return ExitCode::from(2);
+                };
+                let Ok(parsed) = v.parse::<usize>() else {
+                    eprintln!("error: bad value for --depth: {v:?}");
+                    return ExitCode::from(2);
+                };
+                depth = parsed;
+                i += 2;
+            }
+            p => {
+                path = Some(p.to_owned());
+                i += 1;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: stmaker-cli obs top TRACE.json [--depth N]");
+        return ExitCode::from(2);
+    };
+    let body = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match top_tree(&body, depth) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            ExitCode::from(2)
+        }
+    }
 }

@@ -22,6 +22,7 @@
 //! [`StreamingSummarizer::push`] survives as a deprecated shim.
 
 use crate::summarize::{SummarizeError, Summarizer, Summary};
+use stmaker_obs::{ArgValue, SlidingWindow, WindowSummary, DEFAULT_WINDOW_CAPACITY};
 use stmaker_trajectory::{RawPoint, TrajectoryError};
 
 /// What to do with a sample that arrives out of time order.
@@ -50,6 +51,15 @@ pub struct StreamConfig {
     pub refresh_interval_s: i64,
     /// How late samples are handled by [`StreamingSummarizer::try_push`].
     pub out_of_order: OutOfOrderPolicy,
+    /// Width of one metrics window, in *stream* seconds. Window indices
+    /// are derived from sample timestamps relative to the first accepted
+    /// sample — never from wall clock — so the `stream.window.*` series
+    /// is a pure function of the input and survives the determinism
+    /// contract.
+    pub window_secs: i64,
+    /// How many trailing windows of metrics to retain; older windows are
+    /// evicted oldest-first (and counted).
+    pub window_capacity: usize,
 }
 
 impl Default for StreamConfig {
@@ -58,13 +68,16 @@ impl Default for StreamConfig {
             refresh_distance_m: 500.0,
             refresh_interval_s: 120,
             out_of_order: OutOfOrderPolicy::Drop,
+            window_secs: 60,
+            window_capacity: DEFAULT_WINDOW_CAPACITY,
         }
     }
 }
 
 impl StreamConfig {
     /// Checks the refresh thresholds: the distance must be positive and
-    /// finite, the interval positive.
+    /// finite, the interval and window width positive, the window
+    /// retention non-zero.
     pub fn validate(&self) -> Result<(), StreamError> {
         if !(self.refresh_distance_m > 0.0) || !self.refresh_distance_m.is_finite() {
             return Err(StreamError::InvalidConfig {
@@ -73,6 +86,12 @@ impl StreamConfig {
         }
         if self.refresh_interval_s <= 0 {
             return Err(StreamError::InvalidConfig { what: "refresh_interval_s must be positive" });
+        }
+        if self.window_secs <= 0 {
+            return Err(StreamError::InvalidConfig { what: "window_secs must be positive" });
+        }
+        if self.window_capacity == 0 {
+            return Err(StreamError::InvalidConfig { what: "window_capacity must be non-zero" });
         }
         Ok(())
     }
@@ -122,6 +141,10 @@ pub struct StreamingSummarizer<'s, 'a> {
     last_refresh_t: Option<i64>,
     dropped_out_of_order: u64,
     dropped_invalid: u64,
+    /// Timestamp of the first accepted sample — the origin the window
+    /// index is measured from.
+    first_t: Option<i64>,
+    windows: SlidingWindow,
 }
 
 impl<'s, 'a> StreamingSummarizer<'s, 'a> {
@@ -151,6 +174,8 @@ impl<'s, 'a> StreamingSummarizer<'s, 'a> {
             last_refresh_t: None,
             dropped_out_of_order: 0,
             dropped_invalid: 0,
+            first_t: None,
+            windows: SlidingWindow::new(cfg.window_capacity),
         }
     }
 
@@ -173,6 +198,28 @@ impl<'s, 'a> StreamingSummarizer<'s, 'a> {
     /// [`OutOfOrderPolicy::Drop`] — the stream's own sanitize report.
     pub fn dropped(&self) -> (u64, u64) {
         (self.dropped_out_of_order, self.dropped_invalid)
+    }
+
+    /// The retained metric windows (oldest first) — the same series that
+    /// is published into the recorder's report on every refresh and on
+    /// [`StreamingSummarizer::finish`].
+    pub fn windows(&self) -> Vec<WindowSummary> {
+        self.windows.summaries()
+    }
+
+    /// Window index of stream time `t`, measured from the first accepted
+    /// sample (window 0 before anything was accepted, or for a late `t`).
+    fn window_index(&self, t: i64) -> u64 {
+        let dt = t.saturating_sub(self.first_t.unwrap_or(t)).max(0);
+        dt as u64 / self.cfg.window_secs.max(1) as u64
+    }
+
+    /// Publishes the retained windows and the current window index into
+    /// the shared recorder.
+    fn publish_windows(&self, w: u64) {
+        let obs = self.summarizer.recorder();
+        obs.gauge("stream.window.index", w as f64); // cast-ok: window index
+        obs.set_windows(self.windows.summaries());
     }
 
     /// Feeds one sample. Returns `Ok(Some)` with a *fresh* summary when the
@@ -199,6 +246,8 @@ impl<'s, 'a> StreamingSummarizer<'s, 'a> {
                 OutOfOrderPolicy::Drop => {
                     self.dropped_invalid += 1;
                     self.summarizer.recorder().add("stream.invalid_dropped", 1);
+                    let w = self.window_index(point.t.0);
+                    self.windows.add(w, "stream.window.dropped", 1);
                     Ok(None)
                 }
                 OutOfOrderPolicy::Reject => Err(StreamError::InvalidPoint(e)),
@@ -210,6 +259,8 @@ impl<'s, 'a> StreamingSummarizer<'s, 'a> {
                     OutOfOrderPolicy::Drop => {
                         self.dropped_out_of_order += 1;
                         self.summarizer.recorder().add("stream.out_of_order_dropped", 1);
+                        let w = self.window_index(point.t.0);
+                        self.windows.add(w, "stream.window.dropped", 1);
                         Ok(None)
                     }
                     OutOfOrderPolicy::Reject => {
@@ -221,14 +272,26 @@ impl<'s, 'a> StreamingSummarizer<'s, 'a> {
         }
         self.buffer.push(point);
         let t = point.t.0;
+        if self.first_t.is_none() {
+            self.first_t = Some(t);
+        }
+        let w = self.window_index(t);
+        self.windows.add(w, "stream.window.points", 1);
         let due_dist = self.dist_since_refresh >= self.cfg.refresh_distance_m;
         let due_time =
             self.last_refresh_t.map(|t0| t - t0 >= self.cfg.refresh_interval_s).unwrap_or(true);
         if self.buffer.len() < 2 || (!due_dist && !due_time) {
             return Ok(None);
         }
+        // lint: wallclock — refresh cost feeds the window metrics only, never the summary
+        let t0 = std::time::Instant::now();
         let refreshed = self.refresh();
+        let refresh_ms = t0.elapsed().as_secs_f64() * 1e3;
         if refreshed {
+            self.windows.add(w, "stream.window.refreshes", 1);
+            self.windows.observe_ms(w, "stream.window.refresh_ms", refresh_ms);
+            self.summarizer.recorder().instant("stream.refresh", &[("window", ArgValue::U64(w))]);
+            self.publish_windows(w);
             self.dist_since_refresh = 0.0;
             self.last_refresh_t = Some(t);
             Ok(self.current.as_ref())
@@ -271,6 +334,11 @@ impl<'s, 'a> StreamingSummarizer<'s, 'a> {
     /// Finalizes the trip: summarizes everything buffered, regardless of the
     /// refresh policy. Equivalent to batch-summarizing the same samples.
     pub fn finish(self) -> Result<Summary, SummarizeError> {
+        if let Some(last) = self.buffer.last() {
+            // Final publication, so the report carries the windows even
+            // when the trip ended between refreshes.
+            self.publish_windows(self.window_index(last.t.0));
+        }
         if self.buffer.len() < 2 {
             return Err(SummarizeError::Input(TrajectoryError::TooFewPoints {
                 got: self.buffer.len(),
@@ -294,6 +362,12 @@ mod tests {
         let bad = StreamConfig { refresh_interval_s: 0, ..StreamConfig::default() };
         let msg = bad.validate().expect_err("invalid").to_string();
         assert!(msg.contains("refresh_interval_s"), "{msg}");
+        let bad = StreamConfig { window_secs: 0, ..StreamConfig::default() };
+        let msg = bad.validate().expect_err("invalid").to_string();
+        assert!(msg.contains("window_secs"), "{msg}");
+        let bad = StreamConfig { window_capacity: 0, ..StreamConfig::default() };
+        let msg = bad.validate().expect_err("invalid").to_string();
+        assert!(msg.contains("window_capacity"), "{msg}");
     }
 
     #[test]

@@ -27,7 +27,7 @@ use stmaker_cache::CacheStats;
 use stmaker_calibration::{calibrate_view, CalibrationError, CalibrationParams};
 use stmaker_exec::Executor;
 use stmaker_mapmatch::{MapMatcher, MatchParams};
-use stmaker_obs::Recorder;
+use stmaker_obs::{ArgValue, Exemplar, ExemplarReservoir, Recorder, Report, SpanNode};
 use stmaker_poi::{LandmarkId, LandmarkRegistry};
 use stmaker_road::RoadNetwork;
 use stmaker_routes::{HistoricalFeatureMap, PopularRouteConfig, PopularRoutes};
@@ -530,18 +530,22 @@ impl<'a> Summarizer<'a> {
         let _root = obs.span("summarize_batch");
         let cache_before = self.route_cache.as_ref().map(|c| c.stats());
         let exec = Executor::new(self.cfg.threads).with_recorder(obs.clone());
-        // Workers run the pipeline against a disabled recorder (cross-thread
+        // Workers run the pipeline against a private recorder (cross-thread
         // span opens would interleave nondeterministically in the shared
-        // tree); they measure their own wall time and the caller replays the
-        // per-trip durations below in input order.
-        let quiet = Recorder::disabled();
+        // tree): a fresh enabled one per trip when telemetry is on (its
+        // stage breakdown is replayed below in input order), the free
+        // disabled one otherwise. Either way they measure their own wall
+        // time and the caller replays the per-trip durations in input
+        // order.
+        let detailed = obs.is_enabled();
         let timed = exec.par_map(trips, |_, raw| {
             // lint: wallclock — per-trip duration is replayed to obs in input order, never folded into summaries
             let t0 = Instant::now();
+            let local = if detailed { Recorder::enabled() } else { Recorder::disabled() };
             let r = self
-                .prepare_view(raw.view(), &quiet)
-                .and_then(|p| self.summarize_prepared_obs(&p, k, &quiet));
-            (r, t0.elapsed())
+                .prepare_view(raw.view(), &local)
+                .and_then(|p| self.summarize_prepared_obs(&p, k, &local));
+            (r, t0.elapsed(), detailed.then(|| local.report()))
         });
         let out = self.collect_batch(timed);
         self.record_cache_delta(cache_before);
@@ -563,15 +567,16 @@ impl<'a> Summarizer<'a> {
         let _root = obs.span("summarize_batch");
         let cache_before = self.route_cache.as_ref().map(|c| c.stats());
         let exec = Executor::new(self.cfg.threads).with_recorder(obs.clone());
-        let quiet = Recorder::disabled();
+        let detailed = obs.is_enabled();
         let timed = exec.par_map(trips, |_, points| {
             // lint: wallclock — per-trip duration is replayed to obs in input order, never folded into summaries
             let t0 = Instant::now();
+            let local = if detailed { Recorder::enabled() } else { Recorder::disabled() };
             let r = RawView::try_new(points).map_err(SummarizeError::Input).and_then(|raw| {
-                self.prepare_view(raw, &quiet)
-                    .and_then(|p| self.summarize_prepared_obs(&p, None, &quiet))
+                self.prepare_view(raw, &local)
+                    .and_then(|p| self.summarize_prepared_obs(&p, None, &local))
             });
-            (r, t0.elapsed())
+            (r, t0.elapsed(), detailed.then(|| local.report()))
         });
         let out = self.collect_batch(timed);
         self.record_cache_delta(cache_before);
@@ -594,16 +599,53 @@ impl<'a> Summarizer<'a> {
 
     /// Replays per-trip wall times into the shared recorder in input order
     /// and tallies the ok/failed counters — the deterministic tail every
-    /// batch entry point funnels through.
+    /// batch entry point funnels through. When workers carried a private
+    /// recorder, each trip's stage breakdown is replayed as children of
+    /// its `summarize_batch.trip` span, the worker's stage counters are
+    /// merged into the shared recorder, and the slowest trips are offered
+    /// to the exemplar reservoir and replayed as `exemplar.trip` spans.
     fn collect_batch(
         &self,
-        timed: Vec<(Result<Summary, SummarizeError>, std::time::Duration)>,
+        timed: Vec<(Result<Summary, SummarizeError>, std::time::Duration, Option<Report>)>,
     ) -> Vec<Result<Summary, SummarizeError>> {
         let obs = &self.cfg.recorder;
         let mut out = Vec::with_capacity(timed.len());
         let (mut ok, mut failed) = (0u64, 0u64);
-        for (r, dur) in timed {
-            obs.span_observed("summarize_batch.trip", dur);
+        let mut slowest = ExemplarReservoir::default();
+        for (i, (r, dur, detail)) in timed.into_iter().enumerate() {
+            match detail {
+                None => obs.span_observed("summarize_batch.trip", dur),
+                Some(report) => {
+                    let trip = i as u64; // cast-ok: trip index
+                    obs.replay_span(
+                        "summarize_batch.trip",
+                        dur,
+                        &[("trip", ArgValue::U64(trip))],
+                        |o| replay_stage_spans(o, &report.spans),
+                    );
+                    // Worker-side stage counters (landmarks matched, DP
+                    // cells, cache probes, ...) would otherwise be lost
+                    // with the private recorder.
+                    for (name, v) in &report.counters {
+                        obs.add(name, *v);
+                    }
+                    // Only successful trips become exemplars: every
+                    // success runs the same stage set, so the replayed
+                    // `exemplar.trip` event structure is independent of
+                    // *which* trips were slowest — which keeps the
+                    // logical-clock trace byte-identical across thread
+                    // counts.
+                    if r.is_ok() {
+                        let ex = Exemplar {
+                            id: format!("trip_{i}"),
+                            total_ms: dur.as_secs_f64() * 1e3,
+                            stages: stage_breakdown(&report.spans),
+                        };
+                        obs.exemplar(ex.clone());
+                        slowest.offer(ex);
+                    }
+                }
+            }
             match &r {
                 Ok(_) => ok += 1,
                 Err(_) => failed += 1,
@@ -612,6 +654,19 @@ impl<'a> Summarizer<'a> {
         }
         obs.add("batch.summaries_ok", ok);
         obs.add("batch.summaries_failed", failed);
+        // Replay this batch's slowest trips as dedicated spans so the
+        // exported trace shows the outliers with their stage breakdown.
+        // The journal args deliberately omit the trip index: which trips
+        // are slowest is wall-clock dependent, and the logical-clock trace
+        // must stay byte-identical across thread counts.
+        for ex in slowest.sorted() {
+            let total = std::time::Duration::from_secs_f64(ex.total_ms.max(0.0) / 1e3);
+            obs.replay_span("exemplar.trip", total, &[], |o| {
+                for (name, ms) in &ex.stages {
+                    o.span_observed(name, std::time::Duration::from_secs_f64(ms.max(0.0) / 1e3));
+                }
+            });
+        }
         out
     }
 
@@ -767,6 +822,32 @@ impl<'a> Summarizer<'a> {
             u_turn_places,
         }
     }
+}
+
+/// Replays a worker-local span tree into `o` via the determinism
+/// contract: one `span_observed` per leaf, nested `replay_span` calls
+/// for interior nodes, in the local report's first-seen (pipeline)
+/// order. Names come from the worker report, so every replayed span is
+/// already a registered stage name.
+fn replay_stage_spans(o: &Recorder, nodes: &[SpanNode]) {
+    for n in nodes {
+        let total = std::time::Duration::from_secs_f64(n.total_ms.max(0.0) / 1e3);
+        if n.children.is_empty() {
+            o.span_observed(&n.name, total);
+        } else {
+            o.replay_span(&n.name, total, &[], |o| replay_stage_spans(o, &n.children));
+        }
+    }
+}
+
+/// Flattens a worker report's root spans into the per-stage millisecond
+/// map an [`Exemplar`] carries (summing repeated stages).
+fn stage_breakdown(nodes: &[SpanNode]) -> std::collections::BTreeMap<String, f64> {
+    let mut out = std::collections::BTreeMap::new();
+    for n in nodes {
+        *out.entry(n.name.clone()).or_insert(0.0) += n.total_ms;
+    }
+    out
 }
 
 /// Convenience: does the summary mention feature `key` in any partition?

@@ -28,7 +28,10 @@ fn main() {
     let scale = ExperimentScale::from_env();
     println!("# Fig. 12 — summarization time cost (scale: {})", scale.label);
     let h = Harness::new(scale);
-    let obs = Recorder::enabled();
+    // Journal-backed so the run matches the obs_report bench schema
+    // (exemplars from the batch leg, obs.events_dropped counter) — both
+    // write the same BENCH_obs.json baseline that CI diffs against.
+    let obs = Recorder::enabled_with_journal(stmaker_obs::DEFAULT_JOURNAL_CAPACITY);
     let features = standard_features();
     let weights = FeatureWeights::uniform(&features);
     let summarizer = h.train_summarizer(
@@ -81,6 +84,13 @@ fn main() {
     if let Ok(p) = write_json("fig12_time_cost", &out) {
         println!("wrote {}", p.display());
     }
+
+    // A batch leg populates the batch-only series (per-trip replayed
+    // spans, merged worker counters, top-K slowest-trip exemplars) so
+    // this binary emits the full report schema.
+    let batch: Vec<_> = trips.iter().take(40).cloned().collect();
+    let batch_ok = summarizer.summarize_batch(&batch).iter().filter(|r| r.is_ok()).count();
+    println!("batch leg: {batch_ok}/{} trips ok", batch.len());
 
     // Per-stage telemetry for the whole run (training + every timed
     // summarization), in the shared stmaker-obs report schema.

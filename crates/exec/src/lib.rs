@@ -138,6 +138,10 @@ impl Executor {
         let threads = self.threads.min(n).max(1);
         self.obs.gauge("exec.threads", threads as f64);
         if threads <= 1 {
+            // Nothing can be stolen on the sequential path, but emit the
+            // counter anyway so single-CPU runs report the same metric
+            // set as multi-threaded ones (CI schema checks key on it).
+            self.obs.add("exec.tasks_stolen", 0);
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
 
@@ -211,6 +215,8 @@ impl Executor {
         let threads = self.threads.min(n_shards).max(1);
         self.obs.gauge("exec.threads", threads as f64);
         if threads <= 1 {
+            // Same-metric-set guarantee as `par_map`'s sequential path.
+            self.obs.add("exec.tasks_stolen", 0);
             return ranges
                 .into_iter()
                 .enumerate()
@@ -382,6 +388,21 @@ mod tests {
         let report = obs.report();
         assert_eq!(report.gauges["exec.threads"], 4.0);
         assert!(report.counters.contains_key("exec.tasks_stolen"));
+    }
+
+    #[test]
+    fn sequential_fast_path_emits_the_same_metric_set() {
+        // threads=1 forces the fast path in both par_map and
+        // shard_partials; the required-counter set must still appear so
+        // single-CPU CI validates the same schema as parallel runs.
+        let obs = Recorder::enabled();
+        let exec = Executor::new(1).with_recorder(obs.clone());
+        let items: Vec<u64> = (0..10).collect();
+        let _ = exec.par_map(&items, |_, &v| v + 1);
+        let _ = exec.shard_partials(&items, |_, _, s: &[u64]| s.len());
+        let report = obs.report();
+        assert_eq!(report.gauges["exec.threads"], 1.0);
+        assert_eq!(report.counters["exec.tasks_stolen"], 0);
     }
 
     #[test]

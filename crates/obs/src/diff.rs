@@ -1,0 +1,261 @@
+//! Report diffing: the regression gate behind `stmaker obs diff`.
+//!
+//! Compares two telemetry reports (committed baseline vs. fresh run) and
+//! classifies differences:
+//!
+//! * **hard** — a metric key or span name present in the baseline is
+//!   missing from the new report. Schema loss breaks every CI check keyed
+//!   on that name, so this always fails the gate.
+//! * **soft** — a span's mean time regressed by more than the threshold
+//!   ratio. Timing on shared CI hosts is noisy, so callers may downgrade
+//!   these to warnings (`--timing-warn-only`).
+//!
+//! New keys in the fresh report are *not* findings: schema growth is the
+//! normal direction of travel (a baseline predating `exemplars` must not
+//! fail against a producer that emits them).
+
+use crate::report::{Report, SpanNode};
+use std::collections::BTreeMap;
+
+/// Tuning for [`diff`].
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// A span regresses when `new_mean / base_mean > threshold`.
+    pub threshold: f64,
+    /// Means below this many milliseconds in the baseline are ignored
+    /// for timing comparisons (ratio noise on trivial spans).
+    pub min_base_ms: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        Self { threshold: 2.0, min_base_ms: 0.05 }
+    }
+}
+
+/// How serious one [`Finding`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Schema/key loss: always a failure.
+    Hard,
+    /// Timing regression: failure by default, downgradable to a warning.
+    Soft,
+}
+
+/// One difference worth reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Hard (key loss) or soft (timing).
+    pub severity: Severity,
+    /// Human-readable description naming the metric and the delta.
+    pub message: String,
+}
+
+/// Flattens a span tree into `parent/child` path → (calls, mean_ms).
+fn flatten(spans: &[SpanNode], prefix: &str, out: &mut BTreeMap<String, (u64, f64)>) {
+    for n in spans {
+        let path = if prefix.is_empty() { n.name.clone() } else { format!("{prefix}/{}", n.name) };
+        out.insert(path.clone(), (n.calls, n.mean_ms()));
+        flatten(&n.children, &path, out);
+    }
+}
+
+/// Compares `new` against `base`; see the module docs for the rules.
+/// Findings come out hard-first, then alphabetically by message.
+pub fn diff(base: &Report, new: &Report, opts: &DiffOptions) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let lost = |kind: &str, name: &str| Finding {
+        severity: Severity::Hard,
+        message: format!("{kind} `{name}` is in the baseline but missing from the new report"),
+    };
+    for name in base.counters.keys() {
+        if !new.counters.contains_key(name) {
+            findings.push(lost("counter", name));
+        }
+    }
+    for name in base.gauges.keys() {
+        if !new.gauges.contains_key(name) {
+            findings.push(lost("gauge", name));
+        }
+    }
+    for name in base.histograms.keys() {
+        if !new.histograms.contains_key(name) {
+            findings.push(lost("histogram", name));
+        }
+    }
+    let new_names = new.span_names();
+    for name in base.span_names() {
+        if !new_names.contains(&name) {
+            findings.push(lost("span", &name));
+        }
+    }
+    let mut base_flat = BTreeMap::new();
+    let mut new_flat = BTreeMap::new();
+    flatten(&base.spans, "", &mut base_flat);
+    flatten(&new.spans, "", &mut new_flat);
+    for (path, (_, base_mean)) in &base_flat {
+        let Some((_, new_mean)) = new_flat.get(path) else { continue };
+        if *base_mean < opts.min_base_ms {
+            continue;
+        }
+        let ratio = new_mean / base_mean;
+        if ratio > opts.threshold {
+            findings.push(Finding {
+                severity: Severity::Soft,
+                message: format!(
+                    "span `{path}` mean regressed {ratio:.2}x \
+                     ({base_mean:.3} ms -> {new_mean:.3} ms, threshold {:.2}x)",
+                    opts.threshold
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| {
+        let rank = |s: Severity| if s == Severity::Hard { 0 } else { 1 };
+        rank(a.severity).cmp(&rank(b.severity)).then_with(|| a.message.cmp(&b.message))
+    });
+    findings
+}
+
+/// Renders a compact per-metric delta table (counters, gauges, span
+/// means) for `stmaker obs diff`'s stdout, independent of pass/fail.
+pub fn render_deltas(base: &Report, new: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== counter deltas ==");
+    let mut any = false;
+    for (name, new_v) in &new.counters {
+        let base_v = base.counters.get(name).copied();
+        match base_v {
+            Some(b) if *new_v == b => {}
+            Some(b) => {
+                // cast-ok: display-only delta; precision loss beyond 2^53 is cosmetic
+                let delta = *new_v as f64 - b as f64;
+                let _ = writeln!(out, "{name}: {b} -> {new_v} ({delta:+})");
+                any = true;
+            }
+            None => {
+                let _ = writeln!(out, "{name}: (new) {new_v}");
+                any = true;
+            }
+        }
+    }
+    if !any {
+        let _ = writeln!(out, "(no counter changes)");
+    }
+    let _ = writeln!(out, "== span mean deltas (ms) ==");
+    let mut base_flat = BTreeMap::new();
+    let mut new_flat = BTreeMap::new();
+    flatten(&base.spans, "", &mut base_flat);
+    flatten(&new.spans, "", &mut new_flat);
+    let mut any = false;
+    for (path, (_, new_mean)) in &new_flat {
+        match base_flat.get(path) {
+            Some((_, base_mean)) if *base_mean > 0.0 => {
+                let _ = writeln!(
+                    out,
+                    "{path}: {base_mean:.3} -> {new_mean:.3} ({:.2}x)",
+                    new_mean / base_mean
+                );
+                any = true;
+            }
+            Some(_) => {
+                let _ = writeln!(out, "{path}: 0.000 -> {new_mean:.3}");
+                any = true;
+            }
+            None => {
+                let _ = writeln!(out, "{path}: (new) {new_mean:.3}");
+                any = true;
+            }
+        }
+    }
+    if !any {
+        let _ = writeln!(out, "(no spans)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+    use std::time::Duration;
+
+    fn report(span_ms: u64) -> Report {
+        let obs = Recorder::enabled();
+        obs.span_observed("summarize", Duration::from_millis(span_ms));
+        obs.add("batch.summaries_ok", 10);
+        obs.gauge("exec.threads", 1.0);
+        obs.observe_ms("summarize", span_ms as f64); // cast-ok: test data
+        obs.report()
+    }
+
+    #[test]
+    fn identical_reports_have_no_findings() {
+        let r = report(10);
+        assert!(diff(&r, &r, &DiffOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn timing_regression_is_soft() {
+        let base = report(10);
+        let new = report(50);
+        let f = diff(&base, &new, &DiffOptions::default());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].severity, Severity::Soft);
+        assert!(f[0].message.contains("summarize"), "{}", f[0].message);
+        // A looser threshold lets it pass.
+        let loose = DiffOptions { threshold: 10.0, ..DiffOptions::default() };
+        assert!(diff(&base, &new, &loose).is_empty());
+    }
+
+    #[test]
+    fn key_loss_is_hard_and_sorts_first() {
+        let base = report(10);
+        let mut new = report(50);
+        new.counters.clear();
+        let f = diff(&base, &new, &DiffOptions::default());
+        assert!(f.len() >= 2, "{f:?}");
+        assert_eq!(f[0].severity, Severity::Hard);
+        assert!(f[0].message.contains("batch.summaries_ok"), "{}", f[0].message);
+        assert!(f.iter().any(|x| x.severity == Severity::Soft));
+    }
+
+    #[test]
+    fn lost_span_and_gauge_and_histogram_are_hard() {
+        let base = report(10);
+        let new = Report::default();
+        let f = diff(&base, &new, &DiffOptions::default());
+        assert!(f.iter().all(|x| x.severity == Severity::Hard));
+        let text: Vec<&str> = f.iter().map(|x| x.message.as_str()).collect();
+        assert!(text.iter().any(|m| m.starts_with("span `summarize`")), "{text:?}");
+        assert!(text.iter().any(|m| m.starts_with("gauge `exec.threads`")), "{text:?}");
+        assert!(text.iter().any(|m| m.starts_with("histogram `summarize`")), "{text:?}");
+    }
+
+    #[test]
+    fn new_keys_are_not_findings() {
+        let base = Report::default();
+        let new = report(10);
+        assert!(diff(&base, &new, &DiffOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn tiny_baseline_means_are_ignored_for_timing() {
+        let base = report(0); // 0 ms mean, below the floor
+        let new = report(100);
+        let f = diff(&base, &new, &DiffOptions::default());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn delta_table_lists_changes_and_new_keys() {
+        let base = report(10);
+        let mut new = report(20);
+        new.counters.insert("batch.summaries_failed".to_owned(), 1);
+        let text = render_deltas(&base, &new);
+        assert!(text.contains("== counter deltas =="), "{text}");
+        assert!(text.contains("batch.summaries_failed: (new) 1"), "{text}");
+        assert!(text.contains("summarize: "), "{text}");
+    }
+}

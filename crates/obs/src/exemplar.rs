@@ -1,0 +1,122 @@
+//! Per-trip exemplars: the top-K slowest units of work, each with its
+//! full stage breakdown.
+//!
+//! Aggregates (the span tree) say *how much* time a stage took across a
+//! batch; exemplars say *which trips* paid for it. `summarize_batch`
+//! offers one [`Exemplar`] per trip and the reservoir keeps the K
+//! slowest, deterministically: ties on total duration break on the trip
+//! id, and offers arrive in input order on the caller thread, so two
+//! runs over identical inputs keep identical exemplar sets.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Default reservoir size: enough to eyeball the slow tail without
+/// bloating the report.
+pub const DEFAULT_EXEMPLAR_K: usize = 5;
+
+/// One retained unit of work: a trip id, its total duration, and the
+/// per-stage breakdown (stage name → milliseconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// Stable identifier, e.g. `trip_17` (batch index) or a dataset id.
+    pub id: String,
+    /// End-to-end duration in milliseconds.
+    pub total_ms: f64,
+    /// Stage name → milliseconds spent in that stage.
+    pub stages: BTreeMap<String, f64>,
+}
+
+/// Top-K (by `total_ms`, descending) reservoir of [`Exemplar`]s.
+#[derive(Debug, Clone)]
+pub struct ExemplarReservoir {
+    k: usize,
+    items: Vec<Exemplar>,
+}
+
+impl Default for ExemplarReservoir {
+    fn default() -> Self {
+        Self::new(DEFAULT_EXEMPLAR_K)
+    }
+}
+
+impl ExemplarReservoir {
+    /// A reservoir keeping the `k` slowest offers (clamped to ≥ 1).
+    pub fn new(k: usize) -> Self {
+        Self { k: k.max(1), items: Vec::new() }
+    }
+
+    /// The reservoir capacity.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Offers one exemplar; it is retained iff it ranks in the top K by
+    /// duration (ties break toward the lexicographically smaller id, so
+    /// retention is deterministic).
+    pub fn offer(&mut self, ex: Exemplar) {
+        self.items.push(ex);
+        self.items.sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms).then_with(|| a.id.cmp(&b.id)));
+        self.items.truncate(self.k);
+    }
+
+    /// Retained exemplars, slowest first.
+    pub fn sorted(&self) -> Vec<Exemplar> {
+        self.items.clone()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(id: &str, total_ms: f64) -> Exemplar {
+        Exemplar { id: id.to_owned(), total_ms, stages: BTreeMap::new() }
+    }
+
+    #[test]
+    fn keeps_the_k_slowest_in_descending_order() {
+        let mut r = ExemplarReservoir::new(3);
+        for (id, ms) in [("a", 1.0), ("b", 9.0), ("c", 4.0), ("d", 7.0), ("e", 2.0)] {
+            r.offer(ex(id, ms));
+        }
+        let kept: Vec<(String, f64)> = r.sorted().into_iter().map(|e| (e.id, e.total_ms)).collect();
+        assert_eq!(kept, vec![("b".to_owned(), 9.0), ("d".to_owned(), 7.0), ("c".to_owned(), 4.0)]);
+    }
+
+    #[test]
+    fn ties_break_on_id_deterministically() {
+        let mut r = ExemplarReservoir::new(2);
+        r.offer(ex("z", 5.0));
+        r.offer(ex("a", 5.0));
+        r.offer(ex("m", 5.0));
+        let ids: Vec<String> = r.sorted().into_iter().map(|e| e.id).collect();
+        assert_eq!(ids, ["a", "m"]);
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let mut r = ExemplarReservoir::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.offer(ex("a", 1.0));
+        r.offer(ex("b", 2.0));
+        assert_eq!(r.sorted().len(), 1);
+        assert_eq!(r.sorted()[0].id, "b");
+    }
+
+    #[test]
+    fn stages_round_trip_through_json() {
+        let mut stages = BTreeMap::new();
+        stages.insert("partition".to_owned(), 3.5);
+        stages.insert("render".to_owned(), 0.5);
+        let e = Exemplar { id: "trip_7".to_owned(), total_ms: 4.0, stages };
+        let json = serde_json::to_string(&e).unwrap_or_default();
+        let back: Exemplar = serde_json::from_str(&json).expect("round-trips");
+        assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,228 @@
+//! Bounded event journal: the event-level complement of the aggregated
+//! span tree.
+//!
+//! The aggregate report answers "how much time did stage X take in
+//! total?"; it cannot answer "which trip was slow, and in which stage?".
+//! The journal keeps the individual begin/end/instant events — trace id,
+//! span id, parent id, monotonic timestamp, and a small static-str arg
+//! set — in a fixed-capacity ring buffer. When the buffer is full the
+//! *oldest* event is dropped and counted, so a long run keeps the most
+//! recent window of activity and the report's `obs.events_dropped`
+//! counter says exactly how much history was shed.
+//!
+//! Determinism: events are drained in ascending sequence order, and the
+//! sequence is assigned on push under the recorder's one lock — replayed
+//! batch events (see `Recorder::replay_span`) arrive in input order on
+//! the caller thread, so two runs with identical inputs produce journals
+//! with identical event *structure* (names, nesting, order); only the
+//! wall-clock timestamps differ. The Chrome exporter's logical clock
+//! (`trace_export::TraceClock::Logical`) erases that last difference.
+
+use std::collections::VecDeque;
+
+/// Default ring capacity used by `Recorder::enabled_with_journal` callers
+/// that do not pick their own: 64k events ≈ 4k fully-instrumented trips.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 1 << 16;
+
+/// What an [`Event`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    Begin,
+    /// A span closed.
+    End,
+    /// A zero-duration marker.
+    Instant,
+}
+
+/// A small, allocation-free argument value attached to an event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer argument (indices, counts).
+    U64(u64),
+    /// Floating-point argument (durations, rates).
+    F64(f64),
+    /// Static string argument (mode names, stage labels).
+    Str(&'static str),
+}
+
+/// One named argument: the keys are `&'static str` by design, so pushing
+/// an event never allocates for the arg *names*.
+pub type Arg = (&'static str, ArgValue);
+
+/// One journaled event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Monotonically increasing sequence number, assigned on push; the
+    /// drain order. Never reused, so `seq` also counts total pushes.
+    pub seq: u64,
+    /// Begin / end / instant.
+    pub kind: EventKind,
+    /// Span or marker name.
+    pub name: String,
+    /// Trace this event belongs to (one per journal).
+    pub trace_id: u64,
+    /// Span instance id (0 for instants).
+    pub span_id: u64,
+    /// Enclosing span instance id (0 at the root).
+    pub parent_id: u64,
+    /// Monotonic nanoseconds since the journal's origin.
+    pub ts_ns: u64,
+    /// Small argument set (begin/instant events only by convention).
+    pub args: Vec<Arg>,
+}
+
+/// Fixed-capacity ring buffer of [`Event`]s with drop-oldest overflow.
+#[derive(Debug)]
+pub struct Journal {
+    capacity: usize,
+    buf: VecDeque<Event>,
+    next_seq: u64,
+    dropped: u64,
+    trace_id: u64,
+}
+
+impl Journal {
+    /// A journal holding at most `capacity` events (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            next_seq: 0,
+            dropped: 0,
+            trace_id: 1,
+        }
+    }
+
+    /// The fixed capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events shed by drop-oldest overflow so far (the report surfaces
+    /// this as the `obs.events_dropped` counter).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever pushed (retained + dropped).
+    pub fn total_pushed(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The trace id stamped on every event.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Appends one event, dropping the oldest retained event when full.
+    /// Returns the assigned sequence number.
+    pub fn push(
+        &mut self,
+        kind: EventKind,
+        name: &str,
+        span_id: u64,
+        parent_id: u64,
+        ts_ns: u64,
+        args: &[Arg],
+    ) -> u64 {
+        if self.buf.len() >= self.capacity {
+            self.buf.pop_front();
+            self.dropped = self.dropped.saturating_add(1);
+        }
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.saturating_add(1);
+        self.buf.push_back(Event {
+            seq,
+            kind,
+            name: name.to_owned(),
+            trace_id: self.trace_id,
+            span_id,
+            parent_id,
+            ts_ns,
+            args: args.to_vec(),
+        });
+        seq
+    }
+
+    /// Snapshot of the retained events in ascending `seq` order — the
+    /// deterministic drain order.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// The sequence number of the oldest retained event (`None` when
+    /// empty). Everything below it was dropped.
+    pub fn oldest_seq(&self) -> Option<u64> {
+        self.buf.front().map(|e| e.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push_n(j: &mut Journal, n: u64) {
+        for i in 0..n {
+            j.push(EventKind::Instant, "e", 0, 0, i, &[]);
+        }
+    }
+
+    #[test]
+    fn capacity_is_clamped_and_bounds_retention() {
+        let mut j = Journal::new(0);
+        assert_eq!(j.capacity(), 1);
+        push_n(&mut j, 5);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.dropped(), 4);
+        assert_eq!(j.total_pushed(), 5);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_the_newest_window_in_order() {
+        let mut j = Journal::new(4);
+        push_n(&mut j, 10);
+        let events = j.events();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [6, 7, 8, 9], "newest 4 of 10, ascending");
+        assert_eq!(j.oldest_seq(), Some(6));
+        assert_eq!(j.dropped(), 6);
+        assert_eq!(j.len() as u64 + j.dropped(), j.total_pushed());
+    }
+
+    #[test]
+    fn events_carry_ids_timestamps_and_args() {
+        let mut j = Journal::new(8);
+        j.push(EventKind::Begin, "trip", 3, 1, 42, &[("trip", ArgValue::U64(7))]);
+        j.push(EventKind::End, "trip", 3, 1, 99, &[]);
+        let events = j.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Begin);
+        assert_eq!((events[0].span_id, events[0].parent_id), (3, 1));
+        assert_eq!(events[0].ts_ns, 42);
+        assert_eq!(events[0].trace_id, j.trace_id());
+        assert_eq!(events[0].args, vec![("trip", ArgValue::U64(7))]);
+        assert_eq!(events[1].kind, EventKind::End);
+        assert_eq!(events[1].ts_ns, 99);
+    }
+
+    #[test]
+    fn empty_journal_reports_nothing() {
+        let j = Journal::new(16);
+        assert!(j.is_empty());
+        assert_eq!(j.events().len(), 0);
+        assert_eq!(j.oldest_seq(), None);
+        assert_eq!(j.dropped(), 0);
+    }
+}

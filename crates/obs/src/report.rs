@@ -3,10 +3,20 @@
 //! One schema serves every producer — `stmaker-cli --metrics-json`, the
 //! Fig. 12 eval binary, and the benches' `BENCH_obs.json` — so the perf
 //! trajectory can be diffed across PRs. The top level is always an object
-//! with the four keys in [`REQUIRED_KEYS`]; [`validate_json`] is the
-//! single gate used by `cargo xtask obs-schema` and CI.
+//! with the four keys in [`REQUIRED_KEYS`] (plus the optional `exemplars`
+//! and `windows` arrays added by observability v2); [`validate_json`] is
+//! the single gate used by `cargo xtask obs-schema` and CI.
+//!
+//! Serialization is **byte-stable**: counters/gauges/histograms are
+//! ordered maps already, and [`Report::to_json_pretty`] additionally
+//! sorts span trees by name, exemplars by duration, and windows by index
+//! before writing — two runs over identical inputs (and a
+//! parse → re-serialize round trip) produce identical bytes, which is
+//! what lets `stmaker obs diff` and CI compare reports textually.
 
+use crate::exemplar::Exemplar;
 use crate::hist::HistogramSummary;
+use crate::window::WindowSummary;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -16,7 +26,8 @@ pub const REQUIRED_KEYS: [&str; 4] = ["spans", "counters", "gauges", "histograms
 /// A snapshot of everything a [`Recorder`](crate::Recorder) collected.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Report {
-    /// Aggregated span trees, in first-seen order.
+    /// Aggregated span trees, in first-seen order (sorted by name when
+    /// serialized).
     pub spans: Vec<SpanNode>,
     /// Saturating event counters.
     pub counters: BTreeMap<String, u64>,
@@ -24,6 +35,13 @@ pub struct Report {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram summaries (empty histograms are omitted).
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Top-K slowest per-trip breakdowns (absent in pre-v2 reports).
+    #[serde(default)]
+    pub exemplars: Vec<Exemplar>,
+    /// Sliding-window summaries from the streaming path (absent in
+    /// pre-v2 reports).
+    #[serde(default)]
+    pub windows: Vec<WindowSummary>,
 }
 
 /// One aggregated span: every entry of the same name under the same
@@ -52,14 +70,36 @@ impl SpanNode {
     }
 }
 
+fn sort_spans(spans: &mut [SpanNode]) {
+    spans.sort_by(|a, b| a.name.cmp(&b.name));
+    for s in spans {
+        sort_spans(&mut s.children);
+    }
+}
+
 impl Report {
-    /// Serializes to pretty JSON (the `BENCH_obs.json` /
-    /// `--metrics-json` format).
-    pub fn to_json_pretty(&self) -> String {
-        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_owned())
+    /// A clone with every collection in canonical order: span trees
+    /// sorted by name at every level, exemplars by duration (then id),
+    /// windows by index. Maps are `BTreeMap`s and need no work.
+    pub fn normalized(&self) -> Report {
+        let mut out = self.clone();
+        sort_spans(&mut out.spans);
+        out.exemplars
+            .sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms).then_with(|| a.id.cmp(&b.id)));
+        out.windows.sort_by_key(|w| w.index);
+        out
     }
 
-    /// Parses a report back from JSON.
+    /// Serializes to pretty JSON (the `BENCH_obs.json` /
+    /// `--metrics-json` format), in canonical order — byte-stable for
+    /// identical recorded state.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.normalized()).unwrap_or_else(|_| "{}".to_owned())
+    }
+
+    /// Parses a report back from JSON. Reports written before
+    /// observability v2 (no `exemplars`/`windows` keys) parse with empty
+    /// defaults.
     pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(text)
     }
@@ -87,9 +127,11 @@ impl Report {
 
 /// Validates that `text` is a report-shaped JSON document: a top-level
 /// object with all [`REQUIRED_KEYS`], `spans` an array and the other
-/// three objects. Returns the set of span names found (for stage-presence
-/// checks). This is deliberately structural, not a full deserialization,
-/// so it also guards against a future producer drifting the schema.
+/// three objects; when the optional `exemplars`/`windows` keys are
+/// present they must be arrays of the right shape. Returns the set of
+/// span names found (for stage-presence checks). This is deliberately
+/// structural, not a full deserialization, so it also guards against a
+/// future producer drifting the schema.
 pub fn validate_json(text: &str) -> Result<BTreeSet<String>, String> {
     let value: serde_json::Value =
         serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
@@ -113,6 +155,12 @@ pub fn validate_json(text: &str) -> Result<BTreeSet<String>, String> {
     if let Some(spans) = value.get("spans") {
         collect_span_names(spans, &mut names)?;
     }
+    if let Some(exemplars) = entries.iter().find(|(k, _)| k == "exemplars").map(|(_, v)| v) {
+        validate_exemplars(exemplars)?;
+    }
+    if let Some(windows) = entries.iter().find(|(k, _)| k == "windows").map(|(_, v)| v) {
+        validate_windows(windows)?;
+    }
     Ok(names)
 }
 
@@ -127,6 +175,42 @@ fn collect_span_names(spans: &serde_json::Value, out: &mut BTreeSet<String>) -> 
         out.insert(name.to_owned());
         if let Some(children) = item.get("children") {
             collect_span_names(children, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_exemplars(exemplars: &serde_json::Value) -> Result<(), String> {
+    let serde_json::Value::Seq(items) = exemplars else {
+        return Err("`exemplars` must be an array".to_owned());
+    };
+    for item in items {
+        if item.get("id").and_then(|v| v.as_str()).is_none() {
+            return Err("every exemplar needs a string `id`".to_owned());
+        }
+        if item.get("total_ms").and_then(|v| v.as_f64()).is_none() {
+            return Err("every exemplar needs a numeric `total_ms`".to_owned());
+        }
+        if !matches!(item.get("stages"), Some(serde_json::Value::Map(_))) {
+            return Err("every exemplar needs a `stages` object".to_owned());
+        }
+    }
+    Ok(())
+}
+
+fn validate_windows(windows: &serde_json::Value) -> Result<(), String> {
+    let serde_json::Value::Seq(items) = windows else {
+        return Err("`windows` must be an array".to_owned());
+    };
+    for item in items {
+        if item.get("index").and_then(|v| v.as_u64()).is_none() {
+            return Err("every window needs a non-negative integer `index`".to_owned());
+        }
+        if !matches!(item.get("counters"), Some(serde_json::Value::Map(_))) {
+            return Err("every window needs a `counters` object".to_owned());
+        }
+        if !matches!(item.get("histograms"), Some(serde_json::Value::Map(_))) {
+            return Err("every window needs a `histograms` object".to_owned());
         }
     }
     Ok(())
@@ -158,6 +242,48 @@ mod tests {
         assert_eq!(back.spans[0].name, "summarize");
         assert_eq!(back.spans[0].children[0].name, "partition");
         assert_eq!(back.span_names(), report.span_names());
+        assert!(back.exemplars.is_empty() && back.windows.is_empty());
+    }
+
+    #[test]
+    fn serialization_is_byte_stable() {
+        let report = sample_report();
+        assert_eq!(report.to_json_pretty(), report.to_json_pretty(), "same state, same bytes");
+        // A parse → re-serialize round trip is also byte-identical.
+        let json = report.to_json_pretty();
+        let back = Report::from_json(&json).expect("round-trips");
+        assert_eq!(back.to_json_pretty(), json);
+    }
+
+    #[test]
+    fn serialization_sorts_spans_by_name_recursively() {
+        let obs = Recorder::enabled();
+        {
+            let _z = obs.span("zeta");
+        }
+        {
+            let _a = obs.span("alpha");
+            {
+                let _d = obs.span("delta");
+            }
+            {
+                let _b = obs.span("beta");
+            }
+        }
+        let json = obs.report().to_json_pretty();
+        let back = Report::from_json(&json).expect("round-trips");
+        let roots: Vec<&str> = back.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(roots, ["alpha", "zeta"]);
+        let kids: Vec<&str> = back.spans[0].children.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(kids, ["beta", "delta"]);
+    }
+
+    #[test]
+    fn pre_v2_reports_without_new_keys_still_parse() {
+        let legacy = r#"{"spans": [], "counters": {"c.x": 1}, "gauges": {}, "histograms": {}}"#;
+        let report = Report::from_json(legacy).expect("legacy parses");
+        assert!(report.exemplars.is_empty() && report.windows.is_empty());
+        assert!(validate_json(legacy).is_ok());
     }
 
     #[test]
@@ -181,6 +307,46 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("name"), "{err}");
+    }
+
+    #[test]
+    fn validate_checks_exemplar_and_window_shapes() {
+        let base = r#"{"spans": [], "counters": {}, "gauges": {}, "histograms": {}"#;
+        let bad = format!(r#"{base}, "exemplars": {{}}}}"#);
+        assert!(validate_json(&bad).unwrap_err().contains("exemplars"), "{bad}");
+        let bad = format!(r#"{base}, "exemplars": [{{"id": "t"}}]}}"#);
+        assert!(validate_json(&bad).unwrap_err().contains("total_ms"));
+        let bad = format!(r#"{base}, "exemplars": [{{"id": "t", "total_ms": 1.0}}]}}"#);
+        assert!(validate_json(&bad).unwrap_err().contains("stages"));
+        let ok = format!(
+            r#"{base}, "exemplars": [{{"id": "t", "total_ms": 1.0, "stages": {{"p": 0.5}}}}]}}"#
+        );
+        assert!(validate_json(&ok).is_ok(), "{ok}");
+        let bad = format!(r#"{base}, "windows": [{{"counters": {{}}}}]}}"#);
+        assert!(validate_json(&bad).unwrap_err().contains("index"));
+        let ok = format!(
+            r#"{base}, "windows": [{{"index": 3, "counters": {{}}, "histograms": {{}}}}]}}"#
+        );
+        assert!(validate_json(&ok).is_ok(), "{ok}");
+    }
+
+    #[test]
+    fn exemplars_and_windows_round_trip() {
+        let obs = Recorder::enabled();
+        let mut stages = BTreeMap::new();
+        stages.insert("partition".to_owned(), 2.0);
+        obs.exemplar(Exemplar { id: "trip_3".into(), total_ms: 2.5, stages });
+        let mut w = crate::SlidingWindow::new(2);
+        w.add(1, "stream.window.points", 4);
+        obs.set_windows(w.summaries());
+        let json = obs.report().to_json_pretty();
+        assert!(validate_json(&json).is_ok(), "{json}");
+        let back = Report::from_json(&json).expect("round-trips");
+        assert_eq!(back.exemplars.len(), 1);
+        assert_eq!(back.exemplars[0].id, "trip_3");
+        assert_eq!(back.exemplars[0].stages["partition"], 2.0);
+        assert_eq!(back.windows.len(), 1);
+        assert_eq!(back.windows[0].counters["stream.window.points"], 4);
     }
 
     #[test]

@@ -9,10 +9,53 @@ use std::fmt::Write as _;
 pub fn render(report: &Report) -> String {
     let mut out = String::new();
     render_span_tree(report, &mut out);
+    render_exemplars(report, &mut out);
+    render_windows(report, &mut out);
     render_counters(report, &mut out);
     render_gauges(report, &mut out);
     render_histograms(report, &mut out);
     out
+}
+
+/// Renders the top-K slowest trips with their stage breakdowns.
+fn render_exemplars(report: &Report, out: &mut String) {
+    if report.exemplars.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n== exemplars (slowest trips) ==");
+    let width = report.exemplars.iter().map(|e| e.id.len()).max().unwrap_or(0);
+    for e in &report.exemplars {
+        let mut stages: Vec<String> =
+            e.stages.iter().map(|(name, ms)| format!("{name} {}", fmt_ms(*ms))).collect();
+        if stages.is_empty() {
+            stages.push("(no stage breakdown)".to_owned());
+        }
+        let _ = writeln!(
+            out,
+            "{:<width$}  total {:>10}  [{}]",
+            e.id,
+            fmt_ms(e.total_ms),
+            stages.join(", "),
+        );
+    }
+}
+
+/// Renders the sliding-window counters from the streaming path.
+fn render_windows(report: &Report, out: &mut String) {
+    if report.windows.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n== windows ==");
+    for w in &report.windows {
+        let counters: Vec<String> =
+            w.counters.iter().map(|(name, v)| format!("{name} {v}")).collect();
+        let hists: Vec<String> =
+            w.histograms.iter().map(|(name, h)| format!("{name} p95 {}", fmt_ms(h.p95))).collect();
+        let mut parts = counters;
+        parts.extend(hists);
+        let body = if parts.is_empty() { "(empty)".to_owned() } else { parts.join(", ") };
+        let _ = writeln!(out, "window {:>4}  {body}", w.index);
+    }
 }
 
 /// Renders only the span tree (`--trace` header block).
@@ -131,6 +174,29 @@ mod tests {
         assert!(text.contains("partition.dp_cells"), "{text}");
         assert!(text.contains("== gauges =="), "{text}");
         assert!(text.contains("== histograms (ms) =="), "{text}");
+    }
+
+    #[test]
+    fn exemplars_and_windows_render_when_present() {
+        let obs = Recorder::enabled();
+        let mut stages = std::collections::BTreeMap::new();
+        stages.insert("partition".to_owned(), 3.0);
+        obs.exemplar(crate::Exemplar { id: "trip_9".into(), total_ms: 4.0, stages });
+        let mut w = crate::SlidingWindow::new(2);
+        w.add(2, "stream.window.points", 6);
+        w.observe_ms(2, "stream.window.refresh_ms", 1.0);
+        obs.set_windows(w.summaries());
+        let text = render(&obs.report());
+        assert!(text.contains("== exemplars (slowest trips) =="), "{text}");
+        assert!(text.contains("trip_9"), "{text}");
+        assert!(text.contains("partition 3.00 ms"), "{text}");
+        assert!(text.contains("== windows =="), "{text}");
+        assert!(text.contains("window    2"), "{text}");
+        assert!(text.contains("stream.window.points 6"), "{text}");
+        // Absent sections stay absent.
+        let plain = render(&Recorder::enabled().report());
+        assert!(!plain.contains("== exemplars"), "{plain}");
+        assert!(!plain.contains("== windows"), "{plain}");
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! Chrome trace-event (`about://tracing` / Perfetto) JSON export.
+//!
+//! Two producers share the format:
+//!
+//! * [`chrome_trace`] turns the journal's event stream into `B`/`E`/`i`
+//!   phase events — the full event-level view, one entry per journal
+//!   event.
+//! * [`Report::to_chrome_trace`] turns the *aggregated* span tree into
+//!   `X` complete events laid out sequentially — a coarse view for runs
+//!   that recorded no journal.
+//!
+//! Timestamps come from a [`TraceClock`]:
+//!
+//! * `Wall` — the journal's monotonic nanoseconds, exported as integer
+//!   microseconds. Real durations, but two runs never byte-match.
+//! * `Logical` — each event's drain position as its microsecond
+//!   timestamp. Durations become event counts, but the bytes are a pure
+//!   function of the event *structure*, so two runs over identical
+//!   inputs produce byte-identical traces at any `--threads` value
+//!   (the `span_observed`/`replay_span` determinism contract). This is
+//!   the default for `--trace-out`.
+//!
+//! Both clocks emit integer timestamps only, so the serialized text
+//! never depends on float formatting.
+
+use crate::journal::{ArgValue, Event, EventKind};
+use crate::report::{Report, SpanNode};
+use serde_json::{json, Value};
+use std::collections::BTreeSet;
+
+/// Timestamp source for exported traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceClock {
+    /// Journal monotonic time, integer microseconds.
+    Wall,
+    /// Drain position as microseconds: byte-stable across runs and
+    /// thread counts.
+    #[default]
+    Logical,
+}
+
+impl TraceClock {
+    /// Parses `"wall"` / `"logical"` (the `--trace-clock` CLI values).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "wall" => Some(Self::Wall),
+            "logical" => Some(Self::Logical),
+            _ => None,
+        }
+    }
+}
+
+fn arg_value(v: &ArgValue) -> Value {
+    match v {
+        ArgValue::U64(n) => Value::U64(*n),
+        ArgValue::F64(x) => Value::F64(*x),
+        ArgValue::Str(s) => Value::Str((*s).to_owned()),
+    }
+}
+
+fn event_args(e: &Event) -> Value {
+    let mut entries: Vec<(String, Value)> = vec![
+        ("trace_id".to_owned(), Value::U64(e.trace_id)),
+        ("span_id".to_owned(), Value::U64(e.span_id)),
+        ("parent_id".to_owned(), Value::U64(e.parent_id)),
+    ];
+    for (k, v) in &e.args {
+        entries.push(((*k).to_owned(), arg_value(v)));
+    }
+    Value::Map(entries)
+}
+
+fn metadata_event() -> Value {
+    json!({
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 1,
+        "args": { "name": "stmaker" },
+    })
+}
+
+/// Renders journal events as a Chrome trace-event JSON document.
+///
+/// End events whose matching begin was shed by the journal's drop-oldest
+/// overflow are skipped, so the exported trace always has balanced
+/// `B`/`E` pairs (still-open spans keep their `B`, which viewers accept).
+pub fn chrome_trace(events: &[Event], clock: TraceClock) -> String {
+    let begun: BTreeSet<u64> =
+        events.iter().filter(|e| e.kind == EventKind::Begin).map(|e| e.span_id).collect();
+    let mut out: Vec<Value> = vec![metadata_event()];
+    for (i, e) in events.iter().enumerate() {
+        let ts = match clock {
+            TraceClock::Wall => e.ts_ns / 1_000,
+            TraceClock::Logical => i as u64,
+        };
+        let entry = match e.kind {
+            EventKind::Begin => json!({
+                "name": e.name,
+                "cat": "stmaker",
+                "ph": "B",
+                "ts": ts,
+                "pid": 1,
+                "tid": 1,
+                "args": event_args(e),
+            }),
+            EventKind::End => {
+                if !begun.contains(&e.span_id) {
+                    continue; // begin was dropped by ring overflow
+                }
+                json!({
+                    "name": e.name,
+                    "cat": "stmaker",
+                    "ph": "E",
+                    "ts": ts,
+                    "pid": 1,
+                    "tid": 1,
+                })
+            }
+            EventKind::Instant => json!({
+                "name": e.name,
+                "cat": "stmaker",
+                "ph": "i",
+                "ts": ts,
+                "pid": 1,
+                "tid": 1,
+                "s": "t",
+                "args": event_args(e),
+            }),
+        };
+        out.push(entry);
+    }
+    let doc = json!({ "traceEvents": out, "displayTimeUnit": "ms" });
+    serde_json::to_string(&doc).unwrap_or_else(|_| "{}".to_owned())
+}
+
+impl Report {
+    /// Renders the aggregated span tree as `X` complete events, children
+    /// laid out sequentially inside their parent starting at the parent's
+    /// timestamp. Durations are the aggregate totals (microseconds), so
+    /// this is a coarse profile view; runs that carry a journal should
+    /// export via [`chrome_trace`] instead for real event interleaving.
+    pub fn to_chrome_trace(&self) -> String {
+        fn emit(node: &SpanNode, ts: u64, out: &mut Vec<Value>) -> u64 {
+            let own = (node.total_ms * 1_000.0).max(0.0).round() as u64;
+            let mut cursor = ts;
+            let mean_us = if node.calls == 0 { 0 } else { own / node.calls };
+            let args: Vec<(String, Value)> = vec![
+                ("calls".to_owned(), Value::U64(node.calls)),
+                ("mean_us".to_owned(), Value::U64(mean_us)),
+            ];
+            let mut child_total = 0u64;
+            let mut children: Vec<Value> = Vec::new();
+            for c in &node.children {
+                let d = emit(c, cursor, &mut children);
+                cursor = cursor.saturating_add(d);
+                child_total = child_total.saturating_add(d);
+            }
+            let dur = own.max(child_total).max(1);
+            out.push(json!({
+                "name": node.name,
+                "cat": "stmaker",
+                "ph": "X",
+                "ts": ts,
+                "dur": dur,
+                "pid": 1,
+                "tid": 1,
+                "args": Value::Map(args),
+            }));
+            out.extend(children);
+            dur
+        }
+        let mut out: Vec<Value> = vec![metadata_event()];
+        let mut cursor = 0u64;
+        for root in &self.spans {
+            let d = emit(root, cursor, &mut out);
+            cursor = cursor.saturating_add(d);
+        }
+        let doc = json!({ "traceEvents": out, "displayTimeUnit": "ms" });
+        serde_json::to_string(&doc).unwrap_or_else(|_| "{}".to_owned())
+    }
+}
+
+/// Summary returned by a successful [`validate_chrome_trace`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    /// Non-metadata events in the document.
+    pub events: usize,
+    /// Distinct event names (spans, instants, and complete events).
+    pub names: BTreeSet<String>,
+}
+
+fn event_ts(item: &Value) -> Result<u64, String> {
+    match item.get("ts") {
+        Some(v) => v.as_u64().ok_or_else(|| "`ts` must be a non-negative integer".to_owned()),
+        None => Err("every event needs a `ts`".to_owned()),
+    }
+}
+
+/// Structural validation of a Chrome trace-event JSON document: a
+/// `traceEvents` array whose entries carry known phases, non-negative
+/// integer timestamps that never go backwards, stable pid/tid, balanced
+/// `B`/`E` pairs per tid, and non-negative durations on `X` events.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let Some(events) = doc.get("traceEvents").and_then(Value::as_array) else {
+        return Err("top level must be an object with a `traceEvents` array".to_owned());
+    };
+    let mut stats = TraceStats::default();
+    let mut pid_tid: Option<(u64, u64)> = None;
+    let mut last_ts: Option<u64> = None;
+    let mut stack: Vec<String> = Vec::new();
+    for (i, item) in events.iter().enumerate() {
+        let Some(ph) = item.get("ph").and_then(Value::as_str) else {
+            return Err(format!("event {i}: missing string `ph`"));
+        };
+        let name = item.get("name").and_then(Value::as_str);
+        if let Some(n) = name {
+            stats.names.insert(n.to_owned());
+        }
+        if ph == "M" {
+            continue; // metadata: no ts/pairing requirements
+        }
+        stats.events += 1;
+        let pid = item.get("pid").and_then(Value::as_u64).unwrap_or(0);
+        let tid = item.get("tid").and_then(Value::as_u64).unwrap_or(0);
+        match pid_tid {
+            None => pid_tid = Some((pid, tid)),
+            Some(expect) if expect != (pid, tid) => {
+                return Err(format!(
+                    "event {i}: pid/tid ({pid},{tid}) differ from first event {expect:?}"
+                ));
+            }
+            Some(_) => {}
+        }
+        let ts = event_ts(item).map_err(|e| format!("event {i}: {e}"))?;
+        if let Some(prev) = last_ts {
+            if ts < prev {
+                return Err(format!("event {i}: `ts` {ts} goes backwards (prev {prev})"));
+            }
+        }
+        last_ts = Some(ts);
+        match ph {
+            "B" => {
+                let Some(n) = name else {
+                    return Err(format!("event {i}: `B` event needs a `name`"));
+                };
+                stack.push(n.to_owned());
+            }
+            "E" => {
+                let Some(open) = stack.pop() else {
+                    return Err(format!("event {i}: `E` without a matching `B`"));
+                };
+                if let Some(n) = name {
+                    if n != open {
+                        return Err(format!(
+                            "event {i}: `E` for `{n}` but innermost open span is `{open}`"
+                        ));
+                    }
+                }
+            }
+            "i" => {
+                if name.is_none() {
+                    return Err(format!("event {i}: `i` event needs a `name`"));
+                }
+            }
+            "X" => {
+                if name.is_none() {
+                    return Err(format!("event {i}: `X` event needs a `name`"));
+                }
+                let ok = item.get("dur").and_then(Value::as_u64).is_some();
+                if !ok {
+                    return Err(format!("event {i}: `X` needs a non-negative integer `dur`"));
+                }
+            }
+            other => return Err(format!("event {i}: unknown phase `{other}`")),
+        }
+    }
+    // Still-open spans are fine (a trace may end mid-span); mismatches
+    // were already rejected above.
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Journal;
+    use crate::Recorder;
+
+    fn sample_events() -> Vec<Event> {
+        let mut j = Journal::new(64);
+        j.push(EventKind::Begin, "summarize", 1, 0, 1_000, &[("trip", ArgValue::U64(7))]);
+        j.push(EventKind::Begin, "partition", 2, 1, 2_000, &[]);
+        j.push(EventKind::Instant, "checkpoint", 0, 2, 2_500, &[("mode", ArgValue::Str("dp"))]);
+        j.push(EventKind::End, "partition", 2, 1, 3_000, &[]);
+        j.push(EventKind::End, "summarize", 1, 0, 4_000, &[]);
+        j.events()
+    }
+
+    #[test]
+    fn export_is_valid_and_carries_every_name() {
+        for clock in [TraceClock::Wall, TraceClock::Logical] {
+            let text = chrome_trace(&sample_events(), clock);
+            let stats = validate_chrome_trace(&text).expect("valid");
+            assert_eq!(stats.events, 5, "{clock:?}");
+            for name in ["summarize", "partition", "checkpoint"] {
+                assert!(stats.names.contains(name), "{clock:?} missing {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn wall_clock_timestamps_are_microseconds() {
+        let text = chrome_trace(&sample_events(), TraceClock::Wall);
+        let doc: Value = serde_json::from_str(&text).expect("json");
+        let events = doc.get("traceEvents").and_then(Value::as_array).expect("array");
+        let ts: Vec<u64> =
+            events.iter().filter_map(|e| e.get("ts").and_then(Value::as_u64)).collect();
+        assert_eq!(ts, [1, 2, 2, 3, 4], "ns → µs");
+    }
+
+    #[test]
+    fn logical_clock_is_byte_stable_for_equal_structure() {
+        let a = chrome_trace(&sample_events(), TraceClock::Logical);
+        let mut shifted = sample_events();
+        for e in &mut shifted {
+            e.ts_ns += 999_999; // same structure, different wall times
+        }
+        let b = chrome_trace(&shifted, TraceClock::Logical);
+        assert_eq!(a, b, "logical export must not depend on wall time");
+        assert_ne!(
+            chrome_trace(&sample_events(), TraceClock::Wall),
+            b,
+            "wall export does depend on wall time"
+        );
+    }
+
+    #[test]
+    fn orphan_end_after_overflow_is_skipped() {
+        let mut j = Journal::new(3);
+        j.push(EventKind::Begin, "lost", 1, 0, 10, &[]);
+        j.push(EventKind::Begin, "kept", 2, 1, 20, &[]);
+        j.push(EventKind::End, "kept", 2, 1, 30, &[]);
+        j.push(EventKind::End, "lost", 1, 0, 40, &[]); // begin was dropped
+        let text = chrome_trace(&j.events(), TraceClock::Logical);
+        let stats = validate_chrome_trace(&text).expect("balanced after skip");
+        assert_eq!(stats.events, 2, "kept B/E survive, the orphan E is skipped: {text}");
+    }
+
+    #[test]
+    fn empty_journal_exports_a_valid_empty_trace() {
+        let text = chrome_trace(&[], TraceClock::Logical);
+        let stats = validate_chrome_trace(&text).expect("valid");
+        assert_eq!(stats.events, 0);
+        assert!(text.contains("traceEvents"));
+    }
+
+    #[test]
+    fn report_export_produces_valid_complete_events() {
+        let obs = Recorder::enabled();
+        {
+            let _root = obs.span("summarize");
+            let _stage = obs.span("partition");
+        }
+        let text = obs.report().to_chrome_trace();
+        let stats = validate_chrome_trace(&text).expect("valid");
+        assert!(stats.names.contains("summarize") && stats.names.contains("partition"));
+        let doc: Value = serde_json::from_str(&text).expect("json");
+        let events = doc.get("traceEvents").and_then(Value::as_array).expect("array");
+        for e in events.iter().filter(|e| e.get("ph").and_then(Value::as_str) == Some("X")) {
+            assert!(e.get("dur").and_then(Value::as_u64).is_some_and(|d| d >= 1));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("[]").unwrap_err().contains("traceEvents"));
+        assert!(validate_chrome_trace("{nope").unwrap_err().contains("not valid JSON"));
+        let unmatched = r#"{"traceEvents":[{"name":"x","ph":"E","ts":1,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(unmatched).unwrap_err().contains("without a matching"));
+        let backwards = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":5,"pid":1,"tid":1},
+            {"name":"a","ph":"E","ts":3,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(backwards).unwrap_err().contains("backwards"));
+        let wrong_pair = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":1,"tid":1},
+            {"name":"b","ph":"E","ts":2,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(wrong_pair).unwrap_err().contains("innermost"));
+        let pid_drift = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":1,"tid":1},
+            {"name":"a","ph":"E","ts":2,"pid":2,"tid":1}]}"#;
+        assert!(validate_chrome_trace(pid_drift).unwrap_err().contains("pid/tid"));
+    }
+}

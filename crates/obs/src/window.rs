@@ -1,0 +1,187 @@
+//! Sliding-window metrics for streaming summarization.
+//!
+//! A never-ending stream (the online-segmentation framing) needs
+//! per-window visibility, not end-of-run totals. Windows are keyed by a
+//! **data-derived index** — for `StreamingSummarizer`, the point
+//! timestamps divided by the window length — never by wall clock, so the
+//! same input stream always yields the same window boundaries and the
+//! same summaries (the L5 determinism contract).
+//!
+//! The store keeps the most recent `capacity` windows; older windows are
+//! evicted front-first and counted, mirroring the journal's drop-oldest
+//! policy.
+
+use crate::hist::{Histogram, HistogramSummary};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Default number of retained windows.
+pub const DEFAULT_WINDOW_CAPACITY: usize = 8;
+
+/// The serializable snapshot of one window: its index plus the counters
+/// and histogram summaries accumulated while it was current.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowSummary {
+    /// Data-derived window index (e.g. `(t - t0) / window_secs`).
+    pub index: u64,
+    /// Saturating per-window counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Per-window histogram summaries (empty histograms are omitted).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Live accumulation state for one window.
+#[derive(Debug, Default)]
+struct WindowState {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A bounded store of per-window counters and histograms.
+#[derive(Debug)]
+pub struct SlidingWindow {
+    capacity: usize,
+    windows: VecDeque<(u64, WindowState)>,
+    evicted: u64,
+}
+
+impl Default for SlidingWindow {
+    fn default() -> Self {
+        Self::new(DEFAULT_WINDOW_CAPACITY)
+    }
+}
+
+impl SlidingWindow {
+    /// A store retaining at most `capacity` windows (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity: capacity.max(1), windows: VecDeque::new(), evicted: 0 }
+    }
+
+    /// Retained-window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Windows evicted so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The window state for `index`, creating (and evicting) as needed.
+    /// Indices are expected to be non-decreasing; a stale index that was
+    /// already evicted is folded into the oldest retained window so no
+    /// sample is silently lost.
+    fn window_mut(&mut self, index: u64) -> &mut WindowState {
+        let pos = self.windows.iter().position(|(i, _)| *i == index);
+        if let Some(pos) = pos {
+            // `pos` came from a successful search just above.
+            return &mut self.windows[pos].1;
+        }
+        let newest = self.windows.back().map(|(i, _)| *i);
+        if matches!(newest, Some(n) if index < n) {
+            // Already-evicted index: fold into the oldest retained window
+            // (non-empty here, since `newest` was `Some`).
+            return &mut self.windows[0].1;
+        }
+        if self.windows.len() >= self.capacity {
+            self.windows.pop_front();
+            self.evicted = self.evicted.saturating_add(1);
+        }
+        self.windows.push_back((index, WindowState::default()));
+        let last = self.windows.len() - 1;
+        &mut self.windows[last].1
+    }
+
+    /// Adds `by` to the named counter in window `index` (saturating).
+    pub fn add(&mut self, index: u64, name: &str, by: u64) {
+        let w = self.window_mut(index);
+        let c = w.counters.entry(name.to_owned()).or_insert(0);
+        *c = c.saturating_add(by);
+    }
+
+    /// Records one millisecond sample into the named histogram in window
+    /// `index`.
+    pub fn observe_ms(&mut self, index: u64, name: &str, ms: f64) {
+        self.window_mut(index)
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(Histogram::default_ms)
+            .record(ms);
+    }
+
+    /// Snapshots the retained windows, oldest first.
+    pub fn summaries(&self) -> Vec<WindowSummary> {
+        self.windows
+            .iter()
+            .map(|(index, w)| WindowSummary {
+                index: *index,
+                counters: w.counters.clone(),
+                histograms: w
+                    .histograms
+                    .iter()
+                    .filter_map(|(k, h)| h.summary().map(|s| (k.clone(), s)))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// The newest window index seen, if any.
+    pub fn current_index(&self) -> Option<u64> {
+        self.windows.back().map(|(i, _)| *i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histograms_accumulate_per_window() {
+        let mut w = SlidingWindow::new(4);
+        w.add(0, "stream.window.points", 3);
+        w.add(0, "stream.window.points", 2);
+        w.observe_ms(0, "stream.window.refresh_ms", 1.5);
+        w.add(1, "stream.window.points", 7);
+        let s = w.summaries();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].index, 0);
+        assert_eq!(s[0].counters["stream.window.points"], 5);
+        assert_eq!(s[0].histograms["stream.window.refresh_ms"].count, 1);
+        assert_eq!(s[1].counters["stream.window.points"], 7);
+        assert_eq!(w.current_index(), Some(1));
+    }
+
+    #[test]
+    fn capacity_bounds_retention_and_counts_evictions() {
+        let mut w = SlidingWindow::new(2);
+        for i in 0..5u64 {
+            w.add(i, "stream.window.points", 1);
+        }
+        let s = w.summaries();
+        let idx: Vec<u64> = s.iter().map(|x| x.index).collect();
+        assert_eq!(idx, [3, 4], "newest two retained, oldest first");
+        assert_eq!(w.evicted(), 3);
+    }
+
+    #[test]
+    fn stale_index_folds_into_the_oldest_window() {
+        let mut w = SlidingWindow::new(2);
+        w.add(5, "stream.window.points", 1);
+        w.add(6, "stream.window.points", 1);
+        w.add(0, "stream.window.points", 9); // evicted window: folds into 5
+        let s = w.summaries();
+        assert_eq!(s[0].index, 5);
+        assert_eq!(s[0].counters["stream.window.points"], 10);
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let mut w = SlidingWindow::new(2);
+        w.add(3, "stream.window.refreshes", 2);
+        w.observe_ms(3, "stream.window.refresh_ms", 0.7);
+        let s = w.summaries();
+        let json = serde_json::to_string(&s[0]).unwrap_or_default();
+        let back: WindowSummary = serde_json::from_str(&json).expect("round-trips");
+        assert_eq!(back, s[0]);
+    }
+}

@@ -1,9 +1,15 @@
 //! Property-based tests for the recorder: span durations are
 //! non-negative, nesting follows open/close order, parents contain their
-//! children, and histogram percentiles stay ordered and bounded.
+//! children, histogram percentiles stay ordered and bounded, and the
+//! event journal honors its ring-buffer contract (capacity bound,
+//! drop-oldest ordering, overflow accounting, and begin/end pairing
+//! surviving overflow).
 
 use proptest::prelude::*;
-use stmaker_obs::{Histogram, Recorder, Span, SpanNode};
+use stmaker_obs::{
+    chrome_trace, validate_chrome_trace, EventKind, Histogram, Journal, Recorder, Span, SpanNode,
+    TraceClock,
+};
 
 /// Interprets a program of open/close operations against a recorder,
 /// keeping guards on a stack so drops close innermost-first. Returns the
@@ -118,6 +124,57 @@ proptest! {
         prop_assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max,
             "percentiles out of order: {:?}", s);
         prop_assert!(s.mean >= s.min && s.mean <= s.max);
+    }
+
+    #[test]
+    fn journal_ring_bounds_retention_and_drops_oldest_first(
+        capacity in 1usize..32,
+        pushes in prop::collection::vec(0u8..4, 0..200),
+    ) {
+        let mut j = Journal::new(capacity);
+        for (i, name) in pushes.iter().enumerate() {
+            j.push(EventKind::Instant, &format!("e{name}"), 0, 0, i as u64, &[]);
+        }
+        let events = j.events();
+        // Capacity bound.
+        prop_assert!(events.len() <= capacity, "{} > {capacity}", events.len());
+        // Drained count + dropped == total pushed.
+        prop_assert_eq!(events.len() as u64 + j.dropped(), j.total_pushed());
+        prop_assert_eq!(j.total_pushed(), pushes.len() as u64);
+        // Drop-oldest: the retained window is the contiguous newest
+        // suffix, in ascending seq order.
+        if let Some(oldest) = j.oldest_seq() {
+            prop_assert_eq!(oldest, j.dropped(), "everything below oldest was dropped");
+            for (k, e) in events.iter().enumerate() {
+                prop_assert_eq!(e.seq, oldest + k as u64, "drain order is ascending seq");
+            }
+        } else {
+            prop_assert!(pushes.is_empty() || capacity == 0);
+        }
+    }
+
+    #[test]
+    fn begin_end_pairing_survives_overflow(
+        capacity in 1usize..48,
+        ops in prop::collection::vec((0u8..2, 0u8..4), 0..120),
+    ) {
+        let obs = Recorder::enabled_with_journal(capacity);
+        let opened = run_program(&obs, &ops);
+        // The report's drop counter and the journal agree.
+        let report = obs.report();
+        prop_assert_eq!(report.counters["obs.events_dropped"], obs.journal_dropped());
+        let events = obs.journal_events();
+        prop_assert!(events.len() <= capacity);
+        prop_assert_eq!(
+            events.len() as u64 + obs.journal_dropped(),
+            2 * opened.len() as u64,
+            "every span contributes exactly one begin and one end"
+        );
+        // After dropping ends whose begins were shed, the exported trace
+        // still has balanced pairs and monotone timestamps.
+        let text = chrome_trace(&events, TraceClock::Logical);
+        let stats = validate_chrome_trace(&text);
+        prop_assert!(stats.is_ok(), "{:?}", stats.err());
     }
 
     #[test]

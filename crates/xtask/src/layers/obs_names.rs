@@ -20,7 +20,8 @@ use crate::lexer::TokKind;
 use std::collections::BTreeSet;
 
 /// Recorder methods whose first argument is a metric name.
-const NAME_METHODS: &[&str] = &["add", "gauge", "observe_ms", "span", "span_observed"];
+const NAME_METHODS: &[&str] =
+    &["add", "gauge", "observe_ms", "span", "span_observed", "instant", "replay_span"];
 
 /// The documented instrumentation registry, parsed out of DESIGN.md.
 #[derive(Debug, Default)]
@@ -114,7 +115,8 @@ pub fn scan(ctx: &FileCtx<'_>, registry: &ObsRegistry) -> Vec<Finding> {
             continue; // escapes: not a plain metric name literal
         }
         let method = ctx.text(ci);
-        let min_segments = if matches!(method, "span" | "span_observed") { 1 } else { 2 };
+        let min_segments =
+            if matches!(method, "span" | "span_observed" | "replay_span") { 1 } else { 2 };
         if !segments_ok(name, min_segments) {
             findings.push(Finding {
                 severity,

@@ -29,7 +29,9 @@ const USAGE: &str =
     "usage: cargo xtask lint [--root <workspace-dir>] [--strict] [--json <path>]\n       \
                      cargo xtask lint-schema <report.json>\n       \
                      cargo xtask obs-schema <report.json> [--require-stages a,b,c]\n           \
-                     [--require-counters a,b,c] [--require-positive gauge-a,gauge-b]";
+                     [--require-counters a,b,c] [--require-positive gauge-a,gauge-b]\n           \
+                     [--require-exemplars N] [--require-windows N]\n       \
+                     cargo xtask trace-schema <trace.json> [--require-names a,b,c]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +39,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&args[1..]),
         Some("lint-schema") => cmd_lint_schema(&args[1..]),
         Some("obs-schema") => cmd_obs_schema(&args[1..]),
+        Some("trace-schema") => cmd_trace_schema(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
@@ -143,6 +146,8 @@ fn cmd_obs_schema(args: &[String]) -> ExitCode {
     let mut required: Vec<String> = Vec::new();
     let mut required_counters: Vec<String> = Vec::new();
     let mut required_positive: Vec<String> = Vec::new();
+    let mut min_exemplars: Option<usize> = None;
+    let mut min_windows: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -176,6 +181,20 @@ fn cmd_obs_schema(args: &[String]) -> ExitCode {
                 }
                 None => {
                     eprintln!("--require-positive needs a comma-separated list of gauges");
+                    return ExitCode::from(2);
+                }
+            },
+            "--require-exemplars" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => min_exemplars = Some(n),
+                _ => {
+                    eprintln!("--require-exemplars needs a minimum count");
+                    return ExitCode::from(2);
+                }
+            },
+            "--require-windows" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => min_windows = Some(n),
+                _ => {
+                    eprintln!("--require-windows needs a minimum count");
                     return ExitCode::from(2);
                 }
             },
@@ -213,7 +232,11 @@ fn cmd_obs_schema(args: &[String]) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    if !required_counters.is_empty() || !required_positive.is_empty() {
+    if !required_counters.is_empty()
+        || !required_positive.is_empty()
+        || min_exemplars.is_some()
+        || min_windows.is_some()
+    {
         // The structural validation above accepted the shape; a full parse
         // gives us counter/gauge values for the presence checks.
         let report = match stmaker_obs::Report::from_json(&text) {
@@ -223,6 +246,26 @@ fn cmd_obs_schema(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if let Some(min) = min_exemplars {
+            if report.exemplars.len() < min {
+                eprintln!(
+                    "xtask obs-schema: {}: {} exemplar(s), need at least {min}",
+                    path.display(),
+                    report.exemplars.len()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(min) = min_windows {
+            if report.windows.len() < min {
+                eprintln!(
+                    "xtask obs-schema: {}: {} metric window(s), need at least {min}",
+                    path.display(),
+                    report.windows.len()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
         let missing: Vec<&String> =
             required_counters.iter().filter(|c| !report.counters.contains_key(*c)).collect();
         if !missing.is_empty() {
@@ -266,6 +309,74 @@ fn cmd_obs_schema(args: &[String]) -> ExitCode {
                 required_counters.len(),
                 required_positive.len()
             )
+        }
+    );
+    ExitCode::SUCCESS
+}
+
+/// Validates a Chrome trace-event file written by `--trace-out`:
+/// structural shape (known phases, monotone timestamps, stable pid/tid,
+/// balanced begin/end pairs) plus, optionally, presence of named spans.
+fn cmd_trace_schema(args: &[String]) -> ExitCode {
+    let mut path: Option<PathBuf> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--require-names" => match it.next() {
+                Some(list) => {
+                    required.extend(
+                        list.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from),
+                    );
+                }
+                None => {
+                    eprintln!("--require-names needs a comma-separated list");
+                    return ExitCode::from(2);
+                }
+            },
+            other if path.is_none() => path = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("trace-schema needs a trace path\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask trace-schema: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = match stmaker_obs::validate_chrome_trace(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask trace-schema: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let missing: Vec<&String> = required.iter().filter(|n| !stats.names.contains(*n)).collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "xtask trace-schema: {}: missing required span name(s): {}",
+            path.display(),
+            missing.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "xtask trace-schema: {} ok ({} event(s), {} name(s){})",
+        path.display(),
+        stats.events,
+        stats.names.len(),
+        if required.is_empty() {
+            String::new()
+        } else {
+            format!(", {} required name(s) present", required.len())
         }
     );
     ExitCode::SUCCESS

@@ -574,3 +574,178 @@ fn batch_telemetry_reports_per_trip_spans() {
     let failed = report.counters.get("batch.summaries_failed").copied().unwrap_or(0);
     assert_eq!((ok + failed) as usize, batch.len());
 }
+
+#[test]
+fn batch_report_carries_exemplars_stage_merge_and_stable_bytes() {
+    use stmaker_suite::Recorder;
+    let h = Harness::new();
+    let (train, test) = h.corpora(40, 8);
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let obs = Recorder::enabled();
+    let summarizer = Summarizer::train(
+        &h.world.net,
+        &h.world.registry,
+        &train,
+        features,
+        weights,
+        SummarizerConfig::default().with_threads(2).with_recorder(obs.clone()),
+    );
+    let batch = summarizer.summarize_batch(&test);
+    let n_ok = batch.iter().filter(|r| r.is_ok()).count();
+    assert!(n_ok > 0, "corpus must summarize for this test to bite");
+
+    let report = obs.report();
+    // Top-K slowest successful trips surface as exemplars with a full
+    // stage breakdown, slowest first.
+    let expect = n_ok.min(stmaker_obs::DEFAULT_EXEMPLAR_K);
+    assert_eq!(report.exemplars.len(), expect, "{:?}", report.exemplars);
+    for pair in report.exemplars.windows(2) {
+        assert!(pair[0].total_ms >= pair[1].total_ms, "exemplars sorted slowest-first");
+    }
+    for e in &report.exemplars {
+        assert!(e.id.starts_with("trip_"), "{}", e.id);
+        for stage in ["calibrate", "extract", "partition", "select", "render"] {
+            assert!(e.stages.contains_key(stage), "{} missing {stage}", e.id);
+        }
+    }
+    // Worker-side stage counters are merged into the shared recorder
+    // instead of being lost with the per-trip private recorders.
+    assert!(report.counters.get("partition.segments_scanned").copied().unwrap_or(0) > 0);
+    assert!(report.counters.get("calibrate.landmarks_matched").copied().unwrap_or(0) > 0);
+    // The replayed trip spans carry the stage breakdown as children.
+    let trip = report
+        .spans
+        .iter()
+        .find(|s| s.name == "summarize_batch")
+        .and_then(|s| s.children.iter().find(|c| c.name == "summarize_batch.trip"))
+        .expect("trip span present");
+    assert!(trip.children.iter().any(|c| c.name == "partition"), "{:?}", trip.children);
+    // Exemplar replays surface as their own spans too.
+    assert!(report.span_names().contains("exemplar.trip"), "{:?}", report.span_names());
+    // Serialization is byte-stable and schema-valid.
+    let json = report.to_json_pretty();
+    assert_eq!(json, obs.report().to_json_pretty(), "same state renders to identical bytes");
+    stmaker_obs::report::validate_json(&json).expect("report validates");
+}
+
+#[test]
+fn logical_trace_is_byte_identical_across_thread_counts() {
+    use stmaker_suite::Recorder;
+    let h = Harness::new();
+    let (train, test) = h.corpora(40, 6);
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let run = |threads: usize| {
+        let obs = Recorder::enabled_with_journal(stmaker_obs::DEFAULT_JOURNAL_CAPACITY);
+        let summarizer = Summarizer::train(
+            &h.world.net,
+            &h.world.registry,
+            &train,
+            features.clone(),
+            weights.clone(),
+            SummarizerConfig::default().with_threads(threads).with_recorder(obs.clone()),
+        );
+        let _ = summarizer.summarize_batch(&test);
+        obs.chrome_trace(stmaker_obs::TraceClock::Logical)
+    };
+    let reference = run(1);
+    let stats = stmaker_obs::validate_chrome_trace(&reference).expect("trace validates");
+    for stage in ["calibrate", "partition", "select", "popular_route", "render", "train.shard"] {
+        assert!(stats.names.contains(stage), "trace missing {stage}: {:?}", stats.names);
+    }
+    assert!(stats.names.contains("exemplar.trip"), "{:?}", stats.names);
+    for threads in [2, 4] {
+        assert_eq!(run(threads), reference, "threads={threads} changed the logical trace bytes");
+    }
+}
+
+#[test]
+fn obs_diff_flags_regressions_and_passes_identical_runs() {
+    use stmaker_obs::{diff, DiffOptions, Severity};
+    use stmaker_suite::Recorder;
+    let h = Harness::new();
+    let (train, test) = h.corpora(30, 4);
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let run = || {
+        let obs = Recorder::enabled();
+        let summarizer = Summarizer::train(
+            &h.world.net,
+            &h.world.registry,
+            &train,
+            features.clone(),
+            weights.clone(),
+            SummarizerConfig::default().with_threads(1).with_recorder(obs.clone()),
+        );
+        let _ = summarizer.summarize_batch(&test);
+        obs.report()
+    };
+    let base = run();
+    let new = run();
+    // Identical pipelines: no structural findings, and with an absurdly
+    // generous threshold no timing findings either.
+    let opts = DiffOptions { threshold: 1e6, min_base_ms: 0.0 };
+    assert_eq!(diff(&base, &new, &opts), vec![], "identical runs must diff clean");
+    // Perturbation: dropping a counter is a hard regression.
+    let mut broken = new.clone();
+    broken.counters.remove("batch.summaries_ok");
+    let findings = diff(&base, &broken, &opts);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.severity == Severity::Hard && f.message.contains("batch.summaries_ok")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn streaming_windows_key_on_stream_time_and_surface_in_report() {
+    use stmaker_suite::{OutOfOrderPolicy, Recorder, StreamConfig, StreamingSummarizer};
+    let h = Harness::new();
+    let (train, test) = h.corpora(40, 4);
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let obs = Recorder::enabled();
+    let summarizer = Summarizer::train(
+        &h.world.net,
+        &h.world.registry,
+        &train,
+        features,
+        weights,
+        SummarizerConfig::default().with_recorder(obs.clone()),
+    );
+    let cfg = StreamConfig {
+        refresh_distance_m: 200.0,
+        window_secs: 30,
+        window_capacity: 4,
+        out_of_order: OutOfOrderPolicy::Drop,
+        ..StreamConfig::default()
+    };
+    let mut stream = StreamingSummarizer::try_new(&summarizer, cfg).expect("valid config");
+    let trip = &test[0];
+    let mut late = None;
+    for p in trip.points() {
+        let _ = stream.try_push(*p).expect("drop policy never errors");
+        late = Some(*p);
+    }
+    // An out-of-order sample lands in the dropped counter of its window.
+    if let Some(mut p) = late {
+        p.t.0 -= 10_000;
+        let _ = stream.try_push(p).expect("dropped, not an error");
+    }
+    let windows = stream.windows();
+    assert!(!windows.is_empty() && windows.len() <= 4, "{windows:?}");
+    let points: u64 = windows.iter().filter_map(|w| w.counters.get("stream.window.points")).sum();
+    assert!(points > 0, "accepted samples counted: {windows:?}");
+    // Window indices are data-derived and strictly increasing.
+    for pair in windows.windows(2) {
+        assert!(pair[0].index < pair[1].index, "{windows:?}");
+    }
+    let _ = stream.finish();
+    let report = obs.report();
+    assert_eq!(report.windows, windows, "finish publishes the retained windows");
+    assert!(report.gauges.contains_key("stream.window.index"));
+    // The whole round trip survives serialization.
+    stmaker_obs::report::validate_json(&report.to_json_pretty()).expect("validates");
+}
