@@ -1,0 +1,200 @@
+//! Spatial-index scaling benchmark: packed STR R-tree vs. uniform grid on
+//! the city-scale corridor-query workload that dominates calibration.
+//!
+//! The measured quantity is the **candidate-query stage** — the
+//! `LandmarkRegistry::candidates_along` corridor sweep that calibration
+//! issues once per trajectory (DESIGN.md §14). Both backends then feed the
+//! identical projection-refinement filter, so end-to-end calibrate times
+//! dilute the index difference; the stage timing is where the R-tree's
+//! packed traversal shows up undiluted. Train and batch-summarize wall
+//! times are reported alongside for context.
+//!
+//! Asserted here (and mirrored by the `end_to_end` test
+//! `summaries_byte_identical_across_spatial_index_backends`):
+//!
+//! * the per-trip candidate sets returned by the two backends are
+//!   **byte-identical** — the R-tree refines with the exact float
+//!   arithmetic the grid path uses (DESIGN.md §14);
+//! * trained-model JSON and rendered summaries are byte-identical across
+//!   backends at 1/2/4 worker threads;
+//! * the R-tree answers the candidate-query stage ≥ 2× faster than the
+//!   grid (full scale only; `STMAKER_BENCH_SMOKE=1` shrinks the world for
+//!   CI and skips the timing assertion, which would be noise on a shared
+//!   runner).
+//!
+//! Results land — as gauges plus the `spatial.*` work counters in the
+//! shared `stmaker-obs` report schema — in `BENCH_spatial.json` (override
+//! with `STMAKER_OBS_OUT`); `cargo xtask obs-schema BENCH_spatial.json`
+//! validates them. Like the other report-producing benches this is a plain
+//! `harness = false` binary: the deliverable is the report file, not a
+//! Criterion estimate.
+
+use std::time::Instant;
+
+use stmaker::{standard_features, FeatureWeights, SpatialIndexKind, Summarizer, SummarizerConfig};
+use stmaker_calibration::CalibrationParams;
+use stmaker_eval::{ExperimentScale, Harness};
+use stmaker_geo::{Polyline, SpatialStats};
+use stmaker_poi::LandmarkId;
+use stmaker_trajectory::RawTrajectory;
+
+/// Thread counts the byte-identity sweep covers.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let smoke = std::env::var("STMAKER_BENCH_SMOKE").is_ok();
+    let scale = if smoke {
+        let mut s = ExperimentScale::quick();
+        s.n_train = 120;
+        s.n_test = 60;
+        s
+    } else {
+        ExperimentScale::full()
+    };
+    let query_passes: usize = if smoke { 2 } else { 9 };
+
+    let h = Harness::new(scale);
+    let trips: Vec<RawTrajectory> = h.test.iter().map(|t| t.raw.clone()).collect();
+
+    let obs = stmaker_obs::Recorder::enabled();
+    let host_cpus =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    obs.gauge("bench.host_cpus", host_cpus as f64); // cast-ok: CPU count
+    obs.gauge("bench.spatial.landmarks", h.world.registry.len() as f64); // cast-ok: registry size
+    obs.gauge("bench.spatial.corpus", trips.len() as f64); // cast-ok: corpus size
+    obs.gauge("bench.spatial.query_passes", query_passes as f64); // cast-ok: pass count
+
+    // ── Candidate-query stage: corridor sweeps, grid vs. R-tree ──────
+    // Exactly the probes calibration builds: the raw polyline resampled at
+    // the calibration radius, swept at radius × 1.5.
+    let params = CalibrationParams::default();
+    let probes: Vec<Polyline> =
+        trips.iter().map(|t| t.polyline().resample(params.radius_m.max(1.0))).collect();
+    let corridor_m = params.radius_m * 1.5;
+
+    let prepare = |kind: SpatialIndexKind| {
+        let mut registry = h.world.registry.clone();
+        registry.set_index_kind(kind);
+        let mut stats = SpatialStats::default();
+        // Warm-up pass doubles as the candidate-set capture for the
+        // byte-identity check below.
+        let mut sets: Vec<Vec<LandmarkId>> = Vec::with_capacity(probes.len());
+        for probe in &probes {
+            let mut out = Vec::new();
+            registry.candidates_along(probe.points(), corridor_m, &mut out, &mut stats);
+            sets.push(out);
+        }
+        (registry, stats, sets)
+    };
+    let (grid_registry, grid_stats, grid_sets) = prepare(SpatialIndexKind::Grid);
+    let (rtree_registry, rtree_stats, rtree_sets) = prepare(SpatialIndexKind::Rtree);
+
+    // One timed pass over the whole corpus. Backends are interleaved pass by
+    // pass and scored by their minimum — the noise-robust estimator on a
+    // shared runner, where a background hiccup can double any single pass.
+    let timed_pass = |registry: &stmaker_poi::LandmarkRegistry| -> f64 {
+        let mut out: Vec<LandmarkId> = Vec::new();
+        let mut stats = SpatialStats::default();
+        // lint: wallclock — benchmark harness: wall time is the measured quantity by design
+        let t0 = Instant::now();
+        for probe in &probes {
+            registry.candidates_along(probe.points(), corridor_m, &mut out, &mut stats);
+        }
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    let (mut grid_ms, mut rtree_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..query_passes {
+        grid_ms = grid_ms.min(timed_pass(&grid_registry));
+        rtree_ms = rtree_ms.min(timed_pass(&rtree_registry));
+    }
+    assert_eq!(
+        rtree_sets, grid_sets,
+        "per-trip candidate sets must be byte-identical across backends"
+    );
+    let candidates_speedup = if rtree_ms > 0.0 { grid_ms / rtree_ms } else { 1.0 };
+
+    obs.gauge("bench.spatial.candidates.grid.ms", grid_ms);
+    obs.gauge("bench.spatial.candidates.rtree.ms", rtree_ms);
+    obs.gauge("bench.spatial.candidates.speedup", candidates_speedup);
+    // Work counters for the R-tree sweep (the grid path only refines), so
+    // `obs-schema --require-counters spatial.*` holds on this report too.
+    obs.add("spatial.nodes_visited", rtree_stats.nodes_visited);
+    obs.add("spatial.leaves_scanned", rtree_stats.leaves_scanned);
+    obs.add("spatial.candidates_refined", rtree_stats.candidates_refined);
+    obs.gauge("bench.spatial.grid.refined", grid_stats.candidates_refined as f64); // cast-ok: counter
+    println!(
+        "candidate-query stage over {} trips: grid {grid_ms:.1} ms/pass, \
+         rtree {rtree_ms:.1} ms/pass ({candidates_speedup:.2}x)",
+        probes.len(),
+    );
+
+    // ── End-to-end train + batch-summarize, grid vs. R-tree ──────────
+    // Context numbers: the index is one stage among many here (projection
+    // refinement, matching, partitioning), so the deltas are smaller than
+    // the stage speedup above by design.
+    let run = |kind: SpatialIndexKind, threads: usize| {
+        let mut registry = h.world.registry.clone();
+        registry.set_index_kind(kind);
+        let raws = h.train_raw();
+        let features = standard_features();
+        let weights = FeatureWeights::uniform(&features);
+        let cfg = SummarizerConfig::default().with_threads(threads).with_spatial_index(kind);
+        // lint: wallclock — benchmark harness: wall time is the measured quantity by design
+        let t0 = Instant::now();
+        let s = Summarizer::train(&h.world.net, &registry, &raws, features, weights, cfg);
+        let train_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // lint: wallclock — benchmark harness: wall time is the measured quantity by design
+        let t1 = Instant::now();
+        let texts: Vec<Option<String>> =
+            s.summarize_batch(&trips).into_iter().map(|r| r.ok().map(|x| x.text)).collect();
+        let batch_ms = t1.elapsed().as_secs_f64() * 1e3;
+        (train_ms, batch_ms, s.model().to_json(), texts)
+    };
+
+    let (grid_train_ms, grid_batch_ms, model_ref, texts_ref) = run(SpatialIndexKind::Grid, 1);
+    let (rtree_train_ms, rtree_batch_ms, model_rt, texts_rt) = run(SpatialIndexKind::Rtree, 1);
+    assert!(texts_ref.iter().flatten().count() > 0, "corpus must yield summarizable trips");
+    assert_eq!(model_rt, model_ref, "R-tree training changed model bytes");
+    assert_eq!(texts_rt, texts_ref, "R-tree serving changed summary bytes");
+    obs.gauge("bench.spatial.train.grid.ms", grid_train_ms);
+    obs.gauge("bench.spatial.train.rtree.ms", rtree_train_ms);
+    obs.gauge("bench.spatial.batch.grid.ms", grid_batch_ms);
+    obs.gauge("bench.spatial.batch.rtree.ms", rtree_batch_ms);
+    println!(
+        "train: grid {grid_train_ms:.0} ms, rtree {rtree_train_ms:.0} ms; \
+         batch-summarize: grid {grid_batch_ms:.0} ms, rtree {rtree_batch_ms:.0} ms"
+    );
+
+    // ── Byte-identity across backends × thread counts ────────────────
+    for threads in THREAD_COUNTS {
+        for kind in [SpatialIndexKind::Grid, SpatialIndexKind::Rtree] {
+            if threads == 1 {
+                continue; // covered by the timed single-thread runs above
+            }
+            let (_, _, model, texts) = run(kind, threads);
+            assert_eq!(model, model_ref, "{kind} at {threads} thread(s) changed model bytes");
+            assert_eq!(texts, texts_ref, "{kind} at {threads} thread(s) changed summary bytes");
+        }
+        obs.gauge(&format!("bench.identity.t{threads}"), 1.0);
+    }
+    println!("byte-identity: rtree == grid at {THREAD_COUNTS:?} threads ✓");
+
+    if !smoke {
+        assert!(
+            candidates_speedup >= 2.0,
+            "candidate-query speedup {candidates_speedup:.2}x below the 2x bar"
+        );
+    }
+
+    let report = obs.report();
+    println!("\n{}", stmaker_obs::stats::render(&report));
+    // cargo runs benches with cwd = the package root; default to the
+    // workspace root so the committed report is what gets refreshed.
+    let path = std::env::var("STMAKER_OBS_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_spatial.json").to_owned()
+    });
+    match report.write_json(&path) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+}

@@ -10,7 +10,8 @@
 //! The geometric procedure implemented here:
 //!
 //! 1. collect candidate landmarks within [`CalibrationParams::radius_m`] of
-//!    the raw polyline (via the registry's grid index);
+//!    the raw polyline (one corridor query against the registry's spatial
+//!    index — R-tree by default, grid as the escape hatch);
 //! 2. project each candidate onto the polyline and keep those whose
 //!    projection distance is within the radius;
 //! 3. order accepted landmarks by arc length along the polyline and assign
@@ -23,7 +24,7 @@
 //! same symbolic trajectory — the invariance the paper needs, which our
 //! property tests assert.
 
-use stmaker_geo::LocalFrame;
+use stmaker_geo::{LocalFrame, SpatialStats};
 use stmaker_poi::{LandmarkId, LandmarkRegistry};
 use stmaker_trajectory::{RawTrajectory, RawView, SymbolicPoint, SymbolicTrajectory, Timestamp};
 
@@ -122,21 +123,29 @@ pub fn calibrate_view(
     registry: &LandmarkRegistry,
     params: CalibrationParams,
 ) -> Result<SymbolicTrajectory, CalibrationError> {
+    let mut stats = SpatialStats::default();
+    calibrate_view_traced(raw, registry, params, &mut stats)
+}
+
+/// [`calibrate_view`] that also accumulates spatial-index work counters
+/// (`spatial.*` obs metrics) into `stats`.
+pub fn calibrate_view_traced(
+    raw: RawView<'_>,
+    registry: &LandmarkRegistry,
+    params: CalibrationParams,
+    stats: &mut SpatialStats,
+) -> Result<SymbolicTrajectory, CalibrationError> {
     params.validate()?;
     let poly = raw.polyline();
     let frame = LocalFrame::new(raw.start().point);
 
     // 1. Candidate collection: sample the polyline densely enough that no
-    //    landmark within `radius_m` of the route can be missed.
+    //    landmark within `radius_m` of the route can be missed, then ask the
+    //    registry for everything within the corridor in one query (the R-tree
+    //    walks its rect once; the grid falls back to per-probe ring scans).
     let probe = poly.resample(params.radius_m.max(1.0));
     let mut candidates: Vec<LandmarkId> = Vec::new();
-    for p in probe.points() {
-        for (id, _) in registry.within_radius(p, params.radius_m * 1.5) {
-            candidates.push(id);
-        }
-    }
-    candidates.sort_unstable();
-    candidates.dedup();
+    registry.candidates_along(probe.points(), params.radius_m * 1.5, &mut candidates, stats);
 
     // 2–3. Precise projection filter + arc ordering.
     let mut anchors: Vec<Anchor> = candidates

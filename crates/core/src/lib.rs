@@ -94,3 +94,7 @@ pub use summarize::{
 // `stmaker-cache` directly.
 pub use stmaker_cache::CacheStats;
 pub use stmaker_obs::{Recorder, Report};
+
+// Spatial-index selection, re-exported so the CLI and benches can flip the
+// backend (`--spatial-index rtree|grid`) without depending on `stmaker-geo`.
+pub use stmaker_geo::{SpatialIndexKind, SpatialStats};

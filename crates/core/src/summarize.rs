@@ -24,8 +24,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use stmaker_cache::CacheStats;
-use stmaker_calibration::{calibrate_view, CalibrationError, CalibrationParams};
+use stmaker_calibration::{
+    calibrate_view, calibrate_view_traced, CalibrationError, CalibrationParams,
+};
 use stmaker_exec::Executor;
+use stmaker_geo::{SpatialIndexKind, SpatialStats};
 use stmaker_mapmatch::{MapMatcher, MatchParams};
 use stmaker_obs::{ArgValue, Exemplar, ExemplarReservoir, Recorder, Report, SpanNode};
 use stmaker_poi::{LandmarkId, LandmarkRegistry};
@@ -60,6 +63,13 @@ pub struct SummarizerConfig {
     /// query path. Lookups are pure, so the cache never changes output
     /// bytes, only latency (DESIGN.md §12).
     pub route_cache: usize,
+    /// Spatial index backend for the map-matching candidate pre-filter
+    /// (R-tree by default; the grid is the `--spatial-index grid` escape
+    /// hatch). Purely a latency knob: candidate sets, models and summaries
+    /// are byte-identical under both backends (DESIGN.md §14). Calibration's
+    /// corridor query follows the registry's own backend, which the CLI
+    /// switches together with this field.
+    pub spatial_index: SpatialIndexKind,
     /// Telemetry sink for per-stage spans and counters. Defaults to the
     /// disabled no-op recorder, which costs a branch per stage and
     /// nothing else — no allocation, no locking.
@@ -77,6 +87,7 @@ impl Default for SummarizerConfig {
             popular: PopularRouteConfig::default(),
             threads: 0,
             route_cache: 0,
+            spatial_index: SpatialIndexKind::default(),
             recorder: Recorder::disabled(),
         }
     }
@@ -105,6 +116,14 @@ impl SummarizerConfig {
     #[must_use]
     pub fn with_route_cache(mut self, capacity: usize) -> Self {
         self.route_cache = capacity;
+        self
+    }
+
+    /// Selects the matcher's spatial index backend (builder style). Purely a
+    /// latency knob: output bytes are identical under both backends.
+    #[must_use]
+    pub fn with_spatial_index(mut self, kind: SpatialIndexKind) -> Self {
+        self.spatial_index = kind;
         self
     }
 }
@@ -293,7 +312,7 @@ impl<'a> Summarizer<'a> {
         assert_eq!(weights.as_slice().len(), features.len(), "weights must match feature set");
         let obs = cfg.recorder.clone();
         let _train_span = obs.span("train");
-        let matcher = MapMatcher::new(net, cfg.matching);
+        let matcher = MapMatcher::with_index(net, cfg.matching, cfg.spatial_index);
         let exec = Executor::new(cfg.threads).with_recorder(obs.clone());
         let (calibration, extraction) = (cfg.calibration, cfg.extraction);
 
@@ -389,7 +408,7 @@ impl<'a> Summarizer<'a> {
             model.registry_len,
             registry.len()
         );
-        let matcher = MapMatcher::new(net, cfg.matching);
+        let matcher = MapMatcher::with_index(net, cfg.matching, cfg.spatial_index);
         let route_cache = build_route_cache(&cfg);
         Self { net, registry, matcher, features, weights, cfg, model, route_cache }
     }
@@ -446,11 +465,15 @@ impl<'a> Summarizer<'a> {
     /// `obs` (batch workers pass a disabled recorder so the shared span
     /// tree stays single-threaded).
     fn prepare_view(&self, raw: RawView<'_>, obs: &Recorder) -> Result<Prepared, SummarizeError> {
+        let mut spatial = SpatialStats::default();
         let symbolic = {
             let _span = obs.span("calibrate");
-            calibrate_view(raw, self.registry, self.cfg.calibration)?
+            calibrate_view_traced(raw, self.registry, self.cfg.calibration, &mut spatial)?
         };
         obs.add("calibrate.landmarks_matched", symbolic.size() as u64); // cast-ok: landmark count
+        obs.add("spatial.nodes_visited", spatial.nodes_visited);
+        obs.add("spatial.leaves_scanned", spatial.leaves_scanned);
+        obs.add("spatial.candidates_refined", spatial.candidates_refined);
         let _span = obs.span("extract");
         let data =
             extract_segment_data(raw, &symbolic, self.registry, &self.matcher, self.cfg.extraction);

@@ -90,9 +90,18 @@ impl<T: Copy> GridIndex<T> {
 
     /// All items within `radius_m` metres of `q`, with their distances.
     pub fn within_radius(&self, q: &GeoPoint, radius_m: f64) -> Vec<(T, f64)> {
+        let mut out = Vec::new();
+        self.within_radius_into(q, radius_m, &mut out);
+        out
+    }
+
+    /// Zero-alloc variant of [`GridIndex::within_radius`]: clears and fills
+    /// `out` (in cell-scan order, like `within_radius`), so hot loops can
+    /// reuse one scratch vector across many probe points.
+    pub fn within_radius_into(&self, q: &GeoPoint, radius_m: f64, out: &mut Vec<(T, f64)>) {
+        out.clear();
         let (cx, cy) = self.cell_of(q);
         let reach = (radius_m / self.cell_m).ceil() as i64 + 1;
-        let mut out = Vec::new();
         for dy in -reach..=reach {
             let yy = cy as i64 + dy;
             if yy < 0 || yy >= self.rows as i64 {
@@ -111,7 +120,6 @@ impl<T: Copy> GridIndex<T> {
                 }
             }
         }
-        out
     }
 
     /// The nearest item to `q`, if any, expanding the ring search until found.

@@ -1,12 +1,42 @@
 //! Property-based tests for the geodesy primitives.
 
 use proptest::prelude::*;
-use stmaker_geo::{heading_diff_deg, BoundingBox, GeoPoint, GridIndex, LocalFrame, Polyline};
+use stmaker_geo::{
+    heading_diff_deg, BoundingBox, GeoPoint, GridIndex, LocalFrame, Polyline, RTree,
+};
 
 /// Latitudes/longitudes inside a generous city-scale band (avoids poles and
 /// the antimeridian, which the stack deliberately does not support).
 fn city_point() -> impl Strategy<Value = GeoPoint> {
     (30.0f64..50.0, 100.0f64..130.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+/// Bearing/distance offsets from a shared origin; distances are drawn from a
+/// small integer lattice so duplicate coordinates actually occur.
+fn lattice_offsets(max_len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec(
+        (prop::sample::select(vec![0.0f64, 90.0, 180.0, 270.0]), 0u32..12),
+        1..max_len,
+    )
+    .prop_map(|v| v.into_iter().map(|(b, d)| (b, 250.0 * d as f64)).collect())
+}
+
+/// Brute-force (distance, id)-sorted hits within `radius` under the tree's
+/// own planar frame — the reference all R-tree query results must match.
+fn brute_hits(
+    tree: &RTree<u32>,
+    segs: &[(u32, GeoPoint, GeoPoint)],
+    q: &GeoPoint,
+    radius: f64,
+) -> Vec<(u32, f64)> {
+    let frame = tree.frame();
+    let mut hits: Vec<(u32, f64)> = segs
+        .iter()
+        .map(|(id, a, b)| (*id, frame.project_onto_segment(q, a, b).1))
+        .filter(|(_, d)| *d <= radius)
+        .collect();
+    hits.sort_unstable_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
+    hits
 }
 
 proptest! {
@@ -144,5 +174,96 @@ proptest! {
         let budget = step * legs.len() as f64 * 2.0 + 1.0;
         prop_assert!(rs.length_m() <= pl.length_m() * (1.0 + 1e-4) + 0.01);
         prop_assert!(rs.length_m() >= pl.length_m() - budget);
+    }
+}
+
+proptest! {
+    // R-tree queries must match brute force exactly (same planar frame, same
+    // float arithmetic) for random point sets with duplicate coordinates and
+    // queries that may sit far outside the tree's bounding box.
+    #[test]
+    fn rtree_point_queries_match_brute_force(
+        origin in city_point(),
+        offsets in lattice_offsets(40),
+        q_bearing in 0.0f64..360.0,
+        q_dist in 0.0f64..60_000.0,
+        radius in 50.0f64..4_000.0,
+        k in 1usize..8,
+    ) {
+        let segs: Vec<(u32, GeoPoint, GeoPoint)> = offsets
+            .iter()
+            .enumerate()
+            .map(|(i, (b, d))| {
+                let p = origin.destination(*b, *d);
+                (i as u32, p, p) // cast-ok: test sizes
+            })
+            .collect();
+        let tree = RTree::build_points(segs.iter().map(|(id, p, _)| (*id, *p)));
+        let q = origin.destination(q_bearing, q_dist);
+
+        let brute = brute_hits(&tree, &segs, &q, radius);
+        prop_assert_eq!(tree.within_radius(&q, radius), brute.clone());
+
+        let all = brute_hits(&tree, &segs, &q, f64::INFINITY);
+        prop_assert_eq!(tree.nearest(&q), all.first().copied());
+        prop_assert_eq!(tree.k_nearest(&q, k), all[..k.min(all.len())].to_vec());
+        prop_assert_eq!(
+            tree.k_nearest_within(&q, k, radius),
+            brute[..k.min(brute.len())].to_vec()
+        );
+    }
+
+    // Same contract for segment entries, including degenerate (zero-length)
+    // segments mixed in with real ones.
+    #[test]
+    fn rtree_segment_queries_match_brute_force(
+        origin in city_point(),
+        offsets in lattice_offsets(25),
+        seg_bearing in 0.0f64..360.0,
+        seg_lens in prop::collection::vec(0.0f64..2_000.0, 25),
+        q_bearing in 0.0f64..360.0,
+        q_dist in 0.0f64..60_000.0,
+        radius in 50.0f64..4_000.0,
+        k in 1usize..6,
+    ) {
+        let segs: Vec<(u32, GeoPoint, GeoPoint)> = offsets
+            .iter()
+            .enumerate()
+            .map(|(i, (b, d))| {
+                let a = origin.destination(*b, *d);
+                // Every third segment is degenerate (a == b).
+                let len = if i % 3 == 0 { 0.0 } else { seg_lens[i % seg_lens.len()] };
+                let bb = if len == 0.0 { a } else { a.destination(seg_bearing, len) };
+                (i as u32, a, bb) // cast-ok: test sizes
+            })
+            .collect();
+        let tree = RTree::build_segments(segs.iter().copied());
+        let q = origin.destination(q_bearing, q_dist);
+
+        let brute = brute_hits(&tree, &segs, &q, radius);
+        prop_assert_eq!(tree.within_radius(&q, radius), brute.clone());
+
+        let all = brute_hits(&tree, &segs, &q, f64::INFINITY);
+        prop_assert_eq!(tree.nearest(&q), all.first().copied());
+        prop_assert_eq!(tree.k_nearest(&q, k), all[..k.min(all.len())].to_vec());
+    }
+
+    // The grid's new zero-alloc radius query must agree with the allocating
+    // one (same hits, same cell-scan order) when the scratch is reused dirty.
+    #[test]
+    fn grid_within_radius_into_matches_allocating_path(
+        origin in city_point(),
+        offsets in lattice_offsets(30),
+        radius in 50.0f64..3_000.0,
+    ) {
+        let pts: Vec<(usize, GeoPoint)> = offsets
+            .iter()
+            .enumerate()
+            .map(|(i, (b, d))| (i, origin.destination(*b, *d)))
+            .collect();
+        let grid = GridIndex::build(pts, 300.0);
+        let mut scratch = vec![(usize::MAX, -1.0)]; // dirty scratch must be cleared
+        grid.within_radius_into(&origin, radius, &mut scratch);
+        prop_assert_eq!(scratch, grid.within_radius(&origin, radius));
     }
 }

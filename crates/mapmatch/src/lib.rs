@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 
-use stmaker_geo::{GridIndex, LocalFrame};
+use stmaker_geo::{GridIndex, LocalFrame, RTree, SpatialIndexKind};
 use stmaker_road::{EdgeId, RoadNetwork};
 use stmaker_trajectory::RawPoint;
 
@@ -41,26 +41,49 @@ impl Default for MatchParams {
     }
 }
 
+/// The matcher's candidate pre-filter: resampled edge points in a grid, or
+/// exact edge segments in a packed R-tree. Either way the hits are only a
+/// superset filter — `candidates()` re-refines every edge against its true
+/// geometry, so both backends produce identical candidate lists.
+enum EdgeIndex {
+    Grid(GridIndex<EdgeId>),
+    Segments(RTree<EdgeId>),
+}
+
 /// A reusable matcher holding the network's spatial index.
 pub struct MapMatcher<'a> {
     net: &'a RoadNetwork,
-    index: GridIndex<EdgeId>,
-    /// Arc spacing of the indexed edge samples, metres.
+    index: EdgeIndex,
+    /// Arc spacing of the indexed edge samples, metres (grid backend only,
+    /// but the query padding is kept identical for both backends so the
+    /// pre-filter supersets match).
     sample_m: f64,
     params: MatchParams,
 }
 
 impl<'a> MapMatcher<'a> {
-    /// Builds a matcher (indexes the network's edge geometry once).
+    /// Builds a matcher with the default spatial backend (R-tree).
     pub fn new(net: &'a RoadNetwork, params: MatchParams) -> Self {
+        Self::with_index(net, params, SpatialIndexKind::default())
+    }
+
+    /// Builds a matcher with an explicit spatial backend (indexes the
+    /// network's edge geometry once).
+    pub fn with_index(net: &'a RoadNetwork, params: MatchParams, kind: SpatialIndexKind) -> Self {
         // Sample spacing must be well under the candidate radius: with
         // spacing == radius, a point at perpendicular distance just inside
         // the radius but midway between two samples sits √(r² + (s/2)²) > r
         // from every sample and the edge silently drops out of the
         // candidate set. The index query below pads the radius by the
-        // worst-case half-spacing instead of relying on luck.
+        // worst-case half-spacing instead of relying on luck. (The segment
+        // R-tree needs no such padding — its distances are exact — but it
+        // uses the same padded radius so both pre-filters select the same
+        // superset of edges.)
         let sample_m = (params.candidate_radius_m / 4.0).clamp(25.0, 100.0);
-        let index = net.edge_index(sample_m);
+        let index = match kind {
+            SpatialIndexKind::Grid => EdgeIndex::Grid(net.edge_index(sample_m)),
+            SpatialIndexKind::Rtree => EdgeIndex::Segments(net.edge_segment_rtree()),
+        };
         Self { net, index, sample_m, params }
     }
 
@@ -77,12 +100,15 @@ impl<'a> MapMatcher<'a> {
     /// Candidate edges near `p` with their true geometric distances.
     fn candidates(&self, frame: &LocalFrame, p: &RawPoint) -> Vec<(EdgeId, f64)> {
         let mut seen: Vec<(EdgeId, f64)> = Vec::new();
-        let mut hits: Vec<EdgeId> = self
-            .index
-            .within_radius(&p.point, self.params.candidate_radius_m + self.sample_m / 2.0)
-            .into_iter()
-            .map(|(e, _)| e)
-            .collect();
+        let query_radius = self.params.candidate_radius_m + self.sample_m / 2.0;
+        let mut hits: Vec<EdgeId> = match &self.index {
+            EdgeIndex::Grid(g) => {
+                g.within_radius(&p.point, query_radius).into_iter().map(|(e, _)| e).collect()
+            }
+            EdgeIndex::Segments(t) => {
+                t.within_radius(&p.point, query_radius).into_iter().map(|(e, _)| e).collect()
+            }
+        };
         hits.sort_unstable();
         hits.dedup();
         for e in hits {
@@ -365,5 +391,22 @@ mod tests {
         let m = MapMatcher::new(&net, MatchParams::default());
         assert!(m.match_nearest(&[]).is_empty());
         assert!(m.match_hmm(&[]).is_empty());
+    }
+
+    #[test]
+    fn grid_and_rtree_backends_match_identically() {
+        let (net, _, _, _) = parallel_roads();
+        let grid = MapMatcher::with_index(&net, MatchParams::default(), SpatialIndexKind::Grid);
+        let tree = MapMatcher::with_index(&net, MatchParams::default(), SpatialIndexKind::Rtree);
+        // A noisy drive that exercises candidates near both roads, the
+        // connector corner, and the off-map fallback.
+        let mut pts = pts_along(base(), 90.0, 20, 160.0, &[0.0, 40.0, -30.0, 90.0]);
+        pts.push(RawPoint { point: base().destination(180.0, 3_000.0), t: Timestamp(10_000) });
+        let frame = MapMatcher::frame_for(&pts);
+        for p in &pts {
+            assert_eq!(grid.candidates(&frame, p), tree.candidates(&frame, p));
+        }
+        assert_eq!(grid.match_nearest(&pts), tree.match_nearest(&pts));
+        assert_eq!(grid.match_hmm(&pts), tree.match_hmm(&pts));
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::types::{Direction, RoadGrade};
 use serde::{Deserialize, Serialize};
-use stmaker_geo::{GeoPoint, GridIndex, Polyline};
+use stmaker_geo::{GeoPoint, GridIndex, Polyline, RTree};
 
 /// Index of a [`RoadNode`] within its [`RoadNetwork`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -187,6 +187,23 @@ impl RoadNetwork {
         GridIndex::build(items, sample_m.max(50.0))
     }
 
+    /// Builds a packed R-tree over the network's edge geometry, one segment
+    /// entry per polyline leg, for exact nearest-edge candidate queries (no
+    /// resampling: distances refine against the true segment geometry).
+    pub fn edge_segment_rtree(&self) -> RTree<EdgeId> {
+        let mut items = Vec::new();
+        for e in &self.edges {
+            let pts = e.geometry.points();
+            if pts.len() == 1 {
+                items.push((e.id, pts[0], pts[0]));
+            }
+            for w in pts.windows(2) {
+                items.push((e.id, w[0], w[1]));
+            }
+        }
+        RTree::build_segments(items)
+    }
+
     /// Builds a spatial index over intersection locations.
     pub fn node_index(&self, cell_m: f64) -> GridIndex<NodeId> {
         GridIndex::build(self.nodes.iter().map(|n| (n.id, n.point)), cell_m)
@@ -256,6 +273,20 @@ mod tests {
         assert_eq!(hit, e1);
         let q2 = p(39.9002, 116.415);
         let (hit2, _) = idx.nearest(&q2).unwrap();
+        assert_eq!(hit2, e2);
+    }
+
+    #[test]
+    fn edge_segment_rtree_refines_against_true_geometry() {
+        let (net, _, [e1, e2]) = tiny_net();
+        let tree = net.edge_segment_rtree();
+        assert_eq!(tree.len(), 2); // one straight segment per edge
+        let q = p(39.9002, 116.405);
+        let (hit, d) = tree.nearest(&q).unwrap();
+        assert_eq!(hit, e1);
+        // Perpendicular drop onto the edge interior, not an endpoint: ~22 m.
+        assert!(d < 40.0, "expected interior-segment distance, got {d}");
+        let (hit2, _) = tree.nearest(&p(39.9002, 116.415)).unwrap();
         assert_eq!(hit2, e2);
     }
 

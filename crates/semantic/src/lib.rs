@@ -97,11 +97,12 @@ pub fn annotate(
                 }
                 None => (None, None, None, None),
             };
-            let mut hits = registry.within_radius(&p.point, params.nearby_radius_m);
-            hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-            let nearby = hits
+            // Bounded kNN with a radius cap: dense registries stop
+            // materializing every in-radius hit, while the ordering
+            // (`total_cmp` distance, then id) is unchanged.
+            let nearby = registry
+                .k_nearest_within(&p.point, params.max_nearby, params.nearby_radius_m)
                 .into_iter()
-                .take(params.max_nearby)
                 .map(|(id, _)| registry.get(id).name.clone())
                 .collect();
             SemanticPoint {
@@ -199,6 +200,53 @@ mod tests {
         let sem = annotate(&raw, &net, &registry, AnnotateParams::default());
         assert!(sem.points.iter().all(|p| p.annotation.road.is_none()));
         assert!(sem.points.iter().all(|p| p.annotation.nearby.is_empty()));
+    }
+
+    #[test]
+    fn nearby_lookup_keeps_distance_then_id_ordering() {
+        // Regression for the k_nearest_within switch: a dense ring of
+        // landmarks (including exact distance ties) must annotate with the
+        // same names, in the same order, as the old within_radius + sort +
+        // take(max_nearby) lookup — under both spatial backends.
+        let mut net = RoadNetwork::new();
+        let a = net.add_node(base());
+        let b = net.add_node(base().destination(90.0, 1_000.0));
+        net.add_edge(a, b, RoadGrade::County, 9.0, Direction::TwoWay, "Ring Rd");
+        let lm = |i: u32, p: GeoPoint| Landmark {
+            id: LandmarkId(i),
+            point: p,
+            name: format!("L{i}"),
+            kind: LandmarkKind::TurningPoint,
+            significance: 0.5,
+        };
+        // Two landmarks at the identical point (a distance tie broken by id),
+        // plus a ring of close ones.
+        let tie = base().destination(0.0, 80.0);
+        let mut lms = vec![lm(0, tie), lm(1, tie)];
+        for i in 0..12 {
+            lms.push(lm(2 + i, base().destination(30.0 * i as f64, 60.0 + 5.0 * i as f64)));
+        }
+        let mut registry = LandmarkRegistry::from_landmarks(lms);
+        let raw = RawTrajectory::new(vec![
+            RawPoint { point: base(), t: Timestamp(0) },
+            RawPoint { point: base().destination(90.0, 10.0), t: Timestamp(10) },
+        ]);
+        let params = AnnotateParams::default();
+
+        let reference = {
+            let mut hits = registry.within_radius(&base(), params.nearby_radius_m);
+            hits.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
+            hits.into_iter()
+                .take(params.max_nearby)
+                .map(|(id, _)| registry.get(id).name.clone())
+                .collect::<Vec<_>>()
+        };
+        let sem = annotate(&raw, &net, &registry, params.clone());
+        assert_eq!(sem.points[0].annotation.nearby, reference);
+
+        registry.set_index_kind(stmaker_geo::SpatialIndexKind::Grid);
+        let sem_grid = annotate(&raw, &net, &registry, params);
+        assert_eq!(sem_grid.points[0].annotation.nearby, reference);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! L5 — determinism (strict crates plus `significance`/`mapmatch`).
+//! L5 — determinism (strict crates plus `significance`/`mapmatch`/`geo`).
 //!
 //! DESIGN §10 promises byte-identical training/batch/serving output at any
 //! thread count. The two classic ways to break that promise silently are
@@ -31,7 +31,7 @@ use std::collections::BTreeSet;
 
 /// Non-strict crates that still carry the determinism contract: HITS
 /// significance feeds summary scores, map-matching feeds calibration.
-const EXTRA_CRATES: &[&str] = &["significance", "mapmatch"];
+const EXTRA_CRATES: &[&str] = &["significance", "mapmatch", "geo"];
 
 /// Crates where L5 applies at the crate's own severity.
 pub fn applies(crate_key: &str, level: Level) -> bool {

@@ -1,4 +1,4 @@
-//! L6 — lock discipline (`cache` / `exec` / `core` / `obs`).
+//! L6 — lock discipline (`cache` / `exec` / `core` / `obs` / `geo`).
 //!
 //! The cache's contract is that values are computed *outside* the shard
 //! lock (`get_or_insert_with` drops the guard before calling the closure),
@@ -25,8 +25,9 @@
 use super::{severity_for, FileCtx, Finding, Level};
 use crate::lexer::TokKind;
 
-/// Crates subject to L6 (all hold or wrap locks).
-const LOCK_CRATES: &[&str] = &["cache", "exec", "core", "obs"];
+/// Crates subject to L6 (all hold or wrap locks, except `geo`, which is
+/// kept in the lane so a lock can never creep into the hot spatial index).
+const LOCK_CRATES: &[&str] = &["cache", "exec", "core", "obs", "geo"];
 
 /// Methods that take a closure and run it inline on the receiver chain.
 const CLOSURE_TAKERS: &[&str] =
@@ -190,7 +191,7 @@ mod tests {
     fn non_lock_crates_are_skipped() {
         let src = "pub fn f(m: &std::sync::Mutex<u32>, n: &std::sync::Mutex<u32>) -> u32 { *m.lock().unwrap() + *n.lock().unwrap() }\n";
         let lx = lex(src);
-        let ctx = FileCtx::new("geo", "crates/geo/src/lib.rs", &lx, Level::Workspace, false);
+        let ctx = FileCtx::new("poi", "crates/poi/src/lib.rs", &lx, Level::Workspace, false);
         assert!(scan(&ctx).is_empty());
     }
 }

@@ -451,6 +451,48 @@ fn training_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn summaries_byte_identical_across_spatial_index_backends() {
+    use stmaker_suite::SpatialIndexKind;
+    let h = Harness::new();
+    let (train, test) = h.corpora(60, 15);
+    let make = |kind: SpatialIndexKind, threads: usize| {
+        // The registry owns calibration's index; the config field drives the
+        // matcher. The CLI flips both together, and so does this test.
+        let mut registry = h.world.registry.clone();
+        registry.set_index_kind(kind);
+        let features = standard_features();
+        let weights = FeatureWeights::uniform(&features);
+        let s = Summarizer::train(
+            &h.world.net,
+            &registry,
+            &train,
+            features,
+            weights,
+            SummarizerConfig::default().with_threads(threads).with_spatial_index(kind),
+        );
+        let model = s.model().to_json();
+        let texts: Vec<Option<String>> =
+            s.summarize_batch(&test).into_iter().map(|r| r.ok().map(|s| s.text)).collect();
+        (model, texts)
+    };
+
+    // The reference: grid backend, one thread — the pre-R-tree pipeline.
+    let (model_ref, texts_ref) = make(SpatialIndexKind::Grid, 1);
+    assert!(texts_ref.iter().flatten().count() >= 10, "most test trips must summarize");
+
+    // DESIGN.md §14: the R-tree refines candidates with the exact same float
+    // arithmetic the grid path uses, so neither the backend nor the thread
+    // count may change a single output byte.
+    for threads in [1, 2, 4] {
+        for kind in [SpatialIndexKind::Grid, SpatialIndexKind::Rtree] {
+            let (model, texts) = make(kind, threads);
+            assert_eq!(model, model_ref, "{kind} at {threads} thread(s) changed model bytes");
+            assert_eq!(texts, texts_ref, "{kind} at {threads} thread(s) changed summary bytes");
+        }
+    }
+}
+
+#[test]
 fn summarize_batch_matches_individual_summaries() {
     let h = Harness::new();
     let (train, test) = h.corpora(60, 12);
