@@ -489,4 +489,46 @@ mod tests {
         });
         assert!(c.len() <= c.capacity());
     }
+
+    #[test]
+    fn concurrent_snapshot_deltas_never_wrap() {
+        // Serving-workload regression: `since` deltas are taken while
+        // worker threads race increments on the relaxed counters. The
+        // per-field loads of a snapshot are not atomic as a group, so a
+        // snapshot pair can straddle in-flight increments — deltas must
+        // saturate to small numbers, never wrap to ~u64::MAX. Also pins
+        // the stale-snapshot direction: `earlier.since(&later)` is zeros.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let c: ShardedCache<u64, u64> = ShardedCache::new(64);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let (c, stop) = (&c, &stop);
+                s.spawn(move || {
+                    let mut k = t;
+                    while !stop.load(Ordering::Relaxed) {
+                        // Mixed hits, misses, and evictions (key space 4x
+                        // the capacity).
+                        let _ = c.get_or_insert_with(&(k % 256), || k);
+                        k = k.wrapping_add(t * 2 + 1);
+                    }
+                });
+            }
+            let mut prev = c.stats();
+            for _ in 0..20_000 {
+                let now = c.stats();
+                let d = now.since(&prev);
+                for (what, v) in
+                    [("hits", d.hits), ("misses", d.misses), ("evictions", d.evictions)]
+                {
+                    assert!(v < u64::MAX / 2, "wrapped-huge {what} delta: {v}");
+                }
+                // The deliberately stale direction saturates to zero.
+                let stale = prev.since(&now);
+                assert_eq!((stale.hits, stale.misses, stale.evictions), (0, 0, 0));
+                prev = now;
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
 }

@@ -33,6 +33,7 @@ use stmaker_io::{
     summary_to_geojson, write_trajectory_csv,
 };
 use stmaker_obs::TraceClock;
+use stmaker_server::{ServeConfig, Server};
 use stmaker_textmine::InvertedIndex;
 use stmaker_trajectory::{sanitize, RawPoint, RawTrajectory, SanitizeConfig, SanitizePolicy};
 
@@ -209,6 +210,7 @@ fn main() -> ExitCode {
             Some("sanitize") => cmd_sanitize(&args[1..], &obs),
             Some("group") => cmd_group(&args[1..], &obs),
             Some("search") => cmd_search(&args[1..], &obs),
+            Some("serve") => cmd_serve(&args[1..], &obs),
             Some("help") | Some("--help") | Some("-h") | None => {
                 print_usage();
                 Ok(())
@@ -242,6 +244,11 @@ fn print_usage() {
          \x20                                          audit/repair a trip file\n  \
          group      --dir DIR [--min-share F]       group summary of every trip in DIR\n  \
          search     --dir DIR --query \"...\" [--top K] keyword search over summaries\n  \
+         serve      --dir DIR [--addr HOST:PORT] [--workers N] [--queue N]\n  \
+         \x20          [--model FILE] [--n-train N]     std-only HTTP server: /summarize,\n  \
+         \x20                                          /summarize_batch, /ingest, /model\n  \
+         \x20                                          (GET + hot-swap POST), /healthz,\n  \
+         \x20                                          /metrics, /shutdown\n  \
          obs diff   BASE.json NEW.json [--threshold X] [--min-base-ms MS]\n  \
          \x20          [--timing-warn-only]             compare two --metrics-json reports;\n  \
          \x20                                          exit 1 on timing regression, 2 on\n  \
@@ -249,6 +256,13 @@ fn print_usage() {
          obs top    TRACE.json [--depth N]           aggregate a --trace-out file into a\n  \
          \x20                                          flamegraph-style text tree\n  \
          help                                        this message\n\n\
+         EXIT CODES:\n  \
+         0   success (including warn-only timing findings)\n  \
+         1   runtime error, or `obs diff` timing regression\n  \
+         2   `obs diff` hard key-loss only (a metric/span present in BASE\n  \
+         \x20    is missing from NEW)\n  \
+         64  usage error (EX_USAGE): unknown/missing arguments, or a report\n  \
+         \x20    or trace file that cannot be read or parsed\n\n\
          GLOBAL OPTIONS:\n  \
          --trace                print a per-stage span/counter table on exit\n  \
          --metrics-json PATH    write the telemetry report as JSON\n  \
@@ -715,21 +729,81 @@ fn cmd_search(args: &[String], obs: &Obs) -> Result<(), String> {
     Ok(())
 }
 
+/// Serves the summarization stack over HTTP until `POST /shutdown`.
+fn cmd_serve(args: &[String], obs: &Obs) -> Result<(), String> {
+    let opts = Opts::new(args);
+    let dir = PathBuf::from(opts.require("--dir")?);
+    let addr = opts.get("--addr").unwrap_or("127.0.0.1:8080").to_owned();
+    let workers: usize = opts.parse("--workers", 0)?;
+    let queue_depth: usize = opts.parse("--queue", 64)?;
+    let n_train: usize = opts.parse("--n-train", 300)?;
+
+    let mut stack = Stack::from_config(load_world_config(&dir)?, obs);
+    // A serving process always publishes `/metrics`: without the global
+    // `--trace`/`--metrics-json` flags the CLI recorder is disabled, so
+    // force one on rather than serving an empty report.
+    if !stack.recorder.is_enabled() {
+        stack.recorder = Recorder::enabled();
+    }
+    let model = match opts.get("--model") {
+        Some(path) => {
+            eprintln!("loading model {path}…");
+            stmaker::TrainedModel::load(path)
+                .map_err(|e| format!("cannot load model {path}: {e}"))?
+        }
+        None => stack.train(n_train).into_model(),
+    };
+    let cfg = ServeConfig {
+        addr,
+        workers,
+        queue_depth,
+        sanitize: obs.sanitize,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(&stack.world.net, &stack.world.registry, model, stack.config(), cfg)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving on http://{} ({} workers, queue {queue_depth}); POST /shutdown to drain",
+        server.local_addr(),
+        server.worker_count(),
+    );
+    server.run();
+    eprintln!("drained");
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // `obs` — offline report/trace tooling. No world, no recorder; reads the
 // files that `--metrics-json` / `--trace-out` wrote.
+//
+// Exit-code contract (documented in USAGE, covered by the exit_codes
+// integration tests):
+//   0  — clean, or findings downgraded by `--timing-warn-only`
+//   1  — timing regression (`obs diff`), or any generic runtime error
+//   2  — hard structural loss ONLY: the new report dropped metrics/spans
+//        the base had (`obs diff`)
+//   64 — usage error (EX_USAGE): bad/missing flags or arguments, or an
+//        unreadable/unparseable report/trace input file. Distinct from 2
+//        so CI can tell "the pipeline lost telemetry" from "the diff was
+//        invoked wrong / fed a bad file".
+
+/// EX_USAGE from BSD sysexits: the command line (or an input file named on
+/// it) was unusable — not a verdict about the data being compared.
+const EXIT_USAGE: u8 = 64;
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::from(EXIT_USAGE)
+}
 
 fn cmd_obs(args: &[String]) -> ExitCode {
     match args.first().map(|s| s.as_str()) {
         Some("diff") => cmd_obs_diff(&args[1..]),
         Some("top") => cmd_obs_top(&args[1..]),
-        _ => {
-            eprintln!(
-                "usage: stmaker-cli obs <diff BASE.json NEW.json [--threshold X] \
-                 [--min-base-ms MS] [--timing-warn-only] | top TRACE.json [--depth N]>"
-            );
-            ExitCode::from(2)
-        }
+        _ => usage_error(
+            "usage: stmaker-cli obs <diff BASE.json NEW.json [--threshold X] \
+             [--min-base-ms MS] [--timing-warn-only] | top TRACE.json [--depth N]>",
+        ),
     }
 }
 
@@ -740,7 +814,9 @@ fn load_report(path: &str) -> Result<stmaker_obs::Report, String> {
 
 /// Compares two `--metrics-json` reports. Exit codes: 0 = clean (or
 /// timing findings under `--timing-warn-only`), 1 = timing regression,
-/// 2 = structural loss (missing metric/span) or unreadable input.
+/// 2 = structural loss (missing metric/span), 64 = usage error including
+/// a missing/unparseable report file — an unreadable input is not a
+/// regression verdict.
 fn cmd_obs_diff(args: &[String]) -> ExitCode {
     let mut paths: Vec<&str> = Vec::new();
     let mut opts = stmaker_obs::DiffOptions::default();
@@ -754,12 +830,10 @@ fn cmd_obs_diff(args: &[String]) -> ExitCode {
             }
             key @ ("--threshold" | "--min-base-ms") => {
                 let Some(v) = args.get(i + 1) else {
-                    eprintln!("error: missing value after {key}");
-                    return ExitCode::from(2);
+                    return usage_error(&format!("missing value after {key}"));
                 };
                 let Ok(parsed) = v.parse::<f64>() else {
-                    eprintln!("error: bad value for {key}: {v:?}");
-                    return ExitCode::from(2);
+                    return usage_error(&format!("bad value for {key}: {v:?}"));
                 };
                 if key == "--threshold" {
                     opts.threshold = parsed;
@@ -775,15 +849,14 @@ fn cmd_obs_diff(args: &[String]) -> ExitCode {
         }
     }
     let [base_path, new_path] = paths[..] else {
-        eprintln!("usage: stmaker-cli obs diff BASE.json NEW.json");
-        return ExitCode::from(2);
+        return usage_error("usage: stmaker-cli obs diff BASE.json NEW.json");
     };
+    // An input that cannot be read or parsed is a usage error, NOT exit 2:
+    // 2 is the "hard key-loss" verdict, and conflating the two would let a
+    // typo'd path masquerade as a telemetry regression in CI.
     let (base, new) = match (load_report(base_path), load_report(new_path)) {
         (Ok(b), Ok(n)) => (b, n),
-        (Err(e), _) | (_, Err(e)) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
-        }
+        (Err(e), _) | (_, Err(e)) => return usage_error(&e),
     };
     print!("{}", stmaker_obs::render_deltas(&base, &new));
     let findings = stmaker_obs::diff(&base, &new, &opts);
@@ -899,12 +972,10 @@ fn cmd_obs_top(args: &[String]) -> ExitCode {
         match args[i].as_str() {
             "--depth" => {
                 let Some(v) = args.get(i + 1) else {
-                    eprintln!("error: missing value after --depth");
-                    return ExitCode::from(2);
+                    return usage_error("missing value after --depth");
                 };
                 let Ok(parsed) = v.parse::<usize>() else {
-                    eprintln!("error: bad value for --depth: {v:?}");
-                    return ExitCode::from(2);
+                    return usage_error(&format!("bad value for --depth: {v:?}"));
                 };
                 depth = parsed;
                 i += 2;
@@ -916,24 +987,17 @@ fn cmd_obs_top(args: &[String]) -> ExitCode {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: stmaker-cli obs top TRACE.json [--depth N]");
-        return ExitCode::from(2);
+        return usage_error("usage: stmaker-cli obs top TRACE.json [--depth N]");
     };
     let body = match std::fs::read_to_string(&path) {
         Ok(b) => b,
-        Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
-            return ExitCode::from(2);
-        }
+        Err(e) => return usage_error(&format!("cannot read {path}: {e}")),
     };
     match top_tree(&body, depth) {
         Ok(text) => {
             print!("{text}");
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("error: {path}: {e}");
-            ExitCode::from(2)
-        }
+        Err(e) => usage_error(&format!("{path}: {e}")),
     }
 }

@@ -13,6 +13,16 @@
 //!
 //! Values are stored as `Arc` slices so a hit is a probe plus a
 //! refcount bump — no `Vec` clone on the hot path.
+//!
+//! **One cache, one model.** The purity argument above holds only against
+//! a single immutable [`crate::TrainedModel`]: entries are keyed by
+//! landmark pair, *not* by model identity, and negative answers (`None`
+//! routes/values) are memoized too. A `CachedRoutes` must therefore live
+//! and die with exactly one model generation — the model-swap paths
+//! (`Summarizer::swap_model`, `set_config`, the serving layer's hot-swap
+//! slot) install a fresh cache in the same step as the new model, so a
+//! swapped-in model can never be answered from the previous model's
+//! entries. See DESIGN.md §15.
 
 use std::sync::Arc;
 

@@ -152,6 +152,16 @@ pub enum SummarizeError {
         /// Number of segments available.
         max: usize,
     },
+    /// A model trained against a registry of a different size was offered
+    /// to [`Summarizer::try_from_model`] / [`Summarizer::swap_model`].
+    /// Landmark ids are positional, so accepting it would silently rename
+    /// every landmark.
+    ModelMismatch {
+        /// Registry size the model was trained against.
+        model: usize,
+        /// Size of the registry the summarizer is bound to.
+        registry: usize,
+    },
 }
 
 impl std::fmt::Display for SummarizeError {
@@ -161,6 +171,13 @@ impl std::fmt::Display for SummarizeError {
             SummarizeError::Calibration(e) => write!(f, "calibration failed: {e}"),
             SummarizeError::InvalidK { k, max } => {
                 write!(f, "cannot split {max} segment(s) into {k} partition(s)")
+            }
+            SummarizeError::ModelMismatch { model, registry } => {
+                write!(
+                    f,
+                    "model was trained against a {model}-landmark registry, \
+                     got {registry} landmarks"
+                )
             }
         }
     }
@@ -290,6 +307,18 @@ fn build_route_cache(cfg: &SummarizerConfig) -> Option<Arc<CachedRoutes>> {
     (cfg.route_cache > 0).then(|| Arc::new(CachedRoutes::new(cfg.route_cache)))
 }
 
+/// Checks that `model` was trained against a registry of `registry`'s size
+/// (0 = legacy model, check skipped).
+fn check_model(model: &TrainedModel, registry: &LandmarkRegistry) -> Result<(), SummarizeError> {
+    if model.registry_len != 0 && model.registry_len != registry.len() {
+        return Err(SummarizeError::ModelMismatch {
+            model: model.registry_len,
+            registry: registry.len(),
+        });
+    }
+    Ok(())
+}
+
 impl<'a> Summarizer<'a> {
     /// Trains a summarizer: calibrates every training trajectory, mines
     /// popular routes, and builds the historical feature map (including
@@ -401,16 +430,62 @@ impl<'a> Summarizer<'a> {
         weights: FeatureWeights,
         cfg: SummarizerConfig,
     ) -> Self {
-        assert_eq!(weights.as_slice().len(), features.len(), "weights must match feature set");
         assert!(
             model.registry_len == 0 || model.registry_len == registry.len(),
             "model was trained against a {}-landmark registry, got {} landmarks",
             model.registry_len,
             registry.len()
         );
+        Self::assemble(net, registry, model, features, weights, cfg)
+    }
+
+    /// Fallible [`Self::from_model`]: a registry-size mismatch is a
+    /// [`SummarizeError::ModelMismatch`] instead of a panic — the form a
+    /// serving process loading operator-supplied model files wants.
+    pub fn try_from_model(
+        net: &'a RoadNetwork,
+        registry: &'a LandmarkRegistry,
+        model: TrainedModel,
+        features: FeatureSet,
+        weights: FeatureWeights,
+        cfg: SummarizerConfig,
+    ) -> Result<Self, SummarizeError> {
+        check_model(&model, registry)?;
+        Ok(Self::assemble(net, registry, model, features, weights, cfg))
+    }
+
+    fn assemble(
+        net: &'a RoadNetwork,
+        registry: &'a LandmarkRegistry,
+        model: TrainedModel,
+        features: FeatureSet,
+        weights: FeatureWeights,
+        cfg: SummarizerConfig,
+    ) -> Self {
+        assert_eq!(weights.as_slice().len(), features.len(), "weights must match feature set");
         let matcher = MapMatcher::with_index(net, cfg.matching, cfg.spatial_index);
         let route_cache = build_route_cache(&cfg);
         Self { net, registry, matcher, features, weights, cfg, model, route_cache }
+    }
+
+    /// Replaces the trained model in place — the hot-swap primitive the
+    /// serving layer builds on. The route cache memoizes pure functions of
+    /// the *outgoing* model (including negative answers: pairs it had no
+    /// route for), so a fresh cache is installed in the same step; keeping
+    /// the old entries would silently answer queries from the previous
+    /// model. Rejects a model trained against a different-sized registry.
+    pub fn swap_model(&mut self, model: TrainedModel) -> Result<(), SummarizeError> {
+        check_model(&model, self.registry)?;
+        self.route_cache = build_route_cache(&self.cfg);
+        self.model = model;
+        Ok(())
+    }
+
+    /// Consumes the summarizer, handing back its trained model (what a
+    /// trainer process ships to serving processes without a JSON round
+    /// trip).
+    pub fn into_model(self) -> TrainedModel {
+        self.model
     }
 
     /// The trained historical model.
@@ -906,6 +981,11 @@ mod tests {
         let e: SummarizeError = stmaker_calibration::CalibrationError::TooFewLandmarks(1).into();
         assert!(e.to_string().contains("calibration failed"));
         assert!(e.to_string().contains("need at least 2"));
+        let e = SummarizeError::ModelMismatch { model: 12, registry: 40 };
+        assert_eq!(
+            e.to_string(),
+            "model was trained against a 12-landmark registry, got 40 landmarks"
+        );
     }
 
     #[test]

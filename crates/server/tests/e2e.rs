@@ -1,0 +1,483 @@
+//! End-to-end tests against a live `stmaker-server` on a loopback socket:
+//! concurrency byte-identity with the CLI serving path, model hot-swap
+//! cache-staleness regression, admission control, streaming ingest, and
+//! graceful shutdown.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use stmaker::{
+    standard_features, FeatureWeights, Recorder, Summarizer, SummarizerConfig, TrainedModel,
+};
+use stmaker_generator::{TripConfig, TripGenerator, World, WorldConfig};
+use stmaker_io::{read_trajectory_csv, write_trajectory_csv};
+use stmaker_server::{ServeConfig, Server};
+use stmaker_trajectory::RawPoint;
+
+// -- fixtures ---------------------------------------------------------------
+
+struct Fixture {
+    world: World,
+    /// Trip bodies exactly as a client would POST them (CSV text).
+    trip_csvs: Vec<String>,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let world = World::generate(WorldConfig::small(77));
+        let gen = TripGenerator::new(&world, TripConfig::default());
+        let trip_csvs = gen
+            .generate_corpus(6, 2002)
+            .into_iter()
+            .map(|t| write_trajectory_csv(&t.raw))
+            .collect();
+        Self { world, trip_csvs }
+    }
+
+    fn train(&self, n: usize, seed: u64) -> TrainedModel {
+        let gen = TripGenerator::new(&self.world, TripConfig::default());
+        let corpus: Vec<_> = gen.generate_corpus(n, seed).into_iter().map(|t| t.raw).collect();
+        let features = standard_features();
+        let weights = FeatureWeights::uniform(&features);
+        Summarizer::train(
+            &self.world.net,
+            &self.world.registry,
+            &corpus,
+            features,
+            weights,
+            SummarizerConfig::default(),
+        )
+        .into_model()
+    }
+
+    fn summarizer(&self, model: TrainedModel, cfg: SummarizerConfig) -> Summarizer<'_> {
+        let features = standard_features();
+        let weights = FeatureWeights::uniform(&features);
+        Summarizer::try_from_model(
+            &self.world.net,
+            &self.world.registry,
+            model,
+            features,
+            weights,
+            cfg,
+        )
+        .expect("registry matches")
+    }
+
+    /// What the CLI path would print for each trip CSV (text + newline),
+    /// or None where summarization errors.
+    fn reference_texts(&self, summarizer: &Summarizer<'_>) -> Vec<Option<String>> {
+        self.trip_csvs
+            .iter()
+            .map(|csv| {
+                let points = read_trajectory_csv(csv).expect("fixture parses").points().to_vec();
+                summarizer.summarize_points(&points).ok().map(|s| format!("{}\n", s.text))
+            })
+            .collect()
+    }
+}
+
+/// Runs `server` on scoped threads, passes the bound address to `f`, and
+/// guarantees a drain even when `f` panics (otherwise the scope would
+/// never join and the test would hang instead of failing).
+fn with_running<'w, F: FnOnce(SocketAddr)>(server: &Server<'w>, f: F) {
+    struct Drain<'a, 'w>(&'a Server<'w>);
+    impl Drop for Drain<'_, '_> {
+        fn drop(&mut self) {
+            self.0.shutdown();
+        }
+    }
+    std::thread::scope(|s| {
+        s.spawn(|| server.run());
+        let _drain = Drain(server);
+        f(server.local_addr());
+    });
+}
+
+// -- tiny HTTP client -------------------------------------------------------
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let head =
+        format!("{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n", body.len());
+    s.write_all(head.as_bytes()).expect("write head");
+    s.write_all(body).expect("write body");
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).expect("read response");
+    let text_end = raw.windows(4).position(|w| w == b"\r\n\r\n").expect("response head");
+    let status: u16 = std::str::from_utf8(&raw[..text_end])
+        .expect("ascii head")
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, raw[text_end + 4..].to_vec())
+}
+
+fn body_text(body: &[u8]) -> String {
+    String::from_utf8(body.to_vec()).expect("utf-8 body")
+}
+
+// -- tests ------------------------------------------------------------------
+
+/// Satellite 4: N client threads against `/summarize` and
+/// `/summarize_batch` get bytes identical to the sequential CLI path, at
+/// threads 1/2/4, with and without the route cache.
+#[test]
+fn concurrent_clients_get_cli_identical_bytes() {
+    let fx = Fixture::new();
+    let reference = {
+        let summarizer = fx.summarizer(fx.train(60, 1001), SummarizerConfig::default());
+        fx.reference_texts(&summarizer)
+    };
+    let batch_body: String = fx.trip_csvs.join("\n");
+    let batch_reference: String = reference
+        .iter()
+        .map(|r| match r {
+            Some(text) => text.clone(),
+            None => "error".to_owned(), // prefix-checked below
+        })
+        .collect();
+
+    for threads in [1usize, 2, 4] {
+        for route_cache in [0usize, 64] {
+            let base_cfg =
+                SummarizerConfig::default().with_threads(threads).with_route_cache(route_cache);
+            let server = Server::bind(
+                &fx.world.net,
+                &fx.world.registry,
+                fx.train(60, 1001),
+                base_cfg,
+                ServeConfig::default(),
+            )
+            .expect("bind");
+            with_running(&server, |addr| {
+                std::thread::scope(|s| {
+                    for _client in 0..3 {
+                        s.spawn(|| {
+                            for (csv, expect) in fx.trip_csvs.iter().zip(&reference) {
+                                let (status, body) =
+                                    request(addr, "POST", "/summarize", csv.as_bytes());
+                                match expect {
+                                    Some(text) => {
+                                        assert_eq!(status, 200, "{}", body_text(&body));
+                                        assert_eq!(&body_text(&body), text);
+                                    }
+                                    None => assert_eq!(status, 422),
+                                }
+                            }
+                        });
+                    }
+                });
+                // Trips separated by blank lines; one line per trip, index
+                // aligned, errors inline.
+                let (status, body) =
+                    request(addr, "POST", "/summarize_batch", batch_body.as_bytes());
+                assert_eq!(status, 200);
+                let got = body_text(&body);
+                for (line, expect) in got.lines().zip(batch_reference.lines()) {
+                    if expect == "error" {
+                        assert!(line.starts_with("error:"), "{line}");
+                    } else {
+                        assert_eq!(line, expect, "threads={threads} cache={route_cache}");
+                    }
+                }
+                assert_eq!(got.lines().count(), fx.trip_csvs.len());
+            });
+        }
+    }
+}
+
+/// Satellite 1 over the wire: a hot-swapped model must never be answered
+/// from the previous generation's memoized route entries (negative
+/// answers included). Post-swap responses are compared byte-for-byte
+/// against a cold-cache summarizer built from the same new model.
+#[test]
+fn hot_swap_serves_cold_cache_bytes() {
+    let fx = Fixture::new();
+    let model_a = fx.train(60, 1001);
+    let model_b = fx.train(8, 5005);
+    let model_b_json = model_b.to_json();
+
+    let cold_b = {
+        let summarizer =
+            fx.summarizer(fx.train(8, 5005), SummarizerConfig::default().with_route_cache(64));
+        fx.reference_texts(&summarizer)
+    };
+    let warm_a = {
+        let summarizer = fx.summarizer(model_a, SummarizerConfig::default().with_route_cache(64));
+        fx.reference_texts(&summarizer)
+    };
+    assert_ne!(warm_a, cold_b, "models must disagree for the test to have teeth");
+
+    let server = Server::bind(
+        &fx.world.net,
+        &fx.world.registry,
+        fx.train(60, 1001),
+        SummarizerConfig::default().with_route_cache(64),
+        ServeConfig::default(),
+    )
+    .expect("bind");
+    with_running(&server, |addr| {
+        // Warm generation A's cache: every trip twice, so the second pass
+        // is served from memoized entries (misses memoize negatives too).
+        for _pass in 0..2 {
+            for (csv, expect) in fx.trip_csvs.iter().zip(&warm_a) {
+                let (status, body) = request(addr, "POST", "/summarize", csv.as_bytes());
+                if let Some(text) = expect {
+                    assert_eq!((status, body_text(&body)), (200, text.clone()));
+                }
+            }
+        }
+        let (status, body) = request(addr, "POST", "/model", model_b_json.as_bytes());
+        assert_eq!(status, 200, "{}", body_text(&body));
+        assert!(body_text(&body).contains("\"model_version\": 2"));
+        let (status, body) = request(addr, "GET", "/healthz", b"");
+        assert_eq!(status, 200);
+        assert!(body_text(&body).contains("\"model_version\": 2"), "{}", body_text(&body));
+
+        for (csv, expect) in fx.trip_csvs.iter().zip(&cold_b) {
+            let (status, body) = request(addr, "POST", "/summarize", csv.as_bytes());
+            match expect {
+                Some(text) => assert_eq!((status, body_text(&body)), (200, text.clone())),
+                None => assert_eq!(status, 422),
+            }
+        }
+
+        // A model for a different registry is a typed 422, not a swap.
+        let mut bad = fx.train(8, 5005);
+        bad.registry_len += 1;
+        let (status, body) = request(addr, "POST", "/model", bad.to_json().as_bytes());
+        assert_eq!(status, 422);
+        assert!(body_text(&body).contains("registry"), "{}", body_text(&body));
+    });
+}
+
+/// Admission control: with one worker wedged and the depth-1 queue
+/// occupied, the accept loop answers 429 immediately.
+#[test]
+fn full_queue_answers_429() {
+    let fx = Fixture::new();
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        io_timeout: Duration::from_secs(2),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(
+        &fx.world.net,
+        &fx.world.registry,
+        fx.train(20, 1001),
+        SummarizerConfig::default(),
+        cfg,
+    )
+    .expect("bind");
+    with_running(&server, |addr| {
+        // Wedge the only worker: a half-written request holds it in the
+        // body read until the io timeout.
+        let mut held1 = TcpStream::connect(addr).expect("held1");
+        held1.write_all(b"POST /summarize HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").expect("w");
+        std::thread::sleep(Duration::from_millis(300));
+        // Occupy the single queue slot the same way.
+        let mut held2 = TcpStream::connect(addr).expect("held2");
+        held2.write_all(b"POST /summarize HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").expect("w");
+        std::thread::sleep(Duration::from_millis(300));
+
+        let (status, body) = request(addr, "GET", "/healthz", b"");
+        assert_eq!(status, 429, "{}", body_text(&body));
+        assert!(body_text(&body).contains("queue"), "{}", body_text(&body));
+    });
+}
+
+/// `POST /shutdown` drains: the response arrives, `run` returns (the
+/// harness scope joins), and the listener stops accepting.
+#[test]
+fn shutdown_endpoint_drains_cleanly() {
+    let fx = Fixture::new();
+    let server = Server::bind(
+        &fx.world.net,
+        &fx.world.registry,
+        fx.train(20, 1001),
+        SummarizerConfig::default(),
+        ServeConfig::default(),
+    )
+    .expect("bind");
+    let mut addr_out = None;
+    with_running(&server, |addr| {
+        let (status, body) = request(addr, "GET", "/healthz", b"");
+        assert_eq!(status, 200, "{}", body_text(&body));
+        let (status, body) = request(addr, "POST", "/shutdown", b"");
+        assert_eq!(status, 200);
+        assert!(body_text(&body).contains("draining"));
+        addr_out = Some(addr);
+    });
+    // The scope joined, so run() returned. The kernel may still complete
+    // handshakes against the listen backlog until the Server drops, but
+    // nobody serves them: a post-drain request must never get an answer.
+    let addr = addr_out.expect("addr");
+    std::thread::sleep(Duration::from_millis(50));
+    match TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+        Err(_) => {} // listener already gone — even better
+        Ok(mut s) => {
+            s.set_read_timeout(Some(Duration::from_millis(300))).expect("timeout");
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+            let mut buf = Vec::new();
+            let got = s.read_to_end(&mut buf);
+            assert!(
+                got.is_err() || buf.is_empty(),
+                "drained server still answered: {:?}",
+                String::from_utf8_lossy(&buf)
+            );
+        }
+    }
+}
+
+/// `/ingest` sessions: chunked pushes replay deterministically, defective
+/// samples are dropped and counted, and `finish=1` returns the same text
+/// as a one-shot summarize of the accepted points.
+#[test]
+fn ingest_session_replays_and_finishes() {
+    let fx = Fixture::new();
+    let model = fx.train(60, 1001);
+    let reference = {
+        let summarizer = fx.summarizer(fx.train(60, 1001), SummarizerConfig::default());
+        let points: Vec<RawPoint> =
+            read_trajectory_csv(&fx.trip_csvs[0]).expect("parses").points().to_vec();
+        summarizer.summarize_points(&points).expect("summarizes").text
+    };
+    let server = Server::bind(
+        &fx.world.net,
+        &fx.world.registry,
+        model,
+        SummarizerConfig::default(),
+        ServeConfig::default(),
+    )
+    .expect("bind");
+    with_running(&server, |addr| {
+        let csv = &fx.trip_csvs[0];
+        let lines: Vec<&str> = csv.lines().collect();
+        let (header, rows) = (lines[0], &lines[1..]);
+        let mid = rows.len() / 2;
+        // Chunk 1, plus one defective and one out-of-order row that the
+        // stream must drop (not reject).
+        let chunk1 = format!("{header}\n{}\n999.0,0.0,12\n{}\n", rows[..mid].join("\n"), rows[0]);
+        let (status, body) = request(addr, "POST", "/ingest?session=trip-0", chunk1.as_bytes());
+        assert_eq!(status, 200, "{}", body_text(&body));
+        let text = body_text(&body);
+        assert!(text.contains("\"dropped_invalid\": 1"), "{text}");
+        assert!(text.contains("\"dropped_out_of_order\": 1"), "{text}");
+        assert!(text.contains("\"finished\": false"), "{text}");
+
+        let chunk2 = format!("{header}\n{}\n", rows[mid..].join("\n"));
+        let (status, body) =
+            request(addr, "POST", "/ingest?session=trip-0&finish=1", chunk2.as_bytes());
+        assert_eq!(status, 200, "{}", body_text(&body));
+        let text = body_text(&body);
+        assert!(text.contains("\"finished\": true"), "{text}");
+        let expected = format!("\"summary\": \"{reference}\"");
+        assert!(text.contains(&expected), "final summary must match one-shot:\n{text}");
+
+        // The session is gone: finishing it again is a 404.
+        let (status, _) = request(addr, "POST", "/ingest?session=trip-0&finish=1", b"");
+        assert_eq!(status, 404);
+        // Bad session names are a 400.
+        let (status, _) = request(addr, "POST", "/ingest?session=..%2Fetc", b"");
+        assert_eq!(status, 400);
+    });
+}
+
+/// `/metrics` serves the obs report: valid JSON under the schema
+/// validator, with the serve.* counters moving.
+#[test]
+fn metrics_reports_serve_counters() {
+    let fx = Fixture::new();
+    let server = Server::bind(
+        &fx.world.net,
+        &fx.world.registry,
+        fx.train(20, 1001),
+        SummarizerConfig::default().with_recorder(Recorder::enabled()),
+        ServeConfig::default(),
+    )
+    .expect("bind");
+    with_running(&server, |addr| {
+        let (status, _) = request(addr, "GET", "/healthz", b"");
+        assert_eq!(status, 200);
+        let (status, body) = request(addr, "POST", "/summarize", fx.trip_csvs[0].as_bytes());
+        assert_eq!(status, 200);
+        let (status, body2) = request(addr, "GET", "/metrics", b"");
+        assert_eq!(status, 200);
+        let json = body_text(&body2);
+        let names = stmaker_obs::report::validate_json(&json).expect("metrics validate");
+        assert!(names.contains("serve.request"), "{names:?}");
+        let report = stmaker_obs::Report::from_json(&json).expect("parses");
+        assert!(report.counters.get("serve.requests").copied().unwrap_or(0) >= 2, "{report:?}");
+        assert!(report.counters.get("serve.responses_ok").copied().unwrap_or(0) >= 2);
+        assert!(report.counters.get("serve.bytes_out").copied().unwrap_or(0) > body.len() as u64);
+        assert!(report.histograms.contains_key("serve.request_ms"), "latency histogram");
+        assert!(report.gauges.contains_key("serve.model_version"));
+    });
+}
+
+/// Per-request sanitize override: a defective body is a typed 422 under
+/// strict parsing and a 200 under `?sanitize=repair`.
+#[test]
+fn sanitize_is_per_request() {
+    let fx = Fixture::new();
+    let server = Server::bind(
+        &fx.world.net,
+        &fx.world.registry,
+        fx.train(60, 1001),
+        SummarizerConfig::default(),
+        ServeConfig::default(),
+    )
+    .expect("bind");
+    with_running(&server, |addr| {
+        // Inject an out-of-range row into an otherwise good trip.
+        let csv = &fx.trip_csvs[0];
+        let lines: Vec<&str> = csv.lines().collect();
+        let defective = format!(
+            "{}\n{}\n99.0,0.0,999999\n{}\n",
+            lines[0],
+            lines[1..4].join("\n"),
+            lines[4..].join("\n"),
+        );
+        let (status, body) = request(addr, "POST", "/summarize", defective.as_bytes());
+        assert_eq!(status, 422, "strict default must refuse: {}", body_text(&body));
+        let (status, body) =
+            request(addr, "POST", "/summarize?sanitize=repair", defective.as_bytes());
+        assert_eq!(status, 200, "repair must serve: {}", body_text(&body));
+        let (status, _) = request(addr, "POST", "/summarize?sanitize=bogus", b"x");
+        assert_eq!(status, 400);
+    });
+}
+
+/// Routing edges: unknown path 404, wrong method 405, bad params 400.
+#[test]
+fn routing_rejects_are_typed() {
+    let fx = Fixture::new();
+    let server = Server::bind(
+        &fx.world.net,
+        &fx.world.registry,
+        fx.train(20, 1001),
+        SummarizerConfig::default(),
+        ServeConfig::default(),
+    )
+    .expect("bind");
+    with_running(&server, |addr| {
+        let (status, _) = request(addr, "GET", "/nope", b"");
+        assert_eq!(status, 404);
+        let (status, _) = request(addr, "GET", "/summarize", b"");
+        assert_eq!(status, 405);
+        let (status, _) = request(addr, "POST", "/healthz", b"");
+        assert_eq!(status, 405);
+        let (status, _) = request(addr, "POST", "/summarize?k=many", b"x");
+        assert_eq!(status, 400);
+        let (status, _) = request(addr, "POST", "/ingest", b"");
+        assert_eq!(status, 400);
+        let (status, body) = request(addr, "POST", "/model", b"not json");
+        assert_eq!(status, 422, "{}", body_text(&body));
+    });
+}

@@ -27,7 +27,7 @@ use crate::lexer::TokKind;
 
 /// Crates subject to L6 (all hold or wrap locks, except `geo`, which is
 /// kept in the lane so a lock can never creep into the hot spatial index).
-const LOCK_CRATES: &[&str] = &["cache", "exec", "core", "obs", "geo"];
+const LOCK_CRATES: &[&str] = &["cache", "exec", "core", "obs", "geo", "server"];
 
 /// Methods that take a closure and run it inline on the receiver chain.
 const CLOSURE_TAKERS: &[&str] =
