@@ -1,0 +1,216 @@
+//! Columnar-IO benchmark: STC1 binary containers vs. the CSV and JSONL
+//! text formats, on the two paths the format exists for (DESIGN.md §16):
+//!
+//! * **ingest** — parsing a trip corpus back into `RawTrajectory`s, the
+//!   per-request cost of `summarize_batch` bodies and the startup cost of
+//!   `train --dir`;
+//! * **model load** — deserializing a `TrainedModel`, the cost a serving
+//!   process pays at boot and on every `POST /model` hot-swap.
+//!
+//! Asserted here (and mirrored by the `end_to_end` test
+//! `stc_model_round_trip_is_byte_identical_across_thread_counts`):
+//!
+//! * STC-decoded trips and models are **exactly** equal to what the text
+//!   paths produce — same f64 bits, same timestamps, same canonical model
+//!   JSON;
+//! * at full scale, STC ingest is ≥ 5× faster than CSV parse and STC
+//!   model load is ≥ 10× faster than JSON model load
+//!   (`STMAKER_BENCH_SMOKE=1` shrinks the corpus for CI and skips the
+//!   timing assertions, which would be noise on a shared runner).
+//!
+//! Results land — as `bench.io.*` gauges plus the `io.*` work counters in
+//! the shared `stmaker-obs` report schema — in `BENCH_io.json` (override
+//! with `STMAKER_OBS_OUT`); `cargo xtask obs-schema BENCH_io.json`
+//! validates them. Like the other report-producing benches this is a plain
+//! `harness = false` binary: the deliverable is the report file, not a
+//! Criterion estimate.
+
+use std::time::Instant;
+
+use stmaker::{standard_features, FeatureWeights, Summarizer, SummarizerConfig, TrainedModel};
+use stmaker_eval::{ExperimentScale, Harness};
+use stmaker_io::{
+    read_model_stc, read_trajectory_csv, read_trajectory_jsonl, read_trips_stc, write_model_stc,
+    write_trajectory_csv, write_trajectory_jsonl, write_trips_stc,
+};
+use stmaker_trajectory::RawTrajectory;
+
+fn main() {
+    let smoke = std::env::var("STMAKER_BENCH_SMOKE").is_ok();
+    let scale = if smoke {
+        let mut s = ExperimentScale::quick();
+        s.n_train = 120;
+        s.n_test = 60;
+        s
+    } else {
+        ExperimentScale::full()
+    };
+    let passes: usize = if smoke { 2 } else { 7 };
+
+    let h = Harness::new(scale);
+    // The ingest corpus is everything the harness generated: the training
+    // trips plus the test trips, the same trajectories the other benches
+    // push through the pipeline.
+    let mut trips: Vec<RawTrajectory> = h.train_raw();
+    trips.extend(h.test.iter().map(|t| t.raw.clone()));
+    let n_points: usize = trips.iter().map(RawTrajectory::len).sum();
+
+    let obs = stmaker_obs::Recorder::enabled();
+    let host_cpus =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    obs.gauge("bench.host_cpus", host_cpus as f64); // cast-ok: CPU count
+    obs.gauge("bench.io.trips", trips.len() as f64); // cast-ok: corpus size
+    obs.gauge("bench.io.points", n_points as f64); // cast-ok: corpus size
+    obs.gauge("bench.io.passes", passes as f64); // cast-ok: pass count
+
+    // ── Encode once, in all three formats ────────────────────────────
+    let csv_docs: Vec<String> = trips.iter().map(write_trajectory_csv).collect();
+    let jsonl_docs: Vec<String> = trips.iter().map(write_trajectory_jsonl).collect();
+    let stc_bytes = write_trips_stc(&trips);
+    let csv_total: usize = csv_docs.iter().map(String::len).sum();
+    let jsonl_total: usize = jsonl_docs.iter().map(String::len).sum();
+    obs.gauge("bench.io.ingest.csv_bytes", csv_total as f64); // cast-ok: byte size
+    obs.gauge("bench.io.ingest.jsonl_bytes", jsonl_total as f64); // cast-ok: byte size
+    obs.gauge("bench.io.ingest.stc_bytes", stc_bytes.len() as f64); // cast-ok: byte size
+
+    // The decoded container must be exactly the input — f64 bits and
+    // timestamps included — or the speedup would be measuring a different
+    // (lossier) job than the text parsers do.
+    let decoded = read_trips_stc(&stc_bytes).expect("own encoding decodes");
+    assert_eq!(decoded, trips, "STC round-trip must be exact");
+    drop(decoded);
+
+    // ── Ingest: parse-everything passes, interleaved, min-scored ─────
+    // Interleaving format by format pass by pass and keeping each format's
+    // minimum is the noise-robust estimator on a shared runner, where one
+    // background hiccup can double any single pass.
+    let parse_csv = || -> usize {
+        csv_docs.iter().map(|d| read_trajectory_csv(d).expect("fixture parses").len()).sum()
+    };
+    let parse_jsonl = || -> usize {
+        jsonl_docs.iter().map(|d| read_trajectory_jsonl(d).expect("fixture parses").len()).sum()
+    };
+    let parse_stc = || -> usize {
+        read_trips_stc(&stc_bytes).expect("fixture decodes").iter().map(RawTrajectory::len).sum()
+    };
+    let (mut csv_ms, mut jsonl_ms, mut stc_ms) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..passes {
+        // lint: wallclock — benchmark harness: wall time is the measured quantity by design
+        let t0 = Instant::now();
+        assert_eq!(parse_csv(), n_points);
+        csv_ms = csv_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        // lint: wallclock — benchmark harness: wall time is the measured quantity by design
+        let t1 = Instant::now();
+        assert_eq!(parse_jsonl(), n_points);
+        jsonl_ms = jsonl_ms.min(t1.elapsed().as_secs_f64() * 1e3);
+        // lint: wallclock — benchmark harness: wall time is the measured quantity by design
+        let t2 = Instant::now();
+        assert_eq!(parse_stc(), n_points);
+        stc_ms = stc_ms.min(t2.elapsed().as_secs_f64() * 1e3);
+    }
+    let speedup_csv = if stc_ms > 0.0 { csv_ms / stc_ms } else { 1.0 };
+    let speedup_jsonl = if stc_ms > 0.0 { jsonl_ms / stc_ms } else { 1.0 };
+    obs.gauge("bench.io.ingest.csv_ms", csv_ms);
+    obs.gauge("bench.io.ingest.jsonl_ms", jsonl_ms);
+    obs.gauge("bench.io.ingest.stc_ms", stc_ms);
+    obs.gauge("bench.io.ingest.speedup_csv", speedup_csv);
+    obs.gauge("bench.io.ingest.speedup_jsonl", speedup_jsonl);
+    println!(
+        "ingest {} trips / {} points: csv {csv_ms:.1} ms, jsonl {jsonl_ms:.1} ms, \
+         stc {stc_ms:.1} ms ({speedup_csv:.1}x vs csv, {speedup_jsonl:.1}x vs jsonl)",
+        trips.len(),
+        n_points,
+    );
+
+    // The io.* work counters the CLI's `convert` emits, so
+    // `obs-schema --require-counters io.*` holds on this report too. One
+    // read of each encoding plus the one STC write above.
+    obs.add("io.trips_read", 3 * trips.len() as u64);
+    obs.add("io.points_read", 3 * n_points as u64);
+    obs.add("io.bytes_read", (csv_total + jsonl_total + stc_bytes.len()) as u64);
+    obs.add("io.trips_written", trips.len() as u64);
+    obs.add("io.points_written", n_points as u64);
+    obs.add("io.bytes_written", stc_bytes.len() as u64);
+
+    // ── Model save/load: canonical JSON vs. STC1 ─────────────────────
+    let raws = h.train_raw();
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let model = Summarizer::train(
+        &h.world.net,
+        &h.world.registry,
+        &raws,
+        features,
+        weights,
+        SummarizerConfig::default(),
+    )
+    .into_model();
+
+    let model_json = model.to_json();
+    let model_stc = write_model_stc(&model);
+    obs.gauge("bench.io.model.json_bytes", model_json.len() as f64); // cast-ok: byte size
+    obs.gauge("bench.io.model.stc_bytes", model_stc.len() as f64); // cast-ok: byte size
+    let revived = read_model_stc(&model_stc).expect("own encoding decodes");
+    assert_eq!(revived.to_json(), model_json, "STC model round-trip must be JSON-canonical");
+    drop(revived);
+
+    let (mut json_save_ms, mut stc_save_ms) = (f64::INFINITY, f64::INFINITY);
+    let (mut json_load_ms, mut stc_load_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..passes {
+        // lint: wallclock — benchmark harness: wall time is the measured quantity by design
+        let t0 = Instant::now();
+        assert_eq!(model.to_json().len(), model_json.len());
+        json_save_ms = json_save_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        // lint: wallclock — benchmark harness: wall time is the measured quantity by design
+        let t1 = Instant::now();
+        assert_eq!(write_model_stc(&model).len(), model_stc.len());
+        stc_save_ms = stc_save_ms.min(t1.elapsed().as_secs_f64() * 1e3);
+        // lint: wallclock — benchmark harness: wall time is the measured quantity by design
+        let t2 = Instant::now();
+        let m = TrainedModel::from_json(&model_json).expect("canonical JSON parses");
+        json_load_ms = json_load_ms.min(t2.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(m.n_trained, model.n_trained);
+        // lint: wallclock — benchmark harness: wall time is the measured quantity by design
+        let t3 = Instant::now();
+        let m = read_model_stc(&model_stc).expect("own encoding decodes");
+        stc_load_ms = stc_load_ms.min(t3.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(m.n_trained, model.n_trained);
+    }
+    let load_speedup = if stc_load_ms > 0.0 { json_load_ms / stc_load_ms } else { 1.0 };
+    let save_speedup = if stc_save_ms > 0.0 { json_save_ms / stc_save_ms } else { 1.0 };
+    obs.gauge("bench.io.model.json_save_ms", json_save_ms);
+    obs.gauge("bench.io.model.stc_save_ms", stc_save_ms);
+    obs.gauge("bench.io.model.json_load_ms", json_load_ms);
+    obs.gauge("bench.io.model.stc_load_ms", stc_load_ms);
+    obs.gauge("bench.io.model.load_speedup", load_speedup);
+    obs.gauge("bench.io.model.save_speedup", save_speedup);
+    println!(
+        "model ({} KiB json / {} KiB stc): save json {json_save_ms:.2} ms vs stc \
+         {stc_save_ms:.2} ms ({save_speedup:.1}x); load json {json_load_ms:.2} ms vs stc \
+         {stc_load_ms:.2} ms ({load_speedup:.1}x)",
+        model_json.len() / 1024,
+        model_stc.len() / 1024,
+    );
+
+    if !smoke {
+        assert!(
+            speedup_csv >= 5.0,
+            "STC ingest speedup over CSV {speedup_csv:.2}x below the 5x bar"
+        );
+        assert!(
+            load_speedup >= 10.0,
+            "STC model-load speedup over JSON {load_speedup:.2}x below the 10x bar"
+        );
+    }
+
+    let report = obs.report();
+    println!("\n{}", stmaker_obs::stats::render(&report));
+    // cargo runs benches with cwd = the package root; default to the
+    // workspace root so the committed report is what gets refreshed.
+    let path = std::env::var("STMAKER_OBS_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_io.json").to_owned());
+    match report.write_json(&path) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+}

@@ -19,6 +19,7 @@
 //! subcommand, and `--metrics-json PATH` writes the full telemetry report
 //! (spans, counters, gauges, histograms) as JSON.
 
+use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -29,8 +30,10 @@ use stmaker::{
 };
 use stmaker_generator::{TripConfig, TripGenerator, World, WorldConfig};
 use stmaker_io::{
-    read_raw_points_csv, read_raw_points_jsonl, read_trajectory_csv, read_trajectory_jsonl,
-    summary_to_geojson, write_trajectory_csv,
+    read_model_file_as, read_raw_points_csv_from, read_raw_points_jsonl_from, read_raw_trips_stc,
+    read_trajectory_csv, read_trajectory_csv_from, read_trajectory_jsonl_from, read_trips_stc,
+    summary_to_geojson, write_model_file, write_point_runs_stc, write_trajectory_csv_to,
+    write_trajectory_jsonl_to, write_trips_stc, ModelFormat,
 };
 use stmaker_obs::TraceClock;
 use stmaker_server::{ServeConfig, Server};
@@ -205,6 +208,7 @@ fn main() -> ExitCode {
         let r = match args.first().map(|s| s.as_str()) {
             Some("demo") => cmd_demo(&args[1..], &obs),
             Some("gen") => cmd_gen(&args[1..], &obs),
+            Some("convert") => cmd_convert(&args[1..], &obs),
             Some("train") => cmd_train(&args[1..], &obs),
             Some("summarize") => cmd_summarize(&args[1..], &obs),
             Some("sanitize") => cmd_sanitize(&args[1..], &obs),
@@ -238,8 +242,14 @@ fn print_usage() {
          \x20                                          re-summarizes the trip as an N-copy\n  \
          \x20                                          batch and prints the cache hit rate\n  \
          gen        --dir DIR [--trips N] [--seed N] export trips as CSV + world.json\n  \
-         train      --dir DIR [--out FILE] [--n-train N] save a trained model\n  \
-         summarize  --dir DIR --trip FILE [--k K] [--model FILE] [--geojson FILE]\n  \
+         convert    [--in FILE | --dir DIR] [--out FILE | --out-dir DIR]\n  \
+         \x20          [--to stc|csv|jsonl|json]          re-encode trips or a model between\n  \
+         \x20                                          the text formats and columnar STC1\n  \
+         train      --dir DIR [--out FILE] [--n-train N] [--format json|stc]\n  \
+         \x20                                          save a trained model (an .stc --out\n  \
+         \x20                                          extension also selects the binary)\n  \
+         summarize  --dir DIR --trip FILE [--k K] [--model FILE] [--format json|stc]\n  \
+         \x20          [--geojson FILE]\n  \
          sanitize   --trip FILE [--max-speed M] [--max-gap S] [--out FILE]\n  \
          \x20                                          audit/repair a trip file\n  \
          group      --dir DIR [--min-share F]       group summary of every trip in DIR\n  \
@@ -375,8 +385,7 @@ impl Stack {
         match opts.get("--model") {
             Some(path) => {
                 eprintln!("loading model {path}…");
-                let model = stmaker::TrainedModel::load(path)
-                    .map_err(|e| format!("cannot load model {path}: {e}"))?;
+                let model = load_model(path, opts)?;
                 if model.registry_len != 0 && model.registry_len != self.world.registry.len() {
                     return Err(format!(
                         "model {path} was trained against a different world \
@@ -400,6 +409,20 @@ impl Stack {
             None => Ok(self.train(300)),
         }
     }
+}
+
+/// Parses the optional `--format json|stc` flag shared by the subcommands
+/// that read or write model files. `None` means "decide by sniffing (reads)
+/// or by the output extension (writes)".
+fn model_format_opt(opts: &Opts<'_>) -> Result<Option<ModelFormat>, String> {
+    opts.get("--format").map(|v| v.parse::<ModelFormat>()).transpose()
+}
+
+/// Loads a model file of either encoding; `--format` forces a decoder,
+/// otherwise the STC1 magic is sniffed and JSON is the fallback.
+fn load_model(path: &str, opts: &Opts<'_>) -> Result<stmaker::TrainedModel, String> {
+    read_model_file_as(path, model_format_opt(opts)?)
+        .map_err(|e| format!("cannot load model {path}: {e}"))
 }
 
 fn load_world_config(dir: &Path) -> Result<WorldConfig, String> {
@@ -426,26 +449,111 @@ fn trip_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
     Ok(files)
 }
 
-/// Reads a trip file (CSV, or JSON-lines for `.jsonl` paths) into a sample
-/// buffer under the global `--sanitize` policy. Without a policy the strict
-/// reader runs and any defect is a hard, line-numbered error; with one, the
-/// lenient reader feeds the sanitizer, the report goes to stderr and the
-/// recorder, and the longest surviving segment is returned.
-fn load_trip_points(path: &Path, obs: &Obs) -> Result<Vec<RawPoint>, String> {
-    let body = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let is_jsonl = path.extension().map(|x| x == "jsonl").unwrap_or(false);
-    match obs.sanitize {
-        None => {
-            let traj =
-                if is_jsonl { read_trajectory_jsonl(&body) } else { read_trajectory_csv(&body) }
-                    .map_err(|e| format!("{}: {e}", path.display()))?;
-            Ok(traj.points().to_vec())
+/// On-disk trip encodings the CLI reads and writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TripFormat {
+    Csv,
+    Jsonl,
+    Stc,
+}
+
+impl TripFormat {
+    fn of(path: &Path) -> TripFormat {
+        match path.extension().and_then(|x| x.to_str()) {
+            Some("jsonl") => TripFormat::Jsonl,
+            Some("stc") => TripFormat::Stc,
+            _ => TripFormat::Csv,
         }
+    }
+}
+
+fn open_buffered(path: &Path) -> Result<BufReader<std::fs::File>, String> {
+    std::fs::File::open(path)
+        .map(BufReader::new)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+/// Strict single-trip read of any trip file. Text formats stream through a
+/// buffered reader; an `.stc` container must hold exactly one trip.
+fn read_trip_strict(path: &Path) -> Result<RawTrajectory, String> {
+    match TripFormat::of(path) {
+        TripFormat::Csv => read_trajectory_csv_from(open_buffered(path)?)
+            .map_err(|e| format!("{}: {e}", path.display())),
+        TripFormat::Jsonl => read_trajectory_jsonl_from(open_buffered(path)?)
+            .map_err(|e| format!("{}: {e}", path.display())),
+        TripFormat::Stc => {
+            let bytes =
+                std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let trips = read_trips_stc(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+            single_trip(trips, path)
+        }
+    }
+}
+
+/// Lenient single-trip read: defects survive for the sanitizer.
+fn read_trip_lenient(path: &Path) -> Result<Vec<RawPoint>, String> {
+    match TripFormat::of(path) {
+        TripFormat::Csv => read_raw_points_csv_from(open_buffered(path)?)
+            .map_err(|e| format!("{}: {e}", path.display())),
+        TripFormat::Jsonl => read_raw_points_jsonl_from(open_buffered(path)?)
+            .map_err(|e| format!("{}: {e}", path.display())),
+        TripFormat::Stc => {
+            let bytes =
+                std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let runs =
+                read_raw_trips_stc(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+            single_trip(runs, path)
+        }
+    }
+}
+
+/// Writes one trajectory in the encoding named by the path's extension,
+/// through a `BufWriter` so text rows don't pay a syscall per line.
+fn write_trip_file(path: &Path, traj: &RawTrajectory) -> Result<(), String> {
+    write_trip_as(path, traj, TripFormat::of(path))
+}
+
+/// [`write_trip_file`] with an explicit encoding (for `convert --to`,
+/// where the target may disagree with the output extension).
+fn write_trip_as(path: &Path, traj: &RawTrajectory, fmt: TripFormat) -> Result<(), String> {
+    let fail = |e: std::io::Error| format!("cannot write {}: {e}", path.display());
+    match fmt {
+        TripFormat::Stc => {
+            std::fs::write(path, write_point_runs_stc([traj.points()])).map_err(fail)
+        }
+        text => {
+            let mut w = BufWriter::new(std::fs::File::create(path).map_err(fail)?);
+            match text {
+                TripFormat::Csv => write_trajectory_csv_to(&mut w, traj).map_err(fail)?,
+                _ => write_trajectory_jsonl_to(&mut w, traj).map_err(fail)?,
+            }
+            w.flush().map_err(fail)
+        }
+    }
+}
+
+fn single_trip<T>(mut trips: Vec<T>, path: &Path) -> Result<T, String> {
+    match trips.len() {
+        1 => Ok(trips.remove(0)),
+        n => Err(format!(
+            "{}: container holds {n} trips; this command takes exactly one \
+             (split it with `convert --out-dir`)",
+            path.display()
+        )),
+    }
+}
+
+/// Reads a trip file (CSV, JSON-lines, or a single-trip STC1 container)
+/// into a sample buffer under the global `--sanitize` policy. Without a
+/// policy the strict reader runs and any defect is a hard, line-numbered
+/// error; with one, the lenient reader feeds the sanitizer, the report
+/// goes to stderr and the recorder, and the longest surviving segment is
+/// returned.
+fn load_trip_points(path: &Path, obs: &Obs) -> Result<Vec<RawPoint>, String> {
+    match obs.sanitize {
+        None => Ok(read_trip_strict(path)?.points().to_vec()),
         Some(policy) => {
-            let pts =
-                if is_jsonl { read_raw_points_jsonl(&body) } else { read_raw_points_csv(&body) }
-                    .map_err(|e| format!("{}: {e}", path.display()))?;
+            let pts = read_trip_lenient(path)?;
             let cfg = SanitizeConfig::with_policy(policy);
             let cleaned = sanitize(&pts, &cfg).map_err(|e| format!("{}: {e}", path.display()))?;
             eprintln!("{}", cleaned.report);
@@ -552,11 +660,7 @@ fn cmd_sanitize(args: &[String], obs: &Obs) -> Result<(), String> {
     let max_speed: f64 = opts.parse("--max-speed", 70.0)?;
     let max_gap: i64 = opts.parse("--max-gap", 1800)?;
 
-    let body = std::fs::read_to_string(&file)
-        .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-    let is_jsonl = file.extension().map(|x| x == "jsonl").unwrap_or(false);
-    let pts = if is_jsonl { read_raw_points_jsonl(&body) } else { read_raw_points_csv(&body) }
-        .map_err(|e| format!("{}: {e}", file.display()))?;
+    let pts = read_trip_lenient(&file)?;
 
     let cfg = SanitizeConfig {
         policy: obs.sanitize.unwrap_or_default(),
@@ -579,7 +683,7 @@ fn cmd_sanitize(args: &[String], obs: &Obs) -> Result<(), String> {
             .longest()
             .ok_or_else(|| format!("{}: no usable segment to write", file.display()))?;
         let traj = RawTrajectory::try_new(longest.to_vec()).map_err(|e| e.to_string())?;
-        std::fs::write(out, write_trajectory_csv(&traj)).map_err(|e| e.to_string())?;
+        write_trip_file(Path::new(out), &traj)?;
         eprintln!("wrote repaired trajectory ({} samples) to {out}", traj.len());
     }
     Ok(())
@@ -604,9 +708,237 @@ fn cmd_gen(args: &[String], obs: &Obs) -> Result<(), String> {
     let corpus = gen.generate_corpus(trips, seed ^ 0x6E6);
     for (i, trip) in corpus.iter().enumerate() {
         let path = dir.join(format!("trip_{i:03}.csv"));
-        std::fs::write(&path, write_trajectory_csv(&trip.raw)).map_err(|e| e.to_string())?;
+        write_trip_file(&path, &trip.raw)?;
     }
     println!("wrote {} trips and world.json to {}", corpus.len(), dir.display());
+    Ok(())
+}
+
+/// Target encodings of `convert`. `json` is the model encoding; trips
+/// convert between `csv`, `jsonl`, and `stc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConvertTarget {
+    Stc,
+    Csv,
+    Jsonl,
+    Json,
+}
+
+impl std::str::FromStr for ConvertTarget {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "stc" => Ok(Self::Stc),
+            "csv" => Ok(Self::Csv),
+            "jsonl" => Ok(Self::Jsonl),
+            "json" => Ok(Self::Json),
+            other => Err(format!("unknown target {other:?} (expected stc, csv, jsonl, or json)")),
+        }
+    }
+}
+
+fn file_len(path: &Path) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+/// Sanitizes one lenient point run down to its longest valid segment.
+fn sanitize_run(
+    pts: &[RawPoint],
+    policy: SanitizePolicy,
+    path: &Path,
+    obs: &Obs,
+) -> Result<RawTrajectory, String> {
+    let cfg = SanitizeConfig::with_policy(policy);
+    let cleaned = sanitize(pts, &cfg).map_err(|e| format!("{}: {e}", path.display()))?;
+    cleaned.report.record_into(&obs.recorder);
+    let longest = cleaned
+        .longest()
+        .ok_or_else(|| format!("{}: no usable segment after sanitization", path.display()))?;
+    RawTrajectory::try_new(longest.to_vec()).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Re-encodes trips or models between the text formats and STC1.
+///
+/// ```text
+/// convert --dir DIR --out trips.stc                    bundle a corpus
+/// convert --in trips.stc --out-dir DIR --to csv        split it back out
+/// convert --in trip_000.csv --out trip_000.jsonl       single trip
+/// convert --in model.stc --out model.json              model re-encode
+/// ```
+///
+/// Model inputs (`.json`, or an STC1 container whose kind is "model") go
+/// through the model codecs; everything else is trips. `--sanitize`
+/// applies the usual repair policy per input trip before writing. Emits
+/// the `io.*` counters (DESIGN.md §13.4) into the global recorder.
+fn cmd_convert(args: &[String], obs: &Obs) -> Result<(), String> {
+    let opts = Opts::new(args);
+    let out = opts.get("--out").map(PathBuf::from);
+    let out_dir = opts.get("--out-dir").map(PathBuf::from);
+    if out.is_some() == out_dir.is_some() {
+        return Err("convert takes exactly one of --out FILE or --out-dir DIR".to_owned());
+    }
+    let target = match opts.get("--to") {
+        Some(t) => t.parse::<ConvertTarget>()?,
+        None => out
+            .as_ref()
+            .and_then(|p| p.extension().and_then(|x| x.to_str()))
+            .and_then(|x| x.parse::<ConvertTarget>().ok())
+            .ok_or("cannot infer the target encoding; pass --to stc|csv|jsonl|json")?,
+    };
+
+    // Single-file model inputs route through the model codecs.
+    if let Some(file) = opts.get("--in") {
+        let path = Path::new(file);
+        let looks_model = match path.extension().and_then(|x| x.to_str()) {
+            Some("json") => true,
+            Some("stc") => stc_holds_model(path)?,
+            _ => false,
+        };
+        if looks_model {
+            return convert_model(path, target, out.as_deref(), obs);
+        }
+    }
+
+    let inputs: Vec<PathBuf> = if let Some(dir) = opts.get("--dir") {
+        let dir = Path::new(dir);
+        let files = trip_files(dir)?;
+        if files.is_empty() {
+            return Err(format!("no trip_*.csv files in {}", dir.display()));
+        }
+        files
+    } else {
+        vec![PathBuf::from(opts.require("--in")?)]
+    };
+
+    // Load every trip; an `.stc` input may carry many per file.
+    let mut trips: Vec<RawTrajectory> = Vec::new();
+    let mut bytes_read = 0u64;
+    for path in &inputs {
+        bytes_read += file_len(path);
+        if TripFormat::of(path) == TripFormat::Stc {
+            let bytes =
+                std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            match obs.sanitize {
+                None => trips.extend(
+                    read_trips_stc(&bytes).map_err(|e| format!("{}: {e}", path.display()))?,
+                ),
+                Some(policy) => {
+                    let runs = read_raw_trips_stc(&bytes)
+                        .map_err(|e| format!("{}: {e}", path.display()))?;
+                    for run in &runs {
+                        trips.push(sanitize_run(run, policy, path, obs)?);
+                    }
+                }
+            }
+        } else {
+            match obs.sanitize {
+                None => trips.push(read_trip_strict(path)?),
+                Some(policy) => {
+                    let pts = read_trip_lenient(path)?;
+                    trips.push(sanitize_run(&pts, policy, path, obs)?);
+                }
+            }
+        }
+    }
+    let points_read: u64 = trips.iter().map(|t| t.len() as u64).sum();
+    obs.recorder.add("io.trips_read", trips.len() as u64);
+    obs.recorder.add("io.points_read", points_read);
+    obs.recorder.add("io.bytes_read", bytes_read);
+
+    let mut outputs: Vec<PathBuf> = Vec::new();
+    match (target, &out, &out_dir) {
+        (ConvertTarget::Json, _, _) => {
+            return Err(
+                "json is the model encoding; trips convert to stc, csv, or jsonl".to_owned()
+            );
+        }
+        (ConvertTarget::Stc, Some(path), _) => {
+            std::fs::write(path, write_trips_stc(&trips))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            outputs.push(path.clone());
+        }
+        (ConvertTarget::Stc, None, _) => {
+            return Err("--to stc writes one container; pass --out FILE".to_owned());
+        }
+        (text, Some(path), _) => {
+            let [trip] = &trips[..] else {
+                return Err(format!(
+                    "{} trips to write; pass --out-dir DIR for one file per trip",
+                    trips.len()
+                ));
+            };
+            let fmt = if text == ConvertTarget::Csv { TripFormat::Csv } else { TripFormat::Jsonl };
+            write_trip_as(path, trip, fmt)?;
+            outputs.push(path.clone());
+        }
+        (text, None, Some(dir)) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            let (fmt, ext) = if text == ConvertTarget::Csv {
+                (TripFormat::Csv, "csv")
+            } else {
+                (TripFormat::Jsonl, "jsonl")
+            };
+            for (i, trip) in trips.iter().enumerate() {
+                let path = dir.join(format!("trip_{i:03}.{ext}"));
+                write_trip_as(&path, trip, fmt)?;
+                outputs.push(path);
+            }
+        }
+        (_, None, None) => unreachable!("out xor out_dir checked above"),
+    }
+    let bytes_written: u64 = outputs.iter().map(|p| file_len(p)).sum();
+    obs.recorder.add("io.trips_written", trips.len() as u64);
+    obs.recorder.add("io.points_written", points_read);
+    obs.recorder.add("io.bytes_written", bytes_written);
+    println!(
+        "converted {} trips ({points_read} points, {bytes_read} bytes in) to {} file(s) \
+         ({bytes_written} bytes out)",
+        trips.len(),
+        outputs.len(),
+    );
+    Ok(())
+}
+
+/// True when `path` is an STC1 container of kind "model" (header peek, no
+/// full read).
+fn stc_holds_model(path: &Path) -> Result<bool, String> {
+    use std::io::Read;
+    let mut f =
+        std::fs::File::open(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut hdr = [0u8; 8];
+    let mut filled = 0usize;
+    while filled < hdr.len() {
+        match f.read(&mut hdr[filled..]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => filled += n,
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+    Ok(hdr[..4] == *b"STC1" && u16::from_le_bytes([hdr[6], hdr[7]]) == stmaker_io::stc::KIND_MODEL)
+}
+
+fn convert_model(
+    path: &Path,
+    target: ConvertTarget,
+    out: Option<&Path>,
+    obs: &Obs,
+) -> Result<(), String> {
+    let out = out.ok_or("model conversion writes one file; pass --out FILE")?;
+    let format = match target {
+        ConvertTarget::Json => ModelFormat::Json,
+        ConvertTarget::Stc => ModelFormat::Stc,
+        _ => return Err("a model converts to json or stc only".to_owned()),
+    };
+    let bytes_read = file_len(path);
+    let model = read_model_file_as(path, None)
+        .map_err(|e| format!("cannot load model {}: {e}", path.display()))?;
+    write_model_file(out, &model, format)
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    obs.recorder.add("io.bytes_read", bytes_read);
+    obs.recorder.add("io.bytes_written", file_len(out));
+    println!("converted model {} to {} ({format})", path.display(), out.display());
     Ok(())
 }
 
@@ -615,11 +947,25 @@ fn cmd_train(args: &[String], obs: &Obs) -> Result<(), String> {
     let dir = PathBuf::from(opts.require("--dir")?);
     let n_train: usize = opts.parse("--n-train", 300)?;
     let out = opts.get("--out").map(PathBuf::from).unwrap_or_else(|| dir.join("model.json"));
+    // `--format` forces the encoding; otherwise an `.stc` extension selects
+    // the columnar binary and anything else stays canonical JSON.
+    let format = model_format_opt(&opts)?.unwrap_or(
+        if out.extension().map(|x| x == "stc").unwrap_or(false) {
+            ModelFormat::Stc
+        } else {
+            ModelFormat::Json
+        },
+    );
 
     let stack = Stack::from_config(load_world_config(&dir)?, obs);
     let summarizer = stack.train(n_train);
-    summarizer.model().save(&out).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
-    println!("trained on {} trips; model saved to {}", summarizer.model().n_trained, out.display());
+    write_model_file(&out, summarizer.model(), format)
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "trained on {} trips; model saved to {} ({format})",
+        summarizer.model().n_trained,
+        out.display()
+    );
     Ok(())
 }
 
@@ -748,8 +1094,7 @@ fn cmd_serve(args: &[String], obs: &Obs) -> Result<(), String> {
     let model = match opts.get("--model") {
         Some(path) => {
             eprintln!("loading model {path}…");
-            stmaker::TrainedModel::load(path)
-                .map_err(|e| format!("cannot load model {path}: {e}"))?
+            load_model(path, &opts)?
         }
         None => stack.train(n_train).into_model(),
     };

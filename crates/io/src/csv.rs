@@ -8,6 +8,8 @@
 //! 39.9383 116.339 20131102 09:17:56    # the paper's Table I datetime
 //! ```
 
+use std::io::{BufRead, Write};
+
 use crate::FormatError;
 use stmaker_geo::GeoPoint;
 use stmaker_trajectory::{RawPoint, RawTrajectory, Timestamp};
@@ -17,12 +19,28 @@ use stmaker_trajectory::{RawPoint, RawTrajectory, Timestamp};
 /// `"inf"` are valid `f64` spellings, so defective samples survive this
 /// stage; only *structurally* unreadable rows (non-numeric fields, bad
 /// datetimes) error.
-fn parse_rows_csv(text: &str) -> Result<Vec<(usize, RawPoint)>, FormatError> {
+///
+/// Streams from any `BufRead`, reusing one line buffer across `read_line`
+/// calls — ingest allocates per *point*, never per line. Returns the rows
+/// plus the total line count (the strict validator reports "too few
+/// samples" against the last line of the file).
+fn parse_rows_csv_from<R: BufRead>(
+    mut reader: R,
+) -> Result<(Vec<(usize, RawPoint)>, usize), FormatError> {
     let mut rows = Vec::new();
     let mut seen_data = false;
-    for (i, raw_line) in text.lines().enumerate() {
-        let line_no = i + 1;
-        let line = raw_line.trim();
+    let mut buf = String::new();
+    let mut line_no = 0usize;
+    loop {
+        buf.clear();
+        let n = reader
+            .read_line(&mut buf)
+            .map_err(|e| FormatError::new(line_no + 1, format!("read failed: {e}")))?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = buf.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
@@ -54,7 +72,7 @@ fn parse_rows_csv(text: &str) -> Result<Vec<(usize, RawPoint)>, FormatError> {
         // carry them to the sanitizer intact.
         rows.push((line_no, RawPoint { point: GeoPoint { lat, lon }, t }));
     }
-    Ok(rows)
+    Ok((rows, line_no))
 }
 
 /// Validates parsed rows: finite + in-range coordinates, at least two
@@ -99,8 +117,15 @@ fn validate_rows(rows: &[(usize, RawPoint)], total_lines: usize) -> Result<(), F
 /// (non-finite or out-of-range coordinates, decreasing timestamps) with the
 /// offending line number.
 pub fn read_trajectory_csv(text: &str) -> Result<RawTrajectory, FormatError> {
-    let rows = parse_rows_csv(text)?;
-    validate_rows(&rows, text.lines().count())?;
+    read_trajectory_csv_from(text.as_bytes())
+}
+
+/// Streaming variant of [`read_trajectory_csv`]: parses directly off a
+/// buffered reader (a `BufReader<File>`, a socket) without materializing
+/// the document as one `String`.
+pub fn read_trajectory_csv_from<R: BufRead>(reader: R) -> Result<RawTrajectory, FormatError> {
+    let (rows, total_lines) = parse_rows_csv_from(reader)?;
+    validate_rows(&rows, total_lines)?;
     Ok(RawTrajectory::new(rows.into_iter().map(|(_, p)| p).collect()))
 }
 
@@ -109,16 +134,30 @@ pub fn read_trajectory_csv(text: &str) -> Result<RawTrajectory, FormatError> {
 /// `stmaker_trajectory::sanitize`, which wants to see the defects so it can
 /// count and repair them. Only structurally unreadable rows error.
 pub fn read_raw_points_csv(text: &str) -> Result<Vec<RawPoint>, FormatError> {
-    Ok(parse_rows_csv(text)?.into_iter().map(|(_, p)| p).collect())
+    read_raw_points_csv_from(text.as_bytes())
+}
+
+/// Streaming variant of [`read_raw_points_csv`].
+pub fn read_raw_points_csv_from<R: BufRead>(reader: R) -> Result<Vec<RawPoint>, FormatError> {
+    Ok(parse_rows_csv_from(reader)?.0.into_iter().map(|(_, p)| p).collect())
 }
 
 /// Serializes a trajectory to the canonical CSV layout (Unix seconds).
 pub fn write_trajectory_csv(traj: &RawTrajectory) -> String {
-    let mut out = String::from("latitude,longitude,timestamp\n");
+    let mut out = Vec::new();
+    write_trajectory_csv_to(&mut out, traj).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("CSV output is ASCII")
+}
+
+/// Streaming variant of [`write_trajectory_csv`]: emits the identical
+/// bytes onto any writer. Callers writing to files should hand in a
+/// `BufWriter` — the rows are written one `writeln!` at a time.
+pub fn write_trajectory_csv_to<W: Write>(w: &mut W, traj: &RawTrajectory) -> std::io::Result<()> {
+    w.write_all(b"latitude,longitude,timestamp\n")?;
     for p in traj.points() {
-        out.push_str(&format!("{:.6},{:.6},{}\n", p.point.lat, p.point.lon, p.t.0));
+        writeln!(w, "{:.6},{:.6},{}", p.point.lat, p.point.lon, p.t.0)?;
     }
-    out
+    Ok(())
 }
 
 /// Parses either Unix seconds (one field) or `YYYYMMDD HH:MM:SS` (two

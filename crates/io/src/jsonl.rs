@@ -5,6 +5,8 @@
 //! {"lat": 39.9382, "lon": 116.337, "t": 1383383882}
 //! ```
 
+use std::io::{BufRead, Write};
+
 use crate::FormatError;
 use serde::{Deserialize, Serialize};
 use stmaker_geo::GeoPoint;
@@ -20,11 +22,25 @@ struct Sample {
 /// Parses lines into `(line_no, point)` pairs without validating values —
 /// serde happily deserializes huge literals like `1e999` to `inf`, and
 /// the lenient path wants to carry such defects to the sanitizer intact.
-fn parse_rows_jsonl(text: &str) -> Result<Vec<(usize, RawPoint)>, FormatError> {
+///
+/// Streams from any `BufRead` with a single reused line buffer (no per-line
+/// `String` allocation). Returns the rows plus the total line count.
+fn parse_rows_jsonl_from<R: BufRead>(
+    mut reader: R,
+) -> Result<(Vec<(usize, RawPoint)>, usize), FormatError> {
     let mut rows = Vec::new();
-    for (i, raw_line) in text.lines().enumerate() {
-        let line_no = i + 1;
-        let line = raw_line.trim();
+    let mut buf = String::new();
+    let mut line_no = 0usize;
+    loop {
+        buf.clear();
+        let n = reader
+            .read_line(&mut buf)
+            .map_err(|e| FormatError::new(line_no + 1, format!("read failed: {e}")))?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = buf.trim();
         if line.is_empty() {
             continue;
         }
@@ -37,7 +53,7 @@ fn parse_rows_jsonl(text: &str) -> Result<Vec<(usize, RawPoint)>, FormatError> {
             RawPoint { point: GeoPoint { lat: s.lat, lon: s.lon }, t: Timestamp(s.t) },
         ));
     }
-    Ok(rows)
+    Ok((rows, line_no))
 }
 
 /// Validates parsed samples with the same rules as the CSV reader: finite +
@@ -81,8 +97,14 @@ fn validate_rows(rows: &[(usize, RawPoint)], total_lines: usize) -> Result<(), F
 /// Parses a trajectory from JSON-lines text, rejecting any defective sample
 /// with the offending line number.
 pub fn read_trajectory_jsonl(text: &str) -> Result<RawTrajectory, FormatError> {
-    let rows = parse_rows_jsonl(text)?;
-    validate_rows(&rows, text.lines().count())?;
+    read_trajectory_jsonl_from(text.as_bytes())
+}
+
+/// Streaming variant of [`read_trajectory_jsonl`]: parses directly off a
+/// buffered reader without materializing the document as one `String`.
+pub fn read_trajectory_jsonl_from<R: BufRead>(reader: R) -> Result<RawTrajectory, FormatError> {
+    let (rows, total_lines) = parse_rows_jsonl_from(reader)?;
+    validate_rows(&rows, total_lines)?;
     Ok(RawTrajectory::new(rows.into_iter().map(|(_, p)| p).collect()))
 }
 
@@ -90,18 +112,31 @@ pub fn read_trajectory_jsonl(text: &str) -> Result<RawTrajectory, FormatError> {
 /// the lenient front door for `stmaker_trajectory::sanitize`. Only
 /// structurally unreadable lines error.
 pub fn read_raw_points_jsonl(text: &str) -> Result<Vec<RawPoint>, FormatError> {
-    Ok(parse_rows_jsonl(text)?.into_iter().map(|(_, p)| p).collect())
+    read_raw_points_jsonl_from(text.as_bytes())
+}
+
+/// Streaming variant of [`read_raw_points_jsonl`].
+pub fn read_raw_points_jsonl_from<R: BufRead>(reader: R) -> Result<Vec<RawPoint>, FormatError> {
+    Ok(parse_rows_jsonl_from(reader)?.0.into_iter().map(|(_, p)| p).collect())
 }
 
 /// Serializes a trajectory to JSON-lines.
 pub fn write_trajectory_jsonl(traj: &RawTrajectory) -> String {
-    let mut out = String::new();
+    let mut out = Vec::new();
+    write_trajectory_jsonl_to(&mut out, traj).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("JSON output is UTF-8")
+}
+
+/// Streaming variant of [`write_trajectory_jsonl`]: emits the identical
+/// bytes onto any writer (hand files in behind a `BufWriter`).
+pub fn write_trajectory_jsonl_to<W: Write>(w: &mut W, traj: &RawTrajectory) -> std::io::Result<()> {
     for p in traj.points() {
         let s = Sample { lat: p.point.lat, lon: p.point.lon, t: p.t.0 };
-        out.push_str(&serde_json::to_string(&s).expect("plain struct serializes"));
-        out.push('\n');
+        let line = serde_json::to_string(&s).expect("plain struct serializes");
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
     }
-    out
+    Ok(())
 }
 
 #[cfg(test)]

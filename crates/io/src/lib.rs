@@ -17,10 +17,22 @@
 pub mod csv;
 pub mod geojson;
 pub mod jsonl;
+pub mod stc;
 
-pub use csv::{read_raw_points_csv, read_trajectory_csv, write_trajectory_csv};
+pub use csv::{
+    read_raw_points_csv, read_raw_points_csv_from, read_trajectory_csv, read_trajectory_csv_from,
+    write_trajectory_csv, write_trajectory_csv_to,
+};
 pub use geojson::{summary_to_geojson, trajectory_to_geojson};
-pub use jsonl::{read_raw_points_jsonl, read_trajectory_jsonl, write_trajectory_jsonl};
+pub use jsonl::{
+    read_raw_points_jsonl, read_raw_points_jsonl_from, read_trajectory_jsonl,
+    read_trajectory_jsonl_from, write_trajectory_jsonl, write_trajectory_jsonl_to,
+};
+pub use stc::{
+    is_stc, read_model_file, read_model_file_as, read_model_stc, read_raw_trips_stc,
+    read_trips_stc, write_model_file, write_model_stc, write_point_runs_stc, write_trips_stc,
+    ModelFormat, StcError, StcReadError,
+};
 
 /// A parse failure, with 1-based line number for operator-friendly messages.
 #[derive(Debug, Clone, PartialEq, Eq)]

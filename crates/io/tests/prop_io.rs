@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 use stmaker_geo::GeoPoint;
 use stmaker_io::{
-    read_trajectory_csv, read_trajectory_jsonl, write_trajectory_csv, write_trajectory_jsonl,
+    read_model_stc, read_raw_trips_stc, read_trajectory_csv, read_trajectory_jsonl, read_trips_stc,
+    write_trajectory_csv, write_trajectory_jsonl, write_trips_stc,
 };
 use stmaker_trajectory::{RawPoint, RawTrajectory, Timestamp};
 
@@ -46,5 +47,45 @@ proptest! {
         // Errors are fine; panics are not.
         let _ = read_trajectory_csv(&text);
         let _ = read_trajectory_jsonl(&text);
+    }
+
+    #[test]
+    fn stc_round_trip_is_exact(trips in prop::collection::vec(trajectory_strategy(), 0..6)) {
+        // The columnar format stores f64 bits and exact timestamps: the
+        // round-trip is equality, not approximation — the property the
+        // byte-identity contract rests on.
+        let bytes = write_trips_stc(&trips);
+        let back = read_trips_stc(&bytes).expect("own output decodes");
+        prop_assert_eq!(back, trips);
+    }
+
+    #[test]
+    fn stc_decoder_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(0u8..=255, 0..512)) {
+        let _ = read_raw_trips_stc(&bytes);
+        let _ = read_trips_stc(&bytes);
+        let _ = read_model_stc(&bytes);
+        // Same garbage behind a valid magic, so parsing reaches the header
+        // and section-table paths instead of stopping at BadMagic.
+        let mut with_magic = b"STC1".to_vec();
+        with_magic.extend_from_slice(&bytes);
+        let _ = read_raw_trips_stc(&with_magic);
+        let _ = read_model_stc(&with_magic);
+    }
+
+    #[test]
+    fn stc_decoder_never_panics_on_mutated_containers(
+        trips in prop::collection::vec(trajectory_strategy(), 1..3),
+        flips in prop::collection::vec((0u32..=u32::MAX, 0u8..8), 1..8),
+        cut in 0u16..=u16::MAX,
+    ) {
+        let mut bytes = write_trips_stc(&trips);
+        for (pos, bit) in flips {
+            let i = pos as usize % bytes.len();
+            bytes[i] ^= 1 << bit;
+        }
+        bytes.truncate(cut as usize % (bytes.len() + 1));
+        let _ = read_raw_trips_stc(&bytes);
+        let _ = read_trips_stc(&bytes);
+        let _ = read_model_stc(&bytes);
     }
 }

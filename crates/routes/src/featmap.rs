@@ -93,6 +93,71 @@ impl HistoricalFeatureMap {
         self.edges.len()
     }
 
+    /// Flat, key-sorted export of the numeric edge statistics: one row per
+    /// `(from, to, feature)` carrying the raw running-mean parts (`sum`,
+    /// `count`). The exact `sum` bits survive the trip, so a map rebuilt by
+    /// [`HistoricalFeatureMap::from_rows`] answers every query — and
+    /// serializes — identically to the original. This is the columnar
+    /// storage boundary: the binary model codec in `stmaker-io` consumes
+    /// these rows without ever seeing the private map layout.
+    pub fn numeric_rows(&self) -> Vec<(LandmarkId, LandmarkId, String, f64, u64)> {
+        let mut rows: Vec<(LandmarkId, LandmarkId, String, f64, u64)> = self
+            .edges
+            // lint: ordered — rows are key-sorted below before being returned
+            .iter()
+            .flat_map(|(&(from, to), feats)| {
+                feats.iter().map(move |(k, s)| (from, to, k.clone(), s.sum, s.count))
+            })
+            .collect();
+        rows.sort_by(|a, b| (a.0, a.1, &a.2).cmp(&(b.0, b.1, &b.2)));
+        rows
+    }
+
+    /// Flat, key-sorted export of the categorical edge statistics: one row
+    /// per `(from, to, feature, code)` carrying the observation count.
+    pub fn categorical_rows(&self) -> Vec<(LandmarkId, LandmarkId, String, u32, u64)> {
+        let mut rows: Vec<(LandmarkId, LandmarkId, String, u32, u64)> = self
+            .categorical
+            // lint: ordered — rows are key-sorted below before being returned
+            .iter()
+            .flat_map(|(&(from, to), feats)| {
+                feats.iter().flat_map(move |(k, counts)| {
+                    counts.iter().map(move |(&code, &c)| (from, to, k.clone(), code, c))
+                })
+            })
+            .collect();
+        rows.sort_by(|a, b| (a.0, a.1, &a.2, a.3).cmp(&(b.0, b.1, &b.2, b.3)));
+        rows
+    }
+
+    /// Rebuilds a map from [`HistoricalFeatureMap::numeric_rows`] /
+    /// [`HistoricalFeatureMap::categorical_rows`] output. Duplicate rows
+    /// accumulate (sums add, counts add), matching `merge` semantics; a
+    /// fresh entry starts at exactly `0.0 + sum`, so single-row rebuilds
+    /// preserve the original `f64` bits.
+    pub fn from_rows(
+        numeric: impl IntoIterator<Item = (LandmarkId, LandmarkId, String, f64, u64)>,
+        categorical: impl IntoIterator<Item = (LandmarkId, LandmarkId, String, u32, u64)>,
+    ) -> Self {
+        let mut m = Self::default();
+        for (from, to, feature, sum, count) in numeric {
+            let stat = m.edges.entry((from, to)).or_default().entry(feature).or_default();
+            stat.sum += sum;
+            stat.count += count;
+        }
+        // lint: ordered — `+=` accumulation into the entry maps is commutative over rows
+        for (from, to, feature, code, count) in categorical {
+            *m.categorical
+                .entry((from, to))
+                .or_default()
+                .entry(feature)
+                .or_default()
+                .entry(code)
+                .or_insert(0) += count;
+        }
+        m
+    }
+
     /// Merges another map into this one (used to combine shards built in
     /// parallel or across corpus batches).
     pub fn merge(&mut self, other: &HistoricalFeatureMap) {

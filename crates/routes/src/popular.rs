@@ -64,6 +64,26 @@ pub struct PopularRoutes {
     cfg: PopularRouteConfig,
 }
 
+/// Plain-data, canonical (key-sorted) image of a [`PopularRoutes`] miner —
+/// the exchange type between the miner and external codecs. Produced by
+/// [`PopularRoutes::to_parts`], consumed by [`PopularRoutes::from_parts`].
+#[derive(Debug, Clone, Default)]
+pub struct PopularRoutesParts {
+    /// Mining tunables the miner was built with.
+    pub cfg: PopularRouteConfig,
+    /// Landmark sequence of every indexed trajectory, in corpus order.
+    pub corpus: Vec<Vec<LandmarkId>>,
+    /// Key-sorted `(from, to) → (traj, start, end)` occurrence triples;
+    /// each list in ascending trajectory order, exactly as stored.
+    pub pairs: Vec<((LandmarkId, LandmarkId), Vec<(u32, u32, u32)>)>,
+    /// Key-sorted per-source direct-hop transition lists.
+    pub transfers: Vec<(LandmarkId, Vec<(LandmarkId, f64)>)>,
+    /// Key-sorted distinct-trajectory support per pair.
+    pub supports: Vec<((LandmarkId, LandmarkId), u32)>,
+    /// Key-sorted precomputed winning route per trusted pair.
+    pub winners: Vec<((LandmarkId, LandmarkId), Vec<LandmarkId>)>,
+}
+
 impl PopularRoutes {
     /// Builds the miner from a historical corpus (single-threaded).
     pub fn build<'a>(
@@ -159,6 +179,76 @@ impl PopularRoutes {
     /// Number of indexed historical trajectories.
     pub fn corpus_len(&self) -> usize {
         self.corpus.len()
+    }
+
+    /// Exports the miner as a plain-data, key-sorted image. Together with
+    /// [`PopularRoutes::from_parts`] this is the columnar storage boundary:
+    /// the binary model codec in `stmaker-io` reads/writes these vectors
+    /// without touching the private index layout. Occurrence and winner
+    /// *lists* keep their stored order (it is semantically meaningful —
+    /// occurrences are in ascending trajectory order); only the map keys
+    /// are sorted, the same canonical order `serde_vecmap` uses.
+    pub fn to_parts(&self) -> PopularRoutesParts {
+        let mut pairs: Vec<((LandmarkId, LandmarkId), Vec<(u32, u32, u32)>)> = self
+            .pairs
+            // lint: ordered — entries are key-sorted below before being returned
+            .iter()
+            .map(|(&k, occ)| (k, occ.iter().map(|o| (o.traj, o.start, o.end)).collect()))
+            .collect();
+        pairs.sort_by_key(|(k, _)| *k);
+        let mut transfers: Vec<(LandmarkId, Vec<(LandmarkId, f64)>)> = self
+            .transfers
+            // lint: ordered — entries are key-sorted below before being returned
+            .iter()
+            .map(|(&k, outs)| (k, outs.clone()))
+            .collect();
+        transfers.sort_by_key(|(k, _)| *k);
+        let mut supports: Vec<((LandmarkId, LandmarkId), u32)> =
+            // lint: ordered — entries are key-sorted below before being returned
+            self.supports.iter().map(|(&k, &v)| (k, v)).collect();
+        supports.sort_by_key(|(k, _)| *k);
+        let mut winners: Vec<((LandmarkId, LandmarkId), Vec<LandmarkId>)> =
+            // lint: ordered — entries are key-sorted below before being returned
+            self.winners.iter().map(|(&k, w)| (k, w.clone())).collect();
+        winners.sort_by_key(|(k, _)| *k);
+        PopularRoutesParts {
+            cfg: self.cfg,
+            corpus: self.corpus.clone(),
+            pairs,
+            transfers,
+            supports,
+            winners,
+        }
+    }
+
+    /// Rebuilds a miner from a [`PopularRoutesParts`] image. The rebuilt
+    /// miner serializes byte-identically to the one `to_parts` was called
+    /// on: map insertion order is irrelevant (serialization sorts keys),
+    /// and list order is preserved verbatim.
+    pub fn from_parts(parts: PopularRoutesParts) -> Self {
+        Self {
+            corpus: parts.corpus,
+            pairs: parts
+                .pairs
+                // lint: ordered — map insertion order is irrelevant (serialization sorts keys)
+                .into_iter()
+                .map(|(k, occ)| {
+                    (
+                        k,
+                        occ.into_iter()
+                            .map(|(traj, start, end)| Occurrence { traj, start, end })
+                            .collect(),
+                    )
+                })
+                .collect(),
+            // lint: ordered — map insertion order is irrelevant (serialization sorts keys)
+            transfers: parts.transfers.into_iter().collect(),
+            // lint: ordered — map insertion order is irrelevant (serialization sorts keys)
+            supports: parts.supports.into_iter().collect(),
+            // lint: ordered — map insertion order is irrelevant (serialization sorts keys)
+            winners: parts.winners.into_iter().collect(),
+            cfg: parts.cfg,
+        }
     }
 
     /// How many *distinct* historical trajectories traverse `from … to` (in

@@ -181,6 +181,11 @@ impl Response {
         Self { status, content_type: "application/json", body: body.into() }
     }
 
+    /// An STC1 binary payload (`GET /model?format=stc`).
+    pub fn binary(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self { status, content_type: "application/x-stc1", body: body.into() }
+    }
+
     /// The uniform error shape: `{"error": <message>, "status": N}`.
     pub fn error(status: u16, message: &str) -> Self {
         let body = format!("{{\"error\": {}, \"status\": {status}}}\n", json_str(message));

@@ -8,11 +8,11 @@
 //!
 //! | endpoint                | what it does                                       |
 //! |-------------------------|----------------------------------------------------|
-//! | `POST /summarize`       | one trip body (CSV/JSONL) → summary text           |
-//! | `POST /summarize_batch` | blank-line-separated trips → one summary per line  |
+//! | `POST /summarize`       | one trip body (CSV/JSONL/STC1) → summary text      |
+//! | `POST /summarize_batch` | many trips (blank-line blocks or one STC1 container) → one summary per line |
 //! | `POST /ingest`          | streaming push into a [`StreamingSummarizer`] session |
-//! | `GET /model`            | model version + serving parameters                 |
-//! | `POST /model`           | hot-swap a new [`TrainedModel`] (JSON body)        |
+//! | `GET /model`            | serving parameters; `?format=stc\|json` downloads the model |
+//! | `POST /model`           | hot-swap a new [`TrainedModel`] (JSON or STC1 body, sniffed) |
 //! | `GET /healthz`          | liveness + current model version                   |
 //! | `GET /metrics`          | the obs [`Report`](stmaker::Report) as JSON        |
 //! | `POST /shutdown`        | graceful drain: finish queued requests, then exit  |
@@ -61,7 +61,8 @@ use stmaker::{
     Summarizer, SummarizerConfig, TrainedModel,
 };
 use stmaker_io::{
-    read_raw_points_csv, read_raw_points_jsonl, read_trajectory_csv, read_trajectory_jsonl,
+    is_stc, read_model_stc, read_raw_points_csv, read_raw_points_jsonl, read_raw_trips_stc,
+    read_trajectory_csv, read_trajectory_jsonl, write_model_stc,
 };
 use stmaker_poi::LandmarkRegistry;
 use stmaker_road::RoadNetwork;
@@ -155,6 +156,26 @@ struct Session {
     points: Vec<RawPoint>,
     dropped_invalid: u64,
     dropped_out_of_order: u64,
+}
+
+/// Wire encoding of a trip body, selected by the `format` query
+/// parameter. Absent (or unrecognized) values keep the original CSV
+/// default, matching the pre-STC behavior byte for byte.
+#[derive(Clone, Copy, PartialEq)]
+enum BodyFormat {
+    Csv,
+    Jsonl,
+    Stc,
+}
+
+impl BodyFormat {
+    fn of(req: &Request) -> Self {
+        match req.query("format") {
+            Some("jsonl") => BodyFormat::Jsonl,
+            Some("stc") => BodyFormat::Stc,
+            _ => BodyFormat::Csv,
+        }
+    }
 }
 
 /// Writes `resp` and closes `stream` without losing the response to a TCP
@@ -442,7 +463,7 @@ impl<'w> Server<'w> {
     fn route(&self, req: &Request) -> Response {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => self.handle_healthz(),
-            ("GET", "/model") => self.handle_model_get(),
+            ("GET", "/model") => self.handle_model_get(req),
             ("POST", "/model") => self.handle_model_post(req),
             ("GET", "/metrics") => self.handle_metrics(),
             ("POST", "/summarize") => self.handle_summarize(req),
@@ -463,9 +484,27 @@ impl<'w> Server<'w> {
         Response::json(200, format!("{{\"status\": \"ok\", \"model_version\": {}}}\n", gen.version))
     }
 
-    fn handle_model_get(&self) -> Response {
+    /// Content negotiation over the `format` query parameter:
+    /// `?format=stc` streams the columnar STC1 encoding, `?format=json`
+    /// the full canonical-JSON model, and no parameter keeps the original
+    /// metadata summary (so pre-existing clients see unchanged output).
+    fn handle_model_get(&self, req: &Request) -> Response {
         let gen = self.current();
         let model = gen.summarizer.model();
+        match req.query("format") {
+            Some("stc") => return Response::binary(200, write_model_stc(model)),
+            Some("json") => {
+                let mut body = model.to_json();
+                if !body.ends_with('\n') {
+                    body.push('\n');
+                }
+                return Response::json(200, body);
+            }
+            Some(other) => {
+                return Response::error(400, &format!("unknown model format {other:?}"));
+            }
+            None => {}
+        }
         let cfg = gen.summarizer.config();
         Response::json(
             200,
@@ -483,13 +522,26 @@ impl<'w> Server<'w> {
         )
     }
 
+    /// Accepts either encoding, sniffed off the body's magic bytes: an
+    /// `STC1` prefix decodes through the columnar reader, anything else is
+    /// the original UTF-8 JSON path. Both converge on the same
+    /// [`TrainedModel`] before the swap — the encodings are equivalent by
+    /// the round-trip contract, so the serving behavior cannot depend on
+    /// which wire format delivered the model.
     fn handle_model_post(&self, req: &Request) -> Response {
-        let Ok(text) = std::str::from_utf8(&req.body) else {
-            return Response::error(400, "model body is not valid UTF-8");
-        };
-        let model = match TrainedModel::from_json(text) {
-            Ok(m) => m,
-            Err(e) => return Response::error(422, &format!("model does not parse: {e}")),
+        let model = if is_stc(&req.body) {
+            match read_model_stc(&req.body) {
+                Ok(m) => m,
+                Err(e) => return Response::error(422, &format!("model does not decode: {e}")),
+            }
+        } else {
+            let Ok(text) = std::str::from_utf8(&req.body) else {
+                return Response::error(400, "model body is not valid UTF-8");
+            };
+            match TrainedModel::from_json(text) {
+                Ok(m) => m,
+                Err(e) => return Response::error(422, &format!("model does not parse: {e}")),
+            }
         };
         match self.swap_in(model) {
             Ok(version) => Response::json(200, format!("{{\"model_version\": {version}}}\n")),
@@ -559,6 +611,33 @@ impl<'w> Server<'w> {
         }
     }
 
+    /// Applies the request policy to one trip decoded from an STC1
+    /// container: strict means [`RawTrajectory::try_new`] (the same gate
+    /// the CLI's `.stc` loader uses), lenient means the sanitize +
+    /// longest-surviving-segment pipeline — lockstep with [`Self::parse_points`]
+    /// so the byte-identity contract extends to the binary format.
+    fn finish_stc_run(
+        &self,
+        pts: Vec<RawPoint>,
+        policy: Option<SanitizePolicy>,
+    ) -> Result<Vec<RawPoint>, String> {
+        match policy {
+            None => match RawTrajectory::try_new(pts) {
+                Ok(traj) => Ok(traj.points().to_vec()),
+                Err(e) => Err(e.to_string()),
+            },
+            Some(policy) => {
+                let cfg = SanitizeConfig::with_policy(policy);
+                let cleaned = sanitize(&pts, &cfg).map_err(|e| e.to_string())?;
+                cleaned.report.record_into(&self.obs);
+                cleaned
+                    .longest()
+                    .map(<[RawPoint]>::to_vec)
+                    .ok_or_else(|| "no usable segment after sanitization".to_owned())
+            }
+        }
+    }
+
     fn parse_k(req: &Request) -> Result<usize, Response> {
         match req.query("k") {
             None => Ok(0),
@@ -577,13 +656,34 @@ impl<'w> Server<'w> {
             Ok(p) => p,
             Err(r) => return r,
         };
-        let Ok(text) = std::str::from_utf8(&req.body) else {
-            return Response::error(400, "body is not valid UTF-8");
-        };
-        let jsonl = req.query("format") == Some("jsonl");
-        let points = match self.parse_points(text, jsonl, policy) {
-            Ok(p) => p,
-            Err(e) => return Response::error(422, &e),
+        let format = BodyFormat::of(req);
+        let points = if format == BodyFormat::Stc {
+            let mut runs = match read_raw_trips_stc(&req.body) {
+                Ok(r) => r,
+                Err(e) => return Response::error(422, &e.to_string()),
+            };
+            let n = runs.len();
+            let Some(run) = runs.pop().filter(|_| n == 1) else {
+                return Response::error(
+                    422,
+                    &format!(
+                        "STC container holds {n} trips; this endpoint takes exactly one \
+                         (use /summarize_batch)"
+                    ),
+                );
+            };
+            match self.finish_stc_run(run, policy) {
+                Ok(p) => p,
+                Err(e) => return Response::error(422, &e),
+            }
+        } else {
+            let Ok(text) = std::str::from_utf8(&req.body) else {
+                return Response::error(400, "body is not valid UTF-8");
+            };
+            match self.parse_points(text, format == BodyFormat::Jsonl, policy) {
+                Ok(p) => p,
+                Err(e) => return Response::error(422, &e),
+            }
         };
         let gen = self.current();
         let result = if k == 0 {
@@ -611,31 +711,55 @@ impl<'w> Server<'w> {
             Ok(p) => p,
             Err(r) => return r,
         };
-        let Ok(text) = std::str::from_utf8(&req.body) else {
-            return Response::error(400, "body is not valid UTF-8");
-        };
-        let jsonl = req.query("format") == Some("jsonl");
-        let blocks: Vec<&str> = text
-            .split("\n\n")
-            .map(|b| b.trim_matches('\n'))
-            .filter(|b| !b.trim().is_empty())
-            .collect();
-        if blocks.is_empty() {
-            return Response::error(422, "empty batch: trips are separated by blank lines");
-        }
+        let format = BodyFormat::of(req);
         // Per-trip parse failures become per-line errors, not a failed
-        // request — index alignment with the input blocks is the contract.
-        let mut parse_errors: Vec<Option<String>> = Vec::with_capacity(blocks.len());
-        let mut trips: Vec<Vec<RawPoint>> = Vec::with_capacity(blocks.len());
-        for block in &blocks {
-            match self.parse_points(block, jsonl, policy) {
-                Ok(p) => {
-                    trips.push(p);
-                    parse_errors.push(None);
+        // request — index alignment with the input trips is the contract.
+        // (Container-level STC corruption still fails the whole request:
+        // there is no trip boundary left to align to.)
+        let mut parse_errors: Vec<Option<String>> = Vec::new();
+        let mut trips: Vec<Vec<RawPoint>> = Vec::new();
+        if format == BodyFormat::Stc {
+            let runs = match read_raw_trips_stc(&req.body) {
+                Ok(r) => r,
+                Err(e) => return Response::error(422, &e.to_string()),
+            };
+            if runs.is_empty() {
+                return Response::error(422, "empty batch: STC container holds no trips");
+            }
+            for run in runs {
+                match self.finish_stc_run(run, policy) {
+                    Ok(p) => {
+                        trips.push(p);
+                        parse_errors.push(None);
+                    }
+                    Err(e) => {
+                        trips.push(Vec::new());
+                        parse_errors.push(Some(e));
+                    }
                 }
-                Err(e) => {
-                    trips.push(Vec::new());
-                    parse_errors.push(Some(e));
+            }
+        } else {
+            let Ok(text) = std::str::from_utf8(&req.body) else {
+                return Response::error(400, "body is not valid UTF-8");
+            };
+            let blocks: Vec<&str> = text
+                .split("\n\n")
+                .map(|b| b.trim_matches('\n'))
+                .filter(|b| !b.trim().is_empty())
+                .collect();
+            if blocks.is_empty() {
+                return Response::error(422, "empty batch: trips are separated by blank lines");
+            }
+            for block in &blocks {
+                match self.parse_points(block, format == BodyFormat::Jsonl, policy) {
+                    Ok(p) => {
+                        trips.push(p);
+                        parse_errors.push(None);
+                    }
+                    Err(e) => {
+                        trips.push(Vec::new());
+                        parse_errors.push(Some(e));
+                    }
                 }
             }
         }

@@ -11,7 +11,9 @@ use stmaker::{
     standard_features, FeatureWeights, Recorder, Summarizer, SummarizerConfig, TrainedModel,
 };
 use stmaker_generator::{TripConfig, TripGenerator, World, WorldConfig};
-use stmaker_io::{read_trajectory_csv, write_trajectory_csv};
+use stmaker_io::{
+    read_model_stc, read_trajectory_csv, write_model_stc, write_trajectory_csv, write_trips_stc,
+};
 use stmaker_server::{ServeConfig, Server};
 use stmaker_trajectory::RawPoint;
 
@@ -451,6 +453,99 @@ fn sanitize_is_per_request() {
         assert_eq!(status, 200, "repair must serve: {}", body_text(&body));
         let (status, _) = request(addr, "POST", "/summarize?sanitize=bogus", b"x");
         assert_eq!(status, 400);
+    });
+}
+
+/// The STC1 wire surface: `GET /model?format=stc` round-trips to the
+/// identical canonical JSON, a binary `POST /model` hot-swaps (sniffed,
+/// no format parameter needed), and `?format=stc` trip bodies produce
+/// byte-identical summaries to the CSV path.
+#[test]
+fn stc_wire_surface_is_equivalent() {
+    let fx = Fixture::new();
+    let model_a_json = fx.train(60, 1001).to_json();
+    let model_b = fx.train(8, 5005);
+    let cold_b = {
+        let summarizer = fx.summarizer(fx.train(8, 5005), SummarizerConfig::default());
+        fx.reference_texts(&summarizer)
+    };
+    let trips: Vec<_> =
+        fx.trip_csvs.iter().map(|csv| read_trajectory_csv(csv).expect("fixture parses")).collect();
+    let stc_container = write_trips_stc(&trips);
+    let single_stc = write_trips_stc(&trips[..1]);
+
+    let server = Server::bind(
+        &fx.world.net,
+        &fx.world.registry,
+        fx.train(60, 1001),
+        SummarizerConfig::default(),
+        ServeConfig::default(),
+    )
+    .expect("bind");
+    with_running(&server, |addr| {
+        // Download both encodings of generation 1's model; they must
+        // describe the same model, and the STC bytes must decode to the
+        // identical canonical JSON (the byte-identity contract, over HTTP).
+        let (status, stc_body) = request(addr, "GET", "/model?format=stc", b"");
+        assert_eq!(status, 200);
+        assert!(stc_body.starts_with(b"STC1"), "binary download carries the magic");
+        let downloaded = read_model_stc(&stc_body).expect("served STC decodes");
+        assert_eq!(downloaded.to_json(), model_a_json);
+        let (status, json_body) = request(addr, "GET", "/model?format=json", b"");
+        assert_eq!(status, 200);
+        assert_eq!(body_text(&json_body).trim_end(), model_a_json.trim_end());
+        let (status, _) = request(addr, "GET", "/model?format=bogus", b"");
+        assert_eq!(status, 400);
+
+        // Summaries from STC bodies are byte-identical to CSV bodies.
+        let (status, csv_resp) = request(addr, "POST", "/summarize", fx.trip_csvs[0].as_bytes());
+        assert_eq!(status, 200, "{}", body_text(&csv_resp));
+        let (status, stc_resp) = request(addr, "POST", "/summarize?format=stc", &single_stc);
+        assert_eq!(status, 200, "{}", body_text(&stc_resp));
+        assert_eq!(stc_resp, csv_resp);
+
+        // Batch: one line per trip in container order, matching the CSV
+        // blank-line batch byte for byte.
+        let batch_body: String = fx.trip_csvs.join("\n");
+        let (status, csv_batch) = request(addr, "POST", "/summarize_batch", batch_body.as_bytes());
+        assert_eq!(status, 200);
+        let (status, stc_batch) =
+            request(addr, "POST", "/summarize_batch?format=stc", &stc_container);
+        assert_eq!(status, 200);
+        assert_eq!(stc_batch, csv_batch);
+
+        // A multi-trip container on the single-trip endpoint is typed.
+        let (status, body) = request(addr, "POST", "/summarize?format=stc", &stc_container);
+        assert_eq!(status, 422);
+        assert!(body_text(&body).contains("exactly one"), "{}", body_text(&body));
+        // Corrupt container: typed 422, not a hang or a 500. (Cut deep —
+        // shaving a byte or two only removes alignment padding, which the
+        // reader rightly tolerates.)
+        let mut corrupt = single_stc.clone();
+        let half = corrupt.len() / 2;
+        corrupt.truncate(half);
+        let (status, _) = request(addr, "POST", "/summarize?format=stc", &corrupt);
+        assert_eq!(status, 422);
+
+        // Binary model hot-swap: magic-sniffed, no query parameter.
+        let (status, body) = request(addr, "POST", "/model", &write_model_stc(&model_b));
+        assert_eq!(status, 200, "{}", body_text(&body));
+        assert!(body_text(&body).contains("\"model_version\": 2"));
+        for (csv, expect) in fx.trip_csvs.iter().zip(&cold_b) {
+            let (status, body) = request(addr, "POST", "/summarize", csv.as_bytes());
+            match expect {
+                Some(text) => assert_eq!((status, body_text(&body)), (200, text.clone())),
+                None => assert_eq!(status, 422),
+            }
+        }
+        // Corrupt binary model: typed 422, generation unchanged.
+        let mut bad_model = write_model_stc(&model_b);
+        bad_model.truncate(bad_model.len() / 2);
+        let (status, body) = request(addr, "POST", "/model", &bad_model);
+        assert_eq!(status, 422, "{}", body_text(&body));
+        let (status, body) = request(addr, "GET", "/healthz", b"");
+        assert_eq!(status, 200);
+        assert!(body_text(&body).contains("\"model_version\": 2"), "{}", body_text(&body));
     });
 }
 

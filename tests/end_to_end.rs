@@ -793,6 +793,76 @@ fn streaming_windows_key_on_stream_time_and_surface_in_report() {
 }
 
 #[test]
+fn stc_model_round_trip_is_byte_identical_across_thread_counts() {
+    // The tentpole contract for the columnar model format: a model pushed
+    // through STC1 encode → decode produces (a) the identical canonical
+    // JSON and (b) byte-identical summaries to the JSON-path model at
+    // every thread count — the binary encoding must be invisible to the
+    // pipeline's output.
+    use stmaker_io::{read_model_stc, read_trips_stc, write_model_stc, write_trips_stc};
+    let h = Harness::new();
+    let (train, test) = h.corpora(60, 12);
+    let features = standard_features();
+    let weights = FeatureWeights::uniform(&features);
+    let trained = Summarizer::train(
+        &h.world.net,
+        &h.world.registry,
+        &train,
+        features,
+        weights,
+        SummarizerConfig::default(),
+    );
+    let canonical = trained.model().to_json();
+
+    let bytes = write_model_stc(trained.model());
+    let revived_model = read_model_stc(&bytes).expect("own encoding decodes");
+    assert_eq!(revived_model.to_json(), canonical, "STC round-trip must be JSON-canonical");
+    // Double round-trip: the decoded model re-encodes to the same bytes.
+    assert_eq!(write_model_stc(&revived_model), bytes, "STC encoding must be deterministic");
+
+    // Trips too: the columnar container is exact, so summaries of decoded
+    // trips match summaries of the originals byte for byte.
+    let trip_bytes = write_trips_stc(&test);
+    let revived_test = read_trips_stc(&trip_bytes).expect("own encoding decodes");
+    assert_eq!(revived_test, test);
+
+    for threads in [1usize, 2, 4] {
+        let build = |model| {
+            let features = standard_features();
+            let weights = FeatureWeights::uniform(&features);
+            Summarizer::try_from_model(
+                &h.world.net,
+                &h.world.registry,
+                model,
+                features,
+                weights,
+                SummarizerConfig::default().with_threads(threads),
+            )
+            .expect("registry matches")
+        };
+        let texts = |s: &Summarizer<'_>, trips: &[RawTrajectory]| -> Vec<Option<String>> {
+            s.summarize_batch(trips).into_iter().map(|r| r.ok().map(|s| s.text)).collect()
+        };
+        let json_path = build(
+            stmaker_suite::TrainedModel::from_json(&canonical).expect("canonical JSON parses"),
+        );
+        let stc_path = build(read_model_stc(&bytes).expect("decodes"));
+        let reference = texts(&json_path, &test);
+        assert!(reference.iter().flatten().count() >= 8, "most test trips must summarize");
+        assert_eq!(
+            texts(&stc_path, &test),
+            reference,
+            "STC-loaded model diverged at {threads} thread(s)"
+        );
+        assert_eq!(
+            texts(&stc_path, &revived_test),
+            reference,
+            "STC-decoded trips diverged at {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
 fn model_hot_swap_never_serves_stale_cache_entries() {
     // The serving-layer staleness bug this PR headlines: `CachedRoutes`
     // memoizes popular routes / regular values (negative answers included)
